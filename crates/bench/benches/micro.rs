@@ -1,0 +1,216 @@
+//! Criterion micro-benchmarks of the substrate hot paths: the operations
+//! whose costs bound emulation scale (Table 3's O(20M) routes, §4.2's
+//! O(1000) tunnels per VM, Algorithm 1 on the full fabric).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use crystalnet_dataplane::{
+    compare_fibs,
+    ecmp_select,
+    CompareOptions,
+    EthernetFrame,
+    Fib,
+    FibEntry,
+    NextHop, //
+};
+use crystalnet_net::{ClosParams, Ipv4Addr, Ipv4Prefix, LinkId, MacAddr};
+use crystalnet_routing::harness::build_full_bgp_sim;
+use crystalnet_routing::UniformWorkModel;
+use crystalnet_sim::{SimDuration, SimTime};
+use crystalnet_vnet::{VirtualLink, VmId, VniAllocator};
+
+fn bench_fib(c: &mut Criterion) {
+    // A FIB the size of an L-DC ToR's table.
+    let mut fib = Fib::default();
+    for i in 0..8_192u32 {
+        let prefix = Ipv4Prefix::new(Ipv4Addr(0x0a00_0000 + (i << 8)), 24);
+        fib.install(
+            prefix,
+            FibEntry::new(vec![
+                NextHop {
+                    iface: i % 4,
+                    via: Ipv4Addr(i),
+                },
+                NextHop {
+                    iface: (i + 1) % 4,
+                    via: Ipv4Addr(i + 1),
+                },
+            ]),
+        );
+    }
+    fib.install(
+        Ipv4Prefix::DEFAULT,
+        FibEntry::new(vec![NextHop {
+            iface: 0,
+            via: Ipv4Addr(1),
+        }]),
+    );
+
+    c.bench_function("fib_lookup_hit_8k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            std::hint::black_box(fib.lookup(Ipv4Addr(0x0a00_0000 + (i % (8_192 << 8)))))
+        })
+    });
+    c.bench_function("fib_lookup_default_route", |b| {
+        b.iter(|| std::hint::black_box(fib.lookup(Ipv4Addr(0xc0a8_0101))))
+    });
+    c.bench_function("fib_install_remove", |b| {
+        let prefix: Ipv4Prefix = "99.99.99.0/24".parse().unwrap();
+        let entry = FibEntry::new(vec![NextHop {
+            iface: 1,
+            via: Ipv4Addr(7),
+        }]);
+        b.iter(|| {
+            fib.install(prefix, entry.clone());
+            fib.remove(prefix);
+        })
+    });
+    c.bench_function("ecmp_select", |b| {
+        let entry = FibEntry::new(
+            (0..64)
+                .map(|i| NextHop {
+                    iface: i,
+                    via: Ipv4Addr(i),
+                })
+                .collect(),
+        );
+        let mut flow = 0u16;
+        b.iter(|| {
+            flow = flow.wrapping_add(1);
+            std::hint::black_box(ecmp_select(&entry, Ipv4Addr(1), Ipv4Addr(2), 6, flow))
+        })
+    });
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let build = |seed: u32| {
+        let mut f = Fib::default();
+        for i in 0..4_096u32 {
+            f.install(
+                Ipv4Prefix::new(Ipv4Addr(0x0a00_0000 + (i << 8)), 24),
+                FibEntry::new(vec![NextHop {
+                    iface: (i + seed) % 4,
+                    via: Ipv4Addr(i),
+                }]),
+            );
+        }
+        f
+    };
+    let a = build(0);
+    let b2 = build(0);
+    c.bench_function("fib_compare_equal_4k", |b| {
+        b.iter(|| std::hint::black_box(compare_fibs(&a, &b2, &CompareOptions::strict()).len()))
+    });
+}
+
+fn bench_vxlan(c: &mut Criterion) {
+    let mut vnis = VniAllocator::new();
+    let link = VirtualLink::provision(LinkId(1), VmId(0), VmId(1), false, &mut vnis);
+    let frame = EthernetFrame {
+        dst: MacAddr::from_id(1),
+        src: MacAddr::from_id(2),
+        ethertype: crystalnet_dataplane::ethertype::IPV4,
+        payload: Bytes::from(vec![0u8; 256]),
+    };
+    let vtep_a = Ipv4Addr::new(10, 0, 0, 4);
+    let vtep_b = Ipv4Addr::new(10, 0, 0, 5);
+    c.bench_function("vxlan_encap_256B", |b| {
+        b.iter(|| std::hint::black_box(link.encapsulate(&frame, vtep_a, vtep_b)))
+    });
+    let wire = link.encapsulate(&frame, vtep_a, vtep_b);
+    c.bench_function("vxlan_decap_256B", |b| {
+        b.iter(|| std::hint::black_box(link.decapsulate(wire.clone())))
+    });
+    c.bench_function("vni_allocate_release", |b| {
+        let mut alloc = VniAllocator::new();
+        b.iter(|| {
+            let vni = alloc.allocate(VmId(0), VmId(1));
+            alloc.release(VmId(0), VmId(1), vni);
+        })
+    });
+}
+
+fn bench_topology_and_boundary(c: &mut Criterion) {
+    c.bench_function("generate_s_dc_topology", |b| {
+        b.iter(|| std::hint::black_box(ClosParams::s_dc().build().topo.device_count()))
+    });
+    let dc = ClosParams::l_dc().build();
+    let pod: Vec<_> = dc.pods[0]
+        .tors
+        .iter()
+        .chain(&dc.pods[0].leaves)
+        .copied()
+        .collect();
+    c.bench_function("algorithm1_one_pod_full_l_dc", |b| {
+        b.iter(|| {
+            std::hint::black_box(crystalnet_boundary::find_safe_dc_boundary(&dc.topo, &pod).len())
+        })
+    });
+    let devices: Vec<_> = dc
+        .topo
+        .devices()
+        .filter(|(_, d)| d.role != crystalnet_net::Role::External)
+        .map(|(id, _)| id)
+        .collect();
+    c.bench_function("vm_planner_full_l_dc", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                crystalnet::plan_vms(&dc.topo, &devices, &[], &crystalnet::PlanOptions::default())
+                    .vm_count(),
+            )
+        })
+    });
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    // Full control-plane convergence of the Figure 7 fabric — the unit of
+    // work behind every differential validation.
+    c.bench_function("fig7_full_convergence", |b| {
+        b.iter_batched(
+            crystalnet_net::fixtures::fig7,
+            |f| {
+                let mut sim = build_full_bgp_sim(
+                    &f.topo,
+                    Box::new(UniformWorkModel {
+                        boot: SimDuration::from_secs(1),
+                        ..UniformWorkModel::default()
+                    }),
+                );
+                sim.boot_all(SimTime::ZERO);
+                sim.run_until_quiet(
+                    SimDuration::from_secs(5),
+                    SimTime::ZERO + SimDuration::from_mins(60),
+                )
+                .expect("converges")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_config(c: &mut Criterion) {
+    let dc = ClosParams::s_dc().build();
+    let spine = dc.spine_groups[0][0];
+    c.bench_function("generate_device_config", |b| {
+        b.iter(|| std::hint::black_box(crystalnet_config::generate_device(&dc.topo, spine)))
+    });
+    let cfg = crystalnet_config::generate_device(&dc.topo, spine);
+    let text = crystalnet_config::render(&cfg);
+    c.bench_function("parse_device_config", |b| {
+        b.iter(|| std::hint::black_box(crystalnet_config::parse_config(&text).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fib,
+        bench_compare,
+        bench_vxlan,
+        bench_topology_and_boundary,
+        bench_convergence,
+        bench_config
+);
+criterion_main!(micro);

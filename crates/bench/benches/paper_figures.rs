@@ -1,0 +1,76 @@
+//! The full paper-evaluation regeneration: every table and figure, in
+//! order, printed to stdout. Runs under `cargo bench -p crystalnet-bench`
+//! (plain harness) so one command reproduces the whole evaluation.
+//!
+//! Scaling knobs: `CRYSTALNET_FULL=1` (full L-DC), `CRYSTALNET_REPS=n`
+//! (repetitions for Figure 8; paper default 10).
+
+fn main() {
+    // `cargo bench` passes `--bench`; accept and ignore harness flags.
+    println!("CrystalNet reproduction — full evaluation run");
+    println!(
+        "scale: L-DC at {} | repetitions: {}",
+        if crystalnet_bench::config::full_scale() {
+            "1x (full)"
+        } else {
+            "0.25x (default)"
+        },
+        crystalnet_bench::config::reps()
+    );
+
+    // Table 1 — incident coverage.
+    crystalnet_bench::incidents::print_table1(42);
+
+    // Figure 1 — aggregation imbalance.
+    let f1 = crystalnet_bench::incidents::run_fig1(7, 200);
+    crystalnet_bench::incidents::print_fig1(&f1);
+
+    // Figure 7 — boundary safety.
+    let f7 = crystalnet_bench::boundaries::run_fig7();
+    crystalnet_bench::boundaries::print_fig7(&f7);
+
+    // Table 3 — evaluation networks.
+    let t3 = crystalnet_bench::tables::table3();
+    crystalnet_bench::tables::print_table3(&t3);
+
+    // Table 4 — safe-boundary scales.
+    let t4 = crystalnet_bench::tables::table4();
+    crystalnet_bench::tables::print_table4(&t4);
+
+    // Figure 8 — start/stop latencies.
+    let configs = crystalnet_bench::config::figure8_configs();
+    let rows: Vec<_> = configs
+        .iter()
+        .map(|cfg| {
+            eprintln!("fig8: running {}...", cfg.label);
+            crystalnet_bench::fig8::run_config(cfg)
+        })
+        .collect();
+    crystalnet_bench::fig8::print_table(&rows);
+    println!("\nFigure 8 claim checks:");
+    for (claim, ok) in crystalnet_bench::fig8::verdicts(&rows) {
+        println!("  [{}] {claim}", if ok { "ok" } else { "FAIL" });
+    }
+
+    // Figure 9 — CPU utilization curves.
+    let series: Vec<_> = configs
+        .iter()
+        .map(|cfg| {
+            eprintln!("fig9: running {}...", cfg.label);
+            crystalnet_bench::fig9::run_config(cfg, 1)
+        })
+        .collect();
+    crystalnet_bench::fig9::print_series(&series);
+
+    // §8.3 — reload + recovery, and the DESIGN.md ablations.
+    let reload = crystalnet_bench::ops::reload_comparison(3);
+    crystalnet_bench::ops::print_reload(&reload);
+    let rec = crystalnet_bench::ops::recovery_by_density(4);
+    crystalnet_bench::ops::print_recovery(&rec);
+    let ab = crystalnet_bench::ops::bridge_ablation(&configs[0], 5);
+    crystalnet_bench::ops::print_ablation("Linux bridge vs OVS (S-DC/5)", &ab);
+    let gr = crystalnet_bench::ops::grouping_ablation(6);
+    crystalnet_bench::ops::print_ablation("vendor grouping on/off (S-DC)", &gr);
+
+    println!("\nevaluation run complete");
+}

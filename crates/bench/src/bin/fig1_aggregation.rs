@@ -1,0 +1,6 @@
+//! Regenerates the Figure 1 traffic-imbalance measurement.
+
+fn main() {
+    let r = crystalnet_bench::incidents::run_fig1(7, 200);
+    crystalnet_bench::incidents::print_fig1(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Figure 7 boundary-safety comparison (oracle,
+//! propositions, differential emulation).
+
+fn main() {
+    let cases = crystalnet_bench::boundaries::run_fig7();
+    crystalnet_bench::boundaries::print_fig7(&cases);
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 8 (start/stop latencies across scales and fleets).
+
+fn main() {
+    let configs = crystalnet_bench::config::figure8_configs();
+    let rows: Vec<_> = configs
+        .iter()
+        .map(|cfg| {
+            eprintln!(
+                "running {} ({} reps)...",
+                cfg.label,
+                crystalnet_bench::config::reps()
+            );
+            crystalnet_bench::fig8::run_config(cfg)
+        })
+        .collect();
+    crystalnet_bench::fig8::print_table(&rows);
+    println!("\nclaim checks:");
+    for (claim, ok) in crystalnet_bench::fig8::verdicts(&rows) {
+        println!("  [{}] {claim}", if ok { "ok" } else { "FAIL" });
+    }
+}

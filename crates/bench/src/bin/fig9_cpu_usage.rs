@@ -1,0 +1,13 @@
+//! Regenerates Figure 9 (p95 VM CPU utilization during Mockup).
+
+fn main() {
+    let configs = crystalnet_bench::config::figure8_configs();
+    let series: Vec<_> = configs
+        .iter()
+        .map(|cfg| {
+            eprintln!("running {}...", cfg.label);
+            crystalnet_bench::fig9::run_config(cfg, 1)
+        })
+        .collect();
+    crystalnet_bench::fig9::print_series(&series);
+}

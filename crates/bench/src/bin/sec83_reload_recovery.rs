@@ -1,0 +1,14 @@
+//! Regenerates the §8.3 reload and VM-recovery results, plus the
+//! DESIGN.md ablations (bridge implementation, vendor grouping).
+
+fn main() {
+    let rows = crystalnet_bench::ops::reload_comparison(3);
+    crystalnet_bench::ops::print_reload(&rows);
+    let rec = crystalnet_bench::ops::recovery_by_density(4);
+    crystalnet_bench::ops::print_recovery(&rec);
+    let cfgs = crystalnet_bench::config::figure8_configs();
+    let ab = crystalnet_bench::ops::bridge_ablation(&cfgs[0], 5);
+    crystalnet_bench::ops::print_ablation("Linux bridge vs OVS (S-DC/5)", &ab);
+    let gr = crystalnet_bench::ops::grouping_ablation(6);
+    crystalnet_bench::ops::print_ablation("vendor grouping on/off (S-DC)", &gr);
+}

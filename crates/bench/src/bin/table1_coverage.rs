@@ -1,0 +1,6 @@
+//! Regenerates the Table 1 coverage matrix by executing the incident
+//! scenario suite under the emulator.
+
+fn main() {
+    crystalnet_bench::incidents::print_table1(42);
+}

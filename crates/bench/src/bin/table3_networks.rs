@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (evaluation networks and route totals).
+
+fn main() {
+    let rows = crystalnet_bench::tables::table3();
+    crystalnet_bench::tables::print_table3(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 4 and the §8.4 cost-reduction result.
+
+fn main() {
+    let rows = crystalnet_bench::tables::table4();
+    crystalnet_bench::tables::print_table4(&rows);
+}

@@ -1,0 +1,168 @@
+//! Figure 7: the unsafe and safe static boundaries, checked three ways —
+//! by the exact Lemma 5.1 oracle, by the efficient propositions, and by
+//! differential emulation against the full network.
+
+use crystalnet_boundary::{
+    check_lemma_5_1,
+    check_prop_5_2,
+    check_prop_5_3,
+    differential_validate,
+    emulated_set,
+    Classification, //
+};
+use crystalnet_dataplane::CompareOptions;
+use crystalnet_net::fixtures::{fig7, Fig7};
+use crystalnet_net::DeviceId;
+use crystalnet_routing::{ControlPlaneSim, MgmtCommand};
+use crystalnet_sim::SimTime;
+use std::collections::BTreeSet;
+
+/// One Figure 7 sub-case result.
+pub struct Fig7Case {
+    /// Sub-figure label.
+    pub label: String,
+    /// Lemma 5.1 verdict.
+    pub lemma_safe: bool,
+    /// Prop 5.2 verdict.
+    pub prop52: bool,
+    /// Prop 5.3 verdict.
+    pub prop53: bool,
+    /// Differential emulation consistency under the §5.1 change.
+    pub differential_consistent: bool,
+    /// FIB differences observed (0 when consistent).
+    pub differences: usize,
+}
+
+/// The change each sub-case validates (matching the paper's narratives).
+enum Change {
+    /// §5.1: T4 gets a new prefix 10.1.0.0/16 (cases 7a/7b, where T4 is
+    /// emulated).
+    AddPrefixOnT4,
+    /// §5.2: the S1-L1 link fails (case 7c, where the ToRs are speakers
+    /// and cannot be reconfigured — the whole point of "safe to emulate
+    /// L1-4 but not T1-4").
+    FailS1L1,
+}
+
+fn check(
+    f: &Fig7,
+    label: &str,
+    emulated: BTreeSet<DeviceId>,
+    must_have: &[DeviceId],
+    change: Change,
+) -> Fig7Case {
+    let class = Classification::new(&f.topo, &emulated);
+    let t4 = f.tors[3];
+    let topo = f.topo.clone();
+    let s1 = f.spines[0];
+    let l1 = f.leaves[0];
+    let apply: Box<dyn Fn(&mut ControlPlaneSim, SimTime)> = match change {
+        Change::AddPrefixOnT4 => Box::new(move |sim, at| {
+            sim.mgmt(
+                t4,
+                MgmtCommand::AddNetwork("10.1.0.0/16".parse().unwrap()),
+                at,
+            );
+        }),
+        Change::FailS1L1 => Box::new(move |sim, at| {
+            let (lid, _, _) = topo
+                .neighbors(s1)
+                .find(|(_, _, remote)| remote.device == l1)
+                .expect("S1-L1 link exists");
+            let ep = ControlPlaneSim::link_endpoints(&topo, lid);
+            sim.link_down(ep, at);
+        }),
+    };
+    let report = differential_validate(
+        &f.topo,
+        &emulated,
+        must_have,
+        &CompareOptions::strict(),
+        &*apply,
+    );
+    Fig7Case {
+        label: label.into(),
+        lemma_safe: check_lemma_5_1(&f.topo, &emulated).is_ok(),
+        prop52: check_prop_5_2(&f.topo, &class).is_ok(),
+        prop53: check_prop_5_3(&f.topo, &class).is_ok(),
+        differential_consistent: report.consistent(),
+        differences: report.difference_count(),
+    }
+}
+
+/// Runs the three Figure 7 boundaries.
+#[must_use]
+pub fn run_fig7() -> Vec<Fig7Case> {
+    let f = fig7();
+    let a = emulated_set(
+        &f.leaves[..4]
+            .iter()
+            .chain(&f.tors[..4])
+            .copied()
+            .collect::<Vec<_>>(),
+    );
+    let b = emulated_set(
+        &f.spines
+            .iter()
+            .chain(&f.leaves[..4])
+            .chain(&f.tors[..4])
+            .copied()
+            .collect::<Vec<_>>(),
+    );
+    let c = emulated_set(
+        &f.spines
+            .iter()
+            .chain(&f.leaves[..4])
+            .copied()
+            .collect::<Vec<_>>(),
+    );
+    vec![
+        check(
+            &f,
+            "7a: T1-4,L1-4 (speakers S1-2) — unsafe",
+            a,
+            &[f.leaves[0], f.tors[0]],
+            Change::AddPrefixOnT4,
+        ),
+        check(
+            &f,
+            "7b: +S1-2 emulated — safe",
+            b,
+            &[f.leaves[0], f.tors[0], f.tors[3]],
+            Change::AddPrefixOnT4,
+        ),
+        check(
+            &f,
+            "7c: S1-2,L1-4 (speakers T1-4,L5-6) — safe for leaves",
+            c,
+            &f.leaves[..4].to_vec(),
+            Change::FailS1L1,
+        ),
+    ]
+}
+
+/// Prints the Figure 7 verdicts.
+pub fn print_fig7(cases: &[Fig7Case]) {
+    println!("\n=== Figure 7: static boundary safety ===");
+    println!(
+        "{:<52} {:>9} {:>8} {:>8} {:>13} {:>6}",
+        "Boundary", "Lemma 5.1", "Prop 5.2", "Prop 5.3", "differential", "diffs"
+    );
+    let mark = |b: bool| if b { "safe" } else { "UNSAFE" };
+    for c in cases {
+        println!(
+            "{:<52} {:>9} {:>8} {:>8} {:>13} {:>6}",
+            c.label,
+            mark(c.lemma_safe),
+            mark(c.prop52),
+            mark(c.prop53),
+            if c.differential_consistent {
+                "consistent"
+            } else {
+                "DIVERGED"
+            },
+            c.differences,
+        );
+    }
+    println!("(Props 5.2/5.3 are sufficient conditions — conservative 'UNSAFE' on a Lemma-safe boundary is expected for 7b/7c.)");
+}

@@ -1,0 +1,142 @@
+//! Figure 8: network-ready / route-ready / mockup / clear latencies, at
+//! the 10th/50th/90th percentile over repeated runs, across datacenter
+//! scales and VM fleet sizes.
+
+use crate::config::{reps, DcConfig};
+use crystalnet::{mockup, prepare, BoundaryMode, Emulation, MockupOptions, SpeakerSource};
+use crystalnet_sim::{LatencySummary, SimDuration};
+use std::rc::Rc;
+
+/// Latency samples of one configuration across repetitions.
+pub struct Fig8Row {
+    /// Configuration label (`M-DC/50`).
+    pub label: String,
+    /// Network-ready percentiles.
+    pub network_ready: LatencySummary,
+    /// Route-ready percentiles.
+    pub route_ready: LatencySummary,
+    /// Whole-Mockup percentiles.
+    pub mockup: LatencySummary,
+    /// Clear percentiles.
+    pub clear: LatencySummary,
+    /// Devices emulated.
+    pub devices: usize,
+    /// Route operations of the median run.
+    pub route_ops: u64,
+}
+
+/// Runs one configuration once; returns the emulation for reuse.
+#[must_use]
+pub fn run_once(cfg: &DcConfig, seed: u64) -> Emulation {
+    let dc = cfg.params.build();
+    let prep = prepare(
+        &dc.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &cfg.plan_options(),
+    );
+    mockup(
+        Rc::new(prep),
+        MockupOptions {
+            seed,
+            quiet: SimDuration::from_secs(45),
+            ..MockupOptions::default()
+        },
+    )
+}
+
+/// Runs `reps()` seeds of one configuration and summarizes.
+#[must_use]
+pub fn run_config(cfg: &DcConfig) -> Fig8Row {
+    let mut network = Vec::new();
+    let mut route = Vec::new();
+    let mut mockup_l = Vec::new();
+    let mut clear_l = Vec::new();
+    let mut devices = 0;
+    let mut ops = Vec::new();
+    for seed in 0..reps() {
+        let mut emu = run_once(cfg, seed);
+        network.push(emu.metrics.network_ready);
+        route.push(emu.metrics.route_ready);
+        mockup_l.push(emu.metrics.mockup);
+        ops.push(emu.metrics.route_ops);
+        devices = emu.prep.emulated.len();
+        clear_l.push(emu.clear());
+    }
+    ops.sort_unstable();
+    Fig8Row {
+        label: cfg.label.clone(),
+        network_ready: LatencySummary::from_samples(&network).expect("reps >= 1"),
+        route_ready: LatencySummary::from_samples(&route).expect("reps >= 1"),
+        mockup: LatencySummary::from_samples(&mockup_l).expect("reps >= 1"),
+        clear: LatencySummary::from_samples(&clear_l).expect("reps >= 1"),
+        devices,
+        route_ops: ops[ops.len() / 2],
+    }
+}
+
+/// Prints the Figure 8 table for the given configurations.
+pub fn print_table(rows: &[Fig8Row]) {
+    println!(
+        "\n=== Figure 8: start/stop latencies (p10/p50/p90 over {} runs) ===",
+        reps()
+    );
+    println!(
+        "{:<12} {:>8} | {:>26} | {:>26} | {:>26} | {:>26}",
+        "DC/#VMs", "devices", "network-ready", "route-ready", "mockup", "clear"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>8} | {:>26} | {:>26} | {:>26} | {:>26}",
+            r.label,
+            r.devices,
+            fmt3(&r.network_ready),
+            fmt3(&r.route_ready),
+            fmt3(&r.mockup),
+            fmt3(&r.clear),
+        );
+    }
+}
+
+fn fmt3(s: &LatencySummary) -> String {
+    format!("{} / {} / {}", s.p10, s.p50, s.p90)
+}
+
+/// Checks the paper's headline claims against the measured rows; returns
+/// human-readable verdicts (for EXPERIMENTS.md).
+#[must_use]
+pub fn verdicts(rows: &[Fig8Row]) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    for r in rows {
+        out.push((
+            format!("{}: median mockup < 32 min", r.label),
+            r.mockup.p50 < SimDuration::from_mins(32),
+        ));
+        out.push((
+            format!("{}: p90 mockup < 50 min", r.label),
+            r.mockup.p90 < SimDuration::from_mins(50),
+        ));
+        out.push((
+            format!("{}: network-ready < 2 min (<5% of mockup)", r.label),
+            r.network_ready.p90 < SimDuration::from_mins(2),
+        ));
+        out.push((
+            format!("{}: clear < 2 min", r.label),
+            r.clear.p90 < SimDuration::from_mins(2),
+        ));
+    }
+    // More VMs ⇒ faster, steadier mockup within each DC pair.
+    for pair in rows.chunks(2) {
+        if let [small, big] = pair {
+            out.push((
+                format!(
+                    "{} → {}: more VMs do not slow mockup",
+                    small.label, big.label
+                ),
+                big.mockup.p50 <= small.mockup.p50,
+            ));
+        }
+    }
+    out
+}

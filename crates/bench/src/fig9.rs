@@ -1,0 +1,83 @@
+//! Figure 9: 95th-percentile VM CPU utilization over time during Mockup,
+//! per datacenter scale and fleet size.
+
+use crate::config::DcConfig;
+use crate::fig8::run_once;
+
+/// One CPU-utilization series.
+pub struct Fig9Series {
+    /// Configuration label.
+    pub label: String,
+    /// Bucket width in seconds.
+    pub bucket_secs: f64,
+    /// p95 utilization per bucket (0..=1).
+    pub p95: Vec<f64>,
+}
+
+impl Fig9Series {
+    /// The peak utilization.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.p95.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Minutes until utilization first drops below `level` after its peak.
+    #[must_use]
+    pub fn quiesce_minute(&self, level: f64) -> Option<f64> {
+        let peak_idx = self
+            .p95
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))?
+            .0;
+        self.p95[peak_idx..]
+            .iter()
+            .position(|&u| u < level)
+            .map(|off| (peak_idx + off) as f64 * self.bucket_secs / 60.0)
+    }
+}
+
+/// Runs one configuration and captures its CPU series.
+#[must_use]
+pub fn run_config(cfg: &DcConfig, seed: u64) -> Fig9Series {
+    let emu = run_once(cfg, seed);
+    Fig9Series {
+        label: cfg.label.clone(),
+        bucket_secs: emu.cpu_bucket().as_secs_f64(),
+        p95: emu.cpu_p95_series(),
+    }
+}
+
+/// Prints an ASCII rendering of the series plus a CSV block.
+pub fn print_series(series: &[Fig9Series]) {
+    println!("\n=== Figure 9: p95 VM CPU utilization during Mockup ===");
+    for s in series {
+        println!(
+            "\n{} (bucket {}s, peak {:.0}%, quiesces below 20% at ~{:.1} min):",
+            s.label,
+            s.bucket_secs,
+            s.peak() * 100.0,
+            s.quiesce_minute(0.2).unwrap_or(f64::NAN)
+        );
+        // One bar per bucket, 50 columns max.
+        for (i, u) in s.p95.iter().enumerate() {
+            let t_min = i as f64 * s.bucket_secs / 60.0;
+            let cols = (u * 50.0).round() as usize;
+            println!(
+                "  {t_min:>5.1}min |{:<50}| {:>3.0}%",
+                "#".repeat(cols),
+                u * 100.0
+            );
+        }
+    }
+    println!("\ncsv,label,minute,p95_util");
+    for s in series {
+        for (i, u) in s.p95.iter().enumerate() {
+            println!(
+                "csv,{},{:.2},{u:.4}",
+                s.label,
+                i as f64 * s.bucket_secs / 60.0
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Table 1 (incident coverage) and Figure 1 (aggregation imbalance)
+//! regenerators.
+
+use crystalnet::{
+    mockup,
+    prepare,
+    run_all_scenarios,
+    BoundaryMode,
+    MockupOptions,
+    PlanOptions,
+    RootCause,
+    ScenarioResult,
+    SpeakerSource, //
+};
+use crystalnet_config::AggregateConfig;
+use crystalnet_net::fixtures::fig1;
+use std::rc::Rc;
+
+/// Runs the incident suite and prints the Table 1 coverage matrix.
+pub fn print_table1(seed: u64) -> Vec<ScenarioResult> {
+    let results = run_all_scenarios(seed);
+    println!("\n=== Table 1: incident root causes and coverage ===");
+    println!(
+        "{:<10} {:<58} {:>10} {:>13}",
+        "Cause", "Scenario", "CrystalNet", "Verification"
+    );
+    let mark = |b: bool| if b { "yes" } else { "no" };
+    for r in &results {
+        println!(
+            "{:<10} {:<58} {:>10} {:>13}",
+            match r.cause {
+                RootCause::SoftwareBug => "software",
+                RootCause::ConfigBug => "config",
+                RootCause::HumanError => "human",
+                RootCause::HardwareFailure => "hardware",
+            },
+            r.name,
+            mark(r.detected),
+            mark(r.verification_covers),
+        );
+    }
+    // Aggregate coverage per class, next to the paper's proportions.
+    println!("\nper-class coverage (paper proportion of incidents):");
+    for cause in [
+        RootCause::SoftwareBug,
+        RootCause::ConfigBug,
+        RootCause::HumanError,
+        RootCause::HardwareFailure,
+    ] {
+        let class: Vec<&ScenarioResult> = results.iter().filter(|r| r.cause == cause).collect();
+        let detected = class.iter().filter(|r| r.detected).count();
+        println!(
+            "  {:?}: {detected}/{} scenarios detected ({}% of production incidents)",
+            cause,
+            class.len(),
+            (cause.paper_proportion() * 100.0) as u32
+        );
+    }
+    results
+}
+
+/// The Figure 1 measurement: per-router traffic share for the aggregate.
+pub struct Fig1Result {
+    /// Flows carried via R6 (Vendor-A).
+    pub via_r6: u32,
+    /// Flows carried via R7 (Vendor-C).
+    pub via_r7: u32,
+    /// AS-path length of the winning aggregate at R8.
+    pub winning_path_len: usize,
+}
+
+/// Reproduces Figure 1 with `flows` telemetry probes.
+#[must_use]
+pub fn run_fig1(seed: u64, flows: u32) -> Fig1Result {
+    let f = fig1();
+    let mut prep = prepare(
+        &f.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    );
+    for (dev, cfg) in &mut prep.configs {
+        if *dev == f.routers[5] || *dev == f.routers[6] {
+            cfg.bgp.as_mut().unwrap().aggregates.push(AggregateConfig {
+                prefix: f.p3,
+                summary_only: true,
+            });
+        }
+    }
+    let mut emu = mockup(
+        Rc::new(prep),
+        MockupOptions {
+            seed,
+            ..MockupOptions::default()
+        },
+    );
+
+    // Pull R8's route for P3 via the management plane.
+    let winning_path_len = match emu
+        .sim
+        .mgmt_sync(f.routers[7], crystalnet_routing::MgmtCommand::ShowRoutes)
+    {
+        Some(crystalnet_routing::MgmtResponse::Routes(rows)) => rows
+            .iter()
+            .find(|(p, _, _)| *p == f.p3)
+            .map(|(_, len, _)| *len)
+            .unwrap_or(0),
+        _ => 0,
+    };
+
+    let (mut via_r6, mut via_r7) = (0, 0);
+    for flow in 0..flows {
+        let src = crystalnet_net::Ipv4Addr::new(203, 0, (flow >> 8) as u8, flow as u8);
+        let sig = emu.inject_packet(f.routers[7], src, f.p3.nth(flow * 13 + 1));
+        let (path, _) = emu.pull_packets(sig);
+        if path.contains(&f.routers[5]) {
+            via_r6 += 1;
+        }
+        if path.contains(&f.routers[6]) {
+            via_r7 += 1;
+        }
+    }
+    Fig1Result {
+        via_r6,
+        via_r7,
+        winning_path_len,
+    }
+}
+
+/// Prints the Figure 1 result.
+pub fn print_fig1(r: &Fig1Result) {
+    println!("\n=== Figure 1: vendor-divergent aggregation imbalance ===");
+    println!(
+        "R8's winning aggregate AS-path length: {} (Vendor-C announces {{7}} only)",
+        r.winning_path_len
+    );
+    println!(
+        "traffic split toward P3: R6 {} flows, R7 {} flows — paper: \"R8 always prefers R7\"",
+        r.via_r6, r.via_r7
+    );
+}

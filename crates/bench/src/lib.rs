@@ -1,0 +1,20 @@
+//! Benchmark harness regenerating every table and figure in the
+//! CrystalNet paper's evaluation (plus the DESIGN.md ablations).
+//!
+//! Two entry styles:
+//! * `cargo bench -p crystalnet-bench` runs `benches/paper_figures.rs`
+//!   (all tables/figures, env-scaled) and `benches/micro.rs` (criterion
+//!   micro-benchmarks of the hot substrate paths);
+//! * `cargo run --release -p crystalnet-bench --bin <figure>` regenerates
+//!   one artifact.
+//!
+//! Scaling: `CRYSTALNET_FULL=1` for full L-DC, `CRYSTALNET_REPS=n` to
+//! change the repetition count (default 10, as in the paper).
+
+pub mod boundaries;
+pub mod config;
+pub mod fig8;
+pub mod fig9;
+pub mod incidents;
+pub mod ops;
+pub mod tables;

@@ -1,0 +1,212 @@
+//! Table 3 (evaluation networks, including total route counts) and
+//! Table 4 (safe-boundary emulation scales and the §8.4 cost reduction).
+
+use crate::config::full_scale;
+use crystalnet::{plan_vms, PlanOptions};
+use crystalnet_boundary::{find_safe_dc_boundary, Classification};
+use crystalnet_net::{ClosParams, ClosTopology, DeviceId, Role};
+use crystalnet_routing::harness::build_full_bgp_sim;
+use crystalnet_routing::UniformWorkModel;
+use crystalnet_sim::{SimDuration, SimTime};
+
+/// A Table 3 row.
+pub struct Table3Row {
+    /// Network name.
+    pub name: String,
+    /// Border count.
+    pub borders: usize,
+    /// Spine count.
+    pub spines: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// ToR count.
+    pub tors: usize,
+    /// Total routing-table entries across all switches (measured from a
+    /// converged control plane; `None` if not measured at this scale).
+    pub routes: Option<usize>,
+    /// Scale factor the measurement ran at.
+    pub scale: f64,
+}
+
+/// Converges a DC's control plane and counts all routing-table entries.
+#[must_use]
+pub fn measure_routes(dc: &ClosTopology) -> usize {
+    let mut sim = build_full_bgp_sim(
+        &dc.topo,
+        Box::new(UniformWorkModel {
+            boot: SimDuration::from_secs(1),
+            ..UniformWorkModel::default()
+        }),
+    );
+    sim.boot_all(SimTime::ZERO);
+    sim.run_until_quiet(
+        SimDuration::from_secs(30),
+        SimTime::ZERO + SimDuration::from_mins(600),
+    )
+    .expect("DC converges");
+    dc.topo
+        .devices()
+        .filter(|(_, d)| d.role != Role::External)
+        .map(|(id, _)| sim.fib(id).map_or(0, |f| f.route_entry_count()))
+        .sum()
+}
+
+/// Builds and measures the three evaluation networks.
+#[must_use]
+pub fn table3() -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for (params, measure_scale) in [
+        (ClosParams::s_dc(), 1.0),
+        (ClosParams::m_dc(), 1.0),
+        (ClosParams::l_dc(), if full_scale() { 1.0 } else { 0.25 }),
+    ] {
+        // Layer counts always reflect the paper-scale geometry.
+        let geom = params.clone().build();
+        let c = geom.layer_counts();
+        let measured = params.clone().scaled_pods(measure_scale).build();
+        let routes = measure_routes(&measured);
+        rows.push(Table3Row {
+            name: params.name.to_uppercase(),
+            borders: c.borders,
+            spines: c.spines,
+            leaves: c.leaves,
+            tors: c.tors,
+            routes: Some(routes),
+            scale: measure_scale,
+        });
+    }
+    rows
+}
+
+/// Prints Table 3.
+pub fn print_table3(rows: &[Table3Row]) {
+    println!("\n=== Table 3: evaluation datacenter networks ===");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>14} {:>7}",
+        "Network", "#Borders", "#Spines", "#Leaves", "#ToRs", "#Routes", "scale"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>8} {:>14} {:>7}",
+            r.name,
+            r.borders,
+            r.spines,
+            r.leaves,
+            r.tors,
+            r.routes.map_or("-".into(), |n| format!("{n}")),
+            format!("{}x", r.scale),
+        );
+    }
+    println!("paper bands: S-DC O(50K), M-DC O(1M), L-DC O(20M) routes");
+}
+
+/// A Table 4 row: a boundary-restricted emulation of L-DC.
+pub struct Table4Row {
+    /// Case name.
+    pub case: String,
+    /// Per-layer emulated counts.
+    pub borders: usize,
+    /// Spines.
+    pub spines: usize,
+    /// Leaves.
+    pub leaves: usize,
+    /// ToRs.
+    pub tors: usize,
+    /// Emulated fraction of the whole DC.
+    pub proportion: f64,
+    /// Speaker devices at the boundary.
+    pub speakers: usize,
+    /// VMs the planner needs (devices + speakers).
+    pub vms: usize,
+    /// VMs a whole-DC emulation needs.
+    pub whole_dc_vms: usize,
+    /// Cost reduction vs emulating everything.
+    pub cost_reduction: f64,
+}
+
+/// Computes both §8.4 cases on the full L-DC geometry.
+#[must_use]
+pub fn table4() -> Vec<Table4Row> {
+    let dc = ClosParams::l_dc().build();
+    let whole_devices: Vec<DeviceId> = dc
+        .topo
+        .devices()
+        .filter(|(_, d)| d.role != Role::External)
+        .map(|(id, _)| id)
+        .collect();
+    let plan_opts = PlanOptions {
+        max_devices_per_vm: 12,
+        ..PlanOptions::default()
+    };
+    let whole_plan = plan_vms(&dc.topo, &whole_devices, &[], &plan_opts);
+
+    let pod = &dc.pods[0];
+    let case1: Vec<DeviceId> = pod.tors.iter().chain(&pod.leaves).copied().collect();
+    let case2 = dc.spines();
+    [("One Pod", case1), ("All Spines", case2)]
+        .into_iter()
+        .map(|(name, must)| {
+            let emulated = find_safe_dc_boundary(&dc.topo, &must);
+            let class = Classification::new(&dc.topo, &emulated);
+            let speakers = class.speakers();
+            let devices: Vec<DeviceId> = emulated.iter().copied().collect();
+            let plan = plan_vms(&dc.topo, &devices, &speakers, &plan_opts);
+            let (mut b, mut s, mut l, mut t) = (0, 0, 0, 0);
+            for &d in &emulated {
+                match dc.topo.device(d).role {
+                    Role::Border => b += 1,
+                    Role::Spine => s += 1,
+                    Role::Leaf => l += 1,
+                    Role::Tor => t += 1,
+                    _ => {}
+                }
+            }
+            Table4Row {
+                case: name.into(),
+                borders: b,
+                spines: s,
+                leaves: l,
+                tors: t,
+                proportion: emulated.len() as f64 / whole_devices.len() as f64,
+                speakers: speakers.len(),
+                vms: plan.vm_count(),
+                whole_dc_vms: whole_plan.vm_count(),
+                cost_reduction: 1.0 - plan.hourly_cost_usd() / whole_plan.hourly_cost_usd(),
+            }
+        })
+        .collect()
+}
+
+/// Prints Table 4.
+pub fn print_table4(rows: &[Table4Row]) {
+    println!("\n=== Table 4 / §8.4: safe-boundary emulation scales in L-DC ===");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>11} {:>9} {:>6} {:>9} {:>9}",
+        "Case",
+        "#Borders",
+        "#Spines",
+        "#Leaves",
+        "#ToRs",
+        "proportion",
+        "speakers",
+        "VMs",
+        "whole-VMs",
+        "cost cut"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8} {:>10.1}% {:>9} {:>6} {:>9} {:>8.1}%",
+            r.case,
+            r.borders,
+            r.spines,
+            r.leaves,
+            r.tors,
+            r.proportion * 100.0,
+            r.speakers,
+            r.vms,
+            r.whole_dc_vms,
+            r.cost_reduction * 100.0,
+        );
+    }
+    println!("paper: One Pod = 4/64/4/16 (<=2%), All Spines = 12/112/0/0 (<=3%), cost cut > 90%");
+}

@@ -1,0 +1,142 @@
+//! Emulation-boundary classification (§5.1).
+//!
+//! Given the set of devices to emulate, every device in the production
+//! topology falls into one of four classes: *internal* (emulated, all
+//! neighbors emulated), *boundary* (emulated, with at least one
+//! non-emulated neighbor), *speaker* (not emulated but adjacent to a
+//! boundary device — replaced by a static agent), or *external*
+//! (irrelevant to the emulation).
+
+use crystalnet_net::{DeviceId, EmulationClass, Topology};
+use std::collections::{BTreeSet, HashMap};
+
+/// The classification of every device for one emulation.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    classes: HashMap<DeviceId, EmulationClass>,
+}
+
+impl Classification {
+    /// Classifies all devices of `topo` given the emulated set.
+    #[must_use]
+    pub fn new(topo: &Topology, emulated: &BTreeSet<DeviceId>) -> Self {
+        let mut classes = HashMap::new();
+        for (id, _) in topo.devices() {
+            let class = if emulated.contains(&id) {
+                let all_in = topo.neighbor_devices(id).all(|n| emulated.contains(&n));
+                if all_in {
+                    EmulationClass::Internal
+                } else {
+                    EmulationClass::Boundary
+                }
+            } else {
+                let touches = topo.neighbor_devices(id).any(|n| emulated.contains(&n));
+                if touches {
+                    EmulationClass::Speaker
+                } else {
+                    EmulationClass::External
+                }
+            };
+            classes.insert(id, class);
+        }
+        Classification { classes }
+    }
+
+    /// The class of one device.
+    #[must_use]
+    pub fn class(&self, id: DeviceId) -> EmulationClass {
+        self.classes[&id]
+    }
+
+    /// All devices of a class, sorted.
+    #[must_use]
+    pub fn of(&self, class: EmulationClass) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self
+            .classes
+            .iter()
+            .filter(|(_, c)| **c == class)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Boundary devices.
+    #[must_use]
+    pub fn boundary(&self) -> Vec<DeviceId> {
+        self.of(EmulationClass::Boundary)
+    }
+
+    /// Speaker devices.
+    #[must_use]
+    pub fn speakers(&self) -> Vec<DeviceId> {
+        self.of(EmulationClass::Speaker)
+    }
+
+    /// Devices to actually run (internal + boundary).
+    #[must_use]
+    pub fn emulated(&self) -> Vec<DeviceId> {
+        let mut v = self.of(EmulationClass::Internal);
+        v.extend(self.of(EmulationClass::Boundary));
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystalnet_net::fixtures::fig7;
+
+    #[test]
+    fn fig7b_classification() {
+        // Figure 7b: emulate S1,S2,T1-4,L1-4; speakers are L5,L6.
+        let f = fig7();
+        let emulated: BTreeSet<DeviceId> = f
+            .spines
+            .iter()
+            .chain(&f.leaves[..4])
+            .chain(&f.tors[..4])
+            .copied()
+            .collect();
+        let c = Classification::new(&f.topo, &emulated);
+        // T1-4 and L1-4 are internal; S1,S2 are boundary (they touch
+        // L5,L6).
+        for &t in &f.tors[..4] {
+            assert_eq!(c.class(t), EmulationClass::Internal);
+        }
+        for &l in &f.leaves[..4] {
+            assert_eq!(c.class(l), EmulationClass::Internal);
+        }
+        assert_eq!(c.boundary(), vec![f.spines[0], f.spines[1]]);
+        // L5,L6 touch the spines: speakers. T5,T6 do not: external.
+        assert_eq!(c.speakers(), vec![f.leaves[4], f.leaves[5]]);
+        assert_eq!(c.class(f.tors[4]), EmulationClass::External);
+        assert_eq!(c.class(f.tors[5]), EmulationClass::External);
+        assert_eq!(c.emulated().len(), 10);
+    }
+
+    #[test]
+    fn fig7a_classification() {
+        // Figure 7a: emulate only T1-4, L1-4; S1,S2 become speakers.
+        let f = fig7();
+        let emulated: BTreeSet<DeviceId> =
+            f.leaves[..4].iter().chain(&f.tors[..4]).copied().collect();
+        let c = Classification::new(&f.topo, &emulated);
+        assert_eq!(c.speakers(), vec![f.spines[0], f.spines[1]]);
+        assert_eq!(c.boundary(), f.leaves[..4].to_vec());
+        for &t in &f.tors[..4] {
+            assert_eq!(c.class(t), EmulationClass::Internal);
+        }
+    }
+
+    #[test]
+    fn everything_emulated_means_no_boundary() {
+        let f = fig7();
+        let emulated: BTreeSet<DeviceId> = f.topo.devices().map(|(id, _)| id).collect();
+        let c = Classification::new(&f.topo, &emulated);
+        assert!(c.boundary().is_empty());
+        assert!(c.speakers().is_empty());
+        assert_eq!(c.emulated().len(), 14);
+    }
+}

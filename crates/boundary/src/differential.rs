@@ -1,0 +1,228 @@
+//! Differential boundary validation: the empirical ground truth.
+//!
+//! The theory (§5.2) gives conditions under which a static boundary is
+//! safe. This module *measures* safety: run the same operator change
+//! against (a) a full emulation of the production network and (b) the
+//! boundary emulation with static speakers, then compare the must-have
+//! devices' forwarding tables with the ECMP-aware comparator (§9). A safe
+//! boundary produces identical FIBs; Figure 7a's unsafe boundary visibly
+//! diverges.
+
+use crate::classify::Classification;
+use crate::speakers::synthesize_speakers;
+use crystalnet_dataplane::{compare_fibs, CompareOptions, FibDifference};
+use crystalnet_net::{DeviceId, Topology};
+use crystalnet_routing::harness::{build_bgp_sim, build_full_bgp_sim};
+use crystalnet_routing::{ControlPlaneSim, UniformWorkModel, VendorProfile};
+use crystalnet_sim::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// The outcome of a differential validation.
+#[derive(Debug)]
+pub struct DifferentialReport {
+    /// Devices whose forwarding state was compared.
+    pub must_have: Vec<DeviceId>,
+    /// Per-device FIB differences (empty vector = consistent device).
+    pub diffs: Vec<(DeviceId, Vec<FibDifference>)>,
+}
+
+impl DifferentialReport {
+    /// Whether every must-have device's FIB matched.
+    #[must_use]
+    pub fn consistent(&self) -> bool {
+        self.diffs.iter().all(|(_, d)| d.is_empty())
+    }
+
+    /// Total differences across devices.
+    #[must_use]
+    pub fn difference_count(&self) -> usize {
+        self.diffs.iter().map(|(_, d)| d.len()).sum()
+    }
+}
+
+fn quick_work() -> Box<UniformWorkModel> {
+    Box::new(UniformWorkModel {
+        boot: SimDuration::from_secs(1),
+        ..UniformWorkModel::default()
+    })
+}
+
+fn converge(sim: &mut ControlPlaneSim, from: SimTime) -> SimTime {
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        from + SimDuration::from_mins(240),
+    )
+    .expect("emulation must converge")
+}
+
+/// Runs `change` against both the full network and the boundary
+/// emulation, then compares the must-have FIBs.
+///
+/// `change` receives the simulation and the instant at which to apply the
+/// operation (already past convergence); it must behave identically for
+/// both runs — exactly like an operator replaying a change plan.
+pub fn differential_validate(
+    topo: &Topology,
+    emulated: &BTreeSet<DeviceId>,
+    must_have: &[DeviceId],
+    opts: &CompareOptions,
+    change: &dyn Fn(&mut ControlPlaneSim, SimTime),
+) -> DifferentialReport {
+    let class = Classification::new(topo, emulated);
+
+    // (a) Full production emulation.
+    let mut full = build_full_bgp_sim(topo, quick_work());
+    full.boot_all(SimTime::ZERO);
+    let t_full = converge(&mut full, SimTime::ZERO);
+
+    // (b) Boundary emulation: emulated devices real, speakers static.
+    // Speaker scripts come from the pre-change production snapshot.
+    let plan = synthesize_speakers(topo, &class, &full);
+    let mut partial = build_bgp_sim(topo, quick_work(), |id, dev| {
+        emulated
+            .contains(&id)
+            .then(|| VendorProfile::for_vendor(dev.vendor))
+    });
+    for speaker in class.speakers() {
+        if let Some(os) = plan.build_os(topo, speaker) {
+            partial.add_os(speaker, Box::new(os));
+        }
+    }
+    partial.boot_all(SimTime::ZERO);
+    let t_partial = converge(&mut partial, SimTime::ZERO);
+
+    // Apply the identical change to both, then re-converge.
+    change(&mut full, t_full + SimDuration::from_secs(10));
+    converge(&mut full, t_full);
+    change(&mut partial, t_partial + SimDuration::from_secs(10));
+    converge(&mut partial, t_partial);
+
+    // Compare the must-have devices' forwarding state.
+    let diffs = must_have
+        .iter()
+        .map(|&d| {
+            let f = full.fib(d).expect("must-have exists in full run");
+            let p = partial.fib(d).expect("must-have exists in boundary run");
+            (d, compare_fibs(f, p, opts))
+        })
+        .collect();
+    DifferentialReport {
+        must_have: must_have.to_vec(),
+        diffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::emulated_set;
+    use crystalnet_net::fixtures::fig7;
+    use crystalnet_net::Ipv4Prefix;
+    use crystalnet_routing::MgmtCommand;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    /// The §5.1 running example: T4 gets a new IP prefix 10.1.0.0/16.
+    fn add_prefix_on_t4(
+        f: &crystalnet_net::fixtures::Fig7,
+    ) -> impl Fn(&mut ControlPlaneSim, SimTime) {
+        let t4 = f.tors[3];
+        move |sim: &mut ControlPlaneSim, at: SimTime| {
+            sim.mgmt(t4, MgmtCommand::AddNetwork(p("10.1.0.0/16")), at);
+        }
+    }
+
+    #[test]
+    fn fig7a_unsafe_boundary_diverges() {
+        let f = fig7();
+        // Emulate T1-4, L1-4; speakers S1,S2. Must-haves: the left pod,
+        // which in production learns T4's new prefix *through the
+        // spines*.
+        let emulated = emulated_set(
+            &f.leaves[..4]
+                .iter()
+                .chain(&f.tors[..4])
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        let report = differential_validate(
+            &f.topo,
+            &emulated,
+            &[f.leaves[0], f.leaves[1], f.tors[0]],
+            &CompareOptions::strict(),
+            &add_prefix_on_t4(&f),
+        );
+        assert!(!report.consistent(), "Figure 7a's boundary must diverge");
+        // The divergence is exactly the missing new prefix on the far
+        // side of the static speakers.
+        let (_, l1_diffs) = &report.diffs[0];
+        assert!(l1_diffs
+            .iter()
+            .any(|d| matches!(d, FibDifference::OnlyLeft(pfx) if *pfx == p("10.1.0.0/16"))));
+    }
+
+    #[test]
+    fn fig7b_safe_boundary_stays_consistent() {
+        let f = fig7();
+        // Emulate S1,S2 too: the update reaches L1/T1 inside the
+        // emulation; the speakers (L5,L6) would not have reacted in
+        // production either.
+        let emulated = emulated_set(
+            &f.spines
+                .iter()
+                .chain(&f.leaves[..4])
+                .chain(&f.tors[..4])
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        let report = differential_validate(
+            &f.topo,
+            &emulated,
+            &[f.leaves[0], f.leaves[1], f.tors[0], f.tors[3]],
+            &CompareOptions::strict(),
+            &add_prefix_on_t4(&f),
+        );
+        assert!(
+            report.consistent(),
+            "Figure 7b's boundary must stay consistent: {:?}",
+            report.diffs
+        );
+    }
+
+    #[test]
+    fn fig7c_safe_for_leaves_under_link_failure() {
+        let f = fig7();
+        // Emulate S1,S2,L1-4; the §5.2 example change: link S1-L1 fails.
+        let emulated = emulated_set(
+            &f.spines
+                .iter()
+                .chain(&f.leaves[..4])
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        let topo = f.topo.clone();
+        let s1 = f.spines[0];
+        let l1 = f.leaves[0];
+        let report = differential_validate(
+            &f.topo,
+            &emulated,
+            &f.leaves[..4].iter().copied().collect::<Vec<_>>(),
+            &CompareOptions::strict(),
+            &move |sim, at| {
+                let (lid, _, _) = topo
+                    .neighbors(s1)
+                    .find(|(_, _, remote)| remote.device == l1)
+                    .expect("S1-L1 link exists");
+                let ep = ControlPlaneSim::link_endpoints(&topo, lid);
+                sim.link_down(ep, at);
+            },
+        );
+        assert!(
+            report.consistent(),
+            "Figure 7c is safe for L1-4: {:?}",
+            report.diffs
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Safe static emulation boundaries — the CrystalNet paper's §5.
+//!
+//! An emulation cannot include the whole Internet, so its edge is faked
+//! by *static speakers* that replay recorded announcements and never
+//! react. That is only correct if nothing the operator does inside the
+//! emulation would, in the real network, provoke a reaction from the
+//! replaced devices. This crate implements the full §5 machinery:
+//!
+//! * [`Classification`] — internal/boundary/speaker/external (§5.1),
+//! * [`check_lemma_5_1`] — the exact iff condition, as an exhaustive
+//!   oracle for small networks,
+//! * [`check_prop_5_2`] / [`check_prop_5_3`] / [`check_prop_5_4`] — the
+//!   efficient sufficient conditions for BGP and OSPF,
+//! * [`find_safe_dc_boundary`] — Algorithm 1's upward BFS for Clos
+//!   datacenters,
+//! * [`synthesize_speakers`] — building speaker scripts from a recorded
+//!   production routing snapshot,
+//! * [`differential`] — validating a boundary empirically by running the
+//!   same change against a full emulation and a boundary emulation and
+//!   comparing must-have FIBs.
+
+pub mod classify;
+pub mod differential;
+pub mod lemma;
+pub mod props;
+pub mod search;
+pub mod speakers;
+
+pub use classify::Classification;
+pub use differential::{differential_validate, DifferentialReport};
+pub use lemma::{check_lemma_5_1, UnsafeWitness};
+pub use props::{
+    check_prop_5_2,
+    check_prop_5_3,
+    check_prop_5_4,
+    emulated_set,
+    OspfBoundaryInputs,
+    PropViolation, //
+};
+pub use search::{find_safe_dc_boundary, is_highest_layer};
+pub use speakers::{synthesize_speakers, SpeakerPlan};

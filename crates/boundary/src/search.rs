@@ -1,0 +1,212 @@
+//! Algorithm 1: `FindSafeDCBoundary` — searching a safe boundary in a
+//! Clos datacenter running BGP (§5.2).
+//!
+//! "Our idea is to treat the topology as a multi-root tree with border
+//! switches being the roots. Starting from each input device, we add all
+//! its parents, grandparents and so on until the border switches into the
+//! emulated device set. This is essentially a BFS on a directional graph."
+//!
+//! Safety of the output follows from the Clos properties: the topology is
+//! layered, valley routing is disallowed (here enforced by the shared
+//! per-layer AS plan plus BGP loop prevention), and the border layer
+//! shares a single AS — so every update exiting the emulated set either
+//! descends (and can never climb back past a shared-AS layer) or leaves
+//! through the single-AS border roots (Proposition 5.2).
+
+use crystalnet_net::{DeviceId, Role, Topology};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Whether `dev` sits on the highest layer of the fabric (no upward
+/// neighbors inside the administrative domain).
+#[must_use]
+pub fn is_highest_layer(topo: &Topology, dev: DeviceId) -> bool {
+    let my_layer = topo.device(dev).role.layer();
+    !topo.neighbor_devices(dev).any(|n| {
+        let d = topo.device(n);
+        d.role != Role::External && d.role.layer() > my_layer
+    })
+}
+
+/// Algorithm 1: expands the operator's must-have devices into an emulated
+/// set with a safe static boundary by climbing to the fabric roots.
+#[must_use]
+pub fn find_safe_dc_boundary(topo: &Topology, must_have: &[DeviceId]) -> BTreeSet<DeviceId> {
+    let mut out: BTreeSet<DeviceId> = BTreeSet::new();
+    let mut queue: VecDeque<DeviceId> = must_have.iter().copied().collect();
+    while let Some(d) = queue.pop_front() {
+        if !out.insert(d) {
+            continue;
+        }
+        if is_highest_layer(topo, d) {
+            continue;
+        }
+        let my_layer = topo.device(d).role.layer();
+        for upper in topo.neighbor_devices(d) {
+            let dev = topo.device(upper);
+            if dev.role == Role::External {
+                continue;
+            }
+            if dev.role.layer() > my_layer && !out.contains(&upper) {
+                queue.push_back(upper);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Classification;
+    use crate::lemma::check_lemma_5_1;
+    use crystalnet_net::fixtures::fig7;
+    use crystalnet_net::ClosParams;
+
+    #[test]
+    fn fig7_from_one_tor_climbs_to_spines() {
+        let f = fig7();
+        let out = find_safe_dc_boundary(&f.topo, &[f.tors[0]]);
+        // T1 -> L1,L2 -> S1,S2.
+        let expect: BTreeSet<DeviceId> = [
+            f.tors[0],
+            f.leaves[0],
+            f.leaves[1],
+            f.spines[0],
+            f.spines[1],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(out, expect);
+        assert!(
+            check_lemma_5_1(&f.topo, &out).is_ok(),
+            "output must be safe"
+        );
+    }
+
+    #[test]
+    fn output_is_upward_closed() {
+        // Algorithm 1's invariant: every upward neighbor of an emulated
+        // device is emulated. This is what makes updates unable to exit
+        // upward into a speaker and descend back elsewhere — the
+        // structural core of the (omitted) safety proof.
+        let dc = ClosParams::s_dc().build();
+        let must = vec![dc.pods[2].tors[3]];
+        let out = find_safe_dc_boundary(&dc.topo, &must);
+        for &d in &out {
+            let layer = dc.topo.device(d).role.layer();
+            for n in dc.topo.neighbor_devices(d) {
+                let nd = dc.topo.device(n);
+                if nd.role != Role::External && nd.role.layer() > layer {
+                    assert!(out.contains(&n), "upward neighbor not emulated");
+                }
+            }
+        }
+        // And the exact oracle agrees on a tiny Clos with the same shape.
+        let tiny = ClosParams {
+            name: "tiny".into(),
+            borders: 2,
+            spine_groups: 2,
+            spines_per_group: 1,
+            pods: 3,
+            leaves_per_pod: 2,
+            tors_per_pod: 1,
+            groups_per_pod: 2,
+            ext_peers_per_border: 1,
+            ext_prefixes_per_peer: 1,
+        }
+        .build();
+        let out = find_safe_dc_boundary(&tiny.topo, &[tiny.pods[0].tors[0]]);
+        assert!(check_lemma_5_1(&tiny.topo, &out).is_ok());
+        // Control: punching the spines out of the middle is unsafe — an
+        // update exiting at a (now external) spine re-enters through the
+        // still-emulated borders. (Dropping only the *borders* would stay
+        // safe: the shared spine AS forms a valid boundary by itself.)
+        let truncated: BTreeSet<DeviceId> = out
+            .iter()
+            .copied()
+            .filter(|&d| tiny.topo.device(d).role != Role::Spine)
+            .collect();
+        assert!(check_lemma_5_1(&tiny.topo, &truncated).is_err());
+        let no_borders: BTreeSet<DeviceId> = out
+            .iter()
+            .copied()
+            .filter(|&d| tiny.topo.device(d).role != Role::Border)
+            .collect();
+        assert!(check_lemma_5_1(&tiny.topo, &no_borders).is_ok());
+    }
+
+    #[test]
+    fn one_pod_case_shape_in_l_dc_geometry() {
+        // Table 4 Case-1: one pod in L-DC → 4 leaves + 16 ToRs + the
+        // pod's spine groups + their home borders.
+        let dc = ClosParams::l_dc().scaled_pods(0.05).build();
+        let pod = &dc.pods[3];
+        let must: Vec<DeviceId> = pod.tors.iter().chain(&pod.leaves).copied().collect();
+        let out = find_safe_dc_boundary(&dc.topo, &must);
+        let mut counts = (0, 0, 0, 0); // borders, spines, leaves, tors
+        for &d in &out {
+            match dc.topo.device(d).role {
+                Role::Border => counts.0 += 1,
+                Role::Spine => counts.1 += 1,
+                Role::Leaf => counts.2 += 1,
+                Role::Tor => counts.3 += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(counts.2, 4, "exactly the pod's leaves");
+        assert_eq!(counts.3, 16, "exactly the pod's ToRs");
+        // 4 spine groups x 14 spines, each group homed to one border.
+        assert_eq!(counts.1, 4 * 14);
+        assert_eq!(counts.0, 4);
+        // Prop 5.3 holds: the boundary ASes (spine AS, border AS) have no
+        // external path to each other — external leaves only climb back
+        // into the shared spine AS, and external peers are stubs.
+        let class = Classification::new(&dc.topo, &out);
+        assert!(crate::props::check_prop_5_3(&dc.topo, &class).is_ok());
+    }
+
+    #[test]
+    fn all_spines_case_adds_no_leaves() {
+        // Table 4 Case-2: emulating the whole spine layer pulls in all
+        // borders and nothing below.
+        let dc = ClosParams::l_dc().scaled_pods(0.02).build();
+        let must = dc.spines();
+        let out = find_safe_dc_boundary(&dc.topo, &must);
+        let mut leaves = 0;
+        let mut borders = 0;
+        for &d in &out {
+            match dc.topo.device(d).role {
+                Role::Leaf | Role::Tor => leaves += 1,
+                Role::Border => borders += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(leaves, 0);
+        assert_eq!(borders, dc.borders.len());
+        assert_eq!(out.len(), dc.spines().len() + dc.borders.len());
+    }
+
+    #[test]
+    fn must_haves_always_contained_and_idempotent() {
+        let dc = ClosParams::s_dc().build();
+        let must = vec![dc.pods[0].tors[0], dc.pods[4].leaves[2]];
+        let out = find_safe_dc_boundary(&dc.topo, &must);
+        for m in &must {
+            assert!(out.contains(m));
+        }
+        let again = find_safe_dc_boundary(&dc.topo, &out.iter().copied().collect::<Vec<_>>());
+        assert_eq!(
+            out, again,
+            "running Algorithm 1 on its output is a fixpoint"
+        );
+    }
+
+    #[test]
+    fn external_peers_are_never_pulled_in() {
+        let dc = ClosParams::s_dc().build();
+        let out = find_safe_dc_boundary(&dc.topo, &[dc.pods[0].tors[0]]);
+        for &d in &out {
+            assert_ne!(dc.topo.device(d).role, Role::External);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Speaker synthesis: turning a recorded production routing snapshot into
+//! static speaker programs (§5.1, §6.2).
+//!
+//! During `Prepare`, CrystalNet records "the routing messages to be sent
+//! by each boundary device['s neighbor]" — concretely, what each boundary
+//! device heard from each to-be-replaced neighbor in production. Here the
+//! "production network" is a fully emulated run (every device real), and
+//! the snapshot is each boundary device's Adj-RIB-In on the interfaces
+//! facing speaker devices.
+
+use crate::classify::Classification;
+use crystalnet_net::{DeviceId, EmulationClass, Topology};
+use crystalnet_routing::{ControlPlaneSim, SpeakerOs, SpeakerScript};
+
+/// The announcement program for every speaker device of a boundary.
+#[derive(Debug, Default)]
+pub struct SpeakerPlan {
+    /// Per speaker device: `(speaker, [(speaker-iface, script)])`.
+    pub scripts: Vec<(DeviceId, Vec<(u32, SpeakerScript)>)>,
+}
+
+impl SpeakerPlan {
+    /// Total routes across all scripts.
+    #[must_use]
+    pub fn route_count(&self) -> usize {
+        self.scripts
+            .iter()
+            .flat_map(|(_, per_iface)| per_iface.iter())
+            .map(|(_, s)| s.routes.len())
+            .sum()
+    }
+
+    /// Builds the `SpeakerOs` for one planned speaker.
+    #[must_use]
+    pub fn build_os(&self, topo: &Topology, speaker: DeviceId) -> Option<SpeakerOs> {
+        let (_, per_iface) = self.scripts.iter().find(|(d, _)| *d == speaker)?;
+        let dev = topo.device(speaker);
+        let mut os = SpeakerOs::new(dev.name.clone(), dev.asn, dev.loopback);
+        for (iface, script) in per_iface {
+            os.set_script(*iface, script.clone());
+        }
+        Some(os)
+    }
+}
+
+/// Synthesizes speaker scripts for `class`'s speaker devices from the
+/// converged `production` emulation.
+///
+/// For every link between a speaker `s` and an emulated device `b`, the
+/// script on `s`'s interface replays exactly the routes `b` received from
+/// `s` in production (`b`'s Adj-RIB-In on that interface).
+#[must_use]
+pub fn synthesize_speakers(
+    topo: &Topology,
+    class: &Classification,
+    production: &ControlPlaneSim,
+) -> SpeakerPlan {
+    let mut plan = SpeakerPlan::default();
+    for speaker in class.speakers() {
+        let mut per_iface: Vec<(u32, SpeakerScript)> = Vec::new();
+        for (_, local, remote) in topo.neighbors(speaker) {
+            let peer_class = class.class(remote.device);
+            if !matches!(
+                peer_class,
+                EmulationClass::Boundary | EmulationClass::Internal
+            ) {
+                continue;
+            }
+            let Some(b_os) = production.os(remote.device) else {
+                continue;
+            };
+            let routes = b_os.adj_rib_in(remote.iface);
+            per_iface.push((local.iface, SpeakerScript { routes }));
+        }
+        plan.scripts.push((speaker, per_iface));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::emulated_set;
+    use crystalnet_net::fixtures::fig7;
+    use crystalnet_routing::harness::build_full_bgp_sim;
+    use crystalnet_routing::UniformWorkModel;
+    use crystalnet_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn scripts_replay_what_boundaries_heard() {
+        let f = fig7();
+        // Production: everything emulated, converged.
+        let mut prod = build_full_bgp_sim(
+            &f.topo,
+            Box::new(UniformWorkModel {
+                boot: SimDuration::from_secs(1),
+                ..UniformWorkModel::default()
+            }),
+        );
+        prod.boot_all(SimTime::ZERO);
+        prod.run_until_quiet(
+            SimDuration::from_secs(5),
+            SimTime::ZERO + SimDuration::from_mins(60),
+        )
+        .unwrap();
+
+        // Figure 7b boundary: speakers are L5, L6.
+        let emulated = emulated_set(
+            &f.spines
+                .iter()
+                .chain(&f.leaves[..4])
+                .chain(&f.tors[..4])
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        let class = Classification::new(&f.topo, &emulated);
+        let plan = synthesize_speakers(&f.topo, &class, &prod);
+
+        assert_eq!(plan.scripts.len(), 2, "one plan per speaker (L5, L6)");
+        // Each speaker faces both spines.
+        for (speaker, per_iface) in &plan.scripts {
+            assert!([f.leaves[4], f.leaves[5]].contains(speaker));
+            assert_eq!(per_iface.len(), 2);
+            for (_, script) in per_iface {
+                // In production, L5/L6 announced their ToRs' subnets and
+                // loopbacks up to the spines.
+                assert!(
+                    !script.routes.is_empty(),
+                    "speakers must replay recorded announcements"
+                );
+                assert!(
+                    script.routes.iter().any(|(p, _)| p.len() == 24),
+                    "ToR subnets present"
+                );
+            }
+        }
+        assert!(plan.route_count() > 0);
+        // The built OS carries the device identity.
+        let os = plan.build_os(&f.topo, f.leaves[4]).unwrap();
+        assert_eq!(os.asn(), f.topo.device(f.leaves[4]).asn);
+        assert!(plan.build_os(&f.topo, f.tors[0]).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the boundary theory: on random small networks, the
+//! efficient sufficient conditions (Propositions 5.2/5.3) never accept a
+//! boundary the exact Lemma 5.1 oracle rejects.
+
+use crystalnet_boundary::{
+    check_lemma_5_1, check_prop_5_2, check_prop_5_3, find_safe_dc_boundary, Classification,
+};
+use crystalnet_net::{Asn, Device, DeviceId, Ipv4Addr, P2pAllocator, Role, Topology, Vendor};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Builds a random connected topology with ≤ 9 devices and ≤ 6 ASes.
+fn random_topology(n: usize, as_of: &[u8], extra_edges: &[(u8, u8)]) -> Topology {
+    let mut topo = Topology::new();
+    let mut p2p = P2pAllocator::new("100.110.0.0/16".parse().unwrap());
+    for i in 0..n {
+        topo.add_device(Device {
+            name: format!("d{i}"),
+            role: Role::Leaf,
+            vendor: Vendor::CtnrA,
+            asn: Asn(1000 + u32::from(as_of[i % as_of.len()])),
+            loopback: Ipv4Addr::new(172, 40, 0, i as u8 + 1),
+            mgmt_addr: Ipv4Addr::new(192, 168, 40, i as u8 + 1),
+            originated: vec![],
+            ifaces: vec![],
+            pod: None,
+        })
+        .unwrap();
+    }
+    // Spanning chain for connectivity.
+    for i in 1..n {
+        topo.connect_p2p(DeviceId(i as u32 - 1), DeviceId(i as u32), &mut p2p)
+            .unwrap();
+    }
+    for &(a, b) in extra_edges {
+        let (a, b) = (a as usize % n, b as usize % n);
+        if a != b {
+            topo.connect_p2p(DeviceId(a as u32), DeviceId(b as u32), &mut p2p)
+                .unwrap();
+        }
+    }
+    topo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Prop 5.2 acceptance implies Lemma 5.1 safety (soundness of the
+    /// sufficient condition).
+    #[test]
+    fn prop_5_2_is_sound(
+        n in 3usize..9,
+        as_of in prop::collection::vec(0u8..6, 3..9),
+        extra in prop::collection::vec((any::<u8>(), any::<u8>()), 0..6),
+        mask in any::<u16>(),
+    ) {
+        let topo = random_topology(n, &as_of, &extra);
+        let emulated: BTreeSet<DeviceId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| DeviceId(i as u32))
+            .collect();
+        prop_assume!(!emulated.is_empty());
+        let class = Classification::new(&topo, &emulated);
+        if check_prop_5_2(&topo, &class).is_ok() {
+            prop_assert!(
+                check_lemma_5_1(&topo, &emulated).is_ok(),
+                "Prop 5.2 accepted an unsafe boundary"
+            );
+        }
+    }
+
+    /// Prop 5.3 acceptance implies Lemma 5.1 safety.
+    #[test]
+    fn prop_5_3_is_sound(
+        n in 3usize..9,
+        as_of in prop::collection::vec(0u8..6, 3..9),
+        extra in prop::collection::vec((any::<u8>(), any::<u8>()), 0..6),
+        mask in any::<u16>(),
+    ) {
+        let topo = random_topology(n, &as_of, &extra);
+        let emulated: BTreeSet<DeviceId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| DeviceId(i as u32))
+            .collect();
+        prop_assume!(!emulated.is_empty());
+        let class = Classification::new(&topo, &emulated);
+        if check_prop_5_3(&topo, &class).is_ok() {
+            prop_assert!(
+                check_lemma_5_1(&topo, &emulated).is_ok(),
+                "Prop 5.3 accepted an unsafe boundary"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1 outputs are safe per the exact oracle on small random
+    /// Clos fabrics.
+    #[test]
+    fn algorithm_1_is_safe_on_random_small_clos(
+        borders in 1u32..3,
+        groups in 1u32..3,
+        pods in 1u32..4,
+        pick in any::<u32>(),
+    ) {
+        let params = crystalnet_net::ClosParams {
+            name: "pt".into(),
+            borders,
+            spine_groups: groups,
+            spines_per_group: 1,
+            pods,
+            leaves_per_pod: 2,
+            tors_per_pod: 1,
+            groups_per_pod: groups,
+            ext_peers_per_border: 1,
+            ext_prefixes_per_peer: 1,
+        };
+        let dc = params.build();
+        let pod = &dc.pods[(pick as usize) % dc.pods.len()];
+        let out = find_safe_dc_boundary(&dc.topo, &[pod.tors[0]]);
+        prop_assert!(
+            check_lemma_5_1(&dc.topo, &out).is_ok(),
+            "Algorithm 1 produced an unsafe boundary"
+        );
+    }
+}

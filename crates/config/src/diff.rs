@@ -1,0 +1,238 @@
+//! Configuration diffing for validation workflows.
+//!
+//! The Figure 3 loop reverts a failed step with `Reload(original)` and
+//! `PullConfig` backs up the running configuration for rollback. Operators
+//! inspect *what changed* between two configurations; this module computes
+//! a line-level diff plus a semantic summary of BGP-visible changes.
+
+use crate::ast::DeviceConfig;
+use crate::render::render;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One line-level change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineChange {
+    /// Present only in the new configuration.
+    Added(String),
+    /// Present only in the old configuration.
+    Removed(String),
+}
+
+/// A semantic change visible to the control plane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SemanticChange {
+    /// A BGP neighbor appeared or disappeared, or its session-affecting
+    /// attributes changed.
+    NeighborChanged(String),
+    /// An originated network was added or removed.
+    NetworkChanged(String),
+    /// An aggregate was added or removed.
+    AggregateChanged(String),
+    /// An interface came up, went down, or was renumbered.
+    InterfaceChanged(String),
+    /// Policy objects (route maps, prefix lists, ACLs) changed.
+    PolicyChanged(String),
+    /// Platform limits changed (e.g. FIB capacity).
+    PlatformChanged(String),
+}
+
+/// The diff between two configurations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigDiff {
+    /// Line-level changes (order: removals then additions).
+    pub lines: Vec<LineChange>,
+    /// Control-plane-visible change summary.
+    pub semantic: Vec<SemanticChange>,
+}
+
+impl ConfigDiff {
+    /// Whether the two configurations are identical.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Computes the diff from `old` to `new`.
+#[must_use]
+pub fn config_diff(old: &DeviceConfig, new: &DeviceConfig) -> ConfigDiff {
+    let old_text = render(old);
+    let new_text = render(new);
+    let old_lines: BTreeSet<String> = old_text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && l.trim() != "!")
+        .map(str::to_string)
+        .collect();
+    let new_lines: BTreeSet<String> = new_text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && l.trim() != "!")
+        .map(str::to_string)
+        .collect();
+
+    let mut lines = Vec::new();
+    for l in old_lines.difference(&new_lines) {
+        lines.push(LineChange::Removed(l.clone()));
+    }
+    for l in new_lines.difference(&old_lines) {
+        lines.push(LineChange::Added(l.clone()));
+    }
+
+    let mut semantic = Vec::new();
+    let (ob, nb) = (old.bgp.as_ref(), new.bgp.as_ref());
+    if let (Some(ob), Some(nb)) = (ob, nb) {
+        for n in &nb.neighbors {
+            match ob.neighbor(n.addr) {
+                None => semantic.push(SemanticChange::NeighborChanged(format!("+{}", n.addr))),
+                Some(o) if o != n => {
+                    semantic.push(SemanticChange::NeighborChanged(format!("~{}", n.addr)));
+                }
+                _ => {}
+            }
+        }
+        for o in &ob.neighbors {
+            if nb.neighbor(o.addr).is_none() {
+                semantic.push(SemanticChange::NeighborChanged(format!("-{}", o.addr)));
+            }
+        }
+        for p in &nb.networks {
+            if !ob.networks.contains(p) {
+                semantic.push(SemanticChange::NetworkChanged(format!("+{p}")));
+            }
+        }
+        for p in &ob.networks {
+            if !nb.networks.contains(p) {
+                semantic.push(SemanticChange::NetworkChanged(format!("-{p}")));
+            }
+        }
+        for a in &nb.aggregates {
+            if !ob.aggregates.contains(a) {
+                semantic.push(SemanticChange::AggregateChanged(format!("+{}", a.prefix)));
+            }
+        }
+        for a in &ob.aggregates {
+            if !nb.aggregates.contains(a) {
+                semantic.push(SemanticChange::AggregateChanged(format!("-{}", a.prefix)));
+            }
+        }
+    }
+    for ni in &new.interfaces {
+        match old.interfaces.iter().find(|oi| oi.name == ni.name) {
+            None => semantic.push(SemanticChange::InterfaceChanged(format!("+{}", ni.name))),
+            Some(oi) if oi != ni => {
+                semantic.push(SemanticChange::InterfaceChanged(format!("~{}", ni.name)));
+            }
+            _ => {}
+        }
+    }
+    for oi in &old.interfaces {
+        if !new.interfaces.iter().any(|ni| ni.name == oi.name) {
+            semantic.push(SemanticChange::InterfaceChanged(format!("-{}", oi.name)));
+        }
+    }
+    if old.route_maps != new.route_maps || old.prefix_lists != new.prefix_lists {
+        semantic.push(SemanticChange::PolicyChanged("routing policy".into()));
+    }
+    if old.acls != new.acls {
+        semantic.push(SemanticChange::PolicyChanged("acl".into()));
+    }
+    if old.fib_capacity != new.fib_capacity {
+        semantic.push(SemanticChange::PlatformChanged(format!(
+            "fib-capacity {:?} -> {:?}",
+            old.fib_capacity, new.fib_capacity
+        )));
+    }
+    ConfigDiff { lines, semantic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crystalnet_net::Asn;
+
+    fn base() -> DeviceConfig {
+        DeviceConfig {
+            hostname: "r1".into(),
+            bgp: Some(BgpConfig {
+                asn: Asn(65000),
+                router_id: "172.16.0.1".parse().unwrap(),
+                max_paths: 64,
+                networks: vec!["10.0.0.0/24".parse().unwrap()],
+                aggregates: vec![],
+                neighbors: vec![NeighborConfig {
+                    addr: "100.64.0.1".parse().unwrap(),
+                    remote_as: Asn(65100),
+                    shutdown: false,
+                    route_map_in: None,
+                    route_map_out: None,
+                }],
+            }),
+            ..DeviceConfig::default()
+        }
+    }
+
+    #[test]
+    fn identical_configs_have_empty_diff() {
+        let d = config_diff(&base(), &base());
+        assert!(d.is_empty());
+        assert!(d.semantic.is_empty());
+    }
+
+    #[test]
+    fn neighbor_shutdown_is_semantic() {
+        let old = base();
+        let mut new = base();
+        new.bgp
+            .as_mut()
+            .unwrap()
+            .neighbor_mut("100.64.0.1".parse().unwrap())
+            .unwrap()
+            .shutdown = true;
+        let d = config_diff(&old, &new);
+        assert!(!d.is_empty());
+        assert!(d
+            .semantic
+            .iter()
+            .any(|c| matches!(c, SemanticChange::NeighborChanged(s) if s == "~100.64.0.1")));
+    }
+
+    #[test]
+    fn network_add_and_remove() {
+        let old = base();
+        let mut new = base();
+        let bgp = new.bgp.as_mut().unwrap();
+        bgp.networks.clear();
+        bgp.networks.push("10.1.0.0/24".parse().unwrap());
+        let d = config_diff(&old, &new);
+        let changes: Vec<String> = d
+            .semantic
+            .iter()
+            .filter_map(|c| match c {
+                SemanticChange::NetworkChanged(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(changes.contains(&"+10.1.0.0/24".to_string()));
+        assert!(changes.contains(&"-10.0.0.0/24".to_string()));
+    }
+
+    #[test]
+    fn fib_capacity_is_platform_change() {
+        let old = base();
+        let mut new = base();
+        new.fib_capacity = Some(100);
+        let d = config_diff(&old, &new);
+        assert!(matches!(d.semantic[0], SemanticChange::PlatformChanged(_)));
+    }
+
+    #[test]
+    fn line_diff_reports_both_directions() {
+        let old = base();
+        let mut new = base();
+        new.hostname = "r2".into();
+        let d = config_diff(&old, &new);
+        assert!(d.lines.contains(&LineChange::Removed("hostname r1".into())));
+        assert!(d.lines.contains(&LineChange::Added("hostname r2".into())));
+    }
+}

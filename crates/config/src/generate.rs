@@ -1,0 +1,147 @@
+//! Generates production-style configurations from a topology.
+//!
+//! The paper's devices "are initially configured automatically, using a
+//! configuration generator similar to [Propane/Robotron]" (§2). This module
+//! is that generator for the reproduction: given a topology snapshot it
+//! emits per-device configurations — interface addressing, eBGP sessions
+//! for every link, originated networks, and ECMP settings.
+
+use crate::ast::{BgpConfig, Credentials, DeviceConfig, InterfaceConfig, NeighborConfig};
+use crystalnet_net::{DeviceId, Role, Topology};
+
+/// ECMP width configured on fabric devices (`maximum-paths`).
+pub const DEFAULT_MAX_PATHS: u32 = 64;
+
+/// Generates the configuration for one device.
+///
+/// Every linked interface gets an address stanza and an eBGP neighbor
+/// statement pointing at the peer's interface address and AS.
+#[must_use]
+pub fn generate_device(topo: &Topology, id: DeviceId) -> DeviceConfig {
+    let dev = topo.device(id);
+    let mut cfg = DeviceConfig {
+        hostname: dev.name.clone(),
+        credentials: Some(Credentials {
+            user: "crystal".into(),
+            password: "emulation".into(),
+        }),
+        ..DeviceConfig::default()
+    };
+
+    for iface in &dev.ifaces {
+        cfg.interfaces.push(InterfaceConfig {
+            name: iface.name.clone(),
+            addr: iface.addr,
+            shutdown: false,
+            acl_in: None,
+            acl_out: None,
+        });
+    }
+
+    let mut bgp = BgpConfig {
+        asn: dev.asn,
+        router_id: dev.loopback,
+        max_paths: DEFAULT_MAX_PATHS,
+        networks: dev.originated.clone(),
+        aggregates: vec![],
+        neighbors: vec![],
+    };
+    for (_, local, remote) in topo.neighbors(id) {
+        let peer_dev = topo.device(remote.device);
+        let peer_iface = &peer_dev.ifaces[remote.iface as usize];
+        let (Some(_), Some(peer_addr)) = (dev.ifaces[local.iface as usize].addr, peer_iface.addr)
+        else {
+            continue; // unnumbered links carry no BGP session
+        };
+        bgp.neighbors.push(NeighborConfig {
+            addr: peer_addr.addr,
+            remote_as: peer_dev.asn,
+            shutdown: false,
+            route_map_in: None,
+            route_map_out: None,
+        });
+    }
+    cfg.bgp = Some(bgp);
+    cfg
+}
+
+/// Generates configurations for every non-external device.
+///
+/// External devices are outside the administrative domain — production
+/// cannot snapshot their configuration, which is exactly why CrystalNet
+/// needs speaker devices (§5).
+#[must_use]
+pub fn generate_all(topo: &Topology) -> Vec<(DeviceId, DeviceConfig)> {
+    topo.devices()
+        .filter(|(_, d)| d.role != Role::External)
+        .map(|(id, _)| (id, generate_device(topo, id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystalnet_net::ClosParams;
+
+    #[test]
+    fn tor_config_has_pod_leaf_neighbors_and_networks() {
+        let dc = ClosParams::s_dc().build();
+        let tor = dc.pods[0].tors[0];
+        let cfg = generate_device(&dc.topo, tor);
+        assert_eq!(cfg.hostname, dc.topo.device(tor).name);
+        let bgp = cfg.bgp.as_ref().unwrap();
+        // One neighbor per leaf in the pod.
+        assert_eq!(bgp.neighbors.len(), dc.pods[0].leaves.len());
+        // Originates loopback + server /24.
+        assert_eq!(bgp.networks.len(), 2);
+        assert!(bgp.networks.iter().any(|p| p.len() == 24));
+        assert_eq!(bgp.max_paths, DEFAULT_MAX_PATHS);
+        // Neighbor remote-as points at the leaf AS.
+        let leaf_asn = dc.topo.device(dc.pods[0].leaves[0]).asn;
+        assert!(bgp.neighbors.iter().all(|n| n.remote_as == leaf_asn));
+    }
+
+    #[test]
+    fn neighbor_addresses_are_the_peer_side_of_each_p31() {
+        let dc = ClosParams::s_dc().build();
+        let leaf = dc.pods[0].leaves[0];
+        let cfg = generate_device(&dc.topo, leaf);
+        let bgp = cfg.bgp.unwrap();
+        for (_, local, remote) in dc.topo.neighbors(leaf) {
+            let my = dc.topo.device(leaf).ifaces[local.iface as usize]
+                .addr
+                .unwrap();
+            let peer = dc.topo.device(remote.device).ifaces[remote.iface as usize]
+                .addr
+                .unwrap();
+            let n = bgp
+                .neighbors
+                .iter()
+                .find(|n| n.addr == peer.addr)
+                .expect("neighbor for each link");
+            assert_eq!(n.remote_as, dc.topo.device(remote.device).asn);
+            assert!(my.same_subnet(peer));
+        }
+    }
+
+    #[test]
+    fn generate_all_skips_externals() {
+        let dc = ClosParams::s_dc().build();
+        let cfgs = generate_all(&dc.topo);
+        assert_eq!(cfgs.len(), dc.internal_device_count());
+        for (id, cfg) in &cfgs {
+            assert_eq!(cfg.hostname, dc.topo.device(*id).name);
+            assert!(cfg.bgp.is_some());
+        }
+    }
+
+    #[test]
+    fn config_text_round_trips_through_parser() {
+        let dc = ClosParams::s_dc().build();
+        let spine = dc.spine_groups[0][0];
+        let cfg = generate_device(&dc.topo, spine);
+        let text = crate::render::render(&cfg);
+        let back = crate::parse::parse_config(&text).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

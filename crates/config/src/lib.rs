@@ -1,0 +1,36 @@
+//! Vendor-style device configuration for the CrystalNet reproduction.
+//!
+//! CrystalNet loads *production configurations* into emulated devices and
+//! lets operators change them with their usual tools, so configuration is
+//! a first-class artifact here: an AST ([`DeviceConfig`]), an industry-CLI
+//! text renderer and parser, a Robotron-style generator that produces the
+//! initial configs from a topology snapshot, and a diff engine backing
+//! `PullConfig`/rollback workflows.
+
+pub mod ast;
+pub mod diff;
+pub mod generate;
+pub mod parse;
+pub mod render;
+
+pub use ast::{
+    Acl,
+    AclEntry,
+    Action,
+    AggregateConfig,
+    BgpConfig,
+    Credentials,
+    DeviceConfig,
+    InterfaceConfig,
+    NeighborConfig,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapEntry,
+    RouteMatch,
+    RouteSet, //
+};
+pub use diff::{config_diff, ConfigDiff, LineChange, SemanticChange};
+pub use generate::{generate_all, generate_device, DEFAULT_MAX_PATHS};
+pub use parse::{parse_config, ParseError};
+pub use render::render;

@@ -1,0 +1,268 @@
+//! Renders a [`DeviceConfig`] to vendor-CLI text.
+//!
+//! The emitted syntax is the conventional industry style (`router bgp`,
+//! `ip prefix-list`, `route-map ... permit 10`), so operators' habits —
+//! and their typos, which CrystalNet exists to catch — transfer directly.
+
+use crate::ast::{
+    Acl,
+    Action,
+    DeviceConfig,
+    PrefixList,
+    RouteMap,
+    RouteMatch,
+    RouteSet, //
+};
+use std::fmt::Write as _;
+
+impl Action {
+    fn keyword(self) -> &'static str {
+        match self {
+            Action::Permit => "permit",
+            Action::Deny => "deny",
+        }
+    }
+}
+
+/// Renders the full configuration text.
+#[must_use]
+pub fn render(cfg: &DeviceConfig) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "hostname {}", cfg.hostname);
+    if let Some(c) = &cfg.credentials {
+        let _ = writeln!(w, "username {} password {}", c.user, c.password);
+    }
+    if let Some(cap) = cfg.fib_capacity {
+        let _ = writeln!(w, "fib-capacity {cap}");
+    }
+    for i in &cfg.interfaces {
+        let _ = writeln!(w, "!");
+        let _ = writeln!(w, "interface {}", i.name);
+        if let Some(addr) = i.addr {
+            let _ = writeln!(w, " ip address {addr}");
+        }
+        if let Some(acl) = &i.acl_in {
+            let _ = writeln!(w, " ip access-group {acl} in");
+        }
+        if let Some(acl) = &i.acl_out {
+            let _ = writeln!(w, " ip access-group {acl} out");
+        }
+        if i.shutdown {
+            let _ = writeln!(w, " shutdown");
+        }
+    }
+    if let Some(bgp) = &cfg.bgp {
+        let _ = writeln!(w, "!");
+        let _ = writeln!(w, "router bgp {}", bgp.asn.0);
+        let _ = writeln!(w, " router-id {}", bgp.router_id);
+        let _ = writeln!(w, " maximum-paths {}", bgp.max_paths);
+        for n in &bgp.networks {
+            let _ = writeln!(w, " network {n}");
+        }
+        for a in &bgp.aggregates {
+            let suffix = if a.summary_only { " summary-only" } else { "" };
+            let _ = writeln!(w, " aggregate-address {}{suffix}", a.prefix);
+        }
+        for n in &bgp.neighbors {
+            let _ = writeln!(w, " neighbor {} remote-as {}", n.addr, n.remote_as.0);
+            if let Some(rm) = &n.route_map_in {
+                let _ = writeln!(w, " neighbor {} route-map {rm} in", n.addr);
+            }
+            if let Some(rm) = &n.route_map_out {
+                let _ = writeln!(w, " neighbor {} route-map {rm} out", n.addr);
+            }
+            if n.shutdown {
+                let _ = writeln!(w, " neighbor {} shutdown", n.addr);
+            }
+        }
+    }
+    for (name, pl) in &cfg.prefix_lists {
+        let _ = writeln!(w, "!");
+        render_prefix_list(w, name, pl);
+    }
+    for (name, rm) in &cfg.route_maps {
+        let _ = writeln!(w, "!");
+        render_route_map(w, name, rm);
+    }
+    for (name, acl) in &cfg.acls {
+        let _ = writeln!(w, "!");
+        render_acl(w, name, acl);
+    }
+    out
+}
+
+fn render_prefix_list(w: &mut String, name: &str, pl: &PrefixList) {
+    for e in &pl.entries {
+        let mut line = format!(
+            "ip prefix-list {name} seq {} {} {}",
+            e.seq,
+            e.action.keyword(),
+            e.prefix
+        );
+        if let Some(ge) = e.ge {
+            let _ = write!(line, " ge {ge}");
+        }
+        if let Some(le) = e.le {
+            let _ = write!(line, " le {le}");
+        }
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+fn render_route_map(w: &mut String, name: &str, rm: &RouteMap) {
+    for e in &rm.entries {
+        let _ = writeln!(w, "route-map {name} {} {}", e.action.keyword(), e.seq);
+        for m in &e.matches {
+            match m {
+                RouteMatch::PrefixList(pl) => {
+                    let _ = writeln!(w, " match ip address prefix-list {pl}");
+                }
+                RouteMatch::AsPathContains(asn) => {
+                    let _ = writeln!(w, " match as-path contains {}", asn.0);
+                }
+                RouteMatch::Community(c) => {
+                    let _ = writeln!(w, " match community {c}");
+                }
+            }
+        }
+        for s in &e.sets {
+            match s {
+                RouteSet::LocalPref(v) => {
+                    let _ = writeln!(w, " set local-preference {v}");
+                }
+                RouteSet::Med(v) => {
+                    let _ = writeln!(w, " set med {v}");
+                }
+                RouteSet::AsPathPrepend(n) => {
+                    let _ = writeln!(w, " set as-path prepend {n}");
+                }
+                RouteSet::Community(c) => {
+                    let _ = writeln!(w, " set community {c}");
+                }
+            }
+        }
+    }
+}
+
+fn render_acl(w: &mut String, name: &str, acl: &Acl) {
+    let _ = writeln!(w, "ip access-list {name}");
+    for e in &acl.entries {
+        let _ = writeln!(w, " {} {} {} {}", e.seq, e.action.keyword(), e.src, e.dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crystalnet_net::{Asn, Ipv4Prefix};
+
+    #[test]
+    fn renders_every_section() {
+        let mut cfg = DeviceConfig {
+            hostname: "leaf1".into(),
+            credentials: Some(Credentials {
+                user: "crystal".into(),
+                password: "net".into(),
+            }),
+            fib_capacity: Some(1000),
+            ..DeviceConfig::default()
+        };
+        cfg.interfaces.push(InterfaceConfig {
+            name: "et0".into(),
+            addr: Some("100.64.0.2/31".parse().unwrap()),
+            shutdown: true,
+            acl_in: Some("ACL1".into()),
+            acl_out: None,
+        });
+        cfg.bgp = Some(BgpConfig {
+            asn: Asn(65200),
+            router_id: "172.16.0.5".parse().unwrap(),
+            max_paths: 64,
+            networks: vec!["10.1.2.0/24".parse().unwrap()],
+            aggregates: vec![AggregateConfig {
+                prefix: "10.1.0.0/16".parse().unwrap(),
+                summary_only: true,
+            }],
+            neighbors: vec![NeighborConfig {
+                addr: "100.64.0.3".parse().unwrap(),
+                remote_as: Asn(65100),
+                shutdown: false,
+                route_map_in: None,
+                route_map_out: Some("RM-OUT".into()),
+            }],
+        });
+        cfg.prefix_lists.insert(
+            "PL".into(),
+            PrefixList {
+                entries: vec![PrefixListEntry {
+                    seq: 5,
+                    action: Action::Permit,
+                    prefix: "10.0.0.0/8".parse::<Ipv4Prefix>().unwrap(),
+                    ge: Some(16),
+                    le: Some(24),
+                }],
+            },
+        );
+        cfg.route_maps.insert(
+            "RM-OUT".into(),
+            RouteMap {
+                entries: vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![RouteMatch::PrefixList("PL".into())],
+                    sets: vec![RouteSet::LocalPref(200), RouteSet::AsPathPrepend(2)],
+                }],
+            },
+        );
+        cfg.acls.insert(
+            "ACL1".into(),
+            Acl {
+                entries: vec![AclEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    src: "10.0.0.0/2".parse().unwrap(),
+                    dst: Ipv4Prefix::DEFAULT,
+                }],
+            },
+        );
+        let text = render(&cfg);
+        for needle in [
+            "hostname leaf1",
+            "username crystal password net",
+            "fib-capacity 1000",
+            "interface et0",
+            " ip address 100.64.0.2/31",
+            " ip access-group ACL1 in",
+            " shutdown",
+            "router bgp 65200",
+            " router-id 172.16.0.5",
+            " maximum-paths 64",
+            " network 10.1.2.0/24",
+            " aggregate-address 10.1.0.0/16 summary-only",
+            " neighbor 100.64.0.3 remote-as 65100",
+            " neighbor 100.64.0.3 route-map RM-OUT out",
+            "ip prefix-list PL seq 5 permit 10.0.0.0/8 ge 16 le 24",
+            "route-map RM-OUT permit 10",
+            " match ip address prefix-list PL",
+            " set local-preference 200",
+            " set as-path prepend 2",
+            "ip access-list ACL1",
+            // `10.0.0.0/2` canonicalizes to `0.0.0.0/2` — exactly why the
+            // §2 typo'd ACL swallowed most of the address space.
+            " 10 deny 0.0.0.0/2 0.0.0.0/0",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn minimal_config_renders() {
+        let cfg = DeviceConfig {
+            hostname: "x".into(),
+            ..DeviceConfig::default()
+        };
+        assert_eq!(render(&cfg), "hostname x\n");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: render → parse round-trips for arbitrary configurations.
+
+use crystalnet_config::*;
+use crystalnet_net::{Asn, Ipv4Addr, Ipv4Cidr, Ipv4Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::new(Ipv4Addr(a), l))
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z0-9-]{0,8}"
+}
+
+fn arb_interface() -> impl Strategy<Value = InterfaceConfig> {
+    (
+        0u32..16,
+        prop::option::of((any::<u32>(), 8u8..=32)),
+        any::<bool>(),
+        prop::option::of(arb_name()),
+    )
+        .prop_map(|(i, addr, shutdown, acl)| InterfaceConfig {
+            name: format!("et{i}"),
+            addr: addr.map(|(a, l)| Ipv4Cidr::new(Ipv4Addr(a), l)),
+            shutdown,
+            acl_in: acl,
+            acl_out: None,
+        })
+}
+
+fn arb_neighbor() -> impl Strategy<Value = NeighborConfig> {
+    (
+        any::<u32>(),
+        1u32..65000,
+        any::<bool>(),
+        prop::option::of(arb_name()),
+    )
+        .prop_map(|(addr, asn, shutdown, rm)| NeighborConfig {
+            addr: Ipv4Addr(addr),
+            remote_as: Asn(asn),
+            shutdown,
+            route_map_in: rm,
+            route_map_out: None,
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = DeviceConfig> {
+    (
+        "[a-z][a-z0-9-]{0,12}",
+        prop::collection::vec(arb_interface(), 0..5),
+        prop::collection::vec(arb_prefix(), 0..4),
+        prop::collection::vec(arb_neighbor(), 0..4),
+        prop::option::of(1usize..100_000),
+    )
+        .prop_map(|(hostname, mut interfaces, networks, mut neighbors, fib)| {
+            // Interface names and neighbor addresses must be unique for the
+            // parse to be unambiguous (as on real devices).
+            interfaces.sort_by(|a, b| a.name.cmp(&b.name));
+            interfaces.dedup_by(|a, b| a.name == b.name);
+            neighbors.sort_by_key(|n| n.addr);
+            neighbors.dedup_by(|a, b| a.addr == b.addr);
+            let mut cfg = DeviceConfig {
+                hostname,
+                interfaces,
+                fib_capacity: fib,
+                ..DeviceConfig::default()
+            };
+            cfg.bgp = Some(BgpConfig {
+                asn: Asn(65001),
+                router_id: Ipv4Addr::new(1, 2, 3, 4),
+                max_paths: 64,
+                networks,
+                aggregates: vec![],
+                neighbors,
+            });
+            // Route maps / ACLs referenced by names must exist for semantic
+            // sanity but the parser does not enforce it; add one of each.
+            cfg.route_maps.insert(
+                "RM".into(),
+                RouteMap {
+                    entries: vec![RouteMapEntry {
+                        seq: 10,
+                        action: Action::Permit,
+                        matches: vec![RouteMatch::PrefixList("PL".into())],
+                        sets: vec![RouteSet::Med(5)],
+                    }],
+                },
+            );
+            cfg.prefix_lists.insert(
+                "PL".into(),
+                PrefixList {
+                    entries: vec![PrefixListEntry {
+                        seq: 5,
+                        action: Action::Permit,
+                        prefix: Ipv4Prefix::DEFAULT,
+                        ge: None,
+                        le: Some(32),
+                    }],
+                },
+            );
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated configuration survives a render → parse round trip.
+    /// Referenced route maps in neighbors must be declared; we only
+    /// reference the always-present "RM".
+    #[test]
+    fn render_parse_round_trip(mut cfg in arb_config()) {
+        if let Some(bgp) = cfg.bgp.as_mut() {
+            for n in bgp.neighbors.iter_mut() {
+                if n.route_map_in.is_some() {
+                    n.route_map_in = Some("RM".into());
+                }
+            }
+        }
+        let text = render(&cfg);
+        let back = parse_config(&text).expect("rendered config must parse");
+        prop_assert_eq!(cfg, back);
+    }
+
+    /// The parser rejects any single-line garbage statement.
+    #[test]
+    fn garbage_lines_are_rejected(word in "[a-z]{3,10}") {
+        prop_assume!(![
+            "hostname", "username", "interface", "router", "ip",
+            "route-map", "shutdown",
+        ].contains(&word.as_str()));
+        let r = parse_config(&format!("{word} something\n"));
+        prop_assert!(r.is_err());
+    }
+}

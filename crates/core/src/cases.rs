@@ -1,0 +1,317 @@
+//! The §7 real-life experiences, reproduced end to end.
+//!
+//! **Case 1 — migration to new regional backbones.** Two datacenters'
+//! inter-DC traffic moves from the legacy WAN onto new regional backbone
+//! routers. The operators rehearse the staged plan in an emulation of all
+//! DC devices + the new backbones + legacy WAN cores; the rehearsal
+//! catches injected tool bugs before the plan runs in production, and the
+//! perfected plan completes without disruption.
+//!
+//! **Case 2 — switch OS development pipeline.** A development build of
+//! the open-source switch OS (CTNR-B) replaces some production devices in
+//! an emulated environment; the validation pipeline catches the build's
+//! firmware bugs (default-route FIB sync, ARP trap, flap-crash) that unit
+//! and testbed tests missed.
+
+use crate::emulation::{mockup, Emulation, MockupOptions};
+use crate::plan::PlanOptions;
+use crate::prepare::{prepare, BoundaryMode, SpeakerSource};
+use crate::workflow::{StepOutcome, UpdateStep, ValidationLoop};
+use crystalnet_dataplane::ForwardDecision;
+use crystalnet_net::{DeviceId, RegionParams, RegionTopology, Role};
+use crystalnet_routing::{DeviceOs, Frame, MgmtCommand, OsEvent, VendorProfile};
+use crystalnet_sim::SimTime;
+use std::rc::Rc;
+
+/// The report of the Case-1 rehearsal.
+#[derive(Debug)]
+pub struct Case1Report {
+    /// Step outcomes of the *first* rehearsal (with the buggy tool).
+    pub rehearsal: Vec<(String, StepOutcome)>,
+    /// Bugs the rehearsal caught (would-be production incidents).
+    pub bugs_caught: usize,
+    /// Step outcomes of the final, perfected plan.
+    pub final_run: Vec<(String, StepOutcome)>,
+    /// Whether the perfected plan completed without any disruption.
+    pub no_disruption: bool,
+    /// VM count of the emulation.
+    pub vms_used: usize,
+}
+
+/// Builds the Case-1 emulation: both DCs fully emulated plus regional
+/// backbones and legacy WAN cores (the paper emulated all spines of two
+/// DCs + the new backbone + several WAN cores on 150 VMs).
+fn case1_emulation(seed: u64, region: &RegionTopology) -> Emulation {
+    let prep = prepare(
+        &region.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    );
+    mockup(
+        Rc::new(prep),
+        MockupOptions {
+            seed,
+            ..MockupOptions::default()
+        },
+    )
+}
+
+/// A cross-DC reachability check: a ToR in DC0 can reach a ToR subnet in
+/// DC1 and the path crosses the expected layer.
+fn cross_dc_ok(
+    emu: &mut Emulation,
+    region: &RegionTopology,
+    expect_via: Role,
+) -> Result<(), String> {
+    let src_tor = region.dcs[0].tors[0];
+    let dst_tor = region.dcs[1].tors[0];
+    let src = emu.topo.device(src_tor).originated[1].nth(3);
+    let dst = emu.topo.device(dst_tor).originated[1].nth(3);
+    let sig = emu.inject_packet(src_tor, src, dst);
+    let (path, outcome) = emu.pull_packets(sig);
+    if outcome != Some(ForwardDecision::Deliver) {
+        return Err(format!("cross-DC probe failed: {outcome:?}"));
+    }
+    let via_ok = path.iter().any(|&d| emu.topo.device(d).role == expect_via);
+    if !via_ok {
+        return Err(format!("probe avoided the {expect_via} layer: {path:?}"));
+    }
+    Ok(())
+}
+
+/// Runs the Case-1 migration rehearsal.
+#[must_use]
+pub fn run_case1(seed: u64) -> Case1Report {
+    let mut params = RegionParams::case1();
+    // Keep the rehearsal affordable: small DCs, post-migration topology
+    // (backbone links exist; the plan brings them into service).
+    params.dc = crystalnet_net::ClosParams::s_dc();
+    params.backbone_connected = true;
+    let region = params.build();
+
+    // ------------------------------------------------------------------
+    // Rehearsal 1: the operators' tools still contain a bug — the traffic
+    // shift step shuts down a whole border router instead of its WAN
+    // sessions (the §2 tool-bug class).
+    // ------------------------------------------------------------------
+    let mut emu = case1_emulation(seed, &region);
+    let border0 = region.dcs[0].borders[0];
+    let r1 = region.clone();
+    let r2 = region.clone();
+    let rehearsal = ValidationLoop::new()
+        .step(UpdateStep::new(
+            "baseline: inter-DC traffic rides the legacy WAN",
+            |_| {},
+            move |emu: &mut Emulation| cross_dc_ok(emu, &r1, Role::WanCore),
+        ))
+        .step(
+            UpdateStep::new(
+                "shift DC0 border0 off the WAN (buggy tool)",
+                move |emu| {
+                    // BUG: the tool powers the router down entirely.
+                    emu.sim.mgmt_sync(border0, MgmtCommand::DeviceShutdown);
+                },
+                move |emu: &mut Emulation| {
+                    if !emu.sim.is_up(border0) {
+                        return Err("border0 is down — tool shut the router, not sessions".into());
+                    }
+                    cross_dc_ok(emu, &r2, Role::WanCore)
+                },
+            )
+            .with_revert(move |emu| {
+                // Reload(original) brings the router back.
+                if let Some((_, cfg)) = emu.prep.configs.iter().find(|(d, _)| *d == border0) {
+                    let cfg = cfg.clone();
+                    let profile = VendorProfile::for_vendor(emu.topo.device(border0).vendor);
+                    let os = crystalnet_routing::BgpRouterOs::new(
+                        profile,
+                        cfg,
+                        emu.topo.device(border0).loopback,
+                    );
+                    emu.sim.replace_os(border0, Box::new(os));
+                    let at = emu.now();
+                    emu.sim.boot_device(border0, at);
+                }
+            }),
+        )
+        .run(&mut emu);
+    let bugs_caught = rehearsal
+        .steps
+        .iter()
+        .filter(|(_, o)| matches!(o, StepOutcome::Failed { .. }))
+        .count();
+
+    // ------------------------------------------------------------------
+    // Final run: the fixed tool shuts down individual WAN sessions, per
+    // border, verifying traffic shifts onto the regional backbone with
+    // no disruption.
+    // ------------------------------------------------------------------
+    let mut emu = case1_emulation(seed + 1000, &region);
+    let mut wan_sessions: Vec<(DeviceId, crystalnet_net::Ipv4Addr)> = Vec::new();
+    for dc in &region.dcs {
+        for &b in &dc.borders {
+            for (_, _, remote) in region.topo.neighbors(b) {
+                let peer_dev = region.topo.device(remote.device);
+                if peer_dev.role == Role::WanCore {
+                    let peer = peer_dev.ifaces[remote.iface as usize].addr.unwrap().addr;
+                    wan_sessions.push((b, peer));
+                }
+            }
+        }
+    }
+    let r3 = region.clone();
+    let r4 = region.clone();
+    let final_run = ValidationLoop::new()
+        .step(UpdateStep::new(
+            "baseline reachability",
+            |_| {},
+            move |emu: &mut Emulation| cross_dc_ok(emu, &r3, Role::WanCore),
+        ))
+        .step(UpdateStep::new(
+            "drain all border→WAN sessions (fixed tool)",
+            move |emu| {
+                for (b, peer) in &wan_sessions {
+                    emu.sim.mgmt_sync(*b, MgmtCommand::NeighborShutdown(*peer));
+                }
+            },
+            move |emu: &mut Emulation| cross_dc_ok(emu, &r4, Role::Regional),
+        ))
+        .run(&mut emu);
+    let no_disruption = final_run
+        .steps
+        .iter()
+        .all(|(_, o)| *o == StepOutcome::Passed);
+    let vms_used = emu.prep.vm_plan.vm_count();
+
+    Case1Report {
+        rehearsal: rehearsal.steps,
+        bugs_caught,
+        final_run: final_run.steps,
+        no_disruption,
+        vms_used,
+    }
+}
+
+/// The report of the Case-2 validation pipeline.
+#[derive(Debug)]
+pub struct Case2Report {
+    /// Bugs the pipeline caught in the dev build, by check name.
+    pub bugs: Vec<String>,
+    /// The same checks against the released build (expected clean).
+    pub control_clean: bool,
+}
+
+/// Runs the Case-2 switch-OS validation pipeline: replace one production
+/// ToR with the CTNR-B dev build, verify no behaviour change.
+#[must_use]
+pub fn run_case2(seed: u64) -> Case2Report {
+    let bugs = pipeline(seed, VendorProfile::ctnr_b_dev());
+    let control = pipeline(seed + 500, VendorProfile::ctnr_b());
+    Case2Report {
+        control_clean: control.is_empty(),
+        bugs,
+    }
+}
+
+fn pipeline(seed: u64, build: VendorProfile) -> Vec<String> {
+    let f = crystalnet_net::fixtures::fig7();
+    let dut = f.tors[0]; // device under test
+    let mut prep = prepare(
+        &f.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    );
+    // L1 originates a default route so the DUT must program one.
+    for (dev, cfg) in &mut prep.configs {
+        if *dev == f.leaves[0] {
+            cfg.bgp
+                .as_mut()
+                .unwrap()
+                .networks
+                .push("0.0.0.0/0".parse().unwrap());
+        }
+    }
+    let mut options = MockupOptions {
+        seed,
+        ..MockupOptions::default()
+    };
+    options.profile_overrides.insert(dut, build);
+    let mut emu = mockup(Rc::new(prep), options);
+
+    let mut bugs = Vec::new();
+
+    // Check 1: the ASIC must hold the BGP-learned default route.
+    let default_ok = emu
+        .sim
+        .fib(dut)
+        .is_some_and(|fib| fib.get("0.0.0.0/0".parse().unwrap()).is_some());
+    if !default_ok {
+        bugs.push("default route missing from ASIC FIB after BGP learn".into());
+    }
+
+    // Check 2: the DUT must answer ARP for its interface addresses.
+    let now = emu.now();
+    let target_ip = emu.topo.device(dut).ifaces[0].addr.unwrap().addr;
+    let request = Frame::Arp(crystalnet_dataplane::ArpMessage {
+        is_request: true,
+        sender_ip: "10.7.0.99".parse().unwrap(),
+        sender_mac: crystalnet_net::MacAddr::from_id(99),
+        target_ip,
+    });
+    let replied = emu
+        .sim
+        .os_mut(dut)
+        .map(|os| {
+            let actions = os.handle(
+                now,
+                OsEvent::Frame {
+                    iface: 0,
+                    frame: request,
+                },
+            );
+            actions
+                .out
+                .iter()
+                .any(|(_, f)| matches!(f, Frame::Arp(reply) if !reply.is_request))
+        })
+        .unwrap_or(false);
+    if !replied {
+        bugs.push("ARP request not forwarded to CPU (no reply)".into());
+    }
+
+    // Check 3: session flap endurance — three uplink flaps must not
+    // crash the OS.
+    let (lid, _, _) = f.topo.neighbors(dut).next().unwrap();
+    let mut t = emu.now();
+    for _ in 0..3 {
+        t = t + crystalnet_sim::SimDuration::from_secs(30);
+        emu.disconnect_at(lid, t);
+        t = t + crystalnet_sim::SimDuration::from_secs(30);
+        emu.connect_at(lid, t);
+        emu.settle();
+    }
+    if emu.sim.os(dut).is_some_and(DeviceOs::is_down) {
+        bugs.push("OS crashed after repeated BGP session flaps".into());
+    }
+
+    bugs
+}
+
+/// Internal scheduling helpers used by the pipeline.
+impl Emulation {
+    /// Disconnects a link at an explicit future instant.
+    pub fn disconnect_at(&mut self, lid: crystalnet_net::LinkId, at: SimTime) {
+        let ep = crystalnet_routing::ControlPlaneSim::link_endpoints(&self.topo, lid);
+        self.sim.link_down(ep, at);
+    }
+
+    /// Connects a link at an explicit future instant.
+    pub fn connect_at(&mut self, lid: crystalnet_net::LinkId, at: SimTime) {
+        let ep = crystalnet_routing::ControlPlaneSim::link_endpoints(&self.topo, lid);
+        self.sim.link_up(ep, at);
+    }
+}

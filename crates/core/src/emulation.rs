@@ -1,0 +1,666 @@
+//! `Mockup` and the running emulation: the heart of CrystalNet.
+//!
+//! [`mockup`] turns a [`PrepareOutput`] into a live [`Emulation`]:
+//!
+//! 1. **Network-ready phase** — on every VM (in parallel), start PhyNet
+//!    containers, create virtual interfaces, and wire veth/bridge/VXLAN
+//!    links plus the management overlay. All of this is CPU work queued
+//!    on the VM's cores; the phase ends when the slowest VM drains.
+//! 2. **Route-ready phase** — boot the device firmwares (vendor-specific
+//!    boot latency on top of VM CPU contention), let BGP converge, and
+//!    detect quiescence. This phase dominates Mockup (§8.2) and depends
+//!    on VM packing density, which is exactly what Figure 8's VM-count
+//!    sweep shows.
+//!
+//! The returned [`Emulation`] exposes the Table 2 control/monitor surface:
+//! `Reload` (two-layer vs strawman, §8.3), `Connect`/`Disconnect`,
+//! `InjectPackets`/`PullPackets` telemetry, `PullStates`/`PullConfig`,
+//! VM failure injection and health-monitor recovery.
+
+use crate::metrics::MockupMetrics;
+use crate::plan::sandbox_kind;
+use crate::prepare::PrepareOutput;
+use bytes::Bytes;
+use crystalnet_config::DeviceConfig;
+use crystalnet_dataplane::{
+    ForwardDecision,
+    Ipv4Packet,
+    Signature,
+    TraceEvent,
+    TraceStore, //
+};
+use crystalnet_net::{DeviceId, Ipv4Addr, LinkId, Topology};
+use crystalnet_routing::harness::{WorkKind, WorkModel};
+use crystalnet_routing::{BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, VendorProfile};
+use crystalnet_sim::{SimDuration, SimRng, SimTime};
+use crystalnet_vnet::{
+    BridgeImpl,
+    Cloud,
+    CloudParams,
+    ContainerEngine,
+    ContainerId,
+    ContainerKind,
+    LinkSpan,
+    ManagementOverlay,
+    VirtualLink,
+    VmId,
+    VniAllocator, //
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Options controlling a Mockup.
+#[derive(Clone)]
+pub struct MockupOptions {
+    /// Run seed (boot jitter, provisioning jitter).
+    pub seed: u64,
+    /// Bridge implementation for virtual links (§6.2 ablation).
+    pub bridge: BridgeImpl,
+    /// Route quiescence window for convergence detection.
+    pub quiet: SimDuration,
+    /// Convergence deadline.
+    pub deadline: SimDuration,
+    /// Per-device firmware profile overrides (dev builds, buggy images).
+    pub profile_overrides: HashMap<DeviceId, VendorProfile>,
+}
+
+impl Default for MockupOptions {
+    fn default() -> Self {
+        MockupOptions {
+            seed: 0,
+            bridge: BridgeImpl::LinuxBridge,
+            quiet: SimDuration::from_secs(45),
+            deadline: SimDuration::from_mins(180),
+            profile_overrides: HashMap::new(),
+        }
+    }
+}
+
+/// The work model coupling device activity to VM CPU contention.
+///
+/// Every route operation, firmware boot and frame encap queues on the
+/// hosting VM's 4 cores — so denser packing (fewer VMs) slows convergence
+/// and raises utilization, reproducing the Figure 8/9 relationships.
+pub struct VmWorkModel {
+    cloud: Rc<RefCell<Cloud>>,
+    device_vm: HashMap<DeviceId, VmId>,
+    /// Per-device (boot CPU, firmware boot latency, CPU per route op).
+    device_cost: HashMap<DeviceId, (SimDuration, SimDuration, SimDuration)>,
+    /// Route processing inside one firmware image is single-threaded —
+    /// a device's work serializes behind itself before competing for the
+    /// VM's cores. This is what makes route-ready scale with fabric
+    /// fan-in (the paper's L-DC bottleneck: "the major bottleneck is the
+    /// convergence speed of routing algorithms", §8.2).
+    device_busy: HashMap<DeviceId, SimTime>,
+    link_span: HashMap<LinkId, LinkSpan>,
+    rng: SimRng,
+}
+
+impl WorkModel for VmWorkModel {
+    fn completion(&mut self, dev: DeviceId, kind: WorkKind, now: SimTime) -> SimTime {
+        let Some(&vm) = self.device_vm.get(&dev) else {
+            return now;
+        };
+        let (boot_cpu, boot_latency, per_op) = self.device_cost[&dev];
+        let mut cloud = self.cloud.borrow_mut();
+        let start = now.max(self.device_busy.get(&dev).copied().unwrap_or(SimTime::ZERO));
+        let end = match kind {
+            WorkKind::Boot => {
+                let cpu_done = cloud.vm_mut(vm).cpu.submit(start, boot_cpu);
+                cpu_done + self.rng.jitter(boot_latency, 0.25)
+            }
+            WorkKind::RouteOps(n) => cloud.vm_mut(vm).cpu.submit(start, per_op * (n as u64)),
+        };
+        self.device_busy.insert(dev, end);
+        end
+    }
+
+    fn link_delay(&mut self, link: LinkId, now: SimTime) -> SimDuration {
+        let span = self
+            .link_span
+            .get(&link)
+            .copied()
+            .unwrap_or(LinkSpan::IntraVm);
+        // A per-link-constant jitter de-phases the thousands of identical
+        // links without breaking a link's FIFO ordering (reordering a
+        // link would let an Update overtake its session's Open, which no
+        // real Ethernet link does).
+        let _ = now;
+        let jitter = u64::from(link.0).wrapping_mul(0x9e37_79b9) % 2_000;
+        span.latency() + SimDuration::from_nanos(jitter)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// One device's sandbox wiring on its VM.
+#[derive(Debug, Clone, Copy)]
+pub struct Sandbox {
+    /// VM index in the plan.
+    pub vm: usize,
+    /// The PhyNet (namespace-holding) container.
+    pub phynet: ContainerId,
+    /// The device-software container (or speaker agent).
+    pub device: ContainerId,
+}
+
+/// A running emulation.
+pub struct Emulation {
+    /// The production topology being emulated.
+    pub topo: Topology,
+    /// The control-plane simulation (devices, links, virtual time).
+    pub sim: ControlPlaneSim,
+    /// The cloud fleet.
+    pub cloud: Rc<RefCell<Cloud>>,
+    /// Provisioned VM handles, indexed like the plan.
+    pub vm_ids: Vec<VmId>,
+    /// Per-VM container engines.
+    pub engines: Vec<ContainerEngine>,
+    /// Per-device sandbox wiring.
+    pub sandboxes: HashMap<DeviceId, Sandbox>,
+    /// Provisioned virtual links.
+    pub vlinks: Vec<VirtualLink>,
+    /// The management overlay (jumpbox, DNS).
+    pub mgmt: ManagementOverlay,
+    /// Bring-up metrics.
+    pub metrics: MockupMetrics,
+    /// Captured packet traces.
+    pub traces: TraceStore,
+    /// The prepare artifact this emulation was built from.
+    pub prep: Rc<PrepareOutput>,
+    options: MockupOptions,
+    next_signature: u16,
+}
+
+/// Builds and converges an emulation from a prepare artifact.
+///
+/// # Panics
+///
+/// Panics if the emulation fails to converge within `options.deadline` —
+/// a deliberate loud failure, since every §8 experiment depends on
+/// convergence.
+#[must_use]
+pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
+    let topo = prep.topo.clone();
+    let plan = &prep.vm_plan;
+
+    // VMs were spawned during Prepare; they are running at t = 0.
+    let mut cloud = Cloud::new(CloudParams::default(), options.seed);
+    let mut vm_ids = Vec::with_capacity(plan.vms.len());
+    for planned in &plan.vms {
+        let (id, _) = cloud.provision(planned.sku, SimTime::ZERO);
+        cloud.mark_running(id, SimTime::ZERO);
+        vm_ids.push(id);
+    }
+    let cloud = Rc::new(RefCell::new(cloud));
+
+    // ------------------------------------------------------------------
+    // Phase 1: PhyNet containers, interfaces, links, management overlay.
+    // ------------------------------------------------------------------
+    let mut engines: Vec<ContainerEngine> = (0..plan.vms.len())
+        .map(|_| ContainerEngine::new())
+        .collect();
+    let mut sandboxes = HashMap::new();
+    let mut mgmt = ManagementOverlay::new();
+    let mut rng = SimRng::for_component(options.seed, "mockup");
+
+    {
+        let mut cloud = cloud.borrow_mut();
+        for (vm_idx, planned) in plan.vms.iter().enumerate() {
+            mgmt.attach_vm(vm_ids[vm_idx]);
+            for &dev in planned.devices.iter().chain(&planned.speakers) {
+                let device = topo.device(dev);
+                let engine = &mut engines[vm_idx];
+                let phynet = engine.create(ContainerKind::PhyNet, None);
+                let kind = if planned.speakers.contains(&dev) {
+                    ContainerKind::Speaker
+                } else {
+                    sandbox_kind(device.vendor)
+                };
+                let sandbox = engine.create(kind, Some(phynet));
+                engine.add_ifaces(phynet, device.ifaces.len() as u32);
+                engine.start(phynet);
+                let vm = &mut cloud.vm_mut(vm_ids[vm_idx]);
+                // PhyNet start + per-interface veth/bridge setup.
+                vm.cpu
+                    .submit(SimTime::ZERO, ContainerKind::PhyNet.start_cpu());
+                for _ in 0..device.ifaces.len() {
+                    vm.cpu.submit(SimTime::ZERO, options.bridge.setup_cpu());
+                }
+                vm.ram_used_mb += kind.ram_mb() + ContainerKind::PhyNet.ram_mb();
+                mgmt.register_device(vm_ids[vm_idx], &device.name, device.mgmt_addr)
+                    .expect("unique production hostnames and mgmt IPs");
+                sandboxes.insert(
+                    dev,
+                    Sandbox {
+                        vm: vm_idx,
+                        phynet,
+                        device: sandbox,
+                    },
+                );
+            }
+        }
+    }
+
+    // Virtual links between placed sandboxes (VXLAN for inter-VM spans).
+    let mut vnis = VniAllocator::new();
+    let mut vlinks = Vec::new();
+    let mut link_span = HashMap::new();
+    {
+        let mut cloud = cloud.borrow_mut();
+        for (lid, link) in topo.links() {
+            let (Some(sa), Some(sb)) =
+                (sandboxes.get(&link.a.device), sandboxes.get(&link.b.device))
+            else {
+                continue; // both ends outside the emulation
+            };
+            let vl = VirtualLink::provision(lid, vm_ids[sa.vm], vm_ids[sb.vm], false, &mut vnis);
+            link_span.insert(lid, vl.span);
+            // Tunnel setup costs CPU on both hosting VMs.
+            if vl.span != LinkSpan::IntraVm {
+                cloud
+                    .vm_mut(vm_ids[sa.vm])
+                    .cpu
+                    .submit(SimTime::ZERO, options.bridge.setup_cpu());
+                cloud
+                    .vm_mut(vm_ids[sb.vm])
+                    .cpu
+                    .submit(SimTime::ZERO, options.bridge.setup_cpu());
+            }
+            vlinks.push(vl);
+        }
+    }
+
+    let network_ready_at = {
+        let cloud = cloud.borrow();
+        vm_ids
+            .iter()
+            .map(|&id| cloud.vm(id).cpu.drained_at())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            // Orchestrator-side batching / verification overhead.
+            + SimDuration::from_secs(5)
+    };
+
+    // ------------------------------------------------------------------
+    // Phase 2: boot firmware, converge routes.
+    // ------------------------------------------------------------------
+    let mut device_vm = HashMap::new();
+    let mut device_cost = HashMap::new();
+    for (&dev, sb) in &sandboxes {
+        device_vm.insert(dev, vm_ids[sb.vm]);
+    }
+
+    let work = VmWorkModel {
+        cloud: cloud.clone(),
+        device_vm,
+        device_cost: HashMap::new(), // filled below
+        device_busy: HashMap::new(),
+        link_span,
+        rng: SimRng::for_component(options.seed, "work"),
+    };
+    let mut sim = ControlPlaneSim::new(&topo, Box::new(work));
+
+    // Device firmwares.
+    for (dev, cfg) in &prep.configs {
+        let profile = options
+            .profile_overrides
+            .get(dev)
+            .copied()
+            .unwrap_or_else(|| VendorProfile::for_vendor(topo.device(*dev).vendor));
+        let kind_cpu = sandbox_kind(topo.device(*dev).vendor).start_cpu();
+        device_cost.insert(
+            *dev,
+            (
+                kind_cpu + profile.cpu_boot,
+                rng.jitter(profile.boot_time, 0.2),
+                profile.cpu_per_route_op,
+            ),
+        );
+        let os = BgpRouterOs::new(profile, cfg.clone(), topo.device(*dev).loopback);
+        sim.add_os(*dev, Box::new(os));
+    }
+    // Speakers.
+    for (dev, _) in &prep.speaker_plan.scripts {
+        if let Some(os) = prep.speaker_plan.build_os(&topo, *dev) {
+            device_cost.insert(
+                *dev,
+                (
+                    ContainerKind::Speaker.start_cpu(),
+                    SimDuration::from_secs(3),
+                    SimDuration::from_micros(5),
+                ),
+            );
+            sim.add_os(*dev, Box::new(os));
+        }
+    }
+    // Install the completed cost table into the live work model. The
+    // world owns the box, so rebuild it in place.
+    install_costs(&mut sim, device_cost);
+
+    sim.boot_all(network_ready_at);
+    let route_ready_at = sim
+        .run_until_quiet(options.quiet, network_ready_at + options.deadline)
+        .expect("emulation failed to converge before the deadline");
+    let route_ops = sim.engine.world.route_ops_total;
+
+    // Mark sandboxes running.
+    for sb in sandboxes.values() {
+        engines[sb.vm].start(sb.device);
+    }
+
+    Emulation {
+        topo,
+        sim,
+        cloud,
+        vm_ids,
+        engines,
+        sandboxes,
+        vlinks,
+        mgmt,
+        metrics: MockupMetrics::from_phases(network_ready_at, route_ready_at, route_ops),
+        traces: TraceStore::new(),
+        prep,
+        options,
+        next_signature: 1,
+    }
+}
+
+/// Replaces the device-cost table inside the sim's boxed work model.
+fn install_costs(
+    sim: &mut ControlPlaneSim,
+    costs: HashMap<DeviceId, (SimDuration, SimDuration, SimDuration)>,
+) {
+    if let Some(model) = sim
+        .engine
+        .world
+        .work_mut()
+        .as_any_mut()
+        .downcast_mut::<VmWorkModel>()
+    {
+        model.device_cost = costs;
+    }
+}
+
+impl Emulation {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sim.engine.now()
+    }
+
+    /// Runs until route quiescence (post-change convergence).
+    pub fn settle(&mut self) -> Option<SimTime> {
+        let deadline = self.now() + self.options.deadline;
+        self.sim.run_until_quiet(self.options.quiet, deadline)
+    }
+
+    /// `List`: all emulated devices with hostnames and liveness.
+    #[must_use]
+    pub fn list(&self) -> Vec<(DeviceId, String, bool)> {
+        self.sandboxes
+            .keys()
+            .map(|&d| (d, self.topo.device(d).name.clone(), self.sim.is_up(d)))
+            .collect()
+    }
+
+    /// `Login`: resolve a device by management DNS name and run a command
+    /// over the management overlay.
+    pub fn login_and_run(&mut self, name: &str, cmd: MgmtCommand) -> Option<MgmtResponse> {
+        let addr = self.mgmt.resolve(name)?;
+        let dev = self.topo.by_name(self.mgmt.reverse(addr)?)?;
+        self.sim.mgmt_sync(dev, cmd)
+    }
+
+    /// `PullStates`: forwarding/RIB summary for one device.
+    #[must_use]
+    pub fn pull_states(&self, dev: DeviceId) -> Option<DeviceState> {
+        let os = self.sim.os(dev)?;
+        Some(DeviceState {
+            device: dev,
+            hostname: os.hostname().to_string(),
+            up: self.sim.is_up(dev),
+            rib_size: os.rib_size(),
+            fib_prefixes: os.fib().len(),
+            fib_route_entries: os.fib().route_entry_count(),
+        })
+    }
+
+    /// `PullConfig`: the running configuration text for rollback.
+    #[must_use]
+    pub fn pull_config(&self, dev: DeviceId) -> Option<String> {
+        self.prep
+            .configs
+            .iter()
+            .find(|(d, _)| *d == dev)
+            .map(|(_, c)| crystalnet_config::render(c))
+    }
+
+    /// `Disconnect`: takes a production link down in the emulation.
+    pub fn disconnect(&mut self, lid: LinkId) {
+        let ep = ControlPlaneSim::link_endpoints(&self.topo, lid);
+        let at = self.now();
+        self.sim.link_down(ep, at);
+    }
+
+    /// `Connect`: brings a production link back up.
+    pub fn connect(&mut self, lid: LinkId) {
+        let ep = ControlPlaneSim::link_endpoints(&self.topo, lid);
+        let at = self.now();
+        self.sim.link_up(ep, at);
+    }
+
+    /// `InjectPackets`: sends a probe with a fresh telemetry signature
+    /// from `from`, captures per-hop traces, and returns the signature.
+    pub fn inject_packet(&mut self, from: DeviceId, src: Ipv4Addr, dst: Ipv4Addr) -> Signature {
+        let sig = Signature(self.next_signature);
+        self.next_signature = self.next_signature.wrapping_add(1).max(1);
+        let pkt = Ipv4Packet {
+            src,
+            dst,
+            protocol: crystalnet_dataplane::ipproto::UDP,
+            ttl: 64,
+            identification: sig.0,
+            payload: Bytes::new(),
+        };
+        let (path, outcome) = self.sim.trace_packet(from, &pkt);
+        let now = self.now().as_nanos();
+        for (hop, &dev) in path.iter().enumerate() {
+            let decision = if hop + 1 == path.len() {
+                outcome
+            } else {
+                // Mid-path devices forwarded; the exact hop is implied by
+                // the next path element.
+                ForwardDecision::Forward(crystalnet_dataplane::NextHop {
+                    iface: 0,
+                    via: Ipv4Addr(0),
+                })
+            };
+            self.traces.capture(
+                &pkt,
+                TraceEvent {
+                    at_nanos: now + hop as u64 * 1_000,
+                    device: dev,
+                    ingress: None,
+                    decision,
+                    hop: hop as u32,
+                },
+            );
+        }
+        sig
+    }
+
+    /// `PullPackets`: the path a signature took and its fate.
+    #[must_use]
+    pub fn pull_packets(&self, sig: Signature) -> (Vec<DeviceId>, Option<ForwardDecision>) {
+        (self.traces.path(sig), self.traces.outcome(sig))
+    }
+
+    /// `Reload`: reboots one device with a new configuration.
+    ///
+    /// Two-layer mode (the CrystalNet design) keeps the PhyNet namespace:
+    /// stop software, overwrite config, restart — ~3 s. Strawman mode
+    /// (everything-together, the §8.3 ablation) additionally tears down
+    /// and recreates every interface, link and tunnel.
+    ///
+    /// Returns the device downtime.
+    pub fn reload(&mut self, dev: DeviceId, config: DeviceConfig, strawman: bool) -> SimDuration {
+        let sb = self.sandboxes[&dev];
+        let iface_count = self.topo.device(dev).ifaces.len() as u64;
+        // Stop software (PhyNet survives in two-layer mode).
+        self.engines[sb.vm].stop(sb.device);
+        let mut downtime = SimDuration::from_millis(500) // stop
+            + SimDuration::from_millis(500) // overwrite configuration
+            + SimDuration::from_secs(2); // start container
+        if strawman {
+            // Tear down and recreate the namespace: veth pairs, bridges,
+            // VXLAN tunnels and addressing for every interface.
+            downtime += SimDuration::from_millis(400) * iface_count // recreate
+                + SimDuration::from_secs(3); // namespace + container rebuild
+        }
+        self.engines[sb.vm].start(sb.device);
+        let at = self.now() + downtime;
+        self.sim
+            .mgmt(dev, MgmtCommand::ReplaceConfig(Box::new(config)), at);
+        downtime
+    }
+
+    /// Injects a VM failure and runs the health monitor's recovery:
+    /// neighbors see links drop; once the VM reboots, its sandboxes and
+    /// links are re-created and its devices re-boot from their prepared
+    /// configurations.
+    ///
+    /// Returns the recovery latency (§8.3): reset + resetup of the VM's
+    /// devices and links, excluding the VM reboot itself.
+    pub fn fail_and_recover_vm(&mut self, vm_idx: usize) -> SimDuration {
+        let vm_id = self.vm_ids[vm_idx];
+        let now = self.now();
+        let victims: Vec<DeviceId> = self
+            .sandboxes
+            .iter()
+            .filter(|(_, sb)| sb.vm == vm_idx)
+            .map(|(&d, _)| d)
+            .collect();
+
+        // The VM dies: devices vanish; neighbors see link-down.
+        self.cloud.borrow_mut().fail_vm(vm_id);
+        for &dev in &victims {
+            self.sim.power_off(dev);
+            for (lid, _, _) in self.topo.neighbors(dev).collect::<Vec<_>>() {
+                let ep = ControlPlaneSim::link_endpoints(&self.topo, lid);
+                self.sim.link_down(ep, now);
+            }
+        }
+
+        // Health monitor notices and reboots the VM (reboot time itself
+        // is excluded from the §8.3 recovery metric).
+        let reboot_done = self.cloud.borrow_mut().reboot(vm_id, now);
+        self.cloud.borrow_mut().mark_running(vm_id, reboot_done);
+        self.cloud.borrow_mut().reset_cpu(vm_id, reboot_done);
+
+        // Recovery: re-create PhyNet containers + links, restart device
+        // software. Cost scales with deployment density on the VM.
+        let mut recovery = SimDuration::ZERO;
+        for &dev in &victims {
+            let device = self.topo.device(dev);
+            recovery += ContainerKind::PhyNet.start_cpu();
+            recovery += self.options.bridge.setup_cpu() * (device.ifaces.len() as u64);
+            recovery += SimDuration::from_millis(800); // sandbox restart
+        }
+        let restored_at = reboot_done + recovery;
+
+        // Fresh OS instances boot from the prepared configs.
+        for &dev in &victims {
+            if let Some((_, cfg)) = self.prep.configs.iter().find(|(d, _)| *d == dev) {
+                let profile = self
+                    .options
+                    .profile_overrides
+                    .get(&dev)
+                    .copied()
+                    .unwrap_or_else(|| VendorProfile::for_vendor(self.topo.device(dev).vendor));
+                let os = BgpRouterOs::new(profile, cfg.clone(), self.topo.device(dev).loopback);
+                self.sim.replace_os(dev, Box::new(os));
+            } else if let Some(os) = self.prep.speaker_plan.build_os(&self.topo, dev) {
+                self.sim.replace_os(dev, Box::new(os));
+            }
+            self.sim.boot_device(dev, restored_at);
+            for (lid, _, _) in self.topo.neighbors(dev).collect::<Vec<_>>() {
+                let ep = ControlPlaneSim::link_endpoints(&self.topo, lid);
+                self.sim.link_up(ep, restored_at);
+            }
+        }
+        recovery
+    }
+
+    /// `Clear`: resets all VMs to a clean state; returns the latency.
+    pub fn clear(&mut self) -> SimDuration {
+        let now = self.now();
+        let mut cloud = self.cloud.borrow_mut();
+        for (vm_idx, planned) in self.prep.vm_plan.vms.iter().enumerate() {
+            let vm = cloud.vm_mut(self.vm_ids[vm_idx]);
+            for &dev in planned.devices.iter().chain(&planned.speakers) {
+                let n = self.topo.device(dev).ifaces.len() as u64;
+                vm.cpu.submit(now, self.options.bridge.teardown_cpu() * n);
+                vm.cpu.submit(now, SimDuration::from_millis(300)); // container kill
+            }
+            vm.ram_used_mb = 0;
+        }
+        let done = self
+            .vm_ids
+            .iter()
+            .map(|&id| cloud.vm(id).cpu.drained_at())
+            .max()
+            .unwrap_or(now);
+        for engine in &mut self.engines {
+            engine.clear();
+        }
+        done.since(now)
+    }
+
+    /// `Destroy`: releases the VM fleet; returns total dollars burned.
+    pub fn destroy(self) -> f64 {
+        let cost = self.cloud.borrow().cost_usd(self.now());
+        self.cloud.borrow_mut().destroy_all();
+        cost
+    }
+
+    /// 95th-percentile CPU utilization across VMs per time bucket
+    /// (Figure 9's series).
+    #[must_use]
+    pub fn cpu_p95_series(&self) -> Vec<f64> {
+        let cloud = self.cloud.borrow();
+        let until = self.now();
+        let series: Vec<Vec<f64>> = cloud
+            .vms()
+            .iter()
+            .map(|vm| vm.cpu.utilization_series(until))
+            .collect();
+        crystalnet_sim::metrics::pointwise_percentile(&series, 95.0)
+    }
+
+    /// The CPU histogram bucket width.
+    #[must_use]
+    pub fn cpu_bucket(&self) -> SimDuration {
+        CloudParams::default().cpu_bucket
+    }
+}
+
+/// A `PullStates` row.
+#[derive(Debug, Clone)]
+pub struct DeviceState {
+    /// Device id.
+    pub device: DeviceId,
+    /// Hostname.
+    pub hostname: String,
+    /// Whether the device is up.
+    pub up: bool,
+    /// Loc-RIB prefixes.
+    pub rib_size: usize,
+    /// FIB prefixes.
+    pub fib_prefixes: usize,
+    /// FIB entries counting ECMP members (Table 3's unit).
+    pub fib_route_entries: usize,
+}

@@ -1,0 +1,38 @@
+//! CrystalNet: the orchestrator.
+//!
+//! A Rust reproduction of "CrystalNet: Faithfully Emulating Large
+//! Production Networks" (SOSP '17). This crate is the paper's primary
+//! contribution — the cloud-scale emulation orchestrator — built on the
+//! workspace's substrates: simulated cloud + PhyNet containers + VXLAN
+//! overlays (`crystalnet-vnet`), vendor firmware engines
+//! (`crystalnet-routing`), safe static boundaries (`crystalnet-boundary`)
+//! and production-style configuration (`crystalnet-config`).
+//!
+//! The Table 2 API surface maps as:
+//!
+//! | Paper API | Here |
+//! |---|---|
+//! | `Prepare` | [`prepare`] → [`PrepareOutput`] |
+//! | `Mockup` | [`mockup`] → [`Emulation`] |
+//! | `Clear` / `Destroy` | [`Emulation::clear`] / [`Emulation::destroy`] |
+//! | `Reload` | [`Emulation::reload`] |
+//! | `Connect` / `Disconnect` | [`Emulation::connect`] / [`Emulation::disconnect`] |
+//! | `InjectPackets` | [`Emulation::inject_packet`] |
+//! | `PullStates` / `PullConfig` / `PullPackets` | [`Emulation::pull_states`] / [`Emulation::pull_config`] / [`Emulation::pull_packets`] |
+//! | `List` / `Login` | [`Emulation::list`] / [`Emulation::login_and_run`] |
+
+pub mod cases;
+pub mod emulation;
+pub mod metrics;
+pub mod plan;
+pub mod prepare;
+pub mod scenarios;
+pub mod workflow;
+
+pub use cases::{run_case1, run_case2, Case1Report, Case2Report};
+pub use emulation::{mockup, DeviceState, Emulation, MockupOptions, Sandbox, VmWorkModel};
+pub use metrics::MockupMetrics;
+pub use plan::{plan_vms, sandbox_kind, PlanOptions, PlannedVm, VmPlan};
+pub use prepare::{prepare, BoundaryMode, PrepareOutput, SpeakerSource};
+pub use scenarios::{run_all as run_all_scenarios, RootCause, ScenarioResult};
+pub use workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};

@@ -1,0 +1,56 @@
+//! Emulation metrics: the quantities §8 reports.
+
+use crystalnet_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Latency breakdown of one Mockup run (the Figure 8 quantities).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MockupMetrics {
+    /// "The duration from the start of creating an emulation to the
+    /// moment when all virtual links are up."
+    pub network_ready: SimDuration,
+    /// "The duration from Network-ready to the moment when all routes
+    /// are installed and stabilized in all switches."
+    pub route_ready: SimDuration,
+    /// Sum of the two: the full Mockup latency.
+    pub mockup: SimDuration,
+    /// Total route operations processed during bring-up.
+    pub route_ops: u64,
+    /// Virtual instant at which the emulation became usable.
+    pub ready_at: SimTime,
+}
+
+impl MockupMetrics {
+    /// Builds from the two phase boundaries.
+    #[must_use]
+    pub fn from_phases(network_ready_at: SimTime, route_ready_at: SimTime, route_ops: u64) -> Self {
+        let network_ready = network_ready_at.since(SimTime::ZERO);
+        let route_ready = route_ready_at.since(network_ready_at);
+        MockupMetrics {
+            network_ready,
+            route_ready,
+            mockup: network_ready + route_ready,
+            route_ops,
+            ready_at: route_ready_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_add_up() {
+        let nr = SimTime::ZERO + SimDuration::from_secs(90);
+        let rr = nr + SimDuration::from_mins(20);
+        let m = MockupMetrics::from_phases(nr, rr, 1000);
+        assert_eq!(m.network_ready, SimDuration::from_secs(90));
+        assert_eq!(m.route_ready, SimDuration::from_mins(20));
+        assert_eq!(
+            m.mockup,
+            SimDuration::from_secs(90) + SimDuration::from_mins(20)
+        );
+        assert_eq!(m.ready_at, rr);
+    }
+}

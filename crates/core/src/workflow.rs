@@ -1,0 +1,174 @@
+//! The Figure 3 validation workflow.
+//!
+//! "At each step, operators can choose to apply significant changes ...
+//! or use existing tools for incremental changes via the management
+//! plane. Next, the operators pull the emulation state ... to check
+//! whether the changes they made had the intended effect. ... Otherwise,
+//! operators revert current update with Reload, fix the bugs and try
+//! again. This process repeats until all update steps are validated."
+
+use crate::emulation::Emulation;
+
+/// Applies one planned change to the emulation.
+pub type ApplyFn = Box<dyn FnMut(&mut Emulation)>;
+/// Checks the expected outcome after convergence. Takes `&mut` because
+/// validation probes (`InjectPackets`) record telemetry state.
+pub type ExpectFn = Box<dyn FnMut(&mut Emulation) -> Result<(), String>>;
+
+/// One step of an update plan.
+pub struct UpdateStep {
+    /// Human-readable step name.
+    pub name: String,
+    /// The change (config push, link operation, tool invocation).
+    pub apply: ApplyFn,
+    /// The validation check.
+    pub expect: ExpectFn,
+    /// Optional rollback (`Reload(original)` in the paper's loop).
+    pub revert: Option<ApplyFn>,
+}
+
+impl UpdateStep {
+    /// A step without rollback.
+    pub fn new(
+        name: impl Into<String>,
+        apply: impl FnMut(&mut Emulation) + 'static,
+        expect: impl FnMut(&mut Emulation) -> Result<(), String> + 'static,
+    ) -> Self {
+        UpdateStep {
+            name: name.into(),
+            apply: Box::new(apply),
+            expect: Box::new(expect),
+            revert: None,
+        }
+    }
+
+    /// Attaches a rollback action.
+    #[must_use]
+    pub fn with_revert(mut self, revert: impl FnMut(&mut Emulation) + 'static) -> Self {
+        self.revert = Some(Box::new(revert));
+        self
+    }
+}
+
+/// The outcome of one validated step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Expected state reached.
+    Passed,
+    /// Validation failed; `reverted` says whether rollback ran.
+    Failed {
+        /// Why the expectation failed.
+        reason: String,
+        /// Whether the step's rollback executed.
+        reverted: bool,
+    },
+    /// Not reached because an earlier step failed.
+    Skipped,
+}
+
+/// The report of a full validation run.
+#[derive(Debug)]
+pub struct ValidationReport {
+    /// Per-step outcomes in plan order.
+    pub steps: Vec<(String, StepOutcome)>,
+}
+
+impl ValidationReport {
+    /// Whether the whole plan validated.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.steps
+            .iter()
+            .all(|(_, o)| matches!(o, StepOutcome::Passed))
+    }
+
+    /// Names of failed steps.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter(|(_, o)| matches!(o, StepOutcome::Failed { .. }))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// A Figure 3 validation loop over an update plan.
+#[derive(Default)]
+pub struct ValidationLoop {
+    steps: Vec<UpdateStep>,
+    /// Continue past failures (useful for bug-hunting sweeps); the
+    /// operator default is to stop and fix.
+    pub continue_on_failure: bool,
+}
+
+impl ValidationLoop {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        ValidationLoop::default()
+    }
+
+    /// Appends a step.
+    #[must_use]
+    pub fn step(mut self, step: UpdateStep) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Runs the plan: apply → converge → check (→ revert on failure).
+    pub fn run(mut self, emu: &mut Emulation) -> ValidationReport {
+        let mut report = ValidationReport { steps: Vec::new() };
+        let mut stop = false;
+        for mut step in self.steps.drain(..) {
+            if stop {
+                report.steps.push((step.name, StepOutcome::Skipped));
+                continue;
+            }
+            (step.apply)(emu);
+            emu.settle();
+            let outcome = match (step.expect)(emu) {
+                Ok(()) => StepOutcome::Passed,
+                Err(reason) => {
+                    let reverted = if let Some(mut revert) = step.revert {
+                        revert(emu);
+                        emu.settle();
+                        true
+                    } else {
+                        false
+                    };
+                    if !self.continue_on_failure {
+                        stop = true;
+                    }
+                    StepOutcome::Failed { reason, reverted }
+                }
+            };
+            report.steps.push((step.name, outcome));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_queries() {
+        let report = ValidationReport {
+            steps: vec![
+                ("a".into(), StepOutcome::Passed),
+                (
+                    "b".into(),
+                    StepOutcome::Failed {
+                        reason: "x".into(),
+                        reverted: true,
+                    },
+                ),
+                ("c".into(), StepOutcome::Skipped),
+            ],
+        };
+        assert!(!report.all_passed());
+        assert_eq!(report.failures(), vec!["b"]);
+    }
+}

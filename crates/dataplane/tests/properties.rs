@@ -1,0 +1,166 @@
+//! Property tests: the FIB agrees with a naive oracle; packet encodings
+//! round-trip for arbitrary contents.
+
+use bytes::Bytes;
+use crystalnet_dataplane::{
+    compare_fibs,
+    ecmp_select,
+    CompareOptions,
+    EthernetFrame,
+    Fib,
+    FibEntry,
+    Ipv4Packet,
+    NextHop,
+    UdpDatagram,
+    VxlanPacket, //
+};
+use crystalnet_net::{Ipv4Addr, Ipv4Prefix, MacAddr};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::new(Ipv4Addr(a), l))
+}
+
+fn arb_entry() -> impl Strategy<Value = FibEntry> {
+    prop::collection::vec((0u32..8, any::<u32>()), 0..4).prop_map(|hops| {
+        FibEntry::new(
+            hops.into_iter()
+                .map(|(iface, via)| NextHop {
+                    iface,
+                    via: Ipv4Addr(via),
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Naive oracle: scan every installed prefix, pick the longest that
+/// contains the address.
+fn oracle_lookup(routes: &[(Ipv4Prefix, FibEntry)], addr: Ipv4Addr) -> Option<Ipv4Prefix> {
+    routes
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, _)| *p)
+}
+
+proptest! {
+    /// LPM lookup matches the brute-force oracle on random route tables.
+    #[test]
+    fn fib_matches_oracle(
+        routes in prop::collection::vec((arb_prefix(), arb_entry()), 0..64),
+        probes in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        // Dedup prefixes: later installs overwrite earlier ones, so keep
+        // only the last per prefix for the oracle.
+        let mut fib = Fib::default();
+        let mut dedup: std::collections::HashMap<Ipv4Prefix, FibEntry> = Default::default();
+        for (p, e) in &routes {
+            fib.install(*p, e.clone());
+            dedup.insert(*p, e.clone());
+        }
+        let table: Vec<(Ipv4Prefix, FibEntry)> = dedup.into_iter().collect();
+        for probe in probes {
+            let addr = Ipv4Addr(probe);
+            let got = fib.lookup(addr).map(|(p, _)| p);
+            prop_assert_eq!(got, oracle_lookup(&table, addr));
+        }
+    }
+
+    /// Capacity never exceeded; dropped installs are counted exactly.
+    #[test]
+    fn fib_capacity_invariant(
+        cap in 1usize..32,
+        routes in prop::collection::vec(arb_prefix(), 0..64),
+    ) {
+        let mut fib = Fib::new(Some(cap));
+        let mut unique = std::collections::HashSet::new();
+        let mut dropped = 0u64;
+        for p in routes {
+            let out = fib.install(p, FibEntry::default());
+            if out == crystalnet_dataplane::InstallOutcome::DroppedFull {
+                dropped += 1;
+            } else {
+                unique.insert(p);
+            }
+        }
+        prop_assert!(fib.len() <= cap);
+        prop_assert_eq!(fib.len(), unique.len().min(cap));
+        prop_assert_eq!(fib.dropped_installs(), dropped);
+    }
+
+    /// ECMP selection always returns a member of the set.
+    #[test]
+    fn ecmp_selects_a_member(
+        entry in arb_entry(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        proto in any::<u8>(),
+        flow in any::<u16>(),
+    ) {
+        match ecmp_select(&entry, Ipv4Addr(src), Ipv4Addr(dst), proto, flow) {
+            Some(hop) => prop_assert!(entry.next_hops.contains(&hop)),
+            None => prop_assert!(entry.next_hops.is_empty()),
+        }
+    }
+
+    /// A FIB always equals itself; comparison is symmetric in difference
+    /// count.
+    #[test]
+    fn compare_reflexive_symmetric(
+        routes_a in prop::collection::vec((arb_prefix(), arb_entry()), 0..16),
+        routes_b in prop::collection::vec((arb_prefix(), arb_entry()), 0..16),
+    ) {
+        let build = |routes: &[(Ipv4Prefix, FibEntry)]| {
+            let mut f = Fib::default();
+            for (p, e) in routes {
+                f.install(*p, e.clone());
+            }
+            f
+        };
+        let a = build(&routes_a);
+        let b = build(&routes_b);
+        let opts = CompareOptions::strict();
+        prop_assert!(compare_fibs(&a, &a, &opts).is_empty());
+        prop_assert_eq!(
+            compare_fibs(&a, &b, &opts).len(),
+            compare_fibs(&b, &a, &opts).len()
+        );
+    }
+
+    /// Ethernet/IPv4/UDP/VXLAN encodings round-trip arbitrary payloads.
+    #[test]
+    fn packet_round_trips(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        sig in any::<u16>(),
+        vni in 0u32..(1 << 24),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ttl in 1u8..255,
+    ) {
+        let ip = Ipv4Packet {
+            src: Ipv4Addr(src),
+            dst: Ipv4Addr(dst),
+            protocol: 17,
+            ttl,
+            identification: sig,
+            payload: Bytes::from(payload.clone()),
+        };
+        prop_assert_eq!(&Ipv4Packet::decode(ip.encode()).unwrap(), &ip);
+
+        let frame = EthernetFrame {
+            dst: MacAddr::from_id(dst),
+            src: MacAddr::from_id(src),
+            ethertype: 0x0800,
+            payload: ip.encode(),
+        };
+        prop_assert_eq!(&EthernetFrame::decode(frame.encode()).unwrap(), &frame);
+
+        let vx = VxlanPacket { vni, inner: frame.encode() };
+        let vx2 = VxlanPacket::decode(vx.encode()).unwrap();
+        prop_assert_eq!(vx2.vni, vni);
+
+        let udp = UdpDatagram { src_port: 1, dst_port: 4789, payload: vx.encode() };
+        prop_assert_eq!(&UdpDatagram::decode(udp.encode()).unwrap(), &udp);
+    }
+}

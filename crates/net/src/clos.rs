@@ -1,0 +1,594 @@
+//! Clos datacenter topology generators.
+//!
+//! CrystalNet's evaluation (§8.1, Table 3) runs on three production Clos
+//! datacenters: L-DC, M-DC and S-DC. This module generates synthetic
+//! networks matching those scale bands, with the structural properties the
+//! safe-boundary theory relies on:
+//!
+//! * layered topology (ToR → Leaf → Spine → Border), no valley links,
+//! * RFC 7938-style ASN plan: all borders share one AS, all spines share
+//!   one AS, leaves share a per-pod AS, ToRs get unique 4-byte ASes —
+//!   so BGP loop prevention supplies the valley-freedom that makes
+//!   Algorithm 1's output safe (Proposition 5.2),
+//! * spine *groups*, each homed to a subset of the borders, with every pod
+//!   uplinked to a contiguous window of groups — reproducing the paper's
+//!   Table 4 situation where one pod's safe boundary contains only a
+//!   fraction of the spine and border layers.
+//!
+//! ToRs run the open-source CTNR-B image; Leaf/Spine/Border run CTNR-A,
+//! exactly as in §8.1.
+
+use crate::addr::{Ipv4Addr, Ipv4Prefix};
+use crate::topology::{Device, P2pAllocator, Topology};
+use crate::types::{Asn, DeviceId, Role, Vendor};
+use serde::{Deserialize, Serialize};
+
+/// ASN plan constants (RFC 7938 private ranges).
+pub mod asn {
+    use crate::types::Asn;
+
+    /// All datacenter border routers share this AS (§5.2: "the border
+    /// switches ... usually share a single AS number").
+    pub const BORDER: Asn = Asn(65000);
+    /// All spines share this AS.
+    pub const SPINE: Asn = Asn(65100);
+    /// Leaves of pod `p` share `LEAF_BASE + p`.
+    pub const LEAF_BASE: u32 = 65200;
+    /// ToR `t` (global index) gets the 4-byte AS `TOR_BASE + t`.
+    pub const TOR_BASE: u32 = 4_200_000_000;
+    /// External WAN peers (speaker candidates) get `EXternal_BASE + i`,
+    /// all distinct per Proposition 5.2's requirement.
+    pub const EXTERNAL_BASE: u32 = 64600;
+
+    /// The leaf AS for pod `p`.
+    #[must_use]
+    pub fn leaf(pod: u32) -> Asn {
+        Asn(LEAF_BASE + pod)
+    }
+
+    /// The ToR AS for global ToR index `t`.
+    #[must_use]
+    pub fn tor(index: u32) -> Asn {
+        Asn(TOR_BASE + index)
+    }
+
+    /// The AS of the `i`-th external WAN peer.
+    #[must_use]
+    pub fn external(index: u32) -> Asn {
+        Asn(EXTERNAL_BASE + index)
+    }
+}
+
+/// Parameters of a generated Clos datacenter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosParams {
+    /// Network name, used as hostname prefix (`l-dc`, ...).
+    pub name: String,
+    /// Number of border routers.
+    pub borders: u32,
+    /// Number of spine groups.
+    pub spine_groups: u32,
+    /// Spines per group.
+    pub spines_per_group: u32,
+    /// Number of pods.
+    pub pods: u32,
+    /// Leaves per pod (= uplink planes per pod).
+    pub leaves_per_pod: u32,
+    /// ToRs per pod.
+    pub tors_per_pod: u32,
+    /// Spine groups each pod connects to (window size).
+    pub groups_per_pod: u32,
+    /// External WAN peers attached per border router.
+    pub ext_peers_per_border: u32,
+    /// Synthetic "internet" prefixes announced by each external peer.
+    pub ext_prefixes_per_peer: u32,
+}
+
+impl ClosParams {
+    /// L-DC: the paper's largest datacenter — O(10) borders, O(100)
+    /// spines (112), O(1000) leaves, O(3000) ToRs, O(20M) routes.
+    #[must_use]
+    pub fn l_dc() -> Self {
+        ClosParams {
+            name: "l-dc".into(),
+            borders: 8,
+            spine_groups: 8,
+            spines_per_group: 14,
+            pods: 224,
+            leaves_per_pod: 4,
+            tors_per_pod: 16,
+            groups_per_pod: 4,
+            ext_peers_per_border: 1,
+            ext_prefixes_per_peer: 8,
+        }
+    }
+
+    /// M-DC: a median datacenter — O(1M) routes band.
+    #[must_use]
+    pub fn m_dc() -> Self {
+        ClosParams {
+            name: "m-dc".into(),
+            borders: 4,
+            spine_groups: 2,
+            spines_per_group: 8,
+            pods: 24,
+            leaves_per_pod: 4,
+            tors_per_pod: 16,
+            groups_per_pod: 2,
+            ext_peers_per_border: 1,
+            ext_prefixes_per_peer: 8,
+        }
+    }
+
+    /// S-DC: a small datacenter — O(50K) routes band.
+    #[must_use]
+    pub fn s_dc() -> Self {
+        ClosParams {
+            name: "s-dc".into(),
+            borders: 2,
+            spine_groups: 1,
+            spines_per_group: 4,
+            pods: 6,
+            leaves_per_pod: 4,
+            tors_per_pod: 16,
+            groups_per_pod: 1,
+            ext_peers_per_border: 1,
+            ext_prefixes_per_peer: 8,
+        }
+    }
+
+    /// Scales the pod count by `factor` (at least one pod), keeping the
+    /// aggregation layers intact. Used to run L-DC-shaped experiments at
+    /// reduced cost; documented in EXPERIMENTS.md.
+    #[must_use]
+    pub fn scaled_pods(mut self, factor: f64) -> Self {
+        self.pods = ((self.pods as f64 * factor).round() as u32).max(1);
+        self
+    }
+
+    /// Total devices this parameterization will generate (excluding
+    /// external peers).
+    #[must_use]
+    pub fn internal_device_count(&self) -> u32 {
+        self.borders
+            + self.spine_groups * self.spines_per_group
+            + self.pods * (self.leaves_per_pod + self.tors_per_pod)
+    }
+
+    /// Builds the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups_per_pod > spine_groups` or any count is zero.
+    #[must_use]
+    pub fn build(&self) -> ClosTopology {
+        assert!(self.groups_per_pod <= self.spine_groups);
+        assert!(
+            self.borders > 0
+                && self.spine_groups > 0
+                && self.spines_per_group > 0
+                && self.pods > 0
+                && self.leaves_per_pod > 0
+                && self.tors_per_pod > 0
+                && self.groups_per_pod > 0
+        );
+        let mut topo = Topology::new();
+        let mut p2p = P2pAllocator::new("100.64.0.0/10".parse().unwrap());
+        let mut dev_seq = 0u32;
+
+        let mut mk = |topo: &mut Topology,
+                      name: String,
+                      role: Role,
+                      vendor: Vendor,
+                      asn: Asn,
+                      pod: Option<u32>| {
+            let idx = dev_seq;
+            dev_seq += 1;
+            let loopback = Ipv4Addr::new(172, 16, (idx >> 8) as u8, (idx & 0xff) as u8);
+            let mgmt = Ipv4Addr::new(192, 168, (idx >> 8) as u8, (idx & 0xff) as u8);
+            let dev = Device {
+                name,
+                role,
+                vendor,
+                asn,
+                loopback,
+                mgmt_addr: mgmt,
+                originated: vec![Ipv4Prefix::host(loopback)],
+                ifaces: vec![],
+                pod,
+            };
+            topo.add_device(dev).expect("generated names are unique")
+        };
+
+        // Borders.
+        let borders: Vec<DeviceId> = (0..self.borders)
+            .map(|b| {
+                mk(
+                    &mut topo,
+                    format!("{}-border{b}", self.name),
+                    Role::Border,
+                    Vendor::CtnrA,
+                    asn::BORDER,
+                    None,
+                )
+            })
+            .collect();
+
+        // Spine groups; each group homes to a border subset.
+        let mut spine_groups: Vec<Vec<DeviceId>> = Vec::new();
+        for g in 0..self.spine_groups {
+            let group: Vec<DeviceId> = (0..self.spines_per_group)
+                .map(|s| {
+                    mk(
+                        &mut topo,
+                        format!("{}-sg{g}-spine{s}", self.name),
+                        Role::Spine,
+                        Vendor::CtnrA,
+                        asn::SPINE,
+                        None,
+                    )
+                })
+                .collect();
+            for &spine in &group {
+                for &border in self.group_borders(g, &borders) {
+                    topo.connect_p2p(spine, border, &mut p2p)
+                        .expect("fresh interfaces");
+                }
+            }
+            spine_groups.push(group);
+        }
+
+        // Pods.
+        let mut pods: Vec<Pod> = Vec::new();
+        let mut tor_seq = 0u32;
+        for p in 0..self.pods {
+            let groups: Vec<u32> = (0..self.groups_per_pod)
+                .map(|i| (p + i) % self.spine_groups)
+                .collect();
+            let leaves: Vec<DeviceId> = (0..self.leaves_per_pod)
+                .map(|l| {
+                    mk(
+                        &mut topo,
+                        format!("{}-pod{p:03}-leaf{l}", self.name),
+                        Role::Leaf,
+                        Vendor::CtnrA,
+                        asn::leaf(p),
+                        Some(p),
+                    )
+                })
+                .collect();
+            // Leaf `l` uplinks to all spines in its plane's group.
+            for (l, &leaf) in leaves.iter().enumerate() {
+                let g = groups[l % groups.len()] as usize;
+                for &spine in &spine_groups[g] {
+                    topo.connect_p2p(leaf, spine, &mut p2p)
+                        .expect("fresh interfaces");
+                }
+            }
+            let tors: Vec<DeviceId> = (0..self.tors_per_pod)
+                .map(|t| {
+                    let idx = tor_seq;
+                    tor_seq += 1;
+                    let id = mk(
+                        &mut topo,
+                        format!("{}-pod{p:03}-tor{t:02}", self.name),
+                        Role::Tor,
+                        Vendor::CtnrB,
+                        asn::tor(idx),
+                        Some(p),
+                    );
+                    // Server subnet: one /24 per ToR out of 10.0.0.0/8.
+                    let subnet = Ipv4Prefix::new(
+                        Ipv4Addr::new(10, (idx >> 8) as u8, (idx & 0xff) as u8, 0),
+                        24,
+                    );
+                    topo.device_mut(id).originated.push(subnet);
+                    id
+                })
+                .collect();
+            for &tor in &tors {
+                for &leaf in &leaves {
+                    topo.connect_p2p(tor, leaf, &mut p2p)
+                        .expect("fresh interfaces");
+                }
+            }
+            pods.push(Pod {
+                index: p,
+                leaves,
+                tors,
+                groups,
+            });
+        }
+
+        // External WAN peers per border (outside the admin domain; these
+        // are the devices speakers stand in for when emulating the whole
+        // DC).
+        let mut externals = Vec::new();
+        let mut ext_seq = 0u32;
+        for &border in &borders {
+            for _ in 0..self.ext_peers_per_border {
+                let i = ext_seq;
+                ext_seq += 1;
+                let id = mk(
+                    &mut topo,
+                    format!("{}-extpeer{i}", self.name),
+                    Role::External,
+                    Vendor::VmB,
+                    asn::external(i),
+                    None,
+                );
+                let dev = topo.device_mut(id);
+                dev.originated.push(Ipv4Prefix::DEFAULT);
+                for k in 0..self.ext_prefixes_per_peer {
+                    // Synthetic internet space: 40.i.k.0/24.
+                    dev.originated
+                        .push(Ipv4Prefix::new(Ipv4Addr::new(40, i as u8, k as u8, 0), 24));
+                }
+                topo.connect_p2p(id, border, &mut p2p)
+                    .expect("fresh interfaces");
+                externals.push(id);
+            }
+        }
+
+        ClosTopology {
+            params: self.clone(),
+            topo,
+            borders,
+            spine_groups,
+            pods,
+            externals,
+        }
+    }
+
+    /// The borders spine group `g` homes to.
+    fn group_borders<'a>(&self, g: u32, borders: &'a [DeviceId]) -> &'a [DeviceId] {
+        if self.borders >= self.spine_groups {
+            // Partition borders among groups.
+            let per = (self.borders / self.spine_groups) as usize;
+            let start = g as usize * per;
+            &borders[start..start + per]
+        } else {
+            // Fewer borders than groups: each group takes one, round-robin.
+            let idx = (g % self.borders) as usize;
+            &borders[idx..=idx]
+        }
+    }
+}
+
+/// A generated pod.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pod {
+    /// Pod number.
+    pub index: u32,
+    /// Leaf switches.
+    pub leaves: Vec<DeviceId>,
+    /// ToR switches.
+    pub tors: Vec<DeviceId>,
+    /// Spine groups this pod uplinks to.
+    pub groups: Vec<u32>,
+}
+
+/// A generated Clos datacenter with structural indexes kept around for
+/// experiments (Table 4 boundary cases pick pods and spine layers).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosTopology {
+    /// The parameters it was generated from.
+    pub params: ClosParams,
+    /// The flat topology (what `Prepare` would snapshot).
+    pub topo: Topology,
+    /// Border routers.
+    pub borders: Vec<DeviceId>,
+    /// Spine groups.
+    pub spine_groups: Vec<Vec<DeviceId>>,
+    /// Pods.
+    pub pods: Vec<Pod>,
+    /// External (non-emulatable) WAN peers.
+    pub externals: Vec<DeviceId>,
+}
+
+impl ClosTopology {
+    /// All spines, flattened.
+    #[must_use]
+    pub fn spines(&self) -> Vec<DeviceId> {
+        self.spine_groups.iter().flatten().copied().collect()
+    }
+
+    /// Counts per layer: (borders, spines, leaves, tors) — a Table 3 /
+    /// Table 4 row.
+    #[must_use]
+    pub fn layer_counts(&self) -> LayerCounts {
+        let mut c = LayerCounts::default();
+        for (_, d) in self.topo.devices() {
+            match d.role {
+                Role::Border => c.borders += 1,
+                Role::Spine => c.spines += 1,
+                Role::Leaf => c.leaves += 1,
+                Role::Tor => c.tors += 1,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Device count excluding external peers.
+    #[must_use]
+    pub fn internal_device_count(&self) -> usize {
+        self.topo
+            .devices()
+            .filter(|(_, d)| d.role != Role::External)
+            .count()
+    }
+}
+
+/// Per-layer device counts (a row of Table 3/4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCounts {
+    /// Border routers.
+    pub borders: usize,
+    /// Spine switches.
+    pub spines: usize,
+    /// Leaf switches.
+    pub leaves: usize,
+    /// ToR switches.
+    pub tors: usize,
+}
+
+impl LayerCounts {
+    /// Total devices across the four layers.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.borders + self.spines + self.leaves + self.tors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_dc_shape() {
+        let dc = ClosParams::s_dc().build();
+        let c = dc.layer_counts();
+        assert_eq!(c.borders, 2);
+        assert_eq!(c.spines, 4);
+        assert_eq!(c.leaves, 24);
+        assert_eq!(c.tors, 96);
+        assert_eq!(c.total(), 126);
+        assert_eq!(dc.internal_device_count(), 126);
+        assert_eq!(dc.externals.len(), 2);
+    }
+
+    #[test]
+    fn m_dc_shape() {
+        let dc = ClosParams::m_dc().build();
+        let c = dc.layer_counts();
+        assert_eq!((c.borders, c.spines, c.leaves, c.tors), (4, 16, 96, 384));
+    }
+
+    #[test]
+    fn l_dc_shape_matches_table3_bands() {
+        // Generating full L-DC is cheap (no routing yet): ~4.6K devices.
+        let dc = ClosParams::l_dc().build();
+        let c = dc.layer_counts();
+        assert_eq!(c.borders, 8); // O(10)
+        assert_eq!(c.spines, 112); // O(100), the paper's exact spine count
+        assert_eq!(c.leaves, 896); // O(1000)
+        assert_eq!(c.tors, 3584); // O(3000)
+    }
+
+    #[test]
+    fn asn_plan_follows_rfc7938_structure() {
+        let dc = ClosParams::s_dc().build();
+        for &b in &dc.borders {
+            assert_eq!(dc.topo.device(b).asn, asn::BORDER);
+        }
+        for &s in &dc.spines() {
+            assert_eq!(dc.topo.device(s).asn, asn::SPINE);
+        }
+        // Leaves share per-pod ASNs; ToRs are unique.
+        let pod0 = &dc.pods[0];
+        let leaf_asn = dc.topo.device(pod0.leaves[0]).asn;
+        assert!(pod0
+            .leaves
+            .iter()
+            .all(|&l| dc.topo.device(l).asn == leaf_asn));
+        let pod1_leaf_asn = dc.topo.device(dc.pods[1].leaves[0]).asn;
+        assert_ne!(leaf_asn, pod1_leaf_asn);
+        let mut tor_asns: Vec<u32> = dc
+            .pods
+            .iter()
+            .flat_map(|p| p.tors.iter().map(|&t| dc.topo.device(t).asn.0))
+            .collect();
+        let before = tor_asns.len();
+        tor_asns.sort_unstable();
+        tor_asns.dedup();
+        assert_eq!(tor_asns.len(), before, "ToR ASNs must be unique");
+        // External peers all differ (Prop 5.2's speaker requirement).
+        let mut ext: Vec<u32> = dc
+            .externals
+            .iter()
+            .map(|&e| dc.topo.device(e).asn.0)
+            .collect();
+        let n = ext.len();
+        ext.sort_unstable();
+        ext.dedup();
+        assert_eq!(ext.len(), n);
+    }
+
+    #[test]
+    fn every_tor_reaches_all_pod_leaves() {
+        let dc = ClosParams::s_dc().build();
+        for pod in &dc.pods {
+            for &tor in &pod.tors {
+                let neigh: Vec<DeviceId> = dc.topo.neighbor_devices(tor).collect();
+                assert_eq!(neigh.len(), pod.leaves.len());
+                for &l in &pod.leaves {
+                    assert!(neigh.contains(&l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_uplink_to_their_plane_group() {
+        let dc = ClosParams::l_dc().scaled_pods(0.05).build();
+        for pod in &dc.pods {
+            for (l, &leaf) in pod.leaves.iter().enumerate() {
+                let g = pod.groups[l % pod.groups.len()] as usize;
+                let ups: Vec<DeviceId> = dc
+                    .topo
+                    .neighbor_devices(leaf)
+                    .filter(|&n| dc.topo.device(n).role == Role::Spine)
+                    .collect();
+                assert_eq!(ups.len(), dc.spine_groups[g].len());
+                for &s in &ups {
+                    assert!(dc.spine_groups[g].contains(&s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spine_groups_home_to_disjoint_borders_in_l_dc() {
+        let dc = ClosParams::l_dc().scaled_pods(0.02).build();
+        for (g, group) in dc.spine_groups.iter().enumerate() {
+            let mut homes: Vec<DeviceId> = group
+                .iter()
+                .flat_map(|&s| {
+                    dc.topo
+                        .neighbor_devices(s)
+                        .filter(|&n| dc.topo.device(n).role == Role::Border)
+                })
+                .collect();
+            homes.sort_unstable();
+            homes.dedup();
+            assert_eq!(homes.len(), 1, "group {g} should home to one border");
+        }
+    }
+
+    #[test]
+    fn originated_prefixes_present() {
+        let dc = ClosParams::s_dc().build();
+        // Each ToR: loopback + /24; each infra device: loopback;
+        // each external peer: loopback + default + 8 internet prefixes.
+        let expected = 96 * 2 + (2 + 4 + 24) + 2 * 10;
+        assert_eq!(dc.topo.originated_prefix_count(), expected);
+    }
+
+    #[test]
+    fn scaled_pods_clamps_to_one() {
+        let p = ClosParams::s_dc().scaled_pods(0.0001);
+        assert_eq!(p.pods, 1);
+        let dc = p.build();
+        assert_eq!(dc.pods.len(), 1);
+    }
+
+    #[test]
+    fn internal_device_count_estimate_matches() {
+        for params in [ClosParams::s_dc(), ClosParams::m_dc()] {
+            let est = params.internal_device_count();
+            let dc = params.build();
+            assert_eq!(est as usize, dc.internal_device_count());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Small hand-built topologies reproducing the paper's figures.
+//!
+//! * [`fig1`] — the eight-router network of Figure 1, where two vendors'
+//!   divergent IP-aggregation behaviour causes traffic imbalance at R8.
+//! * [`fig7`] — the three-layer BGP datacenter of Figure 7, used to
+//!   demonstrate unsafe and safe static boundaries.
+
+use crate::addr::{Ipv4Addr, Ipv4Prefix};
+use crate::topology::{Device, P2pAllocator, Topology};
+use crate::types::{Asn, DeviceId, Role, Vendor};
+
+fn device(seq: u32, name: &str, role: Role, vendor: Vendor, asn: u32) -> Device {
+    let loopback = Ipv4Addr::new(172, 20, (seq >> 8) as u8, (seq & 0xff) as u8);
+    Device {
+        name: name.to_string(),
+        role,
+        vendor,
+        asn: Asn(asn),
+        loopback,
+        mgmt_addr: Ipv4Addr::new(192, 168, 100, seq as u8),
+        originated: vec![Ipv4Prefix::host(loopback)],
+        ifaces: vec![],
+        pod: None,
+    }
+}
+
+/// The Figure 1 network.
+///
+/// `R1` (AS 1) originates `P1 = 10.1.0.0/17` and `P2 = 10.1.128.0/17`.
+/// `R6` (vendor A) and `R7` (vendor C) both aggregate them to
+/// `P3 = 10.1.0.0/16` before announcing to `R8` — but vendor A picks one
+/// contributing path and prepends itself, while vendor C announces the
+/// aggregate with only its own AS in the path, so `R8` always prefers `R7`.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// The topology.
+    pub topo: Topology,
+    /// Routers `R1..=R8` (index 0 is `R1`).
+    pub routers: [DeviceId; 8],
+    /// The two component prefixes.
+    pub p1: Ipv4Prefix,
+    pub p2: Ipv4Prefix,
+    /// The aggregate.
+    pub p3: Ipv4Prefix,
+}
+
+/// Builds the Figure 1 network. `R6` runs vendor `CtnrA` (select-one
+/// aggregation) and `R7` runs vendor `VmB` ("Vendor-C": empty-path
+/// aggregation).
+#[must_use]
+pub fn fig1() -> Fig1 {
+    let p1: Ipv4Prefix = "10.1.0.0/17".parse().unwrap();
+    let p2: Ipv4Prefix = "10.1.128.0/17".parse().unwrap();
+    let p3: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+
+    let mut topo = Topology::new();
+    let mut p2pa = P2pAllocator::new("100.127.0.0/16".parse().unwrap());
+    let vendors = [
+        Vendor::CtnrA, // R1
+        Vendor::CtnrA, // R2
+        Vendor::CtnrA, // R3
+        Vendor::CtnrA, // R4
+        Vendor::CtnrA, // R5
+        Vendor::CtnrA, // R6: "Vendor-A": selects a path, appends own ASN
+        Vendor::VmB,   // R7: "Vendor-C": empty AS path on aggregates
+        Vendor::CtnrA, // R8
+    ];
+    let roles = [
+        Role::Tor,    // R1
+        Role::Leaf,   // R2
+        Role::Leaf,   // R3
+        Role::Leaf,   // R4
+        Role::Leaf,   // R5
+        Role::Spine,  // R6
+        Role::Spine,  // R7
+        Role::Border, // R8
+    ];
+    let mut routers = [DeviceId(0); 8];
+    for i in 0..8u32 {
+        let name = format!("r{}", i + 1);
+        let id = topo
+            .add_device(device(
+                i,
+                &name,
+                roles[i as usize],
+                vendors[i as usize],
+                i + 1,
+            ))
+            .expect("unique fixture names");
+        routers[i as usize] = id;
+    }
+    topo.device_mut(routers[0]).originated.push(p1);
+    topo.device_mut(routers[0]).originated.push(p2);
+
+    // R1 at the bottom fans out to R2..R5; R2,R3 feed R6; R4,R5 feed R7;
+    // R6,R7 feed R8.
+    let edges = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (1, 5),
+        (2, 5),
+        (3, 6),
+        (4, 6),
+        (5, 7),
+        (6, 7),
+    ];
+    for (a, b) in edges {
+        topo.connect_p2p(routers[a], routers[b], &mut p2pa)
+            .expect("fresh interfaces");
+    }
+    Fig1 {
+        topo,
+        routers,
+        p1,
+        p2,
+        p3,
+    }
+}
+
+/// The Figure 7 three-layer datacenter.
+///
+/// Spines `S1,S2` (AS 100); leaf pairs `L1,L2` (AS 200), `L3,L4` (AS 300),
+/// `L5,L6` (AS 400); ToR pairs `T1..T6` (AS 501..506). ToR pair *i*
+/// connects to leaf pair *i*; every leaf connects to both spines.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// The topology.
+    pub topo: Topology,
+    /// `S1, S2`.
+    pub spines: [DeviceId; 2],
+    /// `L1..=L6`.
+    pub leaves: [DeviceId; 6],
+    /// `T1..=T6`.
+    pub tors: [DeviceId; 6],
+}
+
+/// Builds the Figure 7 network.
+#[must_use]
+pub fn fig7() -> Fig7 {
+    let mut topo = Topology::new();
+    let mut p2pa = P2pAllocator::new("100.126.0.0/16".parse().unwrap());
+    let mut seq = 0u32;
+    let mut mk = |topo: &mut Topology, name: String, role: Role, asn: u32| {
+        let id = topo
+            .add_device(device(seq, &name, role, Vendor::CtnrA, asn))
+            .expect("unique fixture names");
+        seq += 1;
+        id
+    };
+
+    let spines = [
+        mk(&mut topo, "s1".into(), Role::Spine, 100),
+        mk(&mut topo, "s2".into(), Role::Spine, 100),
+    ];
+    let mut leaves = [DeviceId(0); 6];
+    for i in 0..6 {
+        let asn = 200 + (i as u32 / 2) * 100; // 200,200,300,300,400,400
+        leaves[i] = mk(&mut topo, format!("l{}", i + 1), Role::Leaf, asn);
+    }
+    let mut tors = [DeviceId(0); 6];
+    for i in 0..6 {
+        tors[i] = mk(&mut topo, format!("t{}", i + 1), Role::Tor, 501 + i as u32);
+        // Each ToR originates a /24 so route propagation is observable.
+        let subnet = Ipv4Prefix::new(Ipv4Addr::new(10, 7, i as u8, 0), 24);
+        topo.device_mut(tors[i]).originated.push(subnet);
+    }
+
+    for (i, &tor) in tors.iter().enumerate() {
+        let pair = i / 2;
+        for &leaf in &leaves[pair * 2..pair * 2 + 2] {
+            topo.connect_p2p(tor, leaf, &mut p2pa)
+                .expect("fresh interfaces");
+        }
+    }
+    for &leaf in &leaves {
+        for &spine in &spines {
+            topo.connect_p2p(leaf, spine, &mut p2pa)
+                .expect("fresh interfaces");
+        }
+    }
+    Fig7 {
+        topo,
+        spines,
+        leaves,
+        tors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_structure() {
+        let f = fig1();
+        assert_eq!(f.topo.device_count(), 8);
+        assert_eq!(f.topo.link_count(), 10);
+        // R1 originates P1 and P2 (plus loopback).
+        let r1 = f.topo.device(f.routers[0]);
+        assert!(r1.originated.contains(&f.p1));
+        assert!(r1.originated.contains(&f.p2));
+        assert_eq!(Ipv4Prefix::aggregate(&[f.p1, f.p2]), Some(f.p3));
+        // R8 is adjacent to exactly R6 and R7.
+        let neigh: Vec<DeviceId> = f.topo.neighbor_devices(f.routers[7]).collect();
+        assert_eq!(neigh.len(), 2);
+        assert!(neigh.contains(&f.routers[5]) && neigh.contains(&f.routers[6]));
+        // R6 and R7 are from different vendors — the root cause.
+        assert_ne!(
+            f.topo.device(f.routers[5]).vendor,
+            f.topo.device(f.routers[6]).vendor
+        );
+    }
+
+    #[test]
+    fn fig7_structure() {
+        let f = fig7();
+        assert_eq!(f.topo.device_count(), 14);
+        // 6 tors * 2 + 6 leaves * 2 = 24 links.
+        assert_eq!(f.topo.link_count(), 24);
+        // Both spines share AS 100.
+        assert_eq!(f.topo.device(f.spines[0]).asn, Asn(100));
+        assert_eq!(f.topo.device(f.spines[1]).asn, Asn(100));
+        // Leaf pairs share ASes, pairs differ.
+        assert_eq!(
+            f.topo.device(f.leaves[0]).asn,
+            f.topo.device(f.leaves[1]).asn
+        );
+        assert_ne!(
+            f.topo.device(f.leaves[0]).asn,
+            f.topo.device(f.leaves[2]).asn
+        );
+        // T1 connects to L1,L2 only.
+        let neigh: Vec<DeviceId> = f.topo.neighbor_devices(f.tors[0]).collect();
+        assert_eq!(neigh, vec![f.leaves[0], f.leaves[1]]);
+        // Every leaf sees both spines.
+        for &l in &f.leaves {
+            for &s in &f.spines {
+                assert!(f.topo.adjacent(l, s));
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Core identity types: AS numbers, device roles, vendors, sandbox kinds.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A BGP autonomous-system number (4-byte capable, RFC 6793).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Where a device sits in the network (the paper's Clos layers, Table 3,
+/// plus the WAN/regional layers of the §7 Case-1 migration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Top-of-rack switch (connects servers).
+    Tor,
+    /// Pod leaf switch.
+    Leaf,
+    /// Spine switch.
+    Spine,
+    /// Datacenter border router (uplinks to WAN / regional backbone).
+    Border,
+    /// Regional backbone router (Case 1).
+    Regional,
+    /// Legacy inter-DC WAN core router (Case 1).
+    WanCore,
+    /// Software load balancer or other middlebox appliance.
+    Middlebox,
+    /// A device outside the administrative domain (ISP, peer).
+    External,
+}
+
+impl Role {
+    /// The Clos layer index used by Algorithm 1's upward BFS
+    /// (larger is higher; border and above count as "highest").
+    #[must_use]
+    pub fn layer(self) -> u8 {
+        match self {
+            Role::Tor => 0,
+            Role::Leaf => 1,
+            Role::Spine => 2,
+            Role::Border => 3,
+            Role::Regional => 4,
+            Role::WanCore => 5,
+            Role::Middlebox => 0,
+            Role::External => 6,
+        }
+    }
+
+    /// Short lowercase label used in generated device hostnames.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Tor => "tor",
+            Role::Leaf => "leaf",
+            Role::Spine => "spine",
+            Role::Border => "border",
+            Role::Regional => "rbb",
+            Role::WanCore => "wan",
+            Role::Middlebox => "mbx",
+            Role::External => "ext",
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The firmware vendor of a device (§4.1 anonymizes them the same way:
+/// two container-based vendors and two VM-based vendors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Large commercial vendor shipping a containerized image.
+    CtnrA,
+    /// The open-source switch OS (SONiC-like); containerized, needs an
+    /// external ASIC emulator for forwarding.
+    CtnrB,
+    /// Commercial vendor shipping only a VM image.
+    VmA,
+    /// Commercial vendor shipping only a VM image.
+    VmB,
+}
+
+impl Vendor {
+    /// Whether the vendor ships a container image (vs a VM image that must
+    /// run nested inside a container, §4.1).
+    #[must_use]
+    pub fn is_containerized(self) -> bool {
+        matches!(self, Vendor::CtnrA | Vendor::CtnrB)
+    }
+
+    /// All vendors, for exhaustive iteration in tests and planners.
+    pub const ALL: [Vendor; 4] = [Vendor::CtnrA, Vendor::CtnrB, Vendor::VmA, Vendor::VmB];
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Vendor::CtnrA => "CTNR-A",
+            Vendor::CtnrB => "CTNR-B",
+            Vendor::VmA => "VM-A",
+            Vendor::VmB => "VM-B",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a device participates in an emulation (§5.1's classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EmulationClass {
+    /// Emulated, with all neighbors emulated too.
+    Internal,
+    /// Emulated, but has at least one non-emulated neighbor.
+    Boundary,
+    /// Not emulated; replaced by a static speaker agent because it
+    /// neighbors a boundary device.
+    Speaker,
+    /// Not emulated and not adjacent to the emulation.
+    External,
+}
+
+/// A compact handle to a device inside a [`crate::Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// The array index behind the handle.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev#{}", self.0)
+    }
+}
+
+/// A compact handle to a link inside a [`crate::Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The array index behind the handle.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link#{}", self.0)
+    }
+}
+
+/// One end of a link: a device plus its interface index on that device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The device.
+    pub device: DeviceId,
+    /// Index into the device's interface table.
+    pub iface: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_are_ordered_bottom_up() {
+        assert!(Role::Tor.layer() < Role::Leaf.layer());
+        assert!(Role::Leaf.layer() < Role::Spine.layer());
+        assert!(Role::Spine.layer() < Role::Border.layer());
+        assert!(Role::Border.layer() < Role::Regional.layer());
+        assert!(Role::Regional.layer() < Role::WanCore.layer());
+    }
+
+    #[test]
+    fn vendor_packaging() {
+        assert!(Vendor::CtnrA.is_containerized());
+        assert!(Vendor::CtnrB.is_containerized());
+        assert!(!Vendor::VmA.is_containerized());
+        assert!(!Vendor::VmB.is_containerized());
+        assert_eq!(Vendor::ALL.len(), 4);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Asn(65000).to_string(), "AS65000");
+        assert_eq!(Role::Tor.to_string(), "tor");
+        assert_eq!(Vendor::CtnrB.to_string(), "CTNR-B");
+        assert_eq!(DeviceId(3).to_string(), "dev#3");
+        assert_eq!(LinkId(9).to_string(), "link#9");
+    }
+}

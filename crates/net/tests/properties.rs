@@ -1,0 +1,118 @@
+//! Property-based tests for addressing and topology invariants.
+
+use crystalnet_net::{ClosParams, Ipv4Addr, Ipv4Prefix, Role};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Prefix::new(Ipv4Addr(a), l))
+}
+
+proptest! {
+    /// Parsing the display form of a prefix round-trips.
+    #[test]
+    fn prefix_display_parse_round_trip(p in arb_prefix()) {
+        let back: Ipv4Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// A prefix covers exactly its own subnets.
+    #[test]
+    fn cover_is_reflexive_and_antisymmetric(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert!(a.covers(a));
+        if a.covers(b) && b.covers(a) {
+            prop_assert_eq!(a, b);
+        }
+        // Overlap is symmetric.
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+    }
+
+    /// `aggregate` yields a prefix covering every input.
+    #[test]
+    fn aggregate_covers_all_inputs(ps in prop::collection::vec(arb_prefix(), 1..20)) {
+        let agg = Ipv4Prefix::aggregate(&ps).unwrap();
+        for p in &ps {
+            prop_assert!(agg.covers(*p), "{} does not cover {}", agg, p);
+        }
+    }
+
+    /// `split` partitions a prefix: children cover disjoint halves.
+    #[test]
+    fn split_partitions(p in (any::<u32>(), 0u8..32).prop_map(|(a, l)| Ipv4Prefix::new(Ipv4Addr(a), l))) {
+        let (lo, hi) = p.split().unwrap();
+        prop_assert!(p.covers(lo) && p.covers(hi));
+        prop_assert!(!lo.overlaps(hi));
+        prop_assert_eq!(lo.parent().unwrap(), p);
+        prop_assert_eq!(hi.parent().unwrap(), p);
+    }
+
+    /// `subnets(n)` yields disjoint prefixes that tile the parent.
+    #[test]
+    fn subnets_tile_parent(l in 8u8..=24, extra in 1u8..=4, seed in any::<u32>()) {
+        let parent = Ipv4Prefix::new(Ipv4Addr(seed), l);
+        let subs = parent.subnets(l + extra);
+        prop_assert_eq!(subs.len(), 1usize << extra);
+        for (i, s) in subs.iter().enumerate() {
+            prop_assert!(parent.covers(*s));
+            for t in &subs[i + 1..] {
+                prop_assert!(!s.overlaps(*t));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generated Clos fabrics are structurally sound for any parameter mix:
+    /// layered links only, unique names, valid /31 endpoints.
+    #[test]
+    fn clos_generator_structural_invariants(
+        borders in 1u32..6,
+        groups in 1u32..4,
+        spines in 1u32..6,
+        pods in 1u32..8,
+        tors in 1u32..6,
+    ) {
+        let params = ClosParams {
+            name: "t".into(),
+            borders,
+            spine_groups: groups,
+            spines_per_group: spines,
+            pods,
+            leaves_per_pod: 2,
+            tors_per_pod: tors,
+            groups_per_pod: groups.min(2),
+            ext_peers_per_border: 1,
+            ext_prefixes_per_peer: 2,
+        };
+        let dc = params.build();
+        let topo = &dc.topo;
+        // Links only connect adjacent layers (no valley links).
+        for (_, link) in topo.links() {
+            let ra = topo.device(link.a.device).role;
+            let rb = topo.device(link.b.device).role;
+            let pair = if ra.layer() <= rb.layer() { (ra, rb) } else { (rb, ra) };
+            prop_assert!(matches!(
+                pair,
+                (Role::Tor, Role::Leaf)
+                    | (Role::Leaf, Role::Spine)
+                    | (Role::Spine, Role::Border)
+                    | (Role::Border, Role::External)
+            ), "unexpected link {:?}", pair);
+        }
+        // Every interface endpoint resolves and carries an address.
+        for (id, dev) in topo.devices() {
+            for (lid, local, remote) in topo.neighbors(id) {
+                let link = topo.link(lid);
+                prop_assert!(link.end_on(id).is_some());
+                prop_assert_eq!(local.device, id);
+                let my = dev.ifaces[local.iface as usize].addr.unwrap();
+                let peer = topo.device(remote.device).ifaces[remote.iface as usize]
+                    .addr
+                    .unwrap();
+                prop_assert!(my.same_subnet(peer));
+                prop_assert_ne!(my.addr, peer.addr);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! BGP path attributes and route representation.
+//!
+//! Attributes are shared via [`std::sync::Arc`] so that a route announced
+//! to hundreds of devices costs one allocation — at L-DC scale the
+//! emulation holds O(20M) routing-table entries (Table 3) and this sharing
+//! is what keeps that affordable.
+
+use crystalnet_net::{Asn, Ipv4Addr, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// BGP route origin, in decision-process preference order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Origin {
+    /// Originated by an IGP (`network` statement).
+    Igp,
+    /// EGP (legacy).
+    Egp,
+    /// Incomplete (redistributed).
+    Incomplete,
+}
+
+/// Path attributes attached to an announced prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathAttrs {
+    /// Flattened `AS_PATH` (AS_SEQUENCE only; production modifications are
+    /// "mostly just repeating individual ASes", §5.2).
+    pub as_path: Vec<Asn>,
+    /// `NEXT_HOP`: address of the announcing interface.
+    pub next_hop: Ipv4Addr,
+    /// Origin code.
+    pub origin: Origin,
+    /// Multi-exit discriminator.
+    pub med: u32,
+    /// Local preference (meaningful within an AS; default 100).
+    pub local_pref: u32,
+    /// Community values.
+    pub communities: Vec<u32>,
+    /// Set when this route was produced by `aggregate-address` — the
+    /// source of the §9 non-determinism the FIB comparator tolerates.
+    pub aggregate: bool,
+}
+
+impl PathAttrs {
+    /// Attributes for a locally originated prefix.
+    #[must_use]
+    pub fn originated(next_hop: Ipv4Addr) -> Self {
+        PathAttrs {
+            as_path: Vec::new(),
+            next_hop,
+            origin: Origin::Igp,
+            med: 0,
+            local_pref: 100,
+            communities: Vec::new(),
+            aggregate: false,
+        }
+    }
+
+    /// Whether the path contains `asn` (eBGP loop prevention).
+    #[must_use]
+    pub fn contains_as(&self, asn: Asn) -> bool {
+        self.as_path.contains(&asn)
+    }
+
+    /// A copy re-announced by `asn` from `next_hop`: prepends the AS and
+    /// rewrites the next hop, resetting non-transitive attributes as eBGP
+    /// does.
+    #[must_use]
+    pub fn announced_by(&self, asn: Asn, next_hop: Ipv4Addr) -> PathAttrs {
+        let mut as_path = Vec::with_capacity(self.as_path.len() + 1);
+        as_path.push(asn);
+        as_path.extend_from_slice(&self.as_path);
+        PathAttrs {
+            as_path,
+            next_hop,
+            origin: self.origin,
+            med: 0,          // MED is non-transitive across ASes
+            local_pref: 100, // local-pref never crosses an eBGP session
+            communities: self.communities.clone(),
+            aggregate: self.aggregate,
+        }
+    }
+}
+
+/// A route: prefix plus shared attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// The destination prefix.
+    pub prefix: Ipv4Prefix,
+    /// Shared path attributes.
+    pub attrs: Arc<PathAttrs>,
+}
+
+impl Route {
+    /// Builds a route.
+    #[must_use]
+    pub fn new(prefix: Ipv4Prefix, attrs: PathAttrs) -> Self {
+        Route {
+            prefix,
+            attrs: Arc::new(attrs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_preference_order() {
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+    }
+
+    #[test]
+    fn announced_by_prepends_and_resets() {
+        let base = PathAttrs {
+            as_path: vec![Asn(2), Asn(1)],
+            next_hop: Ipv4Addr(9),
+            origin: Origin::Igp,
+            med: 50,
+            local_pref: 300,
+            communities: vec![7],
+            aggregate: false,
+        };
+        let out = base.announced_by(Asn(6), Ipv4Addr(10));
+        assert_eq!(out.as_path, vec![Asn(6), Asn(2), Asn(1)]);
+        assert_eq!(out.next_hop, Ipv4Addr(10));
+        assert_eq!(out.med, 0);
+        assert_eq!(out.local_pref, 100);
+        assert_eq!(out.communities, vec![7]); // communities are transitive
+    }
+
+    #[test]
+    fn loop_detection() {
+        let attrs = PathAttrs {
+            as_path: vec![Asn(6), Asn(2), Asn(1)],
+            ..PathAttrs::originated(Ipv4Addr(0))
+        };
+        assert!(attrs.contains_as(Asn(2)));
+        assert!(!attrs.contains_as(Asn(3)));
+    }
+
+    #[test]
+    fn originated_defaults() {
+        let a = PathAttrs::originated(Ipv4Addr(5));
+        assert!(a.as_path.is_empty());
+        assert_eq!(a.local_pref, 100);
+        assert_eq!(a.origin, Origin::Igp);
+        assert!(!a.aggregate);
+    }
+}

@@ -1,0 +1,479 @@
+//! The control-plane simulation harness: wires device OSes together over a
+//! topology and runs them to convergence in virtual time.
+//!
+//! This is the engine room shared by the boundary differential validator
+//! and the orchestrator: device firmwares ([`DeviceOs`]) exchange frames
+//! over the topology's links, processing costs and link latencies are
+//! provided by a pluggable [`WorkModel`] (the orchestrator plugs in one
+//! backed by per-VM CPU servers, which is where Figure 9's curves come
+//! from), and convergence is detected by route-activity quiescence —
+//! matching the paper's route-ready definition, "the moment when all
+//! routes are installed and stabilized in all switches" (§8.1).
+
+use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent};
+use crystalnet_dataplane::{decide, Fib, ForwardDecision, Ipv4Packet};
+use crystalnet_net::{DeviceId, LinkId, Topology};
+use crystalnet_sim::{Engine, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Work classes a device performs (costed by the [`WorkModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkKind {
+    /// Firmware boot.
+    Boot,
+    /// Handling an event that touched `n` routes.
+    RouteOps(usize),
+}
+
+/// Provides processing-completion times and link latencies.
+///
+/// The plain harness uses [`UniformWorkModel`]; the orchestrator
+/// substitutes a model that queues work on the hosting VM's CPU cores,
+/// coupling convergence time to VM packing density.
+pub trait WorkModel {
+    /// When work of `kind` submitted by `dev` at `now` completes.
+    fn completion(&mut self, dev: DeviceId, kind: WorkKind, now: SimTime) -> SimTime;
+    /// One-way delay of a frame sent on `link` at `now`. Implementations
+    /// may charge encap/decap CPU to the hosting VMs here.
+    fn link_delay(&mut self, link: LinkId, now: SimTime) -> SimDuration;
+    /// Downcasting hook so orchestration layers can reach their concrete
+    /// model (e.g. to install per-device cost tables after construction).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Fixed-cost work model for protocol-level tests.
+#[derive(Debug, Clone)]
+pub struct UniformWorkModel {
+    /// CPU time per route operation.
+    pub per_route_op: SimDuration,
+    /// Boot duration.
+    pub boot: SimDuration,
+    /// One-way link latency.
+    pub latency: SimDuration,
+}
+
+impl Default for UniformWorkModel {
+    fn default() -> Self {
+        UniformWorkModel {
+            per_route_op: SimDuration::from_micros(2),
+            boot: SimDuration::from_secs(30),
+            latency: SimDuration::from_micros(50),
+        }
+    }
+}
+
+impl WorkModel for UniformWorkModel {
+    fn completion(&mut self, _dev: DeviceId, kind: WorkKind, now: SimTime) -> SimTime {
+        match kind {
+            WorkKind::Boot => now + self.boot,
+            WorkKind::RouteOps(n) => now + self.per_route_op * (n as u64),
+        }
+    }
+
+    fn link_delay(&mut self, _link: LinkId, _now: SimTime) -> SimDuration {
+        self.latency
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct Adjacency {
+    remote_dev: DeviceId,
+    remote_iface: u32,
+    link: LinkId,
+}
+
+/// The simulated world: OS instances plus wiring.
+pub struct ControlPlaneWorld {
+    oses: Vec<Option<Box<dyn DeviceOs>>>,
+    booted: Vec<bool>,
+    /// adjacency[device][iface] (None when unwired).
+    adjacency: Vec<Vec<Option<Adjacency>>>,
+    link_up: HashMap<LinkId, bool>,
+    work: Box<dyn WorkModel>,
+    /// Completion time of the last event that changed routes.
+    pub last_route_activity: SimTime,
+    /// Total route operations performed across all devices.
+    pub route_ops_total: u64,
+    /// Per-device route-operation counters (diagnostics).
+    pub route_ops_by_dev: HashMap<DeviceId, u64>,
+    /// Devices that crashed while handling events (health-monitor feed).
+    pub crashes: Vec<(SimTime, DeviceId)>,
+    /// Responses to asynchronously delivered management commands.
+    pub mgmt_responses: Vec<(DeviceId, MgmtResponse)>,
+    /// Scheduled events that can still cause route activity (frames in
+    /// flight, pending boots, link changes). Pure timers are excluded.
+    /// `run_until_quiet` only declares convergence when this hits zero.
+    causal_pending: u64,
+}
+
+impl ControlPlaneWorld {
+    /// Mutable access to the work model (orchestrator hook).
+    pub fn work_mut(&mut self) -> &mut dyn WorkModel {
+        &mut *self.work
+    }
+}
+
+/// The control-plane simulation: an [`Engine`] over [`ControlPlaneWorld`].
+pub struct ControlPlaneSim {
+    /// The event engine (exposed for orchestration layers).
+    pub engine: Engine<ControlPlaneWorld>,
+}
+
+impl ControlPlaneSim {
+    /// An empty harness wired to `topo`'s links.
+    #[must_use]
+    pub fn new(topo: &Topology, work: Box<dyn WorkModel>) -> Self {
+        let n = topo.device_count();
+        let mut adjacency: Vec<Vec<Option<Adjacency>>> = (0..n)
+            .map(|i| {
+                let dev = topo.device(DeviceId(i as u32));
+                (0..dev.ifaces.len()).map(|_| None).collect()
+            })
+            .collect();
+        let mut link_up = HashMap::new();
+        for (lid, link) in topo.links() {
+            link_up.insert(lid, true);
+            adjacency[link.a.device.index()][link.a.iface as usize] = Some(Adjacency {
+                remote_dev: link.b.device,
+                remote_iface: link.b.iface,
+                link: lid,
+            });
+            adjacency[link.b.device.index()][link.b.iface as usize] = Some(Adjacency {
+                remote_dev: link.a.device,
+                remote_iface: link.a.iface,
+                link: lid,
+            });
+        }
+        ControlPlaneSim {
+            engine: Engine::new(ControlPlaneWorld {
+                oses: (0..n).map(|_| None).collect(),
+                booted: vec![false; n],
+                adjacency,
+                link_up,
+                work,
+                last_route_activity: SimTime::ZERO,
+                route_ops_total: 0,
+                route_ops_by_dev: HashMap::new(),
+                crashes: Vec::new(),
+                mgmt_responses: Vec::new(),
+                causal_pending: 0,
+            }),
+        }
+    }
+
+    /// Installs a firmware instance on `dev` (not yet booted).
+    pub fn add_os(&mut self, dev: DeviceId, os: Box<dyn DeviceOs>) {
+        self.engine.world.oses[dev.index()] = Some(os);
+    }
+
+    /// Schedules `dev` to boot at `at` (firmware boot latency is added by
+    /// the work model).
+    pub fn boot_device(&mut self, dev: DeviceId, at: SimTime) {
+        self.engine.world.causal_pending += 1;
+        self.engine.schedule_at(at, move |e| {
+            let ready = e.world.work.completion(dev, WorkKind::Boot, e.now());
+            e.schedule_at(ready, move |e| {
+                e.world.causal_pending -= 1;
+                e.world.booted[dev.index()] = true;
+                dispatch(e, dev, OsEvent::Boot);
+            });
+        });
+    }
+
+    /// Boots every device with an installed OS at `at`.
+    pub fn boot_all(&mut self, at: SimTime) {
+        let devs: Vec<DeviceId> = self
+            .engine
+            .world
+            .oses
+            .iter()
+            .enumerate()
+            .filter(|(_, os)| os.is_some())
+            .map(|(i, _)| DeviceId(i as u32))
+            .collect();
+        for dev in devs {
+            self.boot_device(dev, at);
+        }
+    }
+
+    /// Takes a link down at `at`: both ends get `LinkDown`, and in-flight
+    /// frames on the link are dropped from then on.
+    pub fn link_down(&mut self, topo_link: (DeviceId, u32, DeviceId, u32, LinkId), at: SimTime) {
+        let (a, ia, b, ib, lid) = topo_link;
+        self.engine.world.causal_pending += 1;
+        self.engine.schedule_at(at, move |e| {
+            e.world.causal_pending -= 1;
+            e.world.link_up.insert(lid, false);
+            dispatch(e, a, OsEvent::LinkDown(ia));
+            dispatch(e, b, OsEvent::LinkDown(ib));
+        });
+    }
+
+    /// Brings a link back up at `at`.
+    pub fn link_up(&mut self, topo_link: (DeviceId, u32, DeviceId, u32, LinkId), at: SimTime) {
+        let (a, ia, b, ib, lid) = topo_link;
+        self.engine.world.causal_pending += 1;
+        self.engine.schedule_at(at, move |e| {
+            e.world.causal_pending -= 1;
+            e.world.link_up.insert(lid, true);
+            dispatch(e, a, OsEvent::LinkUp(ia));
+            dispatch(e, b, OsEvent::LinkUp(ib));
+        });
+    }
+
+    /// Resolves a link's endpoints for [`Self::link_down`]/[`Self::link_up`].
+    #[must_use]
+    pub fn link_endpoints(topo: &Topology, lid: LinkId) -> (DeviceId, u32, DeviceId, u32, LinkId) {
+        let link = topo.link(lid);
+        (
+            link.a.device,
+            link.a.iface,
+            link.b.device,
+            link.b.iface,
+            lid,
+        )
+    }
+
+    /// Delivers a management command at `at`; the response lands in
+    /// [`ControlPlaneWorld::mgmt_responses`].
+    pub fn mgmt(&mut self, dev: DeviceId, cmd: MgmtCommand, at: SimTime) {
+        self.engine.world.causal_pending += 1;
+        self.engine.schedule_at(at, move |e| {
+            e.world.causal_pending -= 1;
+            dispatch(e, dev, OsEvent::Mgmt(cmd));
+        });
+    }
+
+    /// Synchronously executes a management command right now and returns
+    /// the response (the jumpbox SSH round trip is treated as instant).
+    pub fn mgmt_sync(&mut self, dev: DeviceId, cmd: MgmtCommand) -> Option<MgmtResponse> {
+        let before = self.engine.world.mgmt_responses.len();
+        dispatch(&mut self.engine, dev, OsEvent::Mgmt(cmd));
+        self.engine
+            .world
+            .mgmt_responses
+            .get(before)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// Runs until no route activity occurs within `quiet` of the last
+    /// route change, or gives up past `deadline`.
+    ///
+    /// Returns the route-ready instant (the completion time of the last
+    /// route-changing work) on convergence; `None` on deadline overrun.
+    pub fn run_until_quiet(&mut self, quiet: SimDuration, deadline: SimTime) -> Option<SimTime> {
+        loop {
+            if self.engine.now() > deadline {
+                return None;
+            }
+            let last = self.engine.world.last_route_activity;
+            match self.engine.next_event_time() {
+                // Nothing left to happen: converged.
+                None => return Some(last),
+                // Only pure timers remain and the next one lies beyond
+                // the quiet horizon: every causal chain has played out.
+                Some(t) if self.engine.world.causal_pending == 0 && t > last + quiet => {
+                    return Some(last)
+                }
+                Some(_) => {
+                    self.engine.step();
+                }
+            }
+        }
+    }
+
+    /// The FIB of `dev`.
+    #[must_use]
+    pub fn fib(&self, dev: DeviceId) -> Option<&Fib> {
+        self.engine.world.oses[dev.index()]
+            .as_deref()
+            .map(|os| os.fib())
+    }
+
+    /// The OS instance on `dev`.
+    #[must_use]
+    pub fn os(&self, dev: DeviceId) -> Option<&dyn DeviceOs> {
+        self.engine.world.oses[dev.index()].as_deref()
+    }
+
+    /// Mutable OS access (test instrumentation).
+    pub fn os_mut(&mut self, dev: DeviceId) -> Option<&mut Box<dyn DeviceOs>> {
+        self.engine.world.oses[dev.index()].as_mut()
+    }
+
+    /// Powers a device's sandbox off instantly (VM failure, kill):
+    /// frames stop reaching it until a later [`Self::boot_device`].
+    pub fn power_off(&mut self, dev: DeviceId) {
+        self.engine.world.booted[dev.index()] = false;
+    }
+
+    /// Replaces a device's OS instance (used when a VM is rebuilt and its
+    /// sandboxes restart from scratch). The device must be re-booted.
+    pub fn replace_os(&mut self, dev: DeviceId, os: Box<dyn DeviceOs>) {
+        self.engine.world.booted[dev.index()] = false;
+        self.engine.world.oses[dev.index()] = Some(os);
+    }
+
+    /// Whether `dev` booted and is still up.
+    #[must_use]
+    pub fn is_up(&self, dev: DeviceId) -> bool {
+        self.engine.world.booted[dev.index()] && self.os(dev).is_some_and(|os| !os.is_down())
+    }
+
+    /// Synchronously traces `packet` hop by hop from `from` using the
+    /// current FIBs (the `InjectPackets` + `PullPackets` path over a
+    /// converged network). Returns the device path and the final fate.
+    pub fn trace_packet(
+        &self,
+        from: DeviceId,
+        packet: &Ipv4Packet,
+    ) -> (Vec<DeviceId>, ForwardDecision) {
+        let mut path = vec![from];
+        let mut current = from;
+        let mut ingress: Option<u32> = None;
+        let mut pkt = packet.clone();
+        let mut last = ForwardDecision::DropNoRoute;
+        // TTL bounds the walk, but guard against accidental loops anyway.
+        for _ in 0..512 {
+            let world = &self.engine.world;
+            let Some(os) = world.oses[current.index()].as_deref() else {
+                return (path, ForwardDecision::DropNoRoute);
+            };
+            if !world.booted[current.index()] || os.is_down() {
+                return (path, ForwardDecision::DropNoRoute);
+            }
+            let locals = os.local_addrs();
+            let decision = decide(os.fib(), &locals, &pkt, |src, dst| {
+                os.filter_permits(ingress, src, dst)
+            });
+            last = decision;
+            match decision {
+                ForwardDecision::Forward(hop) => {
+                    if hop.iface == crate::bgp::LOCAL_IFACE {
+                        // Locally attached subnet: delivered here.
+                        return (path, ForwardDecision::Deliver);
+                    }
+                    let Some(Some(adj)) = world.adjacency[current.index()].get(hop.iface as usize)
+                    else {
+                        return (path, ForwardDecision::DropNoRoute);
+                    };
+                    if !world.link_up.get(&adj.link).copied().unwrap_or(false) {
+                        return (path, ForwardDecision::DropNoRoute);
+                    }
+                    let Some(next_pkt) = pkt.forwarded() else {
+                        return (path, ForwardDecision::DropTtlExpired);
+                    };
+                    pkt = next_pkt;
+                    current = adj.remote_dev;
+                    ingress = Some(adj.remote_iface);
+                    path.push(current);
+                }
+                _ => return (path, decision),
+            }
+        }
+        (path, last)
+    }
+}
+
+/// Core dispatcher: feeds `event` to `dev`'s OS and schedules the actions.
+fn dispatch(e: &mut Engine<ControlPlaneWorld>, dev: DeviceId, event: OsEvent) {
+    let now = e.now();
+    let idx = dev.index();
+    let actions: OsActions = {
+        let world = &mut e.world;
+        let Some(os) = world.oses[idx].as_mut() else {
+            return;
+        };
+        // Frames reach only booted devices; timers/mgmt likewise.
+        let is_boot = matches!(event, OsEvent::Boot);
+        if !is_boot && !world.booted[idx] {
+            return;
+        }
+        os.handle(now, event)
+    };
+    let done = if actions.route_ops > 0 {
+        let t = e
+            .world
+            .work
+            .completion(dev, WorkKind::RouteOps(actions.route_ops), now);
+        e.world.route_ops_total += actions.route_ops as u64;
+        *e.world.route_ops_by_dev.entry(dev).or_insert(0) += actions.route_ops as u64;
+        e.world.last_route_activity = e.world.last_route_activity.max(t);
+        t
+    } else {
+        now
+    };
+    if actions.crashed {
+        e.world.crashes.push((now, dev));
+    }
+    if let Some(resp) = actions.response {
+        e.world.mgmt_responses.push((dev, resp));
+    }
+    for (delay, kind) in actions.timers {
+        e.schedule_at(done + delay, move |e| {
+            dispatch(e, dev, OsEvent::Timer(kind));
+        });
+    }
+    for (iface, frame) in actions.out {
+        let Some(Some(adj)) = e.world.adjacency[idx].get(iface as usize) else {
+            continue;
+        };
+        let (rdev, riface, link) = (adj.remote_dev, adj.remote_iface, adj.link);
+        if !e.world.link_up.get(&link).copied().unwrap_or(false) {
+            continue;
+        }
+        let arrive = done + e.world.work.link_delay(link, done);
+        e.world.causal_pending += 1;
+        e.schedule_at(arrive, move |e| {
+            e.world.causal_pending -= 1;
+            // Re-check link state at delivery time.
+            if e.world.link_up.get(&link).copied().unwrap_or(false) {
+                dispatch(
+                    e,
+                    rdev,
+                    OsEvent::Frame {
+                        iface: riface,
+                        frame,
+                    },
+                );
+            }
+        });
+    }
+}
+
+/// Builds a harness where every device in `topo` runs a BGP firmware
+/// image generated from its production configuration, with the vendor
+/// profile chosen by `profile_for`.
+///
+/// Devices for which `profile_for` returns `None` get no OS (useful for
+/// leaving externals dark or substituting speakers).
+pub fn build_bgp_sim(
+    topo: &Topology,
+    work: Box<dyn WorkModel>,
+    mut profile_for: impl FnMut(
+        DeviceId,
+        &crystalnet_net::Device,
+    ) -> Option<crate::vendor::VendorProfile>,
+) -> ControlPlaneSim {
+    let mut sim = ControlPlaneSim::new(topo, work);
+    for (id, dev) in topo.devices() {
+        if let Some(profile) = profile_for(id, dev) {
+            let cfg = crystalnet_config::generate_device(topo, id);
+            let os = crate::bgp::BgpRouterOs::new(profile, cfg, dev.loopback);
+            sim.add_os(id, Box::new(os));
+        }
+    }
+    sim
+}
+
+/// [`build_bgp_sim`] with every device (externals included) running the
+/// released profile of its own vendor — the "production ground truth"
+/// configuration used for speaker synthesis and differential validation.
+pub fn build_full_bgp_sim(topo: &Topology, work: Box<dyn WorkModel>) -> ControlPlaneSim {
+    build_bgp_sim(topo, work, |_, dev| {
+        Some(crate::vendor::VendorProfile::for_vendor(dev.vendor))
+    })
+}

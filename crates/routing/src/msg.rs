@@ -1,0 +1,158 @@
+//! Control-plane and data-plane messages carried over virtual links.
+//!
+//! The emulation's virtual links carry two traffic classes: control
+//! messages (BGP/OSPF sessions between device firmwares) and data packets
+//! (operator-injected probes, ARP). Control messages travel as structured
+//! values shared via `Arc` — one allocation per announcement batch no
+//! matter how many links it crosses — while data packets use the real wire
+//! encodings from `crystalnet-dataplane`.
+
+use crate::attrs::PathAttrs;
+use crystalnet_dataplane::{ArpMessage, Ipv4Packet};
+use crystalnet_net::{Asn, Ipv4Addr, Ipv4Prefix};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A BGP message (RFC 4271 shapes, simplified to the fields the decision
+/// process consumes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BgpMsg {
+    /// Session open.
+    Open {
+        /// Sender AS.
+        asn: Asn,
+        /// Sender router id.
+        router_id: Ipv4Addr,
+        /// Proposed hold time in seconds; `0` disables keepalive policing
+        /// (used by static speakers, which must never tear sessions down).
+        hold_secs: u16,
+        /// Identity of the sender's control-plane incarnation (models the
+        /// TCP connection): a peer seeing a *new* token knows the sender
+        /// restarted and must flush the session; a repeated token is the
+        /// same session (duplicate Open exchange) and is ignored.
+        session_token: u64,
+    },
+    /// Route advertisement/withdrawal. Announcements share attribute
+    /// objects; real BGP packs many prefixes per UPDATE the same way.
+    Update {
+        /// Newly announced prefixes with their attributes.
+        announced: Vec<(Ipv4Prefix, Arc<PathAttrs>)>,
+        /// Withdrawn prefixes.
+        withdrawn: Vec<Ipv4Prefix>,
+    },
+    /// Session keepalive.
+    Keepalive,
+    /// Fatal notification; the session closes.
+    Notification {
+        /// RFC 4271 error code.
+        code: u8,
+    },
+}
+
+impl BgpMsg {
+    /// Number of route operations this message carries (for CPU costing).
+    #[must_use]
+    pub fn route_ops(&self) -> usize {
+        match self {
+            BgpMsg::Update {
+                announced,
+                withdrawn,
+            } => announced.len() + withdrawn.len(),
+            _ => 1,
+        }
+    }
+}
+
+/// An OSPF message (v2 shapes, single area).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OspfMsg {
+    /// Neighbor discovery and DR/BDR election input.
+    Hello {
+        /// Sender router id.
+        router_id: Ipv4Addr,
+        /// Sender priority (0 = never DR).
+        priority: u8,
+        /// Neighbors the sender has heard from.
+        seen: Vec<Ipv4Addr>,
+    },
+    /// Link-state advertisement flood.
+    Lsa(Arc<crate::ospf::RouterLsa>),
+    /// Acknowledgement of an LSA.
+    LsAck {
+        /// Originating router of the acknowledged LSA.
+        origin: Ipv4Addr,
+        /// Acknowledged sequence number.
+        seq: u32,
+    },
+}
+
+/// Anything that traverses a virtual link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Frame {
+    /// BGP control traffic.
+    Bgp(BgpMsg),
+    /// OSPF control traffic.
+    Ospf(OspfMsg),
+    /// ARP request/reply.
+    Arp(ArpMessage),
+    /// An IPv4 data packet (probe/telemetry traffic).
+    Data(Ipv4Packet),
+}
+
+impl Frame {
+    /// Short label for logs and traces.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Bgp(_) => "bgp",
+            Frame::Ospf(_) => "ospf",
+            Frame::Arp(_) => "arp",
+            Frame::Data(_) => "data",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_route_ops() {
+        let attrs = Arc::new(PathAttrs::originated(Ipv4Addr(1)));
+        let m = BgpMsg::Update {
+            announced: vec![
+                ("10.0.0.0/24".parse().unwrap(), attrs.clone()),
+                ("10.0.1.0/24".parse().unwrap(), attrs),
+            ],
+            withdrawn: vec!["10.0.2.0/24".parse().unwrap()],
+        };
+        assert_eq!(m.route_ops(), 3);
+        assert_eq!(BgpMsg::Keepalive.route_ops(), 1);
+    }
+
+    #[test]
+    fn frame_kinds() {
+        assert_eq!(Frame::Bgp(BgpMsg::Keepalive).kind(), "bgp");
+        let arp = ArpMessage {
+            is_request: true,
+            sender_ip: Ipv4Addr(1),
+            sender_mac: crystalnet_net::MacAddr::from_id(1),
+            target_ip: Ipv4Addr(2),
+        };
+        assert_eq!(Frame::Arp(arp).kind(), "arp");
+    }
+
+    #[test]
+    fn shared_attrs_are_cheap_to_fan_out() {
+        let attrs = Arc::new(PathAttrs::originated(Ipv4Addr(1)));
+        let updates: Vec<BgpMsg> = (0..100)
+            .map(|_| BgpMsg::Update {
+                announced: vec![("10.0.0.0/24".parse().unwrap(), attrs.clone())],
+                withdrawn: vec![],
+            })
+            .collect();
+        assert_eq!(Arc::strong_count(&attrs), 101);
+        drop(updates);
+        assert_eq!(Arc::strong_count(&attrs), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Static speaker devices (§5.1).
+//!
+//! Speakers replace the un-emulatable world beyond the boundary. They do
+//! exactly two things: keep links and routing sessions alive with boundary
+//! devices, and inject a *fixed*, pre-recorded set of announcements. They
+//! deliberately never react to anything they hear — the safety theory of
+//! §5 exists precisely so this non-reactivity cannot be observed from
+//! inside a safe boundary. (The production implementation was ExaBGP; it
+//! likewise "does not reflect announcements to other peers", §6.2.)
+
+use crate::attrs::PathAttrs;
+use crate::msg::{BgpMsg, Frame};
+use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent};
+use crystalnet_dataplane::Fib;
+use crystalnet_net::{Asn, Ipv4Addr, Ipv4Prefix};
+use crystalnet_sim::SimTime;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The announcement program for one speaker session.
+#[derive(Debug, Clone, Default)]
+pub struct SpeakerScript {
+    /// Routes to announce once the session is up.
+    pub routes: Vec<(Ipv4Prefix, Arc<PathAttrs>)>,
+}
+
+/// A static BGP speaker standing in for one external device.
+pub struct SpeakerOs {
+    hostname: String,
+    asn: Asn,
+    router_id: Ipv4Addr,
+    /// Per-interface scripts (one boundary device per interface).
+    scripts: HashMap<u32, SpeakerScript>,
+    /// Sessions currently up, keyed by interface, holding the peer's
+    /// session token.
+    established: HashMap<u32, Option<u64>>,
+    /// Everything received from boundary devices, dumped for analysis
+    /// ("dump the received announcements for potential analysis", §6.2).
+    received: Vec<(u32, Ipv4Prefix, Option<Arc<PathAttrs>>)>,
+    fib: Fib,
+    down: bool,
+}
+
+impl SpeakerOs {
+    /// A speaker with `asn`/`router_id` and per-interface scripts.
+    #[must_use]
+    pub fn new(hostname: String, asn: Asn, router_id: Ipv4Addr) -> Self {
+        SpeakerOs {
+            hostname,
+            asn,
+            router_id,
+            scripts: HashMap::new(),
+            established: HashMap::new(),
+            received: Vec::new(),
+            fib: Fib::default(),
+            down: false,
+        }
+    }
+
+    /// Sets the announcement script for the session on `iface`.
+    pub fn set_script(&mut self, iface: u32, script: SpeakerScript) {
+        self.scripts.insert(iface, script);
+    }
+
+    /// The speaker's AS.
+    #[must_use]
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// Everything received (announcements as `Some`, withdrawals as
+    /// `None`), in arrival order.
+    #[must_use]
+    pub fn received(&self) -> &[(u32, Ipv4Prefix, Option<Arc<PathAttrs>>)] {
+        &self.received
+    }
+
+    /// Whether the session on `iface` is established.
+    #[must_use]
+    pub fn session_up(&self, iface: u32) -> bool {
+        self.established.get(&iface).copied().flatten().is_some()
+    }
+
+    fn announce(&self, iface: u32, actions: &mut OsActions) {
+        if let Some(script) = self.scripts.get(&iface) {
+            if !script.routes.is_empty() {
+                actions.route_ops += script.routes.len();
+                actions.out.push((
+                    iface,
+                    Frame::Bgp(BgpMsg::Update {
+                        announced: script.routes.clone(),
+                        withdrawn: vec![],
+                    }),
+                ));
+            }
+        }
+    }
+}
+
+impl DeviceOs for SpeakerOs {
+    fn handle(&mut self, _now: SimTime, event: OsEvent) -> OsActions {
+        if self.down {
+            return OsActions::default();
+        }
+        let mut actions = OsActions::default();
+        match event {
+            OsEvent::Boot | OsEvent::LinkUp(_) => {
+                let ifaces: Vec<u32> = self.scripts.keys().copied().collect();
+                let targets = match event {
+                    OsEvent::LinkUp(i) => vec![i],
+                    _ => ifaces,
+                };
+                for iface in targets {
+                    actions.out.push((
+                        iface,
+                        Frame::Bgp(BgpMsg::Open {
+                            asn: self.asn,
+                            router_id: self.router_id,
+                            // Speakers never police hold time: the session
+                            // must stay up no matter what.
+                            hold_secs: 0,
+                            session_token: u64::from(self.router_id.0) << 20,
+                        }),
+                    ));
+                }
+            }
+            OsEvent::LinkDown(iface) => {
+                self.established.insert(iface, None);
+            }
+            OsEvent::Frame { iface, frame } => match frame {
+                Frame::Bgp(BgpMsg::Open { session_token, .. }) => {
+                    // A new peer incarnation (fresh token): answer the
+                    // exchange and replay the script — a rebooted boundary
+                    // device must hear the announcements again.
+                    let known = self.established.get(&iface).copied().flatten();
+                    if known != Some(session_token) {
+                        actions.out.push((
+                            iface,
+                            Frame::Bgp(BgpMsg::Open {
+                                asn: self.asn,
+                                router_id: self.router_id,
+                                hold_secs: 0,
+                                session_token: u64::from(self.router_id.0) << 20,
+                            }),
+                        ));
+                        actions.out.push((iface, Frame::Bgp(BgpMsg::Keepalive)));
+                        self.established.insert(iface, Some(session_token));
+                        self.announce(iface, &mut actions);
+                    }
+                }
+                Frame::Bgp(BgpMsg::Keepalive) => {}
+                Frame::Bgp(BgpMsg::Update {
+                    announced,
+                    withdrawn,
+                }) => {
+                    // Record, never react, never reflect.
+                    for (p, a) in announced {
+                        self.received.push((iface, p, Some(a)));
+                    }
+                    for p in withdrawn {
+                        self.received.push((iface, p, None));
+                    }
+                }
+                Frame::Bgp(BgpMsg::Notification { .. }) => {
+                    self.established.insert(iface, None);
+                }
+                _ => {}
+            },
+            OsEvent::Timer(_) => {}
+            OsEvent::Mgmt(cmd) => match cmd {
+                MgmtCommand::ShowBgpSummary => {
+                    let rows = self
+                        .scripts
+                        .keys()
+                        .map(|&i| (Ipv4Addr(i), self.session_up(i), 0))
+                        .collect();
+                    actions.response = Some(MgmtResponse::BgpSummary(rows));
+                }
+                MgmtCommand::DeviceShutdown => {
+                    self.down = true;
+                    actions.response = Some(MgmtResponse::Ok);
+                }
+                _ => {
+                    actions.response =
+                        Some(MgmtResponse::Error("speakers are not configurable".into()));
+                }
+            },
+        }
+        actions
+    }
+
+    fn fib(&self) -> &Fib {
+        &self.fib
+    }
+
+    fn rib_size(&self) -> usize {
+        0
+    }
+
+    fn is_down(&self) -> bool {
+        self.down
+    }
+
+    fn hostname(&self) -> &str {
+        &self.hostname
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::PathAttrs;
+
+    fn script(prefix: &str) -> SpeakerScript {
+        SpeakerScript {
+            routes: vec![(
+                prefix.parse().unwrap(),
+                Arc::new(PathAttrs {
+                    as_path: vec![Asn(64600)],
+                    ..PathAttrs::originated(Ipv4Addr(1))
+                }),
+            )],
+        }
+    }
+
+    #[test]
+    fn speaker_announces_script_after_session_up() {
+        let mut s = SpeakerOs::new("sp0".into(), Asn(64600), Ipv4Addr(1));
+        s.set_script(0, script("0.0.0.0/0"));
+        // Boot: speaker opens.
+        let a = s.handle(SimTime::ZERO, OsEvent::Boot);
+        assert_eq!(a.out.len(), 1);
+        assert!(!s.session_up(0));
+        // Peer's Open arrives: speaker answers Open+Keepalive+Update.
+        let a = s.handle(
+            SimTime::ZERO,
+            OsEvent::Frame {
+                iface: 0,
+                frame: Frame::Bgp(BgpMsg::Open {
+                    asn: Asn(65000),
+                    router_id: Ipv4Addr(9),
+                    hold_secs: 180,
+                    session_token: 7,
+                }),
+            },
+        );
+        assert!(s.session_up(0));
+        let kinds: Vec<bool> = a
+            .out
+            .iter()
+            .map(|(_, f)| matches!(f, Frame::Bgp(BgpMsg::Update { .. })))
+            .collect();
+        assert_eq!(a.out.len(), 3);
+        assert!(kinds[2], "script announced last");
+    }
+
+    #[test]
+    fn speaker_never_reacts_to_updates() {
+        let mut s = SpeakerOs::new("sp0".into(), Asn(64600), Ipv4Addr(1));
+        s.set_script(0, script("0.0.0.0/0"));
+        s.handle(SimTime::ZERO, OsEvent::Boot);
+        s.handle(
+            SimTime::ZERO,
+            OsEvent::Frame {
+                iface: 0,
+                frame: Frame::Bgp(BgpMsg::Keepalive),
+            },
+        );
+        // An update arrives from the boundary: recorded, nothing sent.
+        let attrs = Arc::new(PathAttrs::originated(Ipv4Addr(7)));
+        let a = s.handle(
+            SimTime::ZERO,
+            OsEvent::Frame {
+                iface: 0,
+                frame: Frame::Bgp(BgpMsg::Update {
+                    announced: vec![("10.1.0.0/16".parse().unwrap(), attrs)],
+                    withdrawn: vec!["10.2.0.0/16".parse().unwrap()],
+                }),
+            },
+        );
+        assert!(a.out.is_empty(), "static speakers never react");
+        assert_eq!(s.received().len(), 2);
+        assert!(s.received()[0].2.is_some());
+        assert!(s.received()[1].2.is_none());
+    }
+
+    #[test]
+    fn speaker_is_not_configurable() {
+        let mut s = SpeakerOs::new("sp0".into(), Asn(64600), Ipv4Addr(1));
+        let a = s.handle(
+            SimTime::ZERO,
+            OsEvent::Mgmt(MgmtCommand::AddNetwork("1.0.0.0/8".parse().unwrap())),
+        );
+        assert!(matches!(a.response, Some(MgmtResponse::Error(_))));
+    }
+}

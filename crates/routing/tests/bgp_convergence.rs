@@ -1,0 +1,450 @@
+//! End-to-end BGP behaviour: session bring-up, route propagation, ECMP,
+//! withdraws on failure, the Figure 1 vendor divergence, and the §2
+//! FIB-overflow blackhole — all running through the control-plane harness.
+
+use bytes::Bytes;
+use crystalnet_config::generate_device;
+use crystalnet_dataplane::ForwardDecision;
+use crystalnet_net::fixtures::{fig1, fig7};
+use crystalnet_net::{Asn, Ipv4Prefix, Topology};
+use crystalnet_routing::harness::{build_bgp_sim, build_full_bgp_sim};
+use crystalnet_routing::{
+    BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, UniformWorkModel, VendorProfile,
+};
+use crystalnet_sim::{SimDuration, SimTime};
+
+fn work() -> Box<UniformWorkModel> {
+    Box::new(UniformWorkModel {
+        boot: SimDuration::from_secs(1),
+        ..UniformWorkModel::default()
+    })
+}
+
+fn converge(sim: &mut ControlPlaneSim) -> SimTime {
+    sim.boot_all(SimTime::ZERO);
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::ZERO + SimDuration::from_mins(120),
+    )
+    .expect("network must converge")
+}
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+#[test]
+fn fig7_converges_and_all_tors_are_reachable_everywhere() {
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    converge(&mut sim);
+
+    // Every device installs every ToR /24.
+    for (id, dev) in f.topo.devices() {
+        let fib = sim.fib(id).unwrap();
+        for i in 0..6u8 {
+            let prefix = p(&format!("10.7.{i}.0/24"));
+            assert!(
+                fib.lookup(prefix.nth(1)).is_some(),
+                "{} cannot reach {prefix}",
+                dev.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig7_uses_ecmp_across_leaf_pairs_and_spines() {
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    converge(&mut sim);
+
+    // T1 reaches T3's subnet via both of its leaves.
+    let fib = sim.fib(f.tors[0]).unwrap();
+    let (_, entry) = fib.lookup(p("10.7.2.0/24").nth(1)).unwrap();
+    assert_eq!(entry.next_hops.len(), 2, "ToR should ECMP across L1/L2");
+    // A spine reaches T1's subnet via both L1 and L2.
+    let fib = sim.fib(f.spines[0]).unwrap();
+    let (_, entry) = fib.lookup(p("10.7.0.0/24").nth(1)).unwrap();
+    assert_eq!(
+        entry.next_hops.len(),
+        2,
+        "spine should ECMP across the pair"
+    );
+}
+
+#[test]
+fn fig7_packet_trace_follows_fib() {
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    converge(&mut sim);
+
+    let pkt = crystalnet_dataplane::Ipv4Packet {
+        src: p("10.7.0.0/24").nth(5),
+        dst: p("10.7.4.0/24").nth(9), // T5's subnet
+        protocol: 6,
+        ttl: 64,
+        identification: 42,
+        payload: Bytes::new(),
+    };
+    let (path, outcome) = sim.trace_packet(f.tors[0], &pkt);
+    assert_eq!(outcome, ForwardDecision::Deliver);
+    // T1 -> leaf (L1/L2) -> spine -> leaf (L5/L6) -> T5.
+    assert_eq!(path.len(), 5);
+    assert_eq!(*path.last().unwrap(), f.tors[4]);
+    assert!(f.leaves[..2].contains(&path[1]));
+    assert!(f.spines.contains(&path[2]));
+    assert!(f.leaves[4..].contains(&path[3]));
+}
+
+#[test]
+fn link_failure_withdraws_routes_and_recovers() {
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    let t0 = converge(&mut sim);
+
+    // Fail the T1-L1 link: T1's subnet must survive via L2 everywhere.
+    let (lid, _, _) = f.topo.neighbors(f.tors[0]).next().unwrap();
+    let ep = ControlPlaneSim::link_endpoints(&f.topo, lid);
+    sim.link_down(ep, t0 + SimDuration::from_secs(10));
+    let t1 = sim
+        .run_until_quiet(SimDuration::from_secs(5), t0 + SimDuration::from_mins(60))
+        .unwrap();
+
+    let fib = sim.fib(f.spines[0]).unwrap();
+    let (_, entry) = fib.lookup(p("10.7.0.0/24").nth(1)).unwrap();
+    assert_eq!(entry.next_hops.len(), 1, "one leaf path remains");
+    // T1 itself lost one uplink: ECMP narrows.
+    let fib = sim.fib(f.tors[0]).unwrap();
+    let (_, e) = fib.lookup(p("10.7.2.0/24").nth(1)).unwrap();
+    assert_eq!(e.next_hops.len(), 1);
+
+    // Bring it back: full ECMP returns.
+    sim.link_up(ep, t1 + SimDuration::from_secs(10));
+    sim.run_until_quiet(SimDuration::from_secs(5), t1 + SimDuration::from_mins(60))
+        .unwrap();
+    let fib = sim.fib(f.spines[0]).unwrap();
+    let (_, entry) = fib.lookup(p("10.7.0.0/24").nth(1)).unwrap();
+    assert_eq!(entry.next_hops.len(), 2);
+}
+
+#[test]
+fn fig1_vendor_divergence_steers_all_traffic_to_r7() {
+    let f = fig1();
+    // R6 (index 5) aggregates with vendor-A semantics, R7 (index 6) with
+    // vendor-C semantics. Configure the aggregate on both.
+    let mut sim = build_bgp_sim(&f.topo, work(), |id, dev| {
+        let mut prof = VendorProfile::for_vendor(dev.vendor);
+        // Make MRAI uniform so only the aggregation behaviour differs.
+        prof.mrai = VendorProfile::ctnr_a().mrai;
+        let _ = id;
+        Some(prof)
+    });
+    for &r in &[f.routers[5], f.routers[6]] {
+        let mut cfg = generate_device(&f.topo, r);
+        cfg.bgp
+            .as_mut()
+            .unwrap()
+            .aggregates
+            .push(crystalnet_config::AggregateConfig {
+                prefix: f.p3,
+                summary_only: true,
+            });
+        let dev = f.topo.device(r);
+        let profile = VendorProfile::for_vendor(dev.vendor);
+        sim.add_os(r, Box::new(BgpRouterOs::new(profile, cfg, dev.loopback)));
+    }
+    converge(&mut sim);
+
+    // R8 sees P3 from both, but R7's empty-path aggregate has the
+    // shortest AS path and wins — all P3 traffic goes through R7.
+    let r8 = f.routers[7];
+    let fib = sim.fib(r8).unwrap();
+    let (got, entry) = fib.lookup(f.p3.nth(77)).unwrap();
+    assert_eq!(got, f.p3, "R8 must route via the aggregate");
+    assert_eq!(entry.next_hops.len(), 1, "no ECMP: paths differ in length");
+    // The surviving next hop is R7's link.
+    let r7_addr = f
+        .topo
+        .device(f.routers[6])
+        .ifaces
+        .last()
+        .unwrap()
+        .addr
+        .unwrap();
+    // R7's interface toward R8 is its last allocated one.
+    assert_eq!(entry.next_hops[0].via, r7_addr.addr);
+
+    // Sanity: with identical vendors there would be two equal paths; the
+    // loc-rib of R8 must show P3 with AS-path length 1 (just R7's AS).
+    let resp = sim
+        .mgmt_sync(r8, MgmtCommand::ShowRoutes)
+        .expect("mgmt response");
+    let MgmtResponse::Routes(rows) = resp else {
+        panic!("unexpected response");
+    };
+    let p3_row = rows.iter().find(|(pfx, _, _)| *pfx == f.p3).unwrap();
+    assert_eq!(p3_row.1, 1, "winning aggregate path is just {{R7}}");
+}
+
+#[test]
+fn fib_overflow_silently_blackholes_with_vendor_a() {
+    // The §2 incident: a load balancer splits its /16 into /24 blocks; a
+    // downstream router with a small FIB silently drops installs.
+    let mut topo = Topology::new();
+    let mut p2p = crystalnet_net::P2pAllocator::new(p("100.100.0.0/16"));
+    let lb = topo
+        .add_device(crystalnet_net::Device {
+            name: "slb".into(),
+            role: crystalnet_net::Role::Middlebox,
+            vendor: crystalnet_net::Vendor::CtnrB,
+            asn: Asn(65501),
+            loopback: "172.30.0.1".parse().unwrap(),
+            mgmt_addr: "192.168.30.1".parse().unwrap(),
+            originated: p("10.1.0.0/16").subnets(24).into_iter().take(100).collect(),
+            ifaces: vec![],
+            pod: None,
+        })
+        .unwrap();
+    let router = topo
+        .add_device(crystalnet_net::Device {
+            name: "r1".into(),
+            role: crystalnet_net::Role::Leaf,
+            vendor: crystalnet_net::Vendor::CtnrA,
+            asn: Asn(65502),
+            loopback: "172.30.0.2".parse().unwrap(),
+            mgmt_addr: "192.168.30.2".parse().unwrap(),
+            originated: vec![],
+            ifaces: vec![],
+            pod: None,
+        })
+        .unwrap();
+    topo.connect_p2p(lb, router, &mut p2p).unwrap();
+
+    let mut sim = ControlPlaneSim::new(&topo, work());
+    let lb_cfg = generate_device(&topo, lb);
+    sim.add_os(
+        lb,
+        Box::new(BgpRouterOs::new(
+            VendorProfile::ctnr_b(),
+            lb_cfg,
+            topo.device(lb).loopback,
+        )),
+    );
+    let mut r_cfg = generate_device(&topo, router);
+    r_cfg.fib_capacity = Some(60); // too small for 100 blocks
+    sim.add_os(
+        router,
+        Box::new(BgpRouterOs::new(
+            VendorProfile::ctnr_a(), // SilentDrop overflow policy
+            r_cfg,
+            topo.device(router).loopback,
+        )),
+    );
+    converge(&mut sim);
+
+    let fib = sim.fib(router).unwrap();
+    assert_eq!(fib.len(), 60, "FIB capped at capacity");
+    assert_eq!(fib.dropped_installs(), 40, "40 blocks silently dropped");
+    // Traffic to a dropped block blackholes at the router.
+    let blocks = p("10.1.0.0/16").subnets(24);
+    let blackholed = blocks
+        .iter()
+        .take(100)
+        .filter(|b| fib.lookup(b.nth(1)).is_none())
+        .count();
+    assert_eq!(blackholed, 40);
+    // But the RIB still holds them (SilentDrop keeps RIB + readvertises).
+    assert_eq!(sim.os(router).unwrap().rib_size(), 100);
+}
+
+#[test]
+fn stop_announcing_quirk_suppresses_origination() {
+    let f = fig7();
+    let mut sim = build_bgp_sim(&f.topo, work(), |id, dev| {
+        let mut prof = VendorProfile::for_vendor(dev.vendor);
+        if id == f.tors[0] {
+            // T1 runs the buggy firmware that stopped announcing.
+            prof.quirks.stop_announcing_networks = true;
+        }
+        Some(prof)
+    });
+    converge(&mut sim);
+
+    // T1 still has its own subnet locally...
+    assert!(sim
+        .fib(f.tors[0])
+        .unwrap()
+        .lookup(p("10.7.0.0/24").nth(1))
+        .is_some());
+    // ...but nobody else learned it.
+    assert!(
+        sim.fib(f.spines[0])
+            .unwrap()
+            .lookup(p("10.7.0.0/24").nth(1))
+            .is_none(),
+        "the buggy firmware must not announce its networks"
+    );
+    // Other ToRs' subnets are unaffected.
+    assert!(sim
+        .fib(f.spines[0])
+        .unwrap()
+        .lookup(p("10.7.2.0/24").nth(1))
+        .is_some());
+}
+
+#[test]
+fn tool_bug_shuts_down_whole_router_instead_of_one_session() {
+    // §2: "an unhandled exception caused a tool to shut down a router
+    // instead of a single BGP session."
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    let t0 = converge(&mut sim);
+
+    // Intended: shut one session on L1. Buggy tool: DeviceShutdown.
+    sim.mgmt(
+        f.leaves[0],
+        MgmtCommand::DeviceShutdown,
+        t0 + SimDuration::from_secs(1),
+    );
+    // The orchestrator notices the device going dark and signals link
+    // down to its neighbors (as the vnet layer does when a container
+    // dies).
+    let downs: Vec<_> = f
+        .topo
+        .neighbors(f.leaves[0])
+        .map(|(lid, _, _)| ControlPlaneSim::link_endpoints(&f.topo, lid))
+        .collect();
+    for ep in downs {
+        sim.link_down(ep, t0 + SimDuration::from_secs(2));
+    }
+    sim.run_until_quiet(SimDuration::from_secs(5), t0 + SimDuration::from_mins(60))
+        .unwrap();
+
+    assert!(sim.os(f.leaves[0]).unwrap().is_down());
+    // The blast radius is visible: everything that was ECMP'd through L1
+    // narrowed to one path — a clear emulation signal the tool is buggy.
+    let fib = sim.fib(f.spines[0]).unwrap();
+    let (_, entry) = fib.lookup(p("10.7.0.0/24").nth(1)).unwrap();
+    assert_eq!(entry.next_hops.len(), 1);
+}
+
+#[test]
+fn case2_dev_build_crashes_after_session_flaps() {
+    let f = fig7();
+    let mut sim = build_bgp_sim(&f.topo, work(), |id, dev| {
+        let mut prof = VendorProfile::for_vendor(dev.vendor);
+        if id == f.tors[0] {
+            prof = VendorProfile::ctnr_b_dev(); // crash_after_flaps = 3
+        }
+        Some(prof)
+    });
+    let t0 = converge(&mut sim);
+
+    // Flap T1's uplink three times.
+    let (lid, _, _) = f.topo.neighbors(f.tors[0]).next().unwrap();
+    let ep = ControlPlaneSim::link_endpoints(&f.topo, lid);
+    let mut t = t0;
+    for _ in 0..3 {
+        t = t + SimDuration::from_secs(30);
+        sim.link_down(ep, t);
+        t = t + SimDuration::from_secs(30);
+        sim.link_up(ep, t);
+        sim.run_until_quiet(SimDuration::from_secs(5), t + SimDuration::from_mins(30))
+            .unwrap();
+    }
+    assert!(
+        sim.os(f.tors[0]).unwrap().is_down(),
+        "dev build must crash after 3 flaps"
+    );
+    assert!(!sim.engine.world.crashes.is_empty());
+    // The released build survives the same treatment (control).
+    let mut sim2 = build_full_bgp_sim(&f.topo, work());
+    let t0 = converge(&mut sim2);
+    let mut t = t0;
+    for _ in 0..3 {
+        t = t + SimDuration::from_secs(30);
+        sim2.link_down(ep, t);
+        t = t + SimDuration::from_secs(30);
+        sim2.link_up(ep, t);
+        sim2.run_until_quiet(SimDuration::from_secs(5), t + SimDuration::from_mins(30))
+            .unwrap();
+    }
+    assert!(!sim2.os(f.tors[0]).unwrap().is_down());
+}
+
+#[test]
+fn case2_dev_build_skips_default_route_in_asic() {
+    // A ToR learns 0.0.0.0/0 from its leaf; the dev build's ASIC sync
+    // layer skips default-route updates.
+    let f = fig7();
+    let mut sim = build_bgp_sim(&f.topo, work(), |id, _| {
+        if id == f.tors[0] {
+            Some(VendorProfile::ctnr_b_dev())
+        } else if id == f.tors[1] {
+            Some(VendorProfile::ctnr_b()) // healthy control
+        } else {
+            Some(VendorProfile::ctnr_a())
+        }
+    });
+    // L1 originates a default route (as a border would).
+    let l1 = f.leaves[0];
+    let mut cfg = generate_device(&f.topo, l1);
+    cfg.bgp.as_mut().unwrap().networks.push(p("0.0.0.0/0"));
+    sim.add_os(
+        l1,
+        Box::new(BgpRouterOs::new(
+            VendorProfile::ctnr_a(),
+            cfg,
+            f.topo.device(l1).loopback,
+        )),
+    );
+    converge(&mut sim);
+
+    // Healthy ToR: default present in (ASIC) FIB.
+    assert!(
+        sim.fib(f.tors[1])
+            .unwrap()
+            .lookup(p("99.99.99.99/32").nth(0))
+            .is_some(),
+        "healthy ToR forwards via default"
+    );
+    // Buggy ToR: RIB has it, ASIC FIB does not — traffic blackholes.
+    assert!(sim
+        .fib(f.tors[0])
+        .unwrap()
+        .lookup(p("99.99.99.99/32").nth(0))
+        .is_none());
+    let pkt = crystalnet_dataplane::Ipv4Packet {
+        src: p("10.7.0.0/24").nth(5),
+        dst: "99.99.99.99".parse().unwrap(),
+        protocol: 6,
+        ttl: 64,
+        identification: 7,
+        payload: Bytes::new(),
+    };
+    let (_, outcome) = sim.trace_packet(f.tors[0], &pkt);
+    assert_eq!(outcome, ForwardDecision::DropNoRoute);
+}
+
+#[test]
+fn determinism_same_seedless_run_same_fibs() {
+    let run = || {
+        let f = fig7();
+        let mut sim = build_full_bgp_sim(&f.topo, work());
+        converge(&mut sim);
+        let mut out = Vec::new();
+        for (id, _) in f.topo.devices() {
+            let mut rows: Vec<String> = sim
+                .fib(id)
+                .unwrap()
+                .iter()
+                .map(|(p, e)| format!("{p}:{:?}", e.next_hops))
+                .collect();
+            rows.sort();
+            out.push(rows);
+        }
+        out
+    };
+    assert_eq!(run(), run());
+}

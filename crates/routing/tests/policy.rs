@@ -1,0 +1,289 @@
+//! BGP policy behaviour: route maps, prefix lists, local preference,
+//! AS-path prepending — the §2 "configuration policies quite complicated"
+//! machinery that CrystalNet loads from production configs.
+
+use crystalnet_config::{
+    generate_device, Action, PrefixList, PrefixListEntry, RouteMap, RouteMapEntry, RouteMatch,
+    RouteSet, //
+};
+use crystalnet_net::fixtures::fig7;
+use crystalnet_net::{DeviceId, Ipv4Prefix};
+use crystalnet_routing::harness::build_full_bgp_sim;
+use crystalnet_routing::{BgpRouterOs, ControlPlaneSim, UniformWorkModel, VendorProfile};
+use crystalnet_sim::{SimDuration, SimTime};
+
+fn work() -> Box<UniformWorkModel> {
+    Box::new(UniformWorkModel {
+        boot: SimDuration::from_secs(1),
+        ..UniformWorkModel::default()
+    })
+}
+
+fn converge(sim: &mut ControlPlaneSim) {
+    sim.boot_all(SimTime::ZERO);
+    sim.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::ZERO + SimDuration::from_mins(60),
+    )
+    .expect("converges");
+}
+
+fn p(s: &str) -> Ipv4Prefix {
+    s.parse().unwrap()
+}
+
+/// Installs a custom-configured BgpRouterOs for `dev` in place of the
+/// generated one.
+fn with_config(
+    sim: &mut ControlPlaneSim,
+    topo: &crystalnet_net::Topology,
+    dev: DeviceId,
+    f: impl FnOnce(&mut crystalnet_config::DeviceConfig),
+) {
+    let mut cfg = generate_device(topo, dev);
+    f(&mut cfg);
+    let profile = VendorProfile::for_vendor(topo.device(dev).vendor);
+    sim.add_os(
+        dev,
+        Box::new(BgpRouterOs::new(profile, cfg, topo.device(dev).loopback)),
+    );
+}
+
+#[test]
+fn outbound_deny_route_map_filters_announcements() {
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    // T1 denies its own /24 toward everyone (keeps loopback).
+    with_config(&mut sim, &f.topo, f.tors[0], |cfg| {
+        cfg.prefix_lists.insert(
+            "SRV".into(),
+            PrefixList {
+                entries: vec![PrefixListEntry {
+                    seq: 5,
+                    action: Action::Permit,
+                    prefix: p("10.7.0.0/24"),
+                    ge: None,
+                    le: None,
+                }],
+            },
+        );
+        cfg.route_maps.insert(
+            "NO-SRV".into(),
+            RouteMap {
+                entries: vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Deny,
+                        matches: vec![RouteMatch::PrefixList("SRV".into())],
+                        sets: vec![],
+                    },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Permit,
+                        matches: vec![],
+                        sets: vec![],
+                    },
+                ],
+            },
+        );
+        for n in &mut cfg.bgp.as_mut().unwrap().neighbors {
+            n.route_map_out = Some("NO-SRV".into());
+        }
+    });
+    converge(&mut sim);
+
+    let spine_fib = sim.fib(f.spines[0]).unwrap();
+    assert!(
+        spine_fib.lookup(p("10.7.0.0/24").nth(1)).is_none(),
+        "the denied /24 must not propagate"
+    );
+    // The loopback still does (permit-all entry 20).
+    let t1_loopback = f.topo.device(f.tors[0]).loopback;
+    assert!(spine_fib.get(Ipv4Prefix::host(t1_loopback)).is_some());
+}
+
+#[test]
+fn inbound_local_pref_steers_best_path_selection() {
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    // T1 prefers L1 (iface 0 peer) via local-preference 200 on routes
+    // learned from it.
+    let l1_addr = {
+        let (_, _, remote) = f.topo.neighbors(f.tors[0]).next().unwrap();
+        f.topo.device(remote.device).ifaces[remote.iface as usize]
+            .addr
+            .unwrap()
+            .addr
+    };
+    with_config(&mut sim, &f.topo, f.tors[0], |cfg| {
+        cfg.prefix_lists.insert(
+            "ANY".into(),
+            PrefixList {
+                entries: vec![PrefixListEntry {
+                    seq: 5,
+                    action: Action::Permit,
+                    prefix: p("0.0.0.0/0"),
+                    ge: None,
+                    le: Some(32),
+                }],
+            },
+        );
+        cfg.route_maps.insert(
+            "PREF-L1".into(),
+            RouteMap {
+                entries: vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![RouteMatch::PrefixList("ANY".into())],
+                    sets: vec![RouteSet::LocalPref(200)],
+                }],
+            },
+        );
+        let bgp = cfg.bgp.as_mut().unwrap();
+        let n = bgp.neighbor_mut(l1_addr).expect("L1 neighbor");
+        n.route_map_in = Some("PREF-L1".into());
+    });
+    converge(&mut sim);
+
+    // Without policy, T1 would ECMP across both leaves; with local-pref
+    // 200 on L1-learned routes, L1 is the single best path.
+    let fib = sim.fib(f.tors[0]).unwrap();
+    let (_, entry) = fib.lookup(p("10.7.2.0/24").nth(1)).unwrap();
+    assert_eq!(entry.next_hops.len(), 1, "local-pref must break ECMP");
+    assert_eq!(entry.next_hops[0].via, l1_addr);
+}
+
+#[test]
+fn as_path_prepend_sheds_inbound_traffic() {
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    // L1 prepends 3x toward the spines: everyone upstream prefers L2 for
+    // pod-1 destinations.
+    with_config(&mut sim, &f.topo, f.leaves[0], |cfg| {
+        cfg.prefix_lists.insert(
+            "ANY".into(),
+            PrefixList {
+                entries: vec![PrefixListEntry {
+                    seq: 5,
+                    action: Action::Permit,
+                    prefix: p("0.0.0.0/0"),
+                    ge: None,
+                    le: Some(32),
+                }],
+            },
+        );
+        cfg.route_maps.insert(
+            "SHED".into(),
+            RouteMap {
+                entries: vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![RouteMatch::PrefixList("ANY".into())],
+                    sets: vec![RouteSet::AsPathPrepend(3)],
+                }],
+            },
+        );
+        let spine_asn = f.topo.device(f.spines[0]).asn;
+        let bgp = cfg.bgp.as_mut().unwrap();
+        let spine_peers: Vec<crystalnet_net::Ipv4Addr> = bgp
+            .neighbors
+            .iter()
+            .filter(|n| n.remote_as == spine_asn)
+            .map(|n| n.addr)
+            .collect();
+        for addr in spine_peers {
+            bgp.neighbor_mut(addr).unwrap().route_map_out = Some("SHED".into());
+        }
+    });
+    converge(&mut sim);
+
+    // Spines now reach T1's subnet only via L2 (shorter path).
+    let fib = sim.fib(f.spines[0]).unwrap();
+    let (_, entry) = fib.lookup(p("10.7.0.0/24").nth(1)).unwrap();
+    assert_eq!(entry.next_hops.len(), 1, "prepended path must lose");
+    let l2_uplink_addrs: Vec<crystalnet_net::Ipv4Addr> = f
+        .topo
+        .device(f.leaves[1])
+        .ifaces
+        .iter()
+        .filter_map(|i| i.addr.map(|a| a.addr))
+        .collect();
+    assert!(l2_uplink_addrs.contains(&entry.next_hops[0].via));
+}
+
+#[test]
+fn community_tagging_matches_downstream() {
+    // T1 tags its announcements with community 777; L1 drops 777-tagged
+    // routes toward the spines (a scoped-announcement policy).
+    let f = fig7();
+    let mut sim = build_full_bgp_sim(&f.topo, work());
+    with_config(&mut sim, &f.topo, f.tors[0], |cfg| {
+        cfg.prefix_lists.insert(
+            "ANY".into(),
+            PrefixList {
+                entries: vec![PrefixListEntry {
+                    seq: 5,
+                    action: Action::Permit,
+                    prefix: p("0.0.0.0/0"),
+                    ge: None,
+                    le: Some(32),
+                }],
+            },
+        );
+        cfg.route_maps.insert(
+            "TAG".into(),
+            RouteMap {
+                entries: vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    matches: vec![RouteMatch::PrefixList("ANY".into())],
+                    sets: vec![RouteSet::Community(777)],
+                }],
+            },
+        );
+        for n in &mut cfg.bgp.as_mut().unwrap().neighbors {
+            n.route_map_out = Some("TAG".into());
+        }
+    });
+    with_config(&mut sim, &f.topo, f.leaves[0], |cfg| {
+        cfg.route_maps.insert(
+            "NO-777-UP".into(),
+            RouteMap {
+                entries: vec![
+                    RouteMapEntry {
+                        seq: 10,
+                        action: Action::Deny,
+                        matches: vec![RouteMatch::Community(777)],
+                        sets: vec![],
+                    },
+                    RouteMapEntry {
+                        seq: 20,
+                        action: Action::Permit,
+                        matches: vec![],
+                        sets: vec![],
+                    },
+                ],
+            },
+        );
+        let spine_asn = f.topo.device(f.spines[0]).asn;
+        let bgp = cfg.bgp.as_mut().unwrap();
+        let spine_peers: Vec<crystalnet_net::Ipv4Addr> = bgp
+            .neighbors
+            .iter()
+            .filter(|n| n.remote_as == spine_asn)
+            .map(|n| n.addr)
+            .collect();
+        for addr in spine_peers {
+            bgp.neighbor_mut(addr).unwrap().route_map_out = Some("NO-777-UP".into());
+        }
+    });
+    converge(&mut sim);
+
+    // Spines only see T1's routes via L2 (L1 scrubbed the tagged ones).
+    let fib = sim.fib(f.spines[0]).unwrap();
+    let (_, entry) = fib.lookup(p("10.7.0.0/24").nth(1)).unwrap();
+    assert_eq!(entry.next_hops.len(), 1);
+    // T2's (untagged) routes still flow through both leaves.
+    let (_, entry2) = fib.lookup(p("10.7.1.0/24").nth(1)).unwrap();
+    assert_eq!(entry2.next_hops.len(), 2);
+}

@@ -1,0 +1,258 @@
+//! The discrete-event engine.
+//!
+//! The engine owns a user-defined *world* (`W`) and a priority queue of
+//! events. Each event is a one-shot closure receiving `&mut Engine<W>`, so
+//! handlers can both mutate the world and schedule follow-up events.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)`, where the
+//! sequence number is assigned at scheduling time. Two runs that schedule
+//! the same events in the same order observe identical executions — this is
+//! load-bearing for CrystalNet's reproducible Figure 8/9 measurements and is
+//! covered by the determinism tests below.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A one-shot event handler.
+pub type Event<W> = Box<dyn FnOnce(&mut Engine<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    event: Event<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation engine over a world `W`.
+///
+/// # Examples
+///
+/// ```
+/// use crystalnet_sim::{Engine, SimDuration};
+///
+/// let mut engine = Engine::new(0u32);
+/// engine.schedule_after(SimDuration::from_secs(1), |e| e.world += 1);
+/// engine.schedule_after(SimDuration::from_secs(2), |e| e.world += 10);
+/// engine.run();
+/// assert_eq!(engine.world, 11);
+/// assert_eq!(engine.now().as_secs_f64(), 2.0);
+/// ```
+pub struct Engine<W> {
+    clock: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    /// The simulated world mutated by events.
+    pub world: W,
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine at `t = 0` owning `world`.
+    pub fn new(world: W) -> Self {
+        Engine {
+            clock: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+            world,
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[must_use]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Events scheduled in the past run at the current time (the clock never
+    /// moves backwards); ties run in scheduling order.
+    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut Engine<W>) + 'static) {
+        let time = at.max(self.clock);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq,
+            event: Box::new(event),
+        }));
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut Engine<W>) + 'static,
+    ) {
+        self.schedule_at(self.clock + delay, event);
+    }
+
+    /// Runs a single event if one is pending. Returns whether an event ran.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(s)) => {
+                debug_assert!(s.time >= self.clock, "event queue went backwards");
+                self.clock = s.time;
+                self.executed += 1;
+                (s.event)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with `time <= deadline`; then advances the clock to
+    /// `deadline` (even if idle earlier), leaving later events queued.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.clock = self.clock.max(deadline);
+    }
+
+    /// Runs until `predicate` returns true (checked after every event) or
+    /// the queue drains. Returns whether the predicate was satisfied.
+    pub fn run_while(&mut self, mut predicate: impl FnMut(&Engine<W>) -> bool) -> bool {
+        loop {
+            if predicate(self) {
+                return true;
+            }
+            if !self.step() {
+                return false;
+            }
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(s)| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new(Vec::new());
+        e.schedule_after(SimDuration::from_secs(3), |e| e.world.push(3));
+        e.schedule_after(SimDuration::from_secs(1), |e| e.world.push(1));
+        e.schedule_after(SimDuration::from_secs(2), |e| e.world.push(2));
+        e.run();
+        assert_eq!(e.world, vec![1, 2, 3]);
+        assert_eq!(e.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut e = Engine::new(Vec::new());
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        for i in 0..10 {
+            e.schedule_at(t, move |e| e.world.push(i));
+        }
+        e.run();
+        assert_eq!(e.world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        let mut e = Engine::new(0u64);
+        fn tick(e: &mut Engine<u64>) {
+            e.world += 1;
+            if e.world < 5 {
+                e.schedule_after(SimDuration::from_secs(1), tick);
+            }
+        }
+        e.schedule_after(SimDuration::from_secs(1), tick);
+        e.run();
+        assert_eq!(e.world, 5);
+        assert_eq!(e.now(), SimTime::ZERO + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn past_events_run_now_not_backwards() {
+        let mut e = Engine::new(Vec::new());
+        e.schedule_after(SimDuration::from_secs(5), |e| {
+            let now = e.now();
+            e.schedule_at(SimTime::ZERO, move |e| {
+                let t = e.now();
+                e.world.push(t >= now);
+            });
+        });
+        e.run();
+        assert_eq!(e.world, vec![true]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new(0u32);
+        e.schedule_after(SimDuration::from_secs(1), |e| e.world += 1);
+        e.schedule_after(SimDuration::from_secs(10), |e| e.world += 100);
+        e.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(e.world, 1);
+        assert_eq!(e.now(), SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(e.events_pending(), 1);
+        e.run();
+        assert_eq!(e.world, 101);
+    }
+
+    #[test]
+    fn run_while_reports_predicate_outcome() {
+        let mut e = Engine::new(0u32);
+        for _ in 0..10 {
+            e.schedule_after(SimDuration::from_secs(1), |e| e.world += 1);
+        }
+        assert!(e.run_while(|e| e.world >= 4));
+        assert_eq!(e.world, 4);
+        assert!(!e.run_while(|e| e.world >= 100));
+        assert_eq!(e.world, 10);
+    }
+
+    #[test]
+    fn empty_engine_is_idle() {
+        let mut e = Engine::new(());
+        assert!(!e.step());
+        assert_eq!(e.next_event_time(), None);
+        assert_eq!(e.events_executed(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic discrete-event simulation engine for the CrystalNet
+//! reproduction.
+//!
+//! CrystalNet (SOSP '17) measures the *orchestration machinery itself*:
+//! how long Mockup takes, where CPU goes during bring-up, how fast reloads
+//! and VM recovery are. This crate provides the substrate those
+//! measurements run on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time,
+//! * [`Engine`] — the event loop over a user-defined world,
+//! * [`CpuServer`] — per-VM multi-core CPU accounting (Figure 9),
+//! * [`SimRng`] — seeded, per-component random streams,
+//! * [`metrics`] — percentile and time-series aggregation (Figure 8/9).
+//!
+//! Everything is deterministic given a seed: the engine orders events by
+//! `(time, sequence)`, and all randomness is derived from [`SimRng`].
+
+pub mod cpu;
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use cpu::{CpuServer, UtilizationTracker};
+pub use engine::{Engine, Event};
+pub use metrics::{LatencySummary, Series};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

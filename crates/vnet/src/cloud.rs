@@ -1,0 +1,334 @@
+//! The simulated public cloud: VM SKUs, provisioning, failure and cost.
+//!
+//! CrystalNet "is designed to run from ground-up in public cloud" (§3.1):
+//! emulations are built from fleets of small VMs (typically 4-core/8GB,
+//! §6.1), whose retail price gives the paper's headline "$100/hour for a
+//! 5,000-device emulation". This module models that substrate: SKUs with
+//! nested-virtualization capability flags (required for VM-image vendors,
+//! §4.1), provisioning latency, unannounced failures/reboots, per-VM CPU
+//! servers (Figure 9's measurement points), and dollar cost accounting.
+
+use crystalnet_sim::{CpuServer, SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A VM size offered by the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmSku {
+    /// CPU cores.
+    pub cores: u32,
+    /// RAM in GiB.
+    pub ram_gb: u32,
+    /// Whether nested virtualization is available (required to run
+    /// VM-image device sandboxes inside containers, §4.1). Azure offers
+    /// this "for only certain VM SKUs" (§6.1).
+    pub nested_virt: bool,
+    /// Retail price in USD per hour.
+    pub usd_per_hour: f64,
+}
+
+impl VmSku {
+    /// The paper's workhorse: 4-core, 8GB, $0.20/hour.
+    #[must_use]
+    pub fn standard_4c8g() -> VmSku {
+        VmSku {
+            cores: 4,
+            ram_gb: 8,
+            nested_virt: false,
+            usd_per_hour: 0.20,
+        }
+    }
+
+    /// The nested-virtualization-capable variant used for VM-image
+    /// vendors (4-core, 16GB).
+    #[must_use]
+    pub fn nested_4c16g() -> VmSku {
+        VmSku {
+            cores: 4,
+            ram_gb: 16,
+            nested_virt: true,
+            usd_per_hour: 0.40,
+        }
+    }
+}
+
+/// VM lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Being provisioned by the cloud.
+    Provisioning,
+    /// Up and serving.
+    Running,
+    /// Crashed / rebooted by the cloud without warning.
+    Failed,
+}
+
+/// A handle to a provisioned VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl VmId {
+    /// Array index behind the handle.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One emulation VM.
+#[derive(Debug)]
+pub struct Vm {
+    /// Handle.
+    pub id: VmId,
+    /// Size.
+    pub sku: VmSku,
+    /// Lifecycle state.
+    pub state: VmState,
+    /// When it became `Running` (cost accounting starts here).
+    pub running_since: Option<SimTime>,
+    /// The VM's CPU (all container/device work queues here).
+    pub cpu: CpuServer,
+    /// RAM currently committed to sandboxes, in MiB.
+    pub ram_used_mb: u32,
+    /// Unexpected failures observed so far.
+    pub failures: u32,
+}
+
+impl Vm {
+    /// Remaining RAM in MiB.
+    #[must_use]
+    pub fn ram_free_mb(&self) -> u32 {
+        (self.sku.ram_gb * 1024).saturating_sub(self.ram_used_mb)
+    }
+}
+
+/// Cloud-level tunables.
+#[derive(Debug, Clone)]
+pub struct CloudParams {
+    /// Mean VM provisioning latency.
+    pub provision_time: SimDuration,
+    /// Jitter fraction on provisioning.
+    pub provision_jitter: f64,
+    /// CPU utilization histogram bucket width.
+    pub cpu_bucket: SimDuration,
+}
+
+impl Default for CloudParams {
+    fn default() -> Self {
+        CloudParams {
+            provision_time: SimDuration::from_secs(45),
+            provision_jitter: 0.3,
+            cpu_bucket: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// The simulated cloud: a fleet of VMs.
+pub struct Cloud {
+    params: CloudParams,
+    rng: SimRng,
+    vms: Vec<Vm>,
+}
+
+impl Cloud {
+    /// An empty cloud seeded for reproducible jitter/failures.
+    #[must_use]
+    pub fn new(params: CloudParams, seed: u64) -> Self {
+        Cloud {
+            params,
+            rng: SimRng::for_component(seed, "cloud"),
+            vms: Vec::new(),
+        }
+    }
+
+    /// Requests a VM; returns the handle and the time it will be
+    /// `Running` (the caller marks it so via [`Self::mark_running`]).
+    pub fn provision(&mut self, sku: VmSku, now: SimTime) -> (VmId, SimTime) {
+        let id = VmId(self.vms.len() as u32);
+        let ready = now
+            + self
+                .rng
+                .jitter(self.params.provision_time, self.params.provision_jitter);
+        self.vms.push(Vm {
+            id,
+            sku,
+            state: VmState::Provisioning,
+            running_since: None,
+            cpu: CpuServer::new(sku.cores, self.params.cpu_bucket),
+            ram_used_mb: 0,
+            failures: 0,
+        });
+        (id, ready)
+    }
+
+    /// Marks a VM running at `now`.
+    pub fn mark_running(&mut self, id: VmId, now: SimTime) {
+        let vm = &mut self.vms[id.index()];
+        vm.state = VmState::Running;
+        if vm.running_since.is_none() {
+            vm.running_since = Some(now);
+        }
+    }
+
+    /// Kills a VM without warning (failure injection for the health
+    /// monitor / §8.3 recovery experiments).
+    pub fn fail_vm(&mut self, id: VmId) {
+        let vm = &mut self.vms[id.index()];
+        vm.state = VmState::Failed;
+        vm.failures += 1;
+        vm.ram_used_mb = 0;
+    }
+
+    /// Reboots a failed VM; returns when it is running again.
+    pub fn reboot(&mut self, id: VmId, now: SimTime) -> SimTime {
+        let ready = now
+            + self
+                .rng
+                .jitter(self.params.provision_time, self.params.provision_jitter);
+        self.vms[id.index()].state = VmState::Provisioning;
+        ready
+    }
+
+    /// Resets a VM's CPU accounting after a reboot.
+    pub fn reset_cpu(&mut self, id: VmId, now: SimTime) {
+        self.vms[id.index()].cpu.reset(now);
+    }
+
+    /// The VM behind a handle.
+    #[must_use]
+    pub fn vm(&self, id: VmId) -> &Vm {
+        &self.vms[id.index()]
+    }
+
+    /// Mutable VM access.
+    pub fn vm_mut(&mut self, id: VmId) -> &mut Vm {
+        &mut self.vms[id.index()]
+    }
+
+    /// All VMs.
+    #[must_use]
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Fleet size.
+    #[must_use]
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Total cost in USD if all VMs ran from their start until `until`
+    /// (the paper's "$100/hour for 500 VMs" accounting).
+    #[must_use]
+    pub fn cost_usd(&self, until: SimTime) -> f64 {
+        self.vms
+            .iter()
+            .filter_map(|vm| {
+                let since = vm.running_since?;
+                let hours = until.since(since).as_secs_f64() / 3600.0;
+                Some(hours * vm.sku.usd_per_hour)
+            })
+            .sum()
+    }
+
+    /// Hourly burn rate of the running fleet in USD.
+    #[must_use]
+    pub fn hourly_rate_usd(&self) -> f64 {
+        self.vms
+            .iter()
+            .filter(|vm| vm.state == VmState::Running)
+            .map(|vm| vm.sku.usd_per_hour)
+            .sum()
+    }
+
+    /// Releases everything (the `Destroy` API).
+    pub fn destroy_all(&mut self) {
+        self.vms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud() -> Cloud {
+        Cloud::new(CloudParams::default(), 42)
+    }
+
+    #[test]
+    fn provision_then_run() {
+        let mut c = cloud();
+        let (id, ready) = c.provision(VmSku::standard_4c8g(), SimTime::ZERO);
+        assert_eq!(c.vm(id).state, VmState::Provisioning);
+        assert!(ready > SimTime::ZERO);
+        c.mark_running(id, ready);
+        assert_eq!(c.vm(id).state, VmState::Running);
+        assert_eq!(c.vm(id).running_since, Some(ready));
+    }
+
+    #[test]
+    fn provisioning_latency_is_jittered_but_bounded() {
+        let mut c = cloud();
+        let base = CloudParams::default().provision_time;
+        for _ in 0..50 {
+            let (_, ready) = c.provision(VmSku::standard_4c8g(), SimTime::ZERO);
+            let d = ready.since(SimTime::ZERO);
+            assert!(d >= base.mul_f64(0.7) && d <= base.mul_f64(1.3));
+        }
+    }
+
+    #[test]
+    fn failure_and_reboot_cycle() {
+        let mut c = cloud();
+        let (id, ready) = c.provision(VmSku::standard_4c8g(), SimTime::ZERO);
+        c.mark_running(id, ready);
+        c.vm_mut(id).ram_used_mb = 4000;
+        c.fail_vm(id);
+        assert_eq!(c.vm(id).state, VmState::Failed);
+        assert_eq!(c.vm(id).failures, 1);
+        assert_eq!(c.vm(id).ram_used_mb, 0, "sandboxes die with the VM");
+        let back = c.reboot(id, ready + SimDuration::from_mins(5));
+        c.mark_running(id, back);
+        assert_eq!(c.vm(id).state, VmState::Running);
+        // Cost keeps accruing from first start.
+        assert_eq!(c.vm(id).running_since, Some(ready));
+    }
+
+    #[test]
+    fn cost_matches_paper_headline() {
+        // 500 standard VMs for one hour ≈ $100 (§1).
+        let mut c = cloud();
+        for _ in 0..500 {
+            let (id, _) = c.provision(VmSku::standard_4c8g(), SimTime::ZERO);
+            c.mark_running(id, SimTime::ZERO);
+        }
+        let cost = c.cost_usd(SimTime::ZERO + SimDuration::from_mins(60));
+        assert!((cost - 100.0).abs() < 1e-6, "cost {cost}");
+        assert!((c.hourly_rate_usd() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ram_accounting() {
+        let mut c = cloud();
+        let (id, _) = c.provision(VmSku::standard_4c8g(), SimTime::ZERO);
+        assert_eq!(c.vm(id).ram_free_mb(), 8192);
+        c.vm_mut(id).ram_used_mb = 8000;
+        assert_eq!(c.vm(id).ram_free_mb(), 192);
+        c.vm_mut(id).ram_used_mb = 9000;
+        assert_eq!(c.vm(id).ram_free_mb(), 0);
+    }
+
+    #[test]
+    fn nested_skus_differ() {
+        assert!(!VmSku::standard_4c8g().nested_virt);
+        assert!(VmSku::nested_4c16g().nested_virt);
+        assert!(VmSku::nested_4c16g().usd_per_hour > VmSku::standard_4c8g().usd_per_hour);
+    }
+
+    #[test]
+    fn destroy_clears_fleet() {
+        let mut c = cloud();
+        c.provision(VmSku::standard_4c8g(), SimTime::ZERO);
+        c.destroy_all();
+        assert_eq!(c.vm_count(), 0);
+    }
+}

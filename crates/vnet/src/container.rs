@@ -1,0 +1,270 @@
+//! Container sandboxes and the PhyNet layer (§4.1).
+//!
+//! CrystalNet isolates every device in a container, but the decisive
+//! design move is the *two-layer* split: a **PhyNet container** owns the
+//! network namespace — virtual interfaces, links, tcpdump/injection tools
+//! — while the heterogeneous device software (vendor container, nested VM,
+//! or even real hardware via a fanout switch) runs *on top of* that
+//! namespace. The firmware "starts with the physical interfaces already
+//! existing", and when it reboots or crashes, the interfaces and links
+//! remain — which is why Reload takes 3 seconds instead of ≥15 (§8.3).
+
+use crystalnet_net::Vendor;
+use crystalnet_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What runs inside a sandbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerKind {
+    /// The PhyNet layer: owns the namespace, interfaces and tooling.
+    PhyNet,
+    /// A containerized device image sharing a PhyNet namespace.
+    DeviceContainer(Vendor),
+    /// A VM device image wrapped in a container with a KVM hypervisor
+    /// (requires a nested-virtualization SKU).
+    DeviceVm(Vendor),
+    /// A lightweight static speaker agent (ExaBGP-like).
+    Speaker,
+    /// The bridge container for a real hardware switch attached through a
+    /// fanout switch (§4.1).
+    HardwareProxy,
+}
+
+impl ContainerKind {
+    /// Whether this sandbox needs nested virtualization on its host VM.
+    #[must_use]
+    pub fn needs_nested_virt(self) -> bool {
+        matches!(self, ContainerKind::DeviceVm(_))
+    }
+
+    /// RAM the sandbox commits on its host VM, in MiB. VM-based devices
+    /// "require more memory", containers "more CPU" (§6.1).
+    #[must_use]
+    pub fn ram_mb(self) -> u32 {
+        match self {
+            ContainerKind::PhyNet => 64,
+            ContainerKind::DeviceContainer(_) => 768,
+            ContainerKind::DeviceVm(_) => 3072,
+            ContainerKind::Speaker => 96,
+            ContainerKind::HardwareProxy => 128,
+        }
+    }
+
+    /// CPU time consumed on the host VM to start the sandbox.
+    #[must_use]
+    pub fn start_cpu(self) -> SimDuration {
+        match self {
+            ContainerKind::PhyNet => SimDuration::from_millis(350),
+            ContainerKind::DeviceContainer(_) => SimDuration::from_millis(2_500),
+            ContainerKind::DeviceVm(_) => SimDuration::from_millis(9_000),
+            ContainerKind::Speaker => SimDuration::from_millis(150),
+            ContainerKind::HardwareProxy => SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Sandbox lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerState {
+    /// Created, namespace not yet populated.
+    Created,
+    /// Running.
+    Running,
+    /// Stopped (device software down; PhyNet namespace survives).
+    Stopped,
+}
+
+/// A handle to a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ContainerId(pub u32);
+
+/// A sandbox instance on some VM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Container {
+    /// Handle.
+    pub id: ContainerId,
+    /// What runs inside.
+    pub kind: ContainerKind,
+    /// Lifecycle state.
+    pub state: ContainerState,
+    /// The PhyNet container whose namespace this sandbox shares
+    /// (`None` for PhyNet containers themselves).
+    pub phynet: Option<ContainerId>,
+    /// Number of virtual interfaces held (PhyNet only).
+    pub iface_count: u32,
+    /// Times the device software was (re)started without touching the
+    /// namespace — the §8.3 two-layer reload counter.
+    pub restarts: u32,
+}
+
+/// The container engine on one VM (a Docker stand-in).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ContainerEngine {
+    containers: Vec<Container>,
+}
+
+impl ContainerEngine {
+    /// An empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        ContainerEngine::default()
+    }
+
+    /// Creates a sandbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-PhyNet sandbox references a nonexistent or
+    /// non-PhyNet namespace holder — that wiring is an orchestrator bug.
+    pub fn create(&mut self, kind: ContainerKind, phynet: Option<ContainerId>) -> ContainerId {
+        if kind != ContainerKind::PhyNet {
+            let holder = phynet.expect("device sandboxes must share a PhyNet namespace");
+            assert!(
+                matches!(
+                    self.get(holder).map(|c| c.kind),
+                    Some(ContainerKind::PhyNet)
+                ),
+                "namespace holder must be a PhyNet container"
+            );
+        }
+        let id = ContainerId(self.containers.len() as u32);
+        self.containers.push(Container {
+            id,
+            kind,
+            state: ContainerState::Created,
+            phynet,
+            iface_count: 0,
+            restarts: 0,
+        });
+        id
+    }
+
+    /// Marks a sandbox running.
+    pub fn start(&mut self, id: ContainerId) {
+        let c = &mut self.containers[id.0 as usize];
+        if c.state == ContainerState::Stopped {
+            c.restarts += 1;
+        }
+        c.state = ContainerState::Running;
+    }
+
+    /// Stops a sandbox. Stopping a device sandbox leaves its PhyNet
+    /// namespace (and thus all interfaces/links) intact.
+    pub fn stop(&mut self, id: ContainerId) {
+        self.containers[id.0 as usize].state = ContainerState::Stopped;
+    }
+
+    /// Adds virtual interfaces to a PhyNet container.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-PhyNet sandbox.
+    pub fn add_ifaces(&mut self, id: ContainerId, n: u32) {
+        let c = &mut self.containers[id.0 as usize];
+        assert_eq!(c.kind, ContainerKind::PhyNet, "interfaces live in PhyNet");
+        c.iface_count += n;
+    }
+
+    /// Looks up a sandbox.
+    #[must_use]
+    pub fn get(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(id.0 as usize)
+    }
+
+    /// All sandboxes.
+    #[must_use]
+    pub fn containers(&self) -> &[Container] {
+        &self.containers
+    }
+
+    /// Total RAM committed by non-stopped sandboxes, in MiB.
+    #[must_use]
+    pub fn ram_committed_mb(&self) -> u32 {
+        self.containers
+            .iter()
+            .filter(|c| c.state != ContainerState::Stopped)
+            .map(|c| c.kind.ram_mb())
+            .sum()
+    }
+
+    /// Destroys everything (VM `Clear`).
+    pub fn clear(&mut self) {
+        self.containers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phynet_holds_interfaces_for_device_sandboxes() {
+        let mut eng = ContainerEngine::new();
+        let phynet = eng.create(ContainerKind::PhyNet, None);
+        eng.add_ifaces(phynet, 32);
+        let dev = eng.create(ContainerKind::DeviceContainer(Vendor::CtnrA), Some(phynet));
+        eng.start(phynet);
+        eng.start(dev);
+        assert_eq!(eng.get(phynet).unwrap().iface_count, 32);
+        assert_eq!(eng.get(dev).unwrap().phynet, Some(phynet));
+    }
+
+    #[test]
+    fn device_restart_preserves_namespace() {
+        // The §8.3 property: stop/start the device software; the PhyNet
+        // interfaces survive untouched.
+        let mut eng = ContainerEngine::new();
+        let phynet = eng.create(ContainerKind::PhyNet, None);
+        eng.add_ifaces(phynet, 8);
+        let dev = eng.create(ContainerKind::DeviceContainer(Vendor::CtnrB), Some(phynet));
+        eng.start(phynet);
+        eng.start(dev);
+        eng.stop(dev);
+        assert_eq!(eng.get(phynet).unwrap().state, ContainerState::Running);
+        assert_eq!(eng.get(phynet).unwrap().iface_count, 8);
+        eng.start(dev);
+        assert_eq!(eng.get(dev).unwrap().restarts, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "PhyNet namespace")]
+    fn device_sandbox_requires_namespace() {
+        let mut eng = ContainerEngine::new();
+        eng.create(ContainerKind::DeviceContainer(Vendor::CtnrA), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a PhyNet container")]
+    fn namespace_holder_must_be_phynet() {
+        let mut eng = ContainerEngine::new();
+        let phynet = eng.create(ContainerKind::PhyNet, None);
+        let dev = eng.create(ContainerKind::DeviceContainer(Vendor::CtnrA), Some(phynet));
+        eng.create(ContainerKind::Speaker, Some(dev));
+    }
+
+    #[test]
+    fn vm_images_need_nested_virt_and_more_ram() {
+        assert!(ContainerKind::DeviceVm(Vendor::VmA).needs_nested_virt());
+        assert!(!ContainerKind::DeviceContainer(Vendor::CtnrA).needs_nested_virt());
+        assert!(
+            ContainerKind::DeviceVm(Vendor::VmA).ram_mb()
+                > ContainerKind::DeviceContainer(Vendor::CtnrA).ram_mb()
+        );
+        // Speakers are lightweight: ≥50 fit in a standard VM's RAM (§8.4).
+        assert!(8192 / ContainerKind::Speaker.ram_mb() >= 50);
+    }
+
+    #[test]
+    fn ram_committed_ignores_stopped() {
+        let mut eng = ContainerEngine::new();
+        let phynet = eng.create(ContainerKind::PhyNet, None);
+        let dev = eng.create(ContainerKind::DeviceContainer(Vendor::CtnrA), Some(phynet));
+        eng.start(phynet);
+        eng.start(dev);
+        let before = eng.ram_committed_mb();
+        eng.stop(dev);
+        assert!(eng.ram_committed_mb() < before);
+        eng.clear();
+        assert_eq!(eng.ram_committed_mb(), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! NAT traversal for cross-cloud and on-premise links (§4.2).
+//!
+//! VXLAN's UDP outer header is what lets CrystalNet's virtual links cross
+//! "any IP network, including the wide area Internet ... even NATs and
+//! load balancers, since most of them support UDP", using "standard UDP
+//! hole punching techniques". This module models the punching handshake:
+//! endpoint NAT types, a rendezvous exchange of observed addresses, and
+//! the resulting (or failing) bidirectional UDP path.
+
+use crystalnet_net::Ipv4Addr;
+use serde::{Deserialize, Serialize};
+
+/// NAT behaviour classes relevant to UDP hole punching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NatKind {
+    /// Public address, no NAT.
+    None,
+    /// Endpoint-independent mapping (full cone / restricted): punchable.
+    EndpointIndependent,
+    /// Endpoint-dependent mapping (symmetric): not punchable against
+    /// another symmetric NAT.
+    Symmetric,
+}
+
+/// One endpoint of a would-be tunnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NatEndpoint {
+    /// Private (inside) address.
+    pub inside: Ipv4Addr,
+    /// Public (observed) address after NAT.
+    pub observed: Ipv4Addr,
+    /// NAT class in front of it.
+    pub nat: NatKind,
+}
+
+/// The outcome of a hole-punching attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PunchOutcome {
+    /// Direct path established between the observed addresses.
+    Direct(Ipv4Addr, Ipv4Addr),
+    /// Both sides behind symmetric NAT: requires a relay, which
+    /// CrystalNet provisions as a cloud VM.
+    NeedsRelay,
+}
+
+/// Attempts UDP hole punching between two endpoints after a rendezvous
+/// exchange of observed addresses.
+#[must_use]
+pub fn punch(a: NatEndpoint, b: NatEndpoint) -> PunchOutcome {
+    match (a.nat, b.nat) {
+        (NatKind::Symmetric, NatKind::Symmetric) => PunchOutcome::NeedsRelay,
+        _ => PunchOutcome::Direct(a.observed, b.observed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u32, nat: NatKind) -> NatEndpoint {
+        NatEndpoint {
+            inside: Ipv4Addr(0x0a00_0000 + n),
+            observed: Ipv4Addr(0xcb00_0000 + n),
+            nat,
+        }
+    }
+
+    #[test]
+    fn cone_nats_punch_directly() {
+        for (na, nb) in [
+            (NatKind::None, NatKind::None),
+            (NatKind::None, NatKind::Symmetric),
+            (NatKind::EndpointIndependent, NatKind::EndpointIndependent),
+            (NatKind::EndpointIndependent, NatKind::Symmetric),
+        ] {
+            let a = ep(1, na);
+            let b = ep(2, nb);
+            assert_eq!(punch(a, b), PunchOutcome::Direct(a.observed, b.observed));
+        }
+    }
+
+    #[test]
+    fn symmetric_pairs_need_a_relay() {
+        let a = ep(1, NatKind::Symmetric);
+        let b = ep(2, NatKind::Symmetric);
+        assert_eq!(punch(a, b), PunchOutcome::NeedsRelay);
+    }
+}

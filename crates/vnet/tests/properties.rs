@@ -1,0 +1,104 @@
+//! Property tests for the virtual-network substrate.
+
+use crystalnet_sim::SimTime;
+use crystalnet_vnet::{
+    Cloud, CloudParams, ContainerEngine, ContainerKind, LinkSpan, VirtualLink, VmId, VmSku,
+    VniAllocator, //
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// VNIs are never reused on any VM while allocated, for arbitrary
+    /// allocate/release interleavings.
+    #[test]
+    fn vni_allocator_never_collides(
+        ops in prop::collection::vec((0u32..6, 0u32..6, any::<bool>()), 1..200),
+    ) {
+        let mut alloc = VniAllocator::new();
+        let mut live: Vec<(VmId, VmId, u32)> = Vec::new();
+        for (a, b, release) in ops {
+            let (a, b) = (VmId(a), VmId(b));
+            if release && !live.is_empty() {
+                let (a, b, vni) = live.swap_remove(0);
+                alloc.release(a, b, vni);
+            } else {
+                let vni = alloc.allocate(a, b);
+                live.push((a, b, vni));
+            }
+            // Invariant: no VM sees the same live VNI twice.
+            let mut per_vm: std::collections::HashMap<VmId, HashSet<u32>> = Default::default();
+            for &(a, b, vni) in &live {
+                prop_assert!(per_vm.entry(a).or_default().insert(vni));
+                if b != a {
+                    prop_assert!(per_vm.entry(b).or_default().insert(vni));
+                }
+            }
+        }
+    }
+
+    /// Link provisioning classifies spans correctly and only tunnels
+    /// inter-VM links.
+    #[test]
+    fn link_spans_are_classified(pairs in prop::collection::vec((0u32..4, 0u32..4), 1..64)) {
+        let mut vnis = VniAllocator::new();
+        for (i, (a, b)) in pairs.into_iter().enumerate() {
+            let l = VirtualLink::provision(
+                crystalnet_net::LinkId(i as u32),
+                VmId(a),
+                VmId(b),
+                false,
+                &mut vnis,
+            );
+            if a == b {
+                prop_assert_eq!(l.span, LinkSpan::IntraVm);
+                prop_assert_eq!(l.vni, None);
+            } else {
+                prop_assert_eq!(l.span, LinkSpan::InterVm);
+                prop_assert!(l.vni.is_some());
+            }
+        }
+    }
+
+    /// Cloud cost accounting is linear in fleet size and time.
+    #[test]
+    fn cloud_cost_is_linear(vms in 1u32..50, minutes in 1u64..300) {
+        let mut cloud = Cloud::new(CloudParams::default(), 1);
+        for _ in 0..vms {
+            let (id, _) = cloud.provision(VmSku::standard_4c8g(), SimTime::ZERO);
+            cloud.mark_running(id, SimTime::ZERO);
+        }
+        let until = SimTime::ZERO + crystalnet_sim::SimDuration::from_mins(minutes);
+        let cost = cloud.cost_usd(until);
+        let expect = f64::from(vms) * 0.20 * (minutes as f64 / 60.0);
+        prop_assert!((cost - expect).abs() < 1e-6, "cost {cost} != {expect}");
+    }
+
+    /// Container RAM accounting equals the sum of non-stopped sandboxes.
+    #[test]
+    fn engine_ram_accounting(kinds in prop::collection::vec(0u8..3, 1..40), stop_mask in any::<u64>()) {
+        let mut eng = ContainerEngine::new();
+        let mut expected = 0u32;
+        let mut ids = Vec::new();
+        for (i, k) in kinds.iter().enumerate() {
+            let phynet = eng.create(ContainerKind::PhyNet, None);
+            eng.start(phynet);
+            let kind = match k {
+                0 => ContainerKind::DeviceContainer(crystalnet_net::Vendor::CtnrA),
+                1 => ContainerKind::DeviceVm(crystalnet_net::Vendor::VmA),
+                _ => ContainerKind::Speaker,
+            };
+            let c = eng.create(kind, Some(phynet));
+            eng.start(c);
+            let stopped = stop_mask & (1 << (i % 64)) != 0;
+            if stopped {
+                eng.stop(c);
+            } else {
+                expected += kind.ram_mb();
+            }
+            expected += ContainerKind::PhyNet.ram_mb();
+            ids.push(c);
+        }
+        prop_assert_eq!(eng.ram_committed_mb(), expected);
+    }
+}

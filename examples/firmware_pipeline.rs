@@ -1,0 +1,39 @@
+//! §7 Case 2: a switch-OS development pipeline built on the emulator.
+//!
+//! A development build of the open-source switch OS (CTNR-B) replaces a
+//! production ToR inside an emulated environment. The pipeline verifies
+//! "no change in network behavior" — and catches the three firmware bugs
+//! the paper reports (missed default-route FIB update, broken ARP trap,
+//! crash after BGP session flaps), none of which unit tests found.
+//!
+//! ```sh
+//! cargo run --release --example firmware_pipeline
+//! ```
+
+use crystalnet::run_case2;
+
+fn main() {
+    let report = run_case2(2026);
+
+    println!("=== dev build under test ===");
+    if report.bugs.is_empty() {
+        println!("  pipeline clean (unexpected for the dev build!)");
+    }
+    for (i, bug) in report.bugs.iter().enumerate() {
+        println!("  BUG {}: {bug}", i + 1);
+    }
+
+    println!("\n=== released build (control) ===");
+    println!(
+        "  {}",
+        if report.control_clean {
+            "pipeline clean — behaviour matches production"
+        } else {
+            "control failed: the pipeline itself is broken"
+        }
+    );
+    println!(
+        "\n{} bugs caught that escaped unit and testbed tests",
+        report.bugs.len()
+    );
+}

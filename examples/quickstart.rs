@@ -1,0 +1,78 @@
+//! Quickstart: emulate a small production datacenter, inspect it with the
+//! Table 2 APIs, trace a packet, and tear it down.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use crystalnet::{mockup, prepare, BoundaryMode, MockupOptions, PlanOptions, SpeakerSource};
+use crystalnet_net::ClosParams;
+use crystalnet_routing::{MgmtCommand, MgmtResponse};
+use std::rc::Rc;
+
+fn main() {
+    // 1. A production snapshot: the paper's S-DC Clos fabric
+    //    (2 borders, 4 spines, 24 leaves, 96 ToRs + WAN peers).
+    let dc = ClosParams::s_dc().build();
+    println!(
+        "production topology: {} devices, {} links",
+        dc.topo.device_count(),
+        dc.topo.link_count()
+    );
+
+    // 2. Prepare: whole-network boundary (WAN peers become speakers),
+    //    configs generated, VMs planned.
+    let prep = prepare(
+        &dc.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    );
+    println!(
+        "prepare: {} emulated devices, {} speakers, {} VMs (${:.2}/hour)",
+        prep.emulated.len(),
+        prep.speakers().len(),
+        prep.vm_plan.vm_count(),
+        prep.vm_plan.hourly_cost_usd()
+    );
+
+    // 3. Mockup: bring the emulation to route-ready.
+    let mut emu = mockup(Rc::new(prep), MockupOptions::default());
+    println!(
+        "mockup: network-ready {}, route-ready {}, total {} ({} route ops)",
+        emu.metrics.network_ready,
+        emu.metrics.route_ready,
+        emu.metrics.mockup,
+        emu.metrics.route_ops
+    );
+
+    // 4. Log in to a ToR over the management plane, as operators do.
+    let tor = dc.pods[0].tors[0];
+    let tor_name = dc.topo.device(tor).name.clone();
+    if let Some(MgmtResponse::BgpSummary(rows)) =
+        emu.login_and_run(&tor_name, MgmtCommand::ShowBgpSummary)
+    {
+        println!("{tor_name} BGP summary:");
+        for (peer, up, received) in rows {
+            println!("  neighbor {peer}: established={up}, {received} prefixes");
+        }
+    }
+
+    // 5. Inject a telemetry probe across the fabric and pull its path.
+    let dst_tor = dc.pods[5].tors[15];
+    let src = dc.topo.device(tor).originated[1].nth(5);
+    let dst = dc.topo.device(dst_tor).originated[1].nth(9);
+    let sig = emu.inject_packet(tor, src, dst);
+    let (path, outcome) = emu.pull_packets(sig);
+    println!("probe {src} -> {dst}: {outcome:?}");
+    for (hop, dev) in path.iter().enumerate() {
+        println!("  hop {hop}: {}", emu.topo.device(*dev).name);
+    }
+
+    // 6. Clear and destroy, reporting the dollars burned.
+    let clear = emu.clear();
+    println!("clear latency: {clear}");
+    let cost = emu.destroy();
+    println!("emulation cost: ${cost:.2}");
+}

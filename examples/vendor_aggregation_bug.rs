@@ -1,0 +1,72 @@
+//! Figure 1: vendor-specific IP aggregation behaviour causes severe
+//! traffic imbalance — and only a bug-compatible emulation can see it.
+//!
+//! R1 (AS 1) owns P1 and P2. R6 ("Vendor-A") and R7 ("Vendor-C") both
+//! aggregate them into P3, but Vendor-A selects a contributing path and
+//! prepends itself while Vendor-C announces the aggregate with only its
+//! own AS — so R8 always prefers R7, and every P3-bound packet squeezes
+//! through one router.
+//!
+//! ```sh
+//! cargo run --release --example vendor_aggregation_bug
+//! ```
+
+use crystalnet::{mockup, prepare, BoundaryMode, MockupOptions, PlanOptions, SpeakerSource};
+use crystalnet_config::AggregateConfig;
+use crystalnet_net::fixtures::fig1;
+use crystalnet_routing::{MgmtCommand, MgmtResponse};
+use std::rc::Rc;
+
+fn main() {
+    let f = fig1();
+    let mut prep = prepare(
+        &f.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    );
+    // Operators configure `aggregate-address P3 summary-only` on both
+    // aggregation routers — identical configuration, divergent firmware.
+    for (dev, cfg) in &mut prep.configs {
+        if *dev == f.routers[5] || *dev == f.routers[6] {
+            cfg.bgp.as_mut().unwrap().aggregates.push(AggregateConfig {
+                prefix: f.p3,
+                summary_only: true,
+            });
+        }
+    }
+    let mut emu = mockup(Rc::new(prep), MockupOptions::default());
+
+    // R8's view of P3, as an operator would pull it.
+    if let Some(MgmtResponse::Routes(rows)) = emu.login_and_run("r8", MgmtCommand::ShowRoutes) {
+        for (prefix, path_len, ecmp) in rows {
+            if prefix == f.p3 {
+                println!("R8: {prefix} AS-path length {path_len}, ECMP width {ecmp}");
+            }
+        }
+    }
+
+    // Telemetry: 200 flows from R8 into P3.
+    let (mut via_r6, mut via_r7) = (0u32, 0u32);
+    for flow in 0..200u32 {
+        let src = crystalnet_net::Ipv4Addr::new(203, 0, (flow >> 8) as u8, flow as u8);
+        let sig = emu.inject_packet(f.routers[7], src, f.p3.nth(flow * 7 + 1));
+        let (path, _) = emu.pull_packets(sig);
+        if path.contains(&f.routers[5]) {
+            via_r6 += 1;
+        }
+        if path.contains(&f.routers[6]) {
+            via_r7 += 1;
+        }
+    }
+    println!("traffic split for P3: R6 carried {via_r6}, R7 carried {via_r7}");
+    println!(
+        "imbalance {}: Vendor-C's empty-path aggregate wins every tie",
+        if via_r6 == 0 {
+            "confirmed"
+        } else {
+            "NOT reproduced"
+        }
+    );
+}

@@ -1,0 +1,9 @@
+//! Facade crate: re-exports the CrystalNet reproduction workspace.
+pub use crystalnet as core;
+pub use crystalnet_boundary as boundary;
+pub use crystalnet_config as config;
+pub use crystalnet_dataplane as dataplane;
+pub use crystalnet_net as net;
+pub use crystalnet_routing as routing;
+pub use crystalnet_sim as sim;
+pub use crystalnet_vnet as vnet;

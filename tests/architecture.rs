@@ -1,0 +1,120 @@
+//! Architecture-level invariants from the paper's Figures 2, 4, 5 and 6:
+//! the two-layer PhyNet design, per-link VXLAN isolation, and the
+//! loop-free tree-shaped management overlay.
+
+use crystalnet::{mockup, prepare, BoundaryMode, MockupOptions, PlanOptions, SpeakerSource};
+use crystalnet_net::ClosParams;
+use crystalnet_vnet::{ContainerKind, ContainerState, LinkSpan};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+fn emu() -> (crystalnet_net::ClosTopology, crystalnet::Emulation) {
+    let dc = ClosParams::s_dc().build();
+    let prep = prepare(
+        &dc.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    );
+    (dc, mockup(Rc::new(prep), MockupOptions::default()))
+}
+
+#[test]
+fn every_device_sandbox_shares_a_phynet_namespace() {
+    // Figure 4: heterogeneous device sandboxes run on top of homogeneous
+    // PhyNet containers that hold the interfaces.
+    let (_, emu) = emu();
+    for sb in emu.sandboxes.values() {
+        let engine = &emu.engines[sb.vm];
+        let phynet = engine.get(sb.phynet).unwrap();
+        let device = engine.get(sb.device).unwrap();
+        assert_eq!(phynet.kind, ContainerKind::PhyNet);
+        assert_eq!(device.phynet, Some(sb.phynet));
+        assert_eq!(phynet.state, ContainerState::Running);
+        assert_eq!(device.state, ContainerState::Running);
+    }
+}
+
+#[test]
+fn interfaces_live_in_phynet_not_in_device_sandboxes() {
+    let (dc, emu) = emu();
+    for (&dev, sb) in &emu.sandboxes {
+        let engine = &emu.engines[sb.vm];
+        let phynet = engine.get(sb.phynet).unwrap();
+        let device = engine.get(sb.device).unwrap();
+        assert_eq!(
+            phynet.iface_count as usize,
+            dc.topo.device(dev).ifaces.len(),
+            "PhyNet holds exactly the production interface count"
+        );
+        assert_eq!(device.iface_count, 0, "device sandboxes hold no interfaces");
+    }
+}
+
+#[test]
+fn inter_vm_links_get_unique_vnis_per_vm() {
+    // Figure 5: each virtual link is isolated by a VXLAN ID, unique per
+    // VM.
+    let (_, emu) = emu();
+    let mut per_vm: std::collections::HashMap<_, HashSet<u32>> = Default::default();
+    let mut inter_vm = 0;
+    for vl in &emu.vlinks {
+        match vl.span {
+            LinkSpan::IntraVm => assert_eq!(vl.vni, None),
+            _ => {
+                inter_vm += 1;
+                let vni = vl.vni.expect("inter-VM links are tunneled");
+                assert!(
+                    per_vm.entry(vl.vm_a).or_default().insert(vni),
+                    "VNI {vni} reused on VM {:?}",
+                    vl.vm_a
+                );
+                assert!(
+                    per_vm.entry(vl.vm_b).or_default().insert(vni),
+                    "VNI {vni} reused on VM {:?}",
+                    vl.vm_b
+                );
+            }
+        }
+    }
+    assert!(inter_vm > 0, "a multi-VM emulation must tunnel something");
+}
+
+#[test]
+fn management_overlay_is_a_tree_with_two_hop_reach() {
+    // Figure 6: per-VM bridges hang off the jumpbox; devices hang off
+    // their VM bridge. No mesh, no L2 storm, every device 2 hops away.
+    let (dc, emu) = emu();
+    assert!(emu.mgmt.is_tree());
+    for (_, dev) in dc.topo.devices() {
+        if emu.mgmt.resolve(&dev.name).is_some() {
+            assert_eq!(emu.mgmt.hops_to(&dev.name), Some(2), "{}", dev.name);
+        }
+    }
+}
+
+#[test]
+fn vendor_grouping_is_enforced_on_the_running_fleet() {
+    // §6.2: one vendor's sandboxes never share a VM with another's.
+    let (dc, emu) = emu();
+    for planned in &emu.prep.vm_plan.vms {
+        let vendors: HashSet<_> = planned
+            .devices
+            .iter()
+            .map(|&d| dc.topo.device(d).vendor)
+            .collect();
+        assert!(vendors.len() <= 1);
+    }
+}
+
+#[test]
+fn emulation_cost_tracks_fleet_and_time() {
+    let (_, emu) = emu();
+    let rate = emu.cloud.borrow().hourly_rate_usd();
+    let plan_rate = emu.prep.vm_plan.hourly_cost_usd();
+    assert!((rate - plan_rate).abs() < 1e-9);
+    let cost = emu.cloud.borrow().cost_usd(emu.now());
+    assert!(cost > 0.0);
+    assert!(cost < rate, "an emulation converges in under an hour");
+}

@@ -1,0 +1,133 @@
+//! Cross-crate end-to-end validation: the full CrystalNet story on one
+//! datacenter — production ground truth → safe boundary → speaker
+//! synthesis → boundary emulation → operator change → identical outcome.
+
+use crystalnet::{mockup, prepare, BoundaryMode, MockupOptions, PlanOptions, SpeakerSource};
+use crystalnet_boundary::{differential_validate, emulated_set};
+use crystalnet_dataplane::CompareOptions;
+use crystalnet_net::{ClosParams, DeviceId};
+use crystalnet_routing::harness::build_full_bgp_sim;
+use crystalnet_routing::{MgmtCommand, UniformWorkModel};
+use crystalnet_sim::{SimDuration, SimTime};
+use std::rc::Rc;
+
+/// The headline guarantee, measured: a pod-scoped emulation behind an
+/// Algorithm 1 boundary reaches exactly the same forwarding state as a
+/// full-network emulation under the same operator change.
+#[test]
+fn pod_boundary_emulation_matches_full_network_emulation() {
+    let dc = ClosParams::s_dc().build();
+    let pod = &dc.pods[1];
+    let must_have: Vec<DeviceId> = pod.tors.iter().chain(&pod.leaves).copied().collect();
+    let emulated = crystalnet_boundary::find_safe_dc_boundary(&dc.topo, &must_have);
+    assert!(emulated.len() < dc.internal_device_count() / 3);
+
+    let tor = pod.tors[3];
+    let new_prefix: crystalnet_net::Ipv4Prefix = "10.210.0.0/24".parse().unwrap();
+    let report = differential_validate(
+        &dc.topo,
+        &emulated,
+        &must_have,
+        &CompareOptions::strict(),
+        &move |sim, at| {
+            sim.mgmt(tor, MgmtCommand::AddNetwork(new_prefix), at);
+        },
+    );
+    assert!(
+        report.consistent(),
+        "safe boundary diverged: {} differences",
+        report.difference_count()
+    );
+}
+
+/// An *unsafe* hand-picked boundary (the pod without its spines) visibly
+/// diverges under the same differential check — the emulator cannot be
+/// silently wrong.
+#[test]
+fn truncated_boundary_is_caught_by_differential_validation() {
+    let dc = ClosParams::s_dc().build();
+    let pod0 = &dc.pods[0];
+    let pod1 = &dc.pods[1];
+    // Emulate two pods but no spines: cross-pod updates must transit the
+    // (static) spine speakers, so a new prefix on pod1 never reaches
+    // pod0 in the boundary emulation.
+    let devs: Vec<DeviceId> = pod0
+        .tors
+        .iter()
+        .chain(&pod0.leaves)
+        .chain(&pod1.tors)
+        .chain(&pod1.leaves)
+        .copied()
+        .collect();
+    let emulated = emulated_set(&devs);
+    let tor = pod1.tors[0];
+    let new_prefix: crystalnet_net::Ipv4Prefix = "10.211.0.0/24".parse().unwrap();
+    let report = differential_validate(
+        &dc.topo,
+        &emulated,
+        &[pod0.leaves[0], pod0.tors[0]],
+        &CompareOptions::strict(),
+        &move |sim, at| {
+            sim.mgmt(tor, MgmtCommand::AddNetwork(new_prefix), at);
+        },
+    );
+    assert!(
+        !report.consistent(),
+        "an unsafe boundary must be observable"
+    );
+}
+
+/// A snapshot-speaker emulation of a pod agrees with production on every
+/// route the pod's devices hold (pre-change fidelity).
+#[test]
+fn pod_emulation_fib_matches_production_snapshot() {
+    let dc = ClosParams::s_dc().build();
+    let pod = &dc.pods[4];
+    let must_have: Vec<DeviceId> = pod.tors.iter().chain(&pod.leaves).copied().collect();
+
+    // Production ground truth.
+    let mut production = build_full_bgp_sim(&dc.topo, Box::<UniformWorkModel>::default());
+    production.boot_all(SimTime::ZERO);
+    production
+        .run_until_quiet(
+            SimDuration::from_secs(10),
+            SimTime::ZERO + SimDuration::from_mins(120),
+        )
+        .unwrap();
+
+    // Boundary emulation through the orchestrator.
+    let prep = prepare(
+        &dc.topo,
+        &must_have,
+        BoundaryMode::SafeDcBoundary,
+        SpeakerSource::Snapshot(&production),
+        &PlanOptions::default(),
+    );
+    let emu = mockup(Rc::new(prep), MockupOptions::default());
+
+    for &d in &must_have {
+        let emu_fib = emu.sim.fib(d).expect("emulated");
+        let prod_fib = production.fib(d).expect("production");
+        let diffs =
+            crystalnet_dataplane::compare_fibs(emu_fib, prod_fib, &CompareOptions::strict());
+        assert!(
+            diffs.is_empty(),
+            "{}: {} differences vs production (first: {:?})",
+            dc.topo.device(d).name,
+            diffs.len(),
+            diffs.first()
+        );
+    }
+}
+
+/// The facade crate re-exports every subsystem.
+#[test]
+fn facade_reexports_compile_and_align() {
+    let p: crystalnet_repro::net::Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+    assert_eq!(p.len(), 8);
+    let profile = crystalnet_repro::routing::VendorProfile::ctnr_a();
+    assert_eq!(profile.vendor, crystalnet_repro::net::Vendor::CtnrA);
+    let _ = crystalnet_repro::sim::SimDuration::from_secs(1);
+    let fib = crystalnet_repro::dataplane::Fib::default();
+    assert!(fib.is_empty());
+}
