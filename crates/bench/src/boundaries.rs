@@ -56,7 +56,8 @@ fn check(
     let topo = f.topo.clone();
     let s1 = f.spines[0];
     let l1 = f.leaves[0];
-    let apply: Box<dyn Fn(&mut ControlPlaneSim, SimTime)> = match change {
+    type ApplyFn = Box<dyn Fn(&mut ControlPlaneSim, SimTime)>;
+    let apply: ApplyFn = match change {
         Change::AddPrefixOnT4 => Box::new(move |sim, at| {
             sim.mgmt(
                 t4,
@@ -135,7 +136,7 @@ pub fn run_fig7() -> Vec<Fig7Case> {
             &f,
             "7c: S1-2,L1-4 (speakers T1-4,L5-6) — safe for leaves",
             c,
-            &f.leaves[..4].to_vec(),
+            &f.leaves[..4],
             Change::FailS1L1,
         ),
     ]

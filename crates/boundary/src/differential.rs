@@ -208,7 +208,7 @@ mod tests {
         let report = differential_validate(
             &f.topo,
             &emulated,
-            &f.leaves[..4].iter().copied().collect::<Vec<_>>(),
+            &f.leaves[..4],
             &CompareOptions::strict(),
             &move |sim, at| {
                 let (lid, _, _) = topo

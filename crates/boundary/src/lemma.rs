@@ -48,9 +48,7 @@ pub fn check_lemma_5_1(
     for origin in origins {
         let mut path = vec![origin];
         let mut ases: Vec<Asn> = vec![topo.device(origin).asn];
-        if let Err(w) = dfs(topo, emulated, &mut path, &mut ases, false) {
-            return Err(w);
-        }
+        dfs(topo, emulated, &mut path, &mut ases, false)?
     }
     Ok(())
 }

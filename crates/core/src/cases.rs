@@ -288,9 +288,9 @@ fn pipeline(seed: u64, build: VendorProfile) -> Vec<String> {
     let (lid, _, _) = f.topo.neighbors(dut).next().unwrap();
     let mut t = emu.now();
     for _ in 0..3 {
-        t = t + crystalnet_sim::SimDuration::from_secs(30);
+        t += crystalnet_sim::SimDuration::from_secs(30);
         emu.disconnect_at(lid, t);
-        t = t + crystalnet_sim::SimDuration::from_secs(30);
+        t += crystalnet_sim::SimDuration::from_secs(30);
         emu.connect_at(lid, t);
         emu.settle();
     }

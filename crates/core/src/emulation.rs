@@ -29,7 +29,7 @@ use crystalnet_dataplane::{
     TraceEvent,
     TraceStore, //
 };
-use crystalnet_net::{DeviceId, Ipv4Addr, LinkId, Topology};
+use crystalnet_net::{partition_grouped, DeviceId, Ipv4Addr, LinkId, Topology};
 use crystalnet_routing::harness::{WorkKind, WorkModel};
 use crystalnet_routing::{BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, VendorProfile};
 use crystalnet_sim::{SimDuration, SimRng, SimTime};
@@ -46,9 +46,9 @@ use crystalnet_vnet::{
     VmId,
     VniAllocator, //
 };
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Options controlling a Mockup.
 #[derive(Clone)]
@@ -63,6 +63,12 @@ pub struct MockupOptions {
     pub deadline: SimDuration,
     /// Per-device firmware profile overrides (dev builds, buggy images).
     pub profile_overrides: HashMap<DeviceId, VendorProfile>,
+    /// Worker shards for the convergence runs (`1` = serial). Any value
+    /// produces bit-identical results: the partition is VM-aligned so a
+    /// VM's CPU server is only ever driven by one worker thread, and all
+    /// stochastic work costs derive from per-device seeds rather than a
+    /// shared sequential stream.
+    pub workers: usize,
 }
 
 impl Default for MockupOptions {
@@ -73,6 +79,7 @@ impl Default for MockupOptions {
             quiet: SimDuration::from_secs(45),
             deadline: SimDuration::from_mins(180),
             profile_overrides: HashMap::new(),
+            workers: 1,
         }
     }
 }
@@ -82,8 +89,9 @@ impl Default for MockupOptions {
 /// Every route operation, firmware boot and frame encap queues on the
 /// hosting VM's 4 cores — so denser packing (fewer VMs) slows convergence
 /// and raises utilization, reproducing the Figure 8/9 relationships.
+#[derive(Clone)]
 pub struct VmWorkModel {
-    cloud: Rc<RefCell<Cloud>>,
+    cloud: Arc<Mutex<Cloud>>,
     device_vm: HashMap<DeviceId, VmId>,
     /// Per-device (boot CPU, firmware boot latency, CPU per route op).
     device_cost: HashMap<DeviceId, (SimDuration, SimDuration, SimDuration)>,
@@ -94,7 +102,45 @@ pub struct VmWorkModel {
     /// convergence speed of routing algorithms", §8.2).
     device_busy: HashMap<DeviceId, SimTime>,
     link_span: HashMap<LinkId, LinkSpan>,
-    rng: SimRng,
+    /// Seed for boot-latency jitter. Jitter is derived from
+    /// `(seed, device, boot ordinal)` rather than drawn from a shared
+    /// sequential stream, so event interleaving — and therefore parallel
+    /// execution — cannot change any device's boot time.
+    jitter_seed: u64,
+    /// Per-device boot ordinal; a reboot draws fresh jitter.
+    boot_seq: HashMap<DeviceId, u64>,
+}
+
+impl VmWorkModel {
+    /// ±25 % boot-latency jitter, deterministic per (device, boot ordinal).
+    fn boot_jitter(&mut self, dev: DeviceId, base: SimDuration) -> SimDuration {
+        let seq = self.boot_seq.entry(dev).or_insert(0);
+        *seq += 1;
+        // splitmix64 finalizer over the (seed, device, ordinal) triple.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(dev.0).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(seq.wrapping_mul(0xd1b5_4a32_d192_ed03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        base.mul_f64(0.75 + 0.5 * unit)
+    }
+
+    /// Folds a shard replica's per-device mutations back after a parallel
+    /// join. The cloud is shared by `Arc`, so only the device-local
+    /// tables need merging.
+    fn absorb(&mut self, shard: &VmWorkModel, owned: &[DeviceId]) {
+        for &dev in owned {
+            if let Some(&t) = shard.device_busy.get(&dev) {
+                self.device_busy.insert(dev, t);
+            }
+            if let Some(&s) = shard.boot_seq.get(&dev) {
+                self.boot_seq.insert(dev, s);
+            }
+        }
+    }
 }
 
 impl WorkModel for VmWorkModel {
@@ -103,13 +149,14 @@ impl WorkModel for VmWorkModel {
             return now;
         };
         let (boot_cpu, boot_latency, per_op) = self.device_cost[&dev];
-        let mut cloud = self.cloud.borrow_mut();
+        let jitter = match kind {
+            WorkKind::Boot => self.boot_jitter(dev, boot_latency),
+            WorkKind::RouteOps(_) => SimDuration::ZERO,
+        };
+        let mut cloud = self.cloud.lock().expect("cloud lock poisoned");
         let start = now.max(self.device_busy.get(&dev).copied().unwrap_or(SimTime::ZERO));
         let end = match kind {
-            WorkKind::Boot => {
-                let cpu_done = cloud.vm_mut(vm).cpu.submit(start, boot_cpu);
-                cpu_done + self.rng.jitter(boot_latency, 0.25)
-            }
+            WorkKind::Boot => cloud.vm_mut(vm).cpu.submit(start, boot_cpu) + jitter,
             WorkKind::RouteOps(n) => cloud.vm_mut(vm).cpu.submit(start, per_op * (n as u64)),
         };
         self.device_busy.insert(dev, end);
@@ -154,7 +201,7 @@ pub struct Emulation {
     /// The control-plane simulation (devices, links, virtual time).
     pub sim: ControlPlaneSim,
     /// The cloud fleet.
-    pub cloud: Rc<RefCell<Cloud>>,
+    pub cloud: Arc<Mutex<Cloud>>,
     /// Provisioned VM handles, indexed like the plan.
     pub vm_ids: Vec<VmId>,
     /// Per-VM container engines.
@@ -195,7 +242,7 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
         cloud.mark_running(id, SimTime::ZERO);
         vm_ids.push(id);
     }
-    let cloud = Rc::new(RefCell::new(cloud));
+    let cloud = Arc::new(Mutex::new(cloud));
 
     // ------------------------------------------------------------------
     // Phase 1: PhyNet containers, interfaces, links, management overlay.
@@ -208,7 +255,7 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
     let mut rng = SimRng::for_component(options.seed, "mockup");
 
     {
-        let mut cloud = cloud.borrow_mut();
+        let mut cloud = cloud.lock().expect("cloud lock poisoned");
         for (vm_idx, planned) in plan.vms.iter().enumerate() {
             mgmt.attach_vm(vm_ids[vm_idx]);
             for &dev in planned.devices.iter().chain(&planned.speakers) {
@@ -250,7 +297,7 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
     let mut vlinks = Vec::new();
     let mut link_span = HashMap::new();
     {
-        let mut cloud = cloud.borrow_mut();
+        let mut cloud = cloud.lock().expect("cloud lock poisoned");
         for (lid, link) in topo.links() {
             let (Some(sa), Some(sb)) =
                 (sandboxes.get(&link.a.device), sandboxes.get(&link.b.device))
@@ -275,7 +322,7 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
     }
 
     let network_ready_at = {
-        let cloud = cloud.borrow();
+        let cloud = cloud.lock().expect("cloud lock poisoned");
         vm_ids
             .iter()
             .map(|&id| cloud.vm(id).cpu.drained_at())
@@ -300,7 +347,8 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
         device_cost: HashMap::new(), // filled below
         device_busy: HashMap::new(),
         link_span,
-        rng: SimRng::for_component(options.seed, "work"),
+        jitter_seed: SimRng::for_component(options.seed, "work").below(u64::MAX),
+        boot_seq: HashMap::new(),
     };
     let mut sim = ControlPlaneSim::new(&topo, Box::new(work));
 
@@ -342,9 +390,14 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
     install_costs(&mut sim, device_cost);
 
     sim.boot_all(network_ready_at);
-    let route_ready_at = sim
-        .run_until_quiet(options.quiet, network_ready_at + options.deadline)
-        .expect("emulation failed to converge before the deadline");
+    let route_ready_at = converge(
+        &mut sim,
+        &topo,
+        &sandboxes,
+        &options,
+        network_ready_at + options.deadline,
+    )
+    .expect("emulation failed to converge before the deadline");
     let route_ops = sim.engine.world.route_ops_total;
 
     // Mark sandboxes running.
@@ -367,6 +420,70 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
         options,
         next_signature: 1,
     }
+}
+
+/// Runs the sim to route quiescence — serially, or on the sharded
+/// conservative executor when `options.workers > 1`.
+///
+/// The partition is VM-aligned (devices sharing a VM share a shard, so a
+/// VM's CPU server is only ever driven by one worker thread), shard work
+/// models are forked from the live [`VmWorkModel`] — they share the cloud
+/// through its `Arc` — and per-device state is folded back after the
+/// join. Combined with the executor's serial-equivalence protocol, the
+/// result is bit-identical to a serial run.
+fn converge(
+    sim: &mut ControlPlaneSim,
+    topo: &Topology,
+    sandboxes: &HashMap<DeviceId, Sandbox>,
+    options: &MockupOptions,
+    deadline: SimTime,
+) -> Option<SimTime> {
+    let workers = options.workers.max(1);
+    if workers == 1 {
+        return sim.run_until_quiet(options.quiet, deadline);
+    }
+    // Devices sharing a VM must share a shard; unplaced devices float as
+    // singleton groups.
+    let n_vms = sandboxes.values().map(|sb| sb.vm + 1).max().unwrap_or(0);
+    let mut next_free = n_vms as u32;
+    let group_of: Vec<u32> = (0..topo.device_count() as u32)
+        .map(|i| match sandboxes.get(&DeviceId(i)) {
+            Some(sb) => sb.vm as u32,
+            None => {
+                let g = next_free;
+                next_free += 1;
+                g
+            }
+        })
+        .collect();
+    let part = partition_grouped(topo, workers, &group_of);
+
+    let template = sim
+        .engine
+        .world
+        .work_mut()
+        .as_any_mut()
+        .downcast_mut::<VmWorkModel>()
+        .expect("mockup sims drive a VmWorkModel")
+        .clone();
+    let shard_work: Vec<Box<dyn WorkModel>> = (0..workers)
+        .map(|_| Box::new(template.clone()) as Box<dyn WorkModel>)
+        .collect();
+    let (t, models) = sim.run_until_quiet_parallel(options.quiet, deadline, &part, shard_work);
+
+    let main = sim
+        .engine
+        .world
+        .work_mut()
+        .as_any_mut()
+        .downcast_mut::<VmWorkModel>()
+        .expect("mockup sims drive a VmWorkModel");
+    for (shard, mut model) in models.into_iter().enumerate() {
+        if let Some(m) = model.as_any_mut().downcast_mut::<VmWorkModel>() {
+            main.absorb(m, &part.shards[shard]);
+        }
+    }
+    t
 }
 
 /// Replaces the device-cost table inside the sim's boxed work model.
@@ -392,10 +509,17 @@ impl Emulation {
         self.sim.engine.now()
     }
 
-    /// Runs until route quiescence (post-change convergence).
+    /// Runs until route quiescence (post-change convergence), honouring
+    /// `MockupOptions::workers`.
     pub fn settle(&mut self) -> Option<SimTime> {
         let deadline = self.now() + self.options.deadline;
-        self.sim.run_until_quiet(self.options.quiet, deadline)
+        converge(
+            &mut self.sim,
+            &self.topo,
+            &self.sandboxes,
+            &self.options,
+            deadline,
+        )
     }
 
     /// `List`: all emulated devices with hostnames and liveness.
@@ -546,7 +670,10 @@ impl Emulation {
             .collect();
 
         // The VM dies: devices vanish; neighbors see link-down.
-        self.cloud.borrow_mut().fail_vm(vm_id);
+        self.cloud
+            .lock()
+            .expect("cloud lock poisoned")
+            .fail_vm(vm_id);
         for &dev in &victims {
             self.sim.power_off(dev);
             for (lid, _, _) in self.topo.neighbors(dev).collect::<Vec<_>>() {
@@ -557,9 +684,19 @@ impl Emulation {
 
         // Health monitor notices and reboots the VM (reboot time itself
         // is excluded from the §8.3 recovery metric).
-        let reboot_done = self.cloud.borrow_mut().reboot(vm_id, now);
-        self.cloud.borrow_mut().mark_running(vm_id, reboot_done);
-        self.cloud.borrow_mut().reset_cpu(vm_id, reboot_done);
+        let reboot_done = self
+            .cloud
+            .lock()
+            .expect("cloud lock poisoned")
+            .reboot(vm_id, now);
+        self.cloud
+            .lock()
+            .expect("cloud lock poisoned")
+            .mark_running(vm_id, reboot_done);
+        self.cloud
+            .lock()
+            .expect("cloud lock poisoned")
+            .reset_cpu(vm_id, reboot_done);
 
         // Recovery: re-create PhyNet containers + links, restart device
         // software. Cost scales with deployment density on the VM.
@@ -598,7 +735,7 @@ impl Emulation {
     /// `Clear`: resets all VMs to a clean state; returns the latency.
     pub fn clear(&mut self) -> SimDuration {
         let now = self.now();
-        let mut cloud = self.cloud.borrow_mut();
+        let mut cloud = self.cloud.lock().expect("cloud lock poisoned");
         for (vm_idx, planned) in self.prep.vm_plan.vms.iter().enumerate() {
             let vm = cloud.vm_mut(self.vm_ids[vm_idx]);
             for &dev in planned.devices.iter().chain(&planned.speakers) {
@@ -622,8 +759,15 @@ impl Emulation {
 
     /// `Destroy`: releases the VM fleet; returns total dollars burned.
     pub fn destroy(self) -> f64 {
-        let cost = self.cloud.borrow().cost_usd(self.now());
-        self.cloud.borrow_mut().destroy_all();
+        let cost = self
+            .cloud
+            .lock()
+            .expect("cloud lock poisoned")
+            .cost_usd(self.now());
+        self.cloud
+            .lock()
+            .expect("cloud lock poisoned")
+            .destroy_all();
         cost
     }
 
@@ -631,7 +775,7 @@ impl Emulation {
     /// (Figure 9's series).
     #[must_use]
     pub fn cpu_p95_series(&self) -> Vec<f64> {
-        let cloud = self.cloud.borrow();
+        let cloud = self.cloud.lock().expect("cloud lock poisoned");
         let until = self.now();
         let series: Vec<Vec<f64>> = cloud
             .vms()

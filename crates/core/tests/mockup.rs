@@ -9,7 +9,11 @@ use crystalnet_routing::{MgmtCommand, MgmtResponse};
 use crystalnet_sim::SimDuration;
 use std::rc::Rc;
 
-fn s_dc_emulation(seed: u64, target_vms: Option<u32>) -> (crystalnet_net::ClosTopology, Emulation) {
+fn s_dc_emulation_opts(
+    seed: u64,
+    target_vms: Option<u32>,
+    workers: usize,
+) -> (crystalnet_net::ClosTopology, Emulation) {
     let dc = ClosParams::s_dc().build();
     let prep = prepare(
         &dc.topo,
@@ -25,10 +29,15 @@ fn s_dc_emulation(seed: u64, target_vms: Option<u32>) -> (crystalnet_net::ClosTo
         Rc::new(prep),
         MockupOptions {
             seed,
+            workers,
             ..MockupOptions::default()
         },
     );
     (dc, emu)
+}
+
+fn s_dc_emulation(seed: u64, target_vms: Option<u32>) -> (crystalnet_net::ClosTopology, Emulation) {
+    s_dc_emulation_opts(seed, target_vms, 1)
 }
 
 #[test]
@@ -205,6 +214,39 @@ fn cpu_series_shows_bring_up_then_quiesce() {
     // The tail (post-convergence) is quiet.
     let tail = *series.last().unwrap();
     assert!(tail < 0.2, "post-convergence CPU should be low ({tail})");
+}
+
+#[test]
+fn parallel_workers_match_serial_bit_for_bit() {
+    // Same seed, same prep: a 4-worker mockup must reproduce the serial
+    // one exactly — bring-up instants, work counters, and every FIB —
+    // including through a disconnect/settle cycle after convergence.
+    let (dc, mut serial) = s_dc_emulation_opts(42, Some(5), 1);
+    let (_, mut par) = s_dc_emulation_opts(42, Some(5), 4);
+
+    assert_eq!(serial.metrics.network_ready, par.metrics.network_ready);
+    assert_eq!(serial.metrics.route_ready, par.metrics.route_ready);
+    assert_eq!(serial.metrics.route_ops, par.metrics.route_ops);
+    assert_eq!(serial.now(), par.now());
+
+    let tor = dc.pods[0].tors[0];
+    let (lid, _, _) = dc.topo.neighbors(tor).next().unwrap();
+    for emu in [&mut serial, &mut par] {
+        emu.disconnect(lid);
+        emu.settle().expect("re-converges after disconnect");
+        emu.connect(lid);
+        emu.settle().expect("re-converges after reconnect");
+    }
+    assert_eq!(serial.now(), par.now(), "post-flap clocks diverged");
+
+    for (id, d) in dc.topo.devices() {
+        let (sa, sb) = (serial.sim.fib(id), par.sim.fib(id));
+        match (sa, sb) {
+            (None, None) => {}
+            (Some(fa), Some(fb)) => assert_eq!(fa, fb, "FIB mismatch on {}", d.name),
+            _ => panic!("OS presence differs on {}", d.name),
+        }
+    }
 }
 
 #[test]

@@ -57,7 +57,7 @@ pub enum InstallOutcome {
 ///
 /// Lookup walks per-length maps from /32 down to /0; inserts of an
 /// existing prefix update in place and never count against capacity twice.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fib {
     by_len: Vec<HashMap<u32, FibEntry>>,
     len_present: u64,
@@ -112,8 +112,8 @@ impl Fib {
     pub fn install(&mut self, prefix: Ipv4Prefix, entry: FibEntry) -> InstallOutcome {
         let map = &mut self.by_len[prefix.len() as usize];
         let key = prefix.network().0;
-        if map.contains_key(&key) {
-            map.insert(key, entry);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = map.entry(key) {
+            e.insert(entry);
             return InstallOutcome::Installed;
         }
         if let Some(cap) = self.capacity {

@@ -62,22 +62,7 @@ pub struct EthernetFrame {
     /// EtherType of the payload.
     pub ethertype: u16,
     /// Payload bytes.
-    #[serde(with = "serde_bytes_compat")]
     pub payload: Bytes,
-}
-
-mod serde_bytes_compat {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl EthernetFrame {
@@ -136,7 +121,6 @@ pub struct Ipv4Packet {
     /// (operators "inject them with a pre-defined signature", §3.3).
     pub identification: u16,
     /// Payload bytes.
-    #[serde(with = "serde_bytes_compat")]
     pub payload: Bytes,
 }
 
@@ -241,7 +225,6 @@ pub struct UdpDatagram {
     /// Destination port.
     pub dst_port: u16,
     /// Payload bytes.
-    #[serde(with = "serde_bytes_compat")]
     pub payload: Bytes,
 }
 
@@ -292,7 +275,6 @@ pub struct VxlanPacket {
     /// virtual link for isolation (§4.2).
     pub vni: u32,
     /// The encapsulated Ethernet frame bytes.
-    #[serde(with = "serde_bytes_compat")]
     pub inner: Bytes,
 }
 

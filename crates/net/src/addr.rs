@@ -144,6 +144,7 @@ impl Ipv4Prefix {
 
     /// The prefix length.
     #[must_use]
+    #[allow(clippy::len_without_is_empty)] // a prefix length, not a container
     pub fn len(self) -> u8 {
         self.len
     }

@@ -155,16 +155,16 @@ pub fn fig7() -> Fig7 {
         mk(&mut topo, "s2".into(), Role::Spine, 100),
     ];
     let mut leaves = [DeviceId(0); 6];
-    for i in 0..6 {
+    for (i, leaf) in leaves.iter_mut().enumerate() {
         let asn = 200 + (i as u32 / 2) * 100; // 200,200,300,300,400,400
-        leaves[i] = mk(&mut topo, format!("l{}", i + 1), Role::Leaf, asn);
+        *leaf = mk(&mut topo, format!("l{}", i + 1), Role::Leaf, asn);
     }
     let mut tors = [DeviceId(0); 6];
-    for i in 0..6 {
-        tors[i] = mk(&mut topo, format!("t{}", i + 1), Role::Tor, 501 + i as u32);
+    for (i, tor) in tors.iter_mut().enumerate() {
+        *tor = mk(&mut topo, format!("t{}", i + 1), Role::Tor, 501 + i as u32);
         // Each ToR originates a /24 so route propagation is observable.
         let subnet = Ipv4Prefix::new(Ipv4Addr::new(10, 7, i as u8, 0), 24);
-        topo.device_mut(tors[i]).originated.push(subnet);
+        topo.device_mut(*tor).originated.push(subnet);
     }
 
     for (i, &tor) in tors.iter().enumerate() {

@@ -11,12 +11,14 @@
 pub mod addr;
 pub mod clos;
 pub mod fixtures;
+pub mod partition;
 pub mod region;
 pub mod topology;
 pub mod types;
 
 pub use addr::{AddrParseError, Ipv4Addr, Ipv4Cidr, Ipv4Prefix, MacAddr};
 pub use clos::{ClosParams, ClosTopology, LayerCounts, Pod};
+pub use partition::{partition, partition_grouped, Partition};
 pub use region::{RegionParams, RegionTopology};
 pub use topology::{Device, Interface, Link, P2pAllocator, Topology, TopologyError};
 pub use types::{Asn, DeviceId, EmulationClass, Endpoint, LinkId, Role, Vendor};

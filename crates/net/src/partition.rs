@@ -1,0 +1,349 @@
+//! Deterministic k-way topology partitioning for the parallel convergence
+//! runtime.
+//!
+//! The conservative parallel executor steps each shard's devices on its own
+//! worker thread and only synchronizes at virtual-time window barriers, so
+//! the cost of parallelism is proportional to the number of *cut links*
+//! (frames crossing shards pay a channel hop, and the window length is
+//! bounded by the minimum cut-link latency). This module computes the
+//! device → shard assignment: balanced shards, few cut links, and — for the
+//! orchestrator — "groups" (devices hosted on one VM, which share a CPU
+//! server) that must land in the same shard.
+//!
+//! Everything here is deterministic: iteration is over index order, never
+//! hash order, so the same topology always yields the same partition — a
+//! precondition for the executor's bit-identical-replay contract.
+
+use crate::topology::Topology;
+use crate::types::{DeviceId, LinkId};
+
+/// A device → shard assignment with its cut set.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Shard index per device (indexed by `DeviceId::index`).
+    pub shard_of: Vec<usize>,
+    /// Devices per shard, each sorted by id.
+    pub shards: Vec<Vec<DeviceId>>,
+    /// Links whose endpoints live in different shards, sorted by id.
+    pub cut_links: Vec<LinkId>,
+}
+
+impl Partition {
+    /// Number of shards (some may be empty on degenerate inputs).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `dev`.
+    #[must_use]
+    pub fn shard(&self, dev: DeviceId) -> usize {
+        self.shard_of[dev.index()]
+    }
+
+    /// Whether `link` crosses shards.
+    #[must_use]
+    pub fn is_cut(&self, link: LinkId) -> bool {
+        self.cut_links.binary_search(&link).is_ok()
+    }
+}
+
+/// Partitions `topo` into `shards` balanced shards minimizing cut links.
+///
+/// Each device is its own unit; use [`partition_grouped`] when devices must
+/// stay together (VM co-residency).
+#[must_use]
+pub fn partition(topo: &Topology, shards: usize) -> Partition {
+    let group_of: Vec<u32> = (0..topo.device_count() as u32).collect();
+    partition_grouped(topo, shards, &group_of)
+}
+
+/// Partitions `topo` with a co-residency constraint: devices sharing a
+/// `group_of` value are assigned to the same shard (the orchestrator passes
+/// the hosting VM index, so a VM's CPU server is only ever touched by one
+/// worker thread).
+///
+/// Algorithm: collapse groups into weighted super-nodes, grow shards by
+/// breadth-first expansion from deterministic seeds (keeping shards
+/// connected where the graph allows), then run a few boundary-refinement
+/// passes moving super-nodes to the neighboring shard with the highest
+/// edge gain, subject to a balance bound. O(passes × edges).
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `group_of.len() != topo.device_count()`.
+#[must_use]
+pub fn partition_grouped(topo: &Topology, shards: usize, group_of: &[u32]) -> Partition {
+    assert!(shards > 0, "shard count must be positive");
+    let n = topo.device_count();
+    assert_eq!(group_of.len(), n, "one group id per device");
+
+    // ------------------------------------------------------------------
+    // Collapse groups into super-nodes with dense indices.
+    // ------------------------------------------------------------------
+    let mut group_index: Vec<Option<usize>> = Vec::new();
+    let mut node_of_dev: Vec<usize> = vec![0; n];
+    let mut weight: Vec<u64> = Vec::new();
+    let mut members: Vec<Vec<DeviceId>> = Vec::new();
+    for dev in 0..n {
+        let g = group_of[dev] as usize;
+        if g >= group_index.len() {
+            group_index.resize(g + 1, None);
+        }
+        let node = *group_index[g].get_or_insert_with(|| {
+            weight.push(0);
+            members.push(Vec::new());
+            weight.len() - 1
+        });
+        node_of_dev[dev] = node;
+        weight[node] += 1;
+        members[node].push(DeviceId(dev as u32));
+    }
+    let nodes = weight.len();
+
+    // Super-node adjacency: (neighbor, multiplicity), index-sorted.
+    let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); nodes];
+    {
+        let mut pair_edges: Vec<(usize, usize)> = topo
+            .links()
+            .map(|(_, l)| {
+                let (a, b) = (
+                    node_of_dev[l.a.device.index()],
+                    node_of_dev[l.b.device.index()],
+                );
+                (a.min(b), a.max(b))
+            })
+            .filter(|(a, b)| a != b)
+            .collect();
+        pair_edges.sort_unstable();
+        let mut i = 0;
+        while i < pair_edges.len() {
+            let (a, b) = pair_edges[i];
+            let mut mult = 0;
+            while i < pair_edges.len() && pair_edges[i] == (a, b) {
+                mult += 1;
+                i += 1;
+            }
+            adj[a].push((b, mult));
+            adj[b].push((a, mult));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+    }
+
+    let total: u64 = weight.iter().sum();
+    let k = shards.min(nodes.max(1));
+    let target = total.div_ceil(k as u64);
+    // Headroom above the ideal shard weight during growth/refinement.
+    let cap = target + target.div_ceil(8);
+
+    // ------------------------------------------------------------------
+    // Growth: BFS-fill shards from deterministic seeds.
+    // ------------------------------------------------------------------
+    let mut shard_of_node: Vec<usize> = vec![usize::MAX; nodes];
+    let mut shard_weight: Vec<u64> = vec![0; k];
+    let mut frontier: Vec<usize> = Vec::new();
+    let mut next_seed = 0usize;
+    for (s, shard_w) in shard_weight.iter_mut().enumerate() {
+        // Seed: the lowest-index unassigned super-node.
+        while next_seed < nodes && shard_of_node[next_seed] != usize::MAX {
+            next_seed += 1;
+        }
+        if next_seed >= nodes {
+            break;
+        }
+        frontier.clear();
+        frontier.push(next_seed);
+        let mut head = 0;
+        while head < frontier.len() && *shard_w < target {
+            let node = frontier[head];
+            head += 1;
+            if shard_of_node[node] != usize::MAX {
+                continue;
+            }
+            shard_of_node[node] = s;
+            *shard_w += weight[node];
+            for &(nb, _) in &adj[node] {
+                if shard_of_node[nb] == usize::MAX {
+                    frontier.push(nb);
+                }
+            }
+        }
+    }
+    // Leftovers (disconnected components, rounding): lightest shard first.
+    for node in 0..nodes {
+        if shard_of_node[node] == usize::MAX {
+            let s = (0..k).min_by_key(|&s| (shard_weight[s], s)).unwrap_or(0);
+            shard_of_node[node] = s;
+            shard_weight[s] += weight[node];
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Refinement: greedy boundary moves with positive edge gain.
+    // ------------------------------------------------------------------
+    let mut edges_to = vec![0u64; k];
+    for _pass in 0..4 {
+        let mut moved = false;
+        for node in 0..nodes {
+            let cur = shard_of_node[node];
+            if shard_weight[cur] == weight[node] {
+                continue; // never empty a shard
+            }
+            edges_to.iter_mut().for_each(|e| *e = 0);
+            for &(nb, mult) in &adj[node] {
+                edges_to[shard_of_node[nb]] += mult;
+            }
+            // Best destination: highest gain, lowest index breaks ties.
+            let mut best = cur;
+            let mut best_gain = 0i64;
+            for s in 0..k {
+                if s == cur || shard_weight[s] + weight[node] > cap {
+                    continue;
+                }
+                let gain = edges_to[s] as i64 - edges_to[cur] as i64;
+                if gain > best_gain {
+                    best = s;
+                    best_gain = gain;
+                }
+            }
+            if best != cur {
+                shard_weight[cur] -= weight[node];
+                shard_weight[best] += weight[node];
+                shard_of_node[node] = best;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Project back to devices.
+    // ------------------------------------------------------------------
+    let mut shard_of = vec![0usize; n];
+    let mut out_shards: Vec<Vec<DeviceId>> = vec![Vec::new(); k];
+    for node in 0..nodes {
+        let s = shard_of_node[node];
+        for &dev in &members[node] {
+            shard_of[dev.index()] = s;
+            out_shards[s].push(dev);
+        }
+    }
+    for list in &mut out_shards {
+        list.sort_unstable();
+    }
+    let cut_links: Vec<LinkId> = topo
+        .links()
+        .filter(|(_, l)| shard_of[l.a.device.index()] != shard_of[l.b.device.index()])
+        .map(|(lid, _)| lid)
+        .collect();
+
+    Partition {
+        shard_of,
+        shards: out_shards,
+        cut_links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+    use crate::topology::{Device, P2pAllocator};
+    use crate::types::{Asn, Role, Vendor};
+
+    fn line_topo(n: usize) -> Topology {
+        let mut topo = Topology::new();
+        let mut p2p = P2pAllocator::new("100.64.0.0/10".parse().unwrap());
+        let ids: Vec<DeviceId> = (0..n)
+            .map(|i| {
+                topo.add_device(Device {
+                    name: format!("d{i}"),
+                    role: Role::Tor,
+                    vendor: Vendor::CtnrA,
+                    asn: Asn(65000 + i as u32),
+                    loopback: Ipv4Addr::new(172, 16, (i / 256) as u8, (i % 256) as u8),
+                    mgmt_addr: Ipv4Addr::new(192, 168, (i / 256) as u8, (i % 256) as u8),
+                    originated: vec![],
+                    ifaces: vec![],
+                    pod: None,
+                })
+                .unwrap()
+            })
+            .collect();
+        for w in ids.windows(2) {
+            topo.connect_p2p(w[0], w[1], &mut p2p).unwrap();
+        }
+        topo
+    }
+
+    #[test]
+    fn covers_every_device_exactly_once() {
+        let topo = line_topo(10);
+        let p = partition(&topo, 3);
+        let mut seen = [false; 10];
+        for (s, devs) in p.shards.iter().enumerate() {
+            for d in devs {
+                assert!(!seen[d.index()]);
+                seen[d.index()] = true;
+                assert_eq!(p.shard(*d), s);
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn line_graph_halves_with_one_cut() {
+        let topo = line_topo(8);
+        let p = partition(&topo, 2);
+        assert_eq!(p.cut_links.len(), 1);
+        assert_eq!(p.shards[0].len(), 4);
+        assert_eq!(p.shards[1].len(), 4);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let topo = line_topo(17);
+        let a = partition(&topo, 4);
+        let b = partition(&topo, 4);
+        assert_eq!(a.shard_of, b.shard_of);
+        assert_eq!(a.cut_links, b.cut_links);
+    }
+
+    #[test]
+    fn groups_stay_together() {
+        let topo = line_topo(12);
+        // Pair up adjacent devices: groups 0,0,1,1,2,2,...
+        let groups: Vec<u32> = (0..12u32).map(|i| i / 2).collect();
+        let p = partition_grouped(&topo, 3, &groups);
+        for pair in 0..6 {
+            assert_eq!(
+                p.shard(DeviceId(pair * 2)),
+                p.shard(DeviceId(pair * 2 + 1)),
+                "group {pair} split across shards"
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_devices_is_fine() {
+        let topo = line_topo(3);
+        let p = partition(&topo, 8);
+        assert!(p.shard_count() <= 3);
+        let mut all: Vec<DeviceId> = p.shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let topo = line_topo(5);
+        let p = partition(&topo, 1);
+        assert!(p.cut_links.is_empty());
+        assert_eq!(p.shards[0].len(), 5);
+        assert!(!p.is_cut(LinkId(0)));
+    }
+}

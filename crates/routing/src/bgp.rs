@@ -22,8 +22,17 @@ use crystalnet_config::{Action, DeviceConfig, RouteMap, RouteMatch, RouteSet};
 use crystalnet_dataplane::{Fib, FibEntry, NextHop};
 use crystalnet_net::{Asn, Ipv4Addr, Ipv4Prefix};
 use crystalnet_sim::SimTime;
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// Attr equality with the interner's pointer fast path: interned handles
+/// are `ptr_eq` iff structurally equal, so the deep comparison only runs
+/// for attrs that bypassed [`PathAttrs::intern`] (hand-built test fixtures).
+#[inline]
+fn same_attrs(a: &Arc<PathAttrs>, b: &Arc<PathAttrs>) -> bool {
+    Arc::ptr_eq(a, b) || a == b
+}
 
 /// Sentinel interface index meaning "locally attached / deliver here".
 pub const LOCAL_IFACE: u32 = u32::MAX;
@@ -412,12 +421,15 @@ impl BgpRouterOs {
     // Policy
     // ------------------------------------------------------------------
 
-    fn apply_route_map(
+    /// Returns `Cow::Borrowed` when the matching entry permits without
+    /// modifying anything — the common "filter only" policy — so callers
+    /// can keep the original allocation (and its interned `Arc`).
+    fn apply_route_map<'a>(
         &self,
         map: &RouteMap,
         prefix: Ipv4Prefix,
-        attrs: &PathAttrs,
-    ) -> Option<PathAttrs> {
+        attrs: &'a PathAttrs,
+    ) -> Option<Cow<'a, PathAttrs>> {
         for entry in &map.entries {
             let matched = entry.matches.iter().all(|m| match m {
                 RouteMatch::PrefixList(name) => self
@@ -434,6 +446,9 @@ impl BgpRouterOs {
             if entry.action == Action::Deny {
                 return None;
             }
+            if entry.sets.is_empty() {
+                return Some(Cow::Borrowed(attrs));
+            }
             let mut new = attrs.clone();
             for set in &entry.sets {
                 match set {
@@ -447,7 +462,7 @@ impl BgpRouterOs {
                     RouteSet::Community(c) => new.communities.push(*c),
                 }
             }
-            return Some(new);
+            return Some(Cow::Owned(new));
         }
         // No entry matched: implicit deny, as real route maps behave.
         None
@@ -486,11 +501,14 @@ impl BgpRouterOs {
         let exported = match &peer.route_map_out {
             Some(name) => {
                 let map = self.config.route_maps.get(name)?;
-                self.apply_route_map(map, prefix, &exported)?
+                match self.apply_route_map(map, prefix, &exported)? {
+                    Cow::Borrowed(_) => exported,
+                    Cow::Owned(modified) => modified,
+                }
             }
             None => exported,
         };
-        Some(Arc::new(exported))
+        Some(exported.intern())
     }
 
     fn suppressed_by_aggregate(&self, prefix: Ipv4Prefix, source: RouteSource) -> bool {
@@ -544,7 +562,7 @@ impl BgpRouterOs {
         // Local origination always wins (administrative weight).
         let new_entry: Option<LocEntry> = if self.networks.contains(&prefix) {
             Some(LocEntry {
-                attrs: Arc::new(PathAttrs::originated(self.loopback)),
+                attrs: PathAttrs::originated(self.loopback).intern(),
                 source: RouteSource::Local,
                 ecmp: vec![],
                 changed_tick: self.change_tick,
@@ -598,7 +616,9 @@ impl BgpRouterOs {
 
         let old = self.loc_rib.get(&prefix);
         let unchanged = match (&old, &new_entry) {
-            (Some(o), Some(n)) => o.attrs == n.attrs && o.ecmp == n.ecmp && o.source == n.source,
+            (Some(o), Some(n)) => {
+                same_attrs(&o.attrs, &n.attrs) && o.ecmp == n.ecmp && o.source == n.source
+            }
             (None, None) => true,
             _ => false,
         };
@@ -696,7 +716,7 @@ impl BgpRouterOs {
             let peer = &mut self.peers[idx];
             let current = peer.effective_advertised(prefix);
             match (&exported, current) {
-                (Some(e), Some(c)) if e == c => {}
+                (Some(e), Some(c)) if same_attrs(e, c) => {}
                 (None, None) => {}
                 _ => {
                     actions.route_ops += 1;
@@ -745,11 +765,11 @@ impl BgpRouterOs {
                             aggregate: true,
                         },
                     };
-                    let attrs = Arc::new(attrs);
+                    let attrs = attrs.intern();
                     let changed = self
                         .loc_rib
                         .get(&agg.prefix)
-                        .map_or(true, |e| e.attrs != attrs);
+                        .is_none_or(|e| !same_attrs(&e.attrs, &attrs));
                     if changed {
                         self.change_tick += 1;
                         let entry = LocEntry {
@@ -857,14 +877,26 @@ impl BgpRouterOs {
                     }
                     let accepted = match &self.peers[idx].route_map_in {
                         Some(name) => match self.config.route_maps.get(name) {
-                            Some(map) => self.apply_route_map(map, prefix, &attrs).map(Arc::new),
-                            None => Some(attrs.clone()),
+                            Some(map) => {
+                                self.apply_route_map(map, prefix, &attrs)
+                                    .map(|out| match out {
+                                        // Permitted unmodified: keep the
+                                        // sender's (interned) Arc as-is.
+                                        Cow::Borrowed(_) => Arc::clone(&attrs),
+                                        Cow::Owned(modified) => modified.intern(),
+                                    })
+                            }
+                            None => Some(attrs),
                         },
-                        None => Some(attrs.clone()),
+                        None => Some(attrs),
                     };
                     match accepted {
                         Some(a) => {
-                            if self.peers[idx].adj_in.get(&prefix) != Some(&a) {
+                            let known = self.peers[idx]
+                                .adj_in
+                                .get(&prefix)
+                                .is_some_and(|cur| same_attrs(cur, &a));
+                            if !known {
                                 self.peers[idx].adj_in.insert(prefix, a);
                                 self.dirty.insert(prefix);
                             }

@@ -10,10 +10,12 @@
 //! matching the paper's route-ready definition, "the moment when all
 //! routes are installed and stabilized in all switches" (§8.1).
 
-use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent};
+use crate::msg::Frame;
+use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
 use crystalnet_dataplane::{decide, Fib, ForwardDecision, Ipv4Packet};
-use crystalnet_net::{DeviceId, LinkId, Topology};
-use crystalnet_sim::{Engine, SimDuration, SimTime};
+use crystalnet_net::{DeviceId, LinkId, Partition, Topology};
+use crystalnet_sim::parallel::{run_shards_until_quiet, ParallelWorld};
+use crystalnet_sim::{Engine, EventFire, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Work classes a device performs (costed by the [`WorkModel`]).
@@ -30,7 +32,7 @@ pub enum WorkKind {
 /// The plain harness uses [`UniformWorkModel`]; the orchestrator
 /// substitutes a model that queues work on the hosting VM's CPU cores,
 /// coupling convergence time to VM packing density.
-pub trait WorkModel {
+pub trait WorkModel: Send {
     /// When work of `kind` submitted by `dev` at `now` completes.
     fn completion(&mut self, dev: DeviceId, kind: WorkKind, now: SimTime) -> SimTime;
     /// One-way delay of a frame sent on `link` at `now`. Implementations
@@ -79,10 +81,176 @@ impl WorkModel for UniformWorkModel {
     }
 }
 
+#[derive(Clone, Copy)]
 struct Adjacency {
     remote_dev: DeviceId,
     remote_iface: u32,
     link: LinkId,
+}
+
+/// Parallel-mode wiring: which shard owns each device, which shard this
+/// world is, and the outbox of cross-shard events (drained at window
+/// barriers). `None` in serial mode.
+struct ShardRoute {
+    self_shard: usize,
+    shard_of: Vec<usize>,
+    outbox: Vec<(usize, SimTime, HarnessEvent)>,
+}
+
+/// A typed harness event: no per-event heap allocation or dynamic
+/// dispatch, and a content-derived tie-break key.
+///
+/// Keys are `(source + 1) << 32 | per-source counter` for device-sourced
+/// events (frame deliveries, timers, boot completions — keyed by the
+/// *emitting* device) and a plain counter for control-plane-script events
+/// (boots, link flaps, management injections). Every key is globally
+/// unique, so `(time, key)` totally orders harness events regardless of
+/// the order they were pushed into any queue — the property the parallel
+/// executor's cross-shard merge relies on for bit-identical replay.
+#[derive(Debug)]
+pub struct HarnessEvent {
+    key: u64,
+    kind: HarnessEventKind,
+}
+
+#[derive(Debug)]
+enum HarnessEventKind {
+    /// Boot requested: ask the work model for the boot completion time.
+    BootStart(DeviceId),
+    /// Boot work finished: the OS comes up.
+    BootDone(DeviceId),
+    /// A link changes state; both endpoint OSes are notified.
+    LinkState {
+        lid: LinkId,
+        up: bool,
+        a: DeviceId,
+        ia: u32,
+        b: DeviceId,
+        ib: u32,
+    },
+    /// A management command arrives over the jumpbox.
+    Mgmt(DeviceId, MgmtCommand),
+    /// An armed OS timer fires.
+    Timer(DeviceId, TimerKind),
+    /// A frame arrives at `dev` on `iface` (link state re-checked on
+    /// delivery).
+    Deliver {
+        dev: DeviceId,
+        iface: u32,
+        frame: Frame,
+        link: LinkId,
+    },
+}
+
+impl HarnessEvent {
+    /// The device whose shard must process this event; `None` for global
+    /// wiring events (link state), which every shard replays.
+    fn target_device(&self) -> Option<DeviceId> {
+        match &self.kind {
+            HarnessEventKind::BootStart(d)
+            | HarnessEventKind::BootDone(d)
+            | HarnessEventKind::Mgmt(d, _)
+            | HarnessEventKind::Timer(d, _) => Some(*d),
+            HarnessEventKind::Deliver { dev, .. } => Some(*dev),
+            HarnessEventKind::LinkState { .. } => None,
+        }
+    }
+
+    /// Copies a broadcast (link-state) event for another shard's queue.
+    fn replicate(&self) -> Option<HarnessEvent> {
+        match self.kind {
+            HarnessEventKind::LinkState {
+                lid,
+                up,
+                a,
+                ia,
+                b,
+                ib,
+            } => Some(HarnessEvent {
+                key: self.key,
+                kind: HarnessEventKind::LinkState {
+                    lid,
+                    up,
+                    a,
+                    ia,
+                    b,
+                    ib,
+                },
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether this event counts against `causal_pending` while queued.
+    /// Everything but pure timers does: boots, link changes, management
+    /// injections, and frame deliveries can all trigger route activity.
+    fn is_causal(&self) -> bool {
+        !matches!(self.kind, HarnessEventKind::Timer(..))
+    }
+}
+
+impl EventFire<ControlPlaneWorld> for HarnessEvent {
+    fn key(&self) -> u64 {
+        self.key
+    }
+
+    fn fire(self, e: &mut ControlPlaneEngine) {
+        match self.kind {
+            HarnessEventKind::BootStart(dev) => {
+                let ready = e.world.work.completion(dev, WorkKind::Boot, e.now());
+                let key = e.world.device_key(dev);
+                e.schedule_event_at(
+                    ready,
+                    HarnessEvent {
+                        key,
+                        kind: HarnessEventKind::BootDone(dev),
+                    },
+                );
+            }
+            HarnessEventKind::BootDone(dev) => {
+                e.world.causal_pending -= 1;
+                e.world.booted[dev.index()] = true;
+                dispatch(e, dev, OsEvent::Boot);
+            }
+            HarnessEventKind::LinkState {
+                lid,
+                up,
+                a,
+                ia,
+                b,
+                ib,
+            } => {
+                e.world.causal_pending -= 1;
+                e.world.link_up.insert(lid, up);
+                let (ev_a, ev_b) = if up {
+                    (OsEvent::LinkUp(ia), OsEvent::LinkUp(ib))
+                } else {
+                    (OsEvent::LinkDown(ia), OsEvent::LinkDown(ib))
+                };
+                dispatch(e, a, ev_a);
+                dispatch(e, b, ev_b);
+            }
+            HarnessEventKind::Mgmt(dev, cmd) => {
+                e.world.causal_pending -= 1;
+                dispatch(e, dev, OsEvent::Mgmt(cmd));
+            }
+            HarnessEventKind::Timer(dev, kind) => {
+                dispatch(e, dev, OsEvent::Timer(kind));
+            }
+            HarnessEventKind::Deliver {
+                dev,
+                iface,
+                frame,
+                link,
+            } => {
+                e.world.causal_pending -= 1;
+                // Re-check link state at delivery time.
+                if e.world.link_up.get(&link).copied().unwrap_or(false) {
+                    dispatch(e, dev, OsEvent::Frame { iface, frame });
+                }
+            }
+        }
+    }
 }
 
 /// The simulated world: OS instances plus wiring.
@@ -107,6 +275,12 @@ pub struct ControlPlaneWorld {
     /// flight, pending boots, link changes). Pure timers are excluded.
     /// `run_until_quiet` only declares convergence when this hits zero.
     causal_pending: u64,
+    /// Per-device key counters (see [`HarnessEvent`]).
+    dev_key_seq: Vec<u32>,
+    /// Key counter for control-plane-script events.
+    control_key_seq: u32,
+    /// Set while this world is a shard of a parallel run.
+    shard_route: Option<ShardRoute>,
 }
 
 impl ControlPlaneWorld {
@@ -114,12 +288,55 @@ impl ControlPlaneWorld {
     pub fn work_mut(&mut self) -> &mut dyn WorkModel {
         &mut *self.work
     }
+
+    /// The next tie-break key for an event emitted by `dev`.
+    fn device_key(&mut self, dev: DeviceId) -> u64 {
+        let seq = &mut self.dev_key_seq[dev.index()];
+        *seq += 1;
+        ((u64::from(dev.0) + 1) << 32) | u64::from(*seq)
+    }
+
+    /// The next tie-break key for a control-plane-script event.
+    fn control_key(&mut self) -> u64 {
+        self.control_key_seq += 1;
+        u64::from(self.control_key_seq)
+    }
 }
+
+impl ParallelWorld for ControlPlaneWorld {
+    type Ev = HarnessEvent;
+
+    fn take_outbox(&mut self) -> Vec<(usize, SimTime, HarnessEvent)> {
+        self.shard_route
+            .as_mut()
+            .map(|r| std::mem::take(&mut r.outbox))
+            .unwrap_or_default()
+    }
+
+    fn accept_remote(&mut self, ev: &HarnessEvent) {
+        self.causal_pending += u64::from(ev.is_causal());
+    }
+
+    fn is_causal(ev: &HarnessEvent) -> bool {
+        ev.is_causal()
+    }
+
+    fn causal_pending(&self) -> u64 {
+        self.causal_pending
+    }
+
+    fn last_activity(&self) -> SimTime {
+        self.last_route_activity
+    }
+}
+
+/// The engine type the harness runs on: typed events over the world.
+pub type ControlPlaneEngine = Engine<ControlPlaneWorld, HarnessEvent>;
 
 /// The control-plane simulation: an [`Engine`] over [`ControlPlaneWorld`].
 pub struct ControlPlaneSim {
     /// The event engine (exposed for orchestration layers).
-    pub engine: Engine<ControlPlaneWorld>,
+    pub engine: ControlPlaneEngine,
 }
 
 impl ControlPlaneSim {
@@ -160,6 +377,9 @@ impl ControlPlaneSim {
                 crashes: Vec::new(),
                 mgmt_responses: Vec::new(),
                 causal_pending: 0,
+                dev_key_seq: vec![0; n],
+                control_key_seq: 0,
+                shard_route: None,
             }),
         }
     }
@@ -173,14 +393,14 @@ impl ControlPlaneSim {
     /// the work model).
     pub fn boot_device(&mut self, dev: DeviceId, at: SimTime) {
         self.engine.world.causal_pending += 1;
-        self.engine.schedule_at(at, move |e| {
-            let ready = e.world.work.completion(dev, WorkKind::Boot, e.now());
-            e.schedule_at(ready, move |e| {
-                e.world.causal_pending -= 1;
-                e.world.booted[dev.index()] = true;
-                dispatch(e, dev, OsEvent::Boot);
-            });
-        });
+        let key = self.engine.world.control_key();
+        self.engine.schedule_event_at(
+            at,
+            HarnessEvent {
+                key,
+                kind: HarnessEventKind::BootStart(dev),
+            },
+        );
     }
 
     /// Boots every device with an installed OS at `at`.
@@ -202,26 +422,37 @@ impl ControlPlaneSim {
     /// Takes a link down at `at`: both ends get `LinkDown`, and in-flight
     /// frames on the link are dropped from then on.
     pub fn link_down(&mut self, topo_link: (DeviceId, u32, DeviceId, u32, LinkId), at: SimTime) {
-        let (a, ia, b, ib, lid) = topo_link;
-        self.engine.world.causal_pending += 1;
-        self.engine.schedule_at(at, move |e| {
-            e.world.causal_pending -= 1;
-            e.world.link_up.insert(lid, false);
-            dispatch(e, a, OsEvent::LinkDown(ia));
-            dispatch(e, b, OsEvent::LinkDown(ib));
-        });
+        self.schedule_link_state(topo_link, at, false);
     }
 
     /// Brings a link back up at `at`.
     pub fn link_up(&mut self, topo_link: (DeviceId, u32, DeviceId, u32, LinkId), at: SimTime) {
+        self.schedule_link_state(topo_link, at, true);
+    }
+
+    fn schedule_link_state(
+        &mut self,
+        topo_link: (DeviceId, u32, DeviceId, u32, LinkId),
+        at: SimTime,
+        up: bool,
+    ) {
         let (a, ia, b, ib, lid) = topo_link;
         self.engine.world.causal_pending += 1;
-        self.engine.schedule_at(at, move |e| {
-            e.world.causal_pending -= 1;
-            e.world.link_up.insert(lid, true);
-            dispatch(e, a, OsEvent::LinkUp(ia));
-            dispatch(e, b, OsEvent::LinkUp(ib));
-        });
+        let key = self.engine.world.control_key();
+        self.engine.schedule_event_at(
+            at,
+            HarnessEvent {
+                key,
+                kind: HarnessEventKind::LinkState {
+                    lid,
+                    up,
+                    a,
+                    ia,
+                    b,
+                    ib,
+                },
+            },
+        );
     }
 
     /// Resolves a link's endpoints for [`Self::link_down`]/[`Self::link_up`].
@@ -241,10 +472,14 @@ impl ControlPlaneSim {
     /// [`ControlPlaneWorld::mgmt_responses`].
     pub fn mgmt(&mut self, dev: DeviceId, cmd: MgmtCommand, at: SimTime) {
         self.engine.world.causal_pending += 1;
-        self.engine.schedule_at(at, move |e| {
-            e.world.causal_pending -= 1;
-            dispatch(e, dev, OsEvent::Mgmt(cmd));
-        });
+        let key = self.engine.world.control_key();
+        self.engine.schedule_event_at(
+            at,
+            HarnessEvent {
+                key,
+                kind: HarnessEventKind::Mgmt(dev, cmd),
+            },
+        );
     }
 
     /// Synchronously executes a management command right now and returns
@@ -283,6 +518,167 @@ impl ControlPlaneSim {
                 }
             }
         }
+    }
+
+    /// [`Self::run_until_quiet`] on worker threads: forks the world into
+    /// per-shard replicas, steps them concurrently inside conservative
+    /// lookahead windows (bounded by the minimum cut-link latency), and
+    /// joins the shards back into this sim.
+    ///
+    /// The result is **bit-identical** to the serial run — same FIBs, same
+    /// route-ready instant, same counters — because harness event keys
+    /// totally order same-time events and frames can never cross a shard
+    /// boundary in less than the cut-link latency. Two caveats: entries in
+    /// [`ControlPlaneWorld::crashes`] are merged sorted by `(time,
+    /// device)` and [`ControlPlaneWorld::mgmt_responses`] by device (the
+    /// serial orders interleave same-time entries by event key, which the
+    /// merge does not reconstruct), and on deadline overrun (`None`)
+    /// shards may have processed a handful of events past the deadline
+    /// that the serial loop would have left queued.
+    ///
+    /// `shard_work` supplies one [`WorkModel`] per shard (the serial
+    /// model stays untouched); they are returned for the orchestrator to
+    /// fold accumulated state (e.g. CPU-queue depths) back in.
+    /// Cross-shard lookahead is probed from the *serial* model's
+    /// [`WorkModel::link_delay`] over the cut links, so per-link delays
+    /// must be time-invariant lower bounds and identical across the
+    /// serial and shard models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_work.len() != partition.shard_count()` or the
+    /// partition does not cover this topology.
+    pub fn run_until_quiet_parallel(
+        &mut self,
+        quiet: SimDuration,
+        deadline: SimTime,
+        partition: &Partition,
+        shard_work: Vec<Box<dyn WorkModel>>,
+    ) -> (Option<SimTime>, Vec<Box<dyn WorkModel>>) {
+        let k = partition.shard_count();
+        assert_eq!(shard_work.len(), k, "one work model per shard");
+        let n = self.engine.world.oses.len();
+        assert_eq!(partition.shard_of.len(), n, "partition/topology mismatch");
+        if self.engine.now() > deadline {
+            // The serial loop bails before touching the queue; so do we.
+            return (None, shard_work);
+        }
+
+        // Conservative lookahead: no frame crosses shards faster than the
+        // cheapest cut link. An uncut partition gets an hour-long window.
+        let now = self.engine.now();
+        let lookahead = partition
+            .cut_links
+            .iter()
+            .map(|&l| self.engine.world.work.link_delay(l, now))
+            .min()
+            .unwrap_or(SimDuration::from_secs(3600));
+
+        // ---- Fork: one world replica per shard. ----
+        let pending = self.engine.drain_pending();
+        let world = &mut self.engine.world;
+        let mut engines: Vec<ControlPlaneEngine> = shard_work
+            .into_iter()
+            .enumerate()
+            .map(|(s, work)| {
+                Engine::new(ControlPlaneWorld {
+                    oses: (0..n).map(|_| None).collect(),
+                    booted: world.booted.clone(),
+                    adjacency: world.adjacency.clone(),
+                    link_up: world.link_up.clone(),
+                    work,
+                    last_route_activity: world.last_route_activity,
+                    route_ops_total: 0,
+                    route_ops_by_dev: HashMap::new(),
+                    crashes: Vec::new(),
+                    mgmt_responses: Vec::new(),
+                    causal_pending: 0,
+                    dev_key_seq: world.dev_key_seq.clone(),
+                    control_key_seq: world.control_key_seq,
+                    shard_route: Some(ShardRoute {
+                        self_shard: s,
+                        shard_of: partition.shard_of.clone(),
+                        outbox: Vec::new(),
+                    }),
+                })
+            })
+            .collect();
+        // OS instances move to their owning shard's worker thread.
+        for dev in 0..n {
+            if let Some(os) = world.oses[dev].take() {
+                engines[partition.shard_of[dev]].world.oses[dev] = Some(os);
+            }
+        }
+        // Device-targeted events go to the owner; link state is global
+        // wiring and is replayed by every shard.
+        for (t, ev) in pending {
+            match ev.target_device() {
+                Some(dev) => {
+                    let eng = &mut engines[partition.shard_of[dev.index()]];
+                    eng.world.causal_pending += u64::from(ev.is_causal());
+                    eng.schedule_event_at(t, ev);
+                }
+                None => {
+                    for eng in &mut engines {
+                        let copy = ev.replicate().expect("broadcast events replicate");
+                        eng.world.causal_pending += u64::from(copy.is_causal());
+                        eng.schedule_event_at(t, copy);
+                    }
+                }
+            }
+        }
+
+        let outcome = run_shards_until_quiet(engines, lookahead, quiet, deadline);
+
+        // ---- Join: merge shard state back into the serial world. ----
+        let mut shard_models: Vec<Box<dyn WorkModel>> = Vec::with_capacity(k);
+        let mut crashes: Vec<(SimTime, DeviceId)> = Vec::new();
+        let mut responses: Vec<(DeviceId, MgmtResponse)> = Vec::new();
+        let mut remaining: Vec<(SimTime, HarnessEvent)> = Vec::new();
+        for (s, mut eng) in outcome.shards.into_iter().enumerate() {
+            let drained = eng.drain_pending();
+            let mut sw = eng.world;
+            let world = &mut self.engine.world;
+            for &dev in &partition.shards[s] {
+                let i = dev.index();
+                world.oses[i] = sw.oses[i].take();
+                world.booted[i] = sw.booted[i];
+                world.dev_key_seq[i] = sw.dev_key_seq[i];
+                if let Some(ops) = sw.route_ops_by_dev.get(&dev) {
+                    *world.route_ops_by_dev.entry(dev).or_insert(0) += ops;
+                }
+            }
+            world.route_ops_total += sw.route_ops_total;
+            world.last_route_activity = world.last_route_activity.max(sw.last_route_activity);
+            // Every shard replayed the same link-state history.
+            world.link_up = sw.link_up;
+            crashes.extend(sw.crashes);
+            responses.extend(sw.mgmt_responses);
+            // Broadcast events survive in every shard queue; keep one copy.
+            for (t, ev) in drained {
+                if s == 0 || ev.target_device().is_some() {
+                    remaining.push((t, ev));
+                }
+            }
+            shard_models.push(sw.work);
+        }
+        crashes.sort_by_key(|&(t, d)| (t, d.0));
+        self.engine.world.crashes.extend(crashes);
+        responses.sort_by_key(|r| (r.0).0);
+        self.engine.world.mgmt_responses.extend(responses);
+
+        // Fast-forward the serial clock, then restore surviving events
+        // (far-future timers and the like) and their causal accounting.
+        self.engine.advance_clock_to(outcome.clock);
+        remaining.sort_by_key(|(t, ev)| (*t, ev.key));
+        let mut causal = 0u64;
+        for (t, ev) in remaining {
+            causal += u64::from(ev.is_causal());
+            self.engine.schedule_event_at(t, ev);
+        }
+        self.engine.world.causal_pending = causal;
+
+        (outcome.converged_at, shard_models)
     }
 
     /// The FIB of `dev`.
@@ -379,7 +775,7 @@ impl ControlPlaneSim {
 }
 
 /// Core dispatcher: feeds `event` to `dev`'s OS and schedules the actions.
-fn dispatch(e: &mut Engine<ControlPlaneWorld>, dev: DeviceId, event: OsEvent) {
+fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
     let now = e.now();
     let idx = dev.index();
     let actions: OsActions = {
@@ -413,9 +809,14 @@ fn dispatch(e: &mut Engine<ControlPlaneWorld>, dev: DeviceId, event: OsEvent) {
         e.world.mgmt_responses.push((dev, resp));
     }
     for (delay, kind) in actions.timers {
-        e.schedule_at(done + delay, move |e| {
-            dispatch(e, dev, OsEvent::Timer(kind));
-        });
+        let key = e.world.device_key(dev);
+        e.schedule_event_at(
+            done + delay,
+            HarnessEvent {
+                key,
+                kind: HarnessEventKind::Timer(dev, kind),
+            },
+        );
     }
     for (iface, frame) in actions.out {
         let Some(Some(adj)) = e.world.adjacency[idx].get(iface as usize) else {
@@ -426,21 +827,30 @@ fn dispatch(e: &mut Engine<ControlPlaneWorld>, dev: DeviceId, event: OsEvent) {
             continue;
         }
         let arrive = done + e.world.work.link_delay(link, done);
-        e.world.causal_pending += 1;
-        e.schedule_at(arrive, move |e| {
-            e.world.causal_pending -= 1;
-            // Re-check link state at delivery time.
-            if e.world.link_up.get(&link).copied().unwrap_or(false) {
-                dispatch(
-                    e,
-                    rdev,
-                    OsEvent::Frame {
-                        iface: riface,
-                        frame,
-                    },
-                );
+        // Keyed by the *sender*: the key travels with the frame, so a
+        // cross-shard delivery merges into the receiver's queue at exactly
+        // the position the serial engine would have given it.
+        let key = e.world.device_key(dev);
+        let ev = HarnessEvent {
+            key,
+            kind: HarnessEventKind::Deliver {
+                dev: rdev,
+                iface: riface,
+                frame,
+                link,
+            },
+        };
+        if let Some(route) = &mut e.world.shard_route {
+            let dest = route.shard_of[rdev.index()];
+            if dest != route.self_shard {
+                // The receiving shard accounts for the causal unit when
+                // it enqueues the envelope at the next window barrier.
+                route.outbox.push((dest, arrive, ev));
+                continue;
             }
-        });
+        }
+        e.world.causal_pending += 1;
+        e.schedule_event_at(arrive, ev);
     }
 }
 

@@ -126,7 +126,11 @@ impl OsActions {
 }
 
 /// A bootable firmware image instance.
-pub trait DeviceOs {
+///
+/// `Send` so the parallel executor can move a device's OS (with its shard)
+/// onto a worker thread; implementations hold only owned state and
+/// `Arc`-shared immutable data.
+pub trait DeviceOs: Send {
     /// Handles one event, returning the side effects.
     fn handle(&mut self, now: SimTime, event: OsEvent) -> OsActions;
 

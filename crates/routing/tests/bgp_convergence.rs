@@ -346,9 +346,9 @@ fn case2_dev_build_crashes_after_session_flaps() {
     let ep = ControlPlaneSim::link_endpoints(&f.topo, lid);
     let mut t = t0;
     for _ in 0..3 {
-        t = t + SimDuration::from_secs(30);
+        t += SimDuration::from_secs(30);
         sim.link_down(ep, t);
-        t = t + SimDuration::from_secs(30);
+        t += SimDuration::from_secs(30);
         sim.link_up(ep, t);
         sim.run_until_quiet(SimDuration::from_secs(5), t + SimDuration::from_mins(30))
             .unwrap();
@@ -363,9 +363,9 @@ fn case2_dev_build_crashes_after_session_flaps() {
     let t0 = converge(&mut sim2);
     let mut t = t0;
     for _ in 0..3 {
-        t = t + SimDuration::from_secs(30);
+        t += SimDuration::from_secs(30);
         sim2.link_down(ep, t);
-        t = t + SimDuration::from_secs(30);
+        t += SimDuration::from_secs(30);
         sim2.link_up(ep, t);
         sim2.run_until_quiet(SimDuration::from_secs(5), t + SimDuration::from_mins(30))
             .unwrap();

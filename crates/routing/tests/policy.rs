@@ -3,7 +3,13 @@
 //! machinery that CrystalNet loads from production configs.
 
 use crystalnet_config::{
-    generate_device, Action, PrefixList, PrefixListEntry, RouteMap, RouteMapEntry, RouteMatch,
+    generate_device,
+    Action,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapEntry,
+    RouteMatch,
     RouteSet, //
 };
 use crystalnet_net::fixtures::fig7;

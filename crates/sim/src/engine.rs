@@ -1,42 +1,230 @@
 //! The discrete-event engine.
 //!
-//! The engine owns a user-defined *world* (`W`) and a priority queue of
-//! events. Each event is a one-shot closure receiving `&mut Engine<W>`, so
-//! handlers can both mutate the world and schedule follow-up events.
+//! The engine owns a user-defined *world* (`W`) and a pending-event queue.
+//! Events are values implementing [`EventFire`]; firing an event hands it
+//! `&mut Engine` so handlers can both mutate the world and schedule
+//! follow-up events. The default event type, [`ClosureEvent`], wraps a
+//! one-shot boxed closure, so `Engine<W>` keeps the original
+//! closure-scheduling API. Performance-critical simulations (the routing
+//! harness) instead use a typed event enum, avoiding the per-event heap
+//! allocation and dynamic dispatch.
 //!
-//! Determinism: events are ordered by `(time, sequence-number)`, where the
-//! sequence number is assigned at scheduling time. Two runs that schedule
-//! the same events in the same order observe identical executions — this is
-//! load-bearing for CrystalNet's reproducible Figure 8/9 measurements and is
-//! covered by the determinism tests below.
+//! # Queue
+//!
+//! The queue is a bucketed *calendar queue*: near-future events land in a
+//! ring of fixed-width time buckets (unsorted `Vec`s, heapified only when
+//! their bucket becomes current), far-future events overflow into a binary
+//! heap. Scheduling into the ring is an O(1) `Vec::push` instead of an
+//! O(log n) heap sift, which matters because the control-plane harness
+//! schedules one delivery per BGP frame.
+//!
+//! # Determinism
+//!
+//! Events fire ordered by `(time, key, seq)`: virtual time first, then the
+//! event's own [`EventFire::key`], then scheduling order. `ClosureEvent`
+//! returns a constant key, so closure engines order ties purely by
+//! scheduling sequence — the original engine contract. Typed events can
+//! supply a *content-derived* key (e.g. source device and per-source
+//! counter), making tie order independent of scheduling interleave; this is
+//! what lets the parallel executor replay the serial order bit-for-bit.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// A one-shot event handler.
+/// A one-shot boxed event handler (the default engine event payload).
 pub type Event<W> = Box<dyn FnOnce(&mut Engine<W>)>;
 
-struct Scheduled<W> {
-    time: SimTime,
-    seq: u64,
-    event: Event<W>,
-}
+/// A schedulable event: fired once at its due time.
+pub trait EventFire<W>: Sized {
+    /// Consumes the event, mutating the engine/world.
+    fn fire(self, engine: &mut Engine<W, Self>);
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+    /// Deterministic tie-break key among events due at the same time.
+    ///
+    /// Lower keys fire first; equal keys fall back to scheduling order.
+    /// Return a content-derived key to make tie order independent of the
+    /// order in which events were scheduled.
+    fn key(&self) -> u64 {
+        0
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+
+/// The default event type: a boxed `FnOnce` closure.
+pub struct ClosureEvent<W>(Event<W>);
+
+impl<W> ClosureEvent<W> {
+    /// Wraps a closure as an event.
+    pub fn new(f: impl FnOnce(&mut Engine<W>) + 'static) -> Self {
+        ClosureEvent(Box::new(f))
+    }
+}
+
+impl<W> EventFire<W> for ClosureEvent<W> {
+    fn fire(self, engine: &mut Engine<W, Self>) {
+        (self.0)(engine)
+    }
+}
+
+struct Scheduled<E> {
+    time: SimTime,
+    key: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> Scheduled<E> {
+    fn rank(&self) -> (SimTime, u64, u64) {
+        (self.time, self.key, self.seq)
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        self.rank().cmp(&other.rank())
+    }
+}
+
+/// Width of one calendar bucket. 64 µs spans a handful of link latencies,
+/// so the bulk of in-flight control-plane frames land in the ring.
+const BUCKET_WIDTH_NANOS: u64 = 64_000;
+/// Ring length (buckets). Horizon = width × len ≈ 65 ms; protocol timers
+/// (boot, MRAI, hold) overflow to the heap, which is fine — they are rare
+/// relative to frame deliveries.
+const RING_LEN: usize = 1024;
+
+/// Calendar queue: current-bucket heap + future ring + far-future heap.
+struct CalendarQueue<E> {
+    /// Events in buckets `<= cur_bucket`, fully ordered.
+    current: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Unsorted buckets for `(cur_bucket, cur_bucket + RING_LEN]`, indexed
+    /// by absolute bucket number mod `RING_LEN`.
+    ring: Vec<Vec<Scheduled<E>>>,
+    /// Number of events stored in the ring.
+    ring_count: usize,
+    /// Events in buckets beyond the ring horizon.
+    overflow: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Absolute index of the bucket currently feeding `current`.
+    cur_bucket: u64,
+}
+
+#[inline]
+fn bucket_of(time: SimTime) -> u64 {
+    time.as_nanos() / BUCKET_WIDTH_NANOS
+}
+
+impl<E> CalendarQueue<E> {
+    fn new() -> Self {
+        CalendarQueue {
+            current: BinaryHeap::new(),
+            ring: (0..RING_LEN).map(|_| Vec::new()).collect(),
+            ring_count: 0,
+            overflow: BinaryHeap::new(),
+            cur_bucket: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.current.len() + self.ring_count + self.overflow.len()
+    }
+
+    fn push(&mut self, s: Scheduled<E>) {
+        let b = bucket_of(s.time);
+        if b <= self.cur_bucket {
+            self.current.push(Reverse(s));
+        } else if b <= self.cur_bucket + RING_LEN as u64 {
+            self.ring[(b % RING_LEN as u64) as usize].push(s);
+            self.ring_count += 1;
+        } else {
+            self.overflow.push(Reverse(s));
+        }
+    }
+
+    /// Moves the contents of bucket `b` (ring slot and due overflow
+    /// entries) into `current` and makes it the current bucket.
+    fn advance_to(&mut self, b: u64) {
+        debug_assert!(b > self.cur_bucket);
+        self.cur_bucket = b;
+        let slot = &mut self.ring[(b % RING_LEN as u64) as usize];
+        self.ring_count -= slot.len();
+        for s in slot.drain(..) {
+            debug_assert_eq!(bucket_of(s.time), b);
+            self.current.push(Reverse(s));
+        }
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if bucket_of(head.time) > b {
+                break;
+            }
+            let Reverse(s) = self.overflow.pop().expect("peeked entry exists");
+            self.current.push(Reverse(s));
+        }
+    }
+
+    /// Absolute bucket of the earliest pending event outside `current`.
+    fn next_bucket(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        if self.ring_count > 0 {
+            for delta in 1..=RING_LEN as u64 {
+                let b = self.cur_bucket + delta;
+                if !self.ring[(b % RING_LEN as u64) as usize].is_empty() {
+                    best = Some(b);
+                    break;
+                }
+            }
+        }
+        if let Some(Reverse(head)) = self.overflow.peek() {
+            let ob = bucket_of(head.time);
+            best = Some(best.map_or(ob, |rb| rb.min(ob)));
+        }
+        best
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.current.is_empty() {
+            let b = self.next_bucket()?;
+            self.advance_to(b);
+        }
+        self.current.pop().map(|Reverse(s)| s)
+    }
+
+    /// Time of the earliest pending event without popping it.
+    fn peek_time(&self) -> Option<SimTime> {
+        self.peek_rank().map(|(t, _)| t)
+    }
+
+    /// `(time, key)` of the earliest pending event (lexicographic min)
+    /// without popping it.
+    fn peek_rank(&self) -> Option<(SimTime, u64)> {
+        if let Some(Reverse(head)) = self.current.peek() {
+            // Ring/overflow events live in later buckets, hence later
+            // times; the heap head minimizes (time, key, seq).
+            return Some((head.time, head.key));
+        }
+        let b = self.next_bucket()?;
+        let slot = &self.ring[(b % RING_LEN as u64) as usize];
+        let mut best: Option<(SimTime, u64)> = slot
+            .iter()
+            .filter(|s| bucket_of(s.time) == b)
+            .map(|s| (s.time, s.key))
+            .min();
+        if let Some(Reverse(head)) = self.overflow.peek() {
+            if bucket_of(head.time) <= b {
+                let rank = (head.time, head.key);
+                best = Some(best.map_or(rank, |r| r.min(rank)));
+            }
+        }
+        best
     }
 }
 
@@ -54,23 +242,23 @@ impl<W> Ord for Scheduled<W> {
 /// assert_eq!(engine.world, 11);
 /// assert_eq!(engine.now().as_secs_f64(), 2.0);
 /// ```
-pub struct Engine<W> {
+pub struct Engine<W, E = ClosureEvent<W>> {
     clock: SimTime,
     seq: u64,
     executed: u64,
-    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    queue: CalendarQueue<E>,
     /// The simulated world mutated by events.
     pub world: W,
 }
 
-impl<W> Engine<W> {
+impl<W, E: EventFire<W>> Engine<W, E> {
     /// Creates an engine at `t = 0` owning `world`.
     pub fn new(world: W) -> Self {
         Engine {
             clock: SimTime::ZERO,
             seq: 0,
             executed: 0,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             world,
         }
     }
@@ -93,38 +281,35 @@ impl<W> Engine<W> {
         self.queue.len()
     }
 
-    /// Schedules `event` at absolute time `at`.
+    /// Schedules a typed event at absolute time `at`.
     ///
-    /// Events scheduled in the past run at the current time (the clock never
-    /// moves backwards); ties run in scheduling order.
-    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut Engine<W>) + 'static) {
+    /// Events scheduled in the past run at the current time (the clock
+    /// never moves backwards); ties order by `(key, scheduling order)`.
+    pub fn schedule_event_at(&mut self, at: SimTime, event: E) {
         let time = at.max(self.clock);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
+        self.queue.push(Scheduled {
             time,
+            key: event.key(),
             seq,
-            event: Box::new(event),
-        }));
+            event,
+        });
     }
 
-    /// Schedules `event` after `delay` from the current time.
-    pub fn schedule_after(
-        &mut self,
-        delay: SimDuration,
-        event: impl FnOnce(&mut Engine<W>) + 'static,
-    ) {
-        self.schedule_at(self.clock + delay, event);
+    /// Schedules a typed event after `delay` from the current time.
+    pub fn schedule_event_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_event_at(self.clock + delay, event);
     }
 
     /// Runs a single event if one is pending. Returns whether an event ran.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some(Reverse(s)) => {
+            Some(s) => {
                 debug_assert!(s.time >= self.clock, "event queue went backwards");
                 self.clock = s.time;
                 self.executed += 1;
-                (s.event)(self);
+                s.event.fire(self);
                 true
             }
             None => false,
@@ -139,8 +324,8 @@ impl<W> Engine<W> {
     /// Runs events with `time <= deadline`; then advances the clock to
     /// `deadline` (even if idle earlier), leaving later events queued.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > deadline {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
                 break;
             }
             self.step();
@@ -150,7 +335,7 @@ impl<W> Engine<W> {
 
     /// Runs until `predicate` returns true (checked after every event) or
     /// the queue drains. Returns whether the predicate was satisfied.
-    pub fn run_while(&mut self, mut predicate: impl FnMut(&Engine<W>) -> bool) -> bool {
+    pub fn run_while(&mut self, mut predicate: impl FnMut(&Engine<W, E>) -> bool) -> bool {
         loop {
             if predicate(self) {
                 return true;
@@ -164,7 +349,58 @@ impl<W> Engine<W> {
     /// Time of the next pending event, if any.
     #[must_use]
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(s)| s.time)
+        self.queue.peek_time()
+    }
+
+    /// `(time, key)` of the next pending event, if any. The parallel
+    /// coordinator uses the key to locate the globally minimal event when
+    /// it has to single-step across shards.
+    #[must_use]
+    pub fn next_event_rank(&self) -> Option<(SimTime, u64)> {
+        self.queue.peek_rank()
+    }
+
+    /// Removes and returns every pending event in `(time, key, seq)`
+    /// order, without firing them. The clock is unchanged.
+    ///
+    /// The parallel executor uses this to fork a serial engine's queue
+    /// across shards and to collect survivors when joining back.
+    pub fn drain_pending(&mut self) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(s) = self.queue.pop() {
+            out.push((s.time, s.event));
+        }
+        out
+    }
+
+    /// Advances the clock to `t` (no-op if already later) without running
+    /// anything. Callers must not skip past pending events; debug builds
+    /// assert this.
+    pub fn advance_clock_to(&mut self, t: SimTime) {
+        debug_assert!(
+            self.queue.peek_time().is_none_or(|n| n >= t),
+            "advance_clock_to would skip pending events"
+        );
+        self.clock = self.clock.max(t);
+    }
+}
+
+impl<W> Engine<W, ClosureEvent<W>> {
+    /// Schedules a closure at absolute time `at`.
+    ///
+    /// Events scheduled in the past run at the current time (the clock never
+    /// moves backwards); ties run in scheduling order.
+    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut Engine<W>) + 'static) {
+        self.schedule_event_at(at, ClosureEvent::new(event));
+    }
+
+    /// Schedules a closure after `delay` from the current time.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut Engine<W>) + 'static,
+    ) {
+        self.schedule_event_after(delay, ClosureEvent::new(event));
     }
 }
 
@@ -250,9 +486,68 @@ mod tests {
 
     #[test]
     fn empty_engine_is_idle() {
-        let mut e = Engine::new(());
+        let mut e: Engine<()> = Engine::new(());
         assert!(!e.step());
         assert_eq!(e.next_event_time(), None);
         assert_eq!(e.events_executed(), 0);
+    }
+
+    /// A typed event whose key reverses fire order relative to scheduling.
+    struct Keyed(u64);
+    impl EventFire<Vec<u64>> for Keyed {
+        fn fire(self, e: &mut Engine<Vec<u64>, Keyed>) {
+            e.world.push(self.0);
+        }
+        fn key(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn typed_events_tie_break_by_key_not_schedule_order() {
+        let mut e: Engine<Vec<u64>, Keyed> = Engine::new(Vec::new());
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        for k in [5u64, 1, 9, 3, 7] {
+            e.schedule_event_at(t, Keyed(k));
+        }
+        e.run();
+        assert_eq!(e.world, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn calendar_queue_handles_ring_wrap_and_overflow() {
+        // Spread events far past the ring horizon (64 µs × 1024 ≈ 65 ms)
+        // and interleave near/far scheduling from inside handlers.
+        let mut e = Engine::new(Vec::new());
+        for i in (0..200u64).rev() {
+            let t = SimTime::ZERO + SimDuration::from_micros(i * 997);
+            e.schedule_at(t, move |e| e.world.push(t));
+        }
+        // Far-future overflow events (seconds out).
+        for i in 0..20u64 {
+            let t = SimTime::ZERO + SimDuration::from_secs(i + 1);
+            e.schedule_at(t, move |e| e.world.push(t));
+        }
+        e.run();
+        assert_eq!(e.world.len(), 220);
+        assert!(e.world.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(e.events_pending(), 0);
+    }
+
+    #[test]
+    fn next_event_time_sees_ring_and_overflow() {
+        let mut e: Engine<()> = Engine::new(());
+        e.schedule_at(SimTime::ZERO + SimDuration::from_secs(30), |_| {});
+        assert_eq!(
+            e.next_event_time(),
+            Some(SimTime::ZERO + SimDuration::from_secs(30))
+        );
+        e.schedule_at(SimTime::ZERO + SimDuration::from_micros(100), |_| {});
+        assert_eq!(
+            e.next_event_time(),
+            Some(SimTime::ZERO + SimDuration::from_micros(100))
+        );
+        e.run();
+        assert_eq!(e.next_event_time(), None);
     }
 }

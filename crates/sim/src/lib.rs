@@ -18,11 +18,13 @@
 pub mod cpu;
 pub mod engine;
 pub mod metrics;
+pub mod parallel;
 pub mod rng;
 pub mod time;
 
 pub use cpu::{CpuServer, UtilizationTracker};
-pub use engine::{Engine, Event};
+pub use engine::{ClosureEvent, Engine, Event, EventFire};
 pub use metrics::{LatencySummary, Series};
+pub use parallel::{run_shards_until_quiet, ParallelOutcome, ParallelWorld};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,526 @@
+//! Conservative windowed parallel execution over sharded engines.
+//!
+//! The serial [`Engine`] steps one event at a time in `(time, key, seq)`
+//! order. This module runs *several* engines — shards of one logical
+//! simulation — on worker threads, synchronizing only at virtual-time
+//! window barriers. The scheme is classic conservative (Chandy–Misra-style)
+//! lookahead: if every cross-shard interaction scheduled at time `t`
+//! arrives at its destination no earlier than `t + lookahead`, then every
+//! shard may safely execute all events in `[w, w + lookahead)` without
+//! hearing from its peers, where `w` is the *global* minimum pending-event
+//! time. Cross-shard events produced inside the window are exchanged at
+//! the barrier and enqueued before the next window is computed.
+//!
+//! # Determinism contract
+//!
+//! The executor is *bit-identical* to serial execution provided the world
+//! meets two obligations:
+//!
+//! 1. **Total event order.** Same-time events must be totally ordered by
+//!    [`EventFire::key`] — keys must be globally unique per (time, event)
+//!    (events deliberately replicated onto several shards share a key and
+//!    count as one logical event). Cross-shard envelopes are sorted by
+//!    `(time, key)` before enqueueing, so the receiver replays them at
+//!    exactly the serial position regardless of which barrier round
+//!    delivered them.
+//! 2. **Honest lookahead.** No event handler may cause an effect on
+//!    another shard earlier than `now + lookahead`. The caller computes
+//!    `lookahead` from the model (e.g. the minimum cut-link latency).
+//!
+//! The serial quiescence loop re-evaluates its stop predicate *between
+//! every two events*, so windows are additionally clipped at the quiet
+//! horizon (`last + quiet`) and at `deadline`: no event the serial loop
+//! would have left unfired is ever fired here. Past the quiet horizon
+//! (e.g. a scripted link flap long after convergence) the coordinator
+//! degrades to lock-step single-stepping of the globally minimal event
+//! until activity resumes — rare, transient, and exact.
+//!
+//! Worker threads communicate over `crossbeam` channels: the coordinator
+//! broadcasts `Run { end }` commands carrying each shard's inbox, workers
+//! reply with a status (queue head, quiescence counters) plus their
+//! outbox of cross-shard envelopes.
+
+use crate::engine::{Engine, EventFire};
+use crate::time::{SimDuration, SimTime};
+use crossbeam::channel::{self, Sender};
+
+/// World-side hooks the parallel executor needs from a shard.
+///
+/// A shard world is a replica of the full simulation state that *owns* a
+/// subset of the actors; events for non-owned actors are routed to the
+/// owning shard through the outbox instead of the local queue.
+pub trait ParallelWorld: Send + Sized {
+    /// The event type shards exchange.
+    type Ev: EventFire<Self> + Send;
+
+    /// Drains the cross-shard envelopes emitted since the last barrier:
+    /// `(destination shard, due time, event)`.
+    fn take_outbox(&mut self) -> Vec<(usize, SimTime, Self::Ev)>;
+
+    /// Accounting hook invoked for each incoming envelope just before it
+    /// is enqueued locally (e.g. bump a causal-pending counter).
+    fn accept_remote(&mut self, ev: &Self::Ev);
+
+    /// Whether `ev` can still trigger activity (counts against global
+    /// quiescence). Pure self-rearming timers return `false`.
+    fn is_causal(ev: &Self::Ev) -> bool;
+
+    /// Number of locally queued events that can still trigger activity.
+    fn causal_pending(&self) -> u64;
+
+    /// Completion time of the last activity on this shard.
+    fn last_activity(&self) -> SimTime;
+}
+
+/// Result of a parallel run: the verdict plus the shard engines for the
+/// caller to merge back into its serial representation.
+pub struct ParallelOutcome<W: ParallelWorld> {
+    /// The quiescence instant (max [`ParallelWorld::last_activity`]), or
+    /// `None` on deadline overrun — mirroring the serial convergence loop.
+    pub converged_at: Option<SimTime>,
+    /// The furthest virtual time any shard reached.
+    pub clock: SimTime,
+    /// The shard engines, in input order, with undelivered envelopes
+    /// already re-enqueued on their destination shard.
+    pub shards: Vec<Engine<W, W::Ev>>,
+}
+
+/// Coordinator → worker commands.
+enum Cmd<E> {
+    /// Enqueue `inbox`, run all local events with `time < end`, report.
+    Run {
+        end: SimTime,
+        inbox: Vec<(SimTime, E)>,
+    },
+    /// Fire exactly one event (lock-step mode past the quiet horizon).
+    StepOne,
+    /// Enqueue `inbox` and return the engine to the coordinator.
+    Finish { inbox: Vec<(SimTime, E)> },
+}
+
+/// Worker → coordinator status, sent once at startup and after every
+/// window.
+struct Status<E> {
+    shard: usize,
+    next: Option<(SimTime, u64)>,
+    causal: u64,
+    last: SimTime,
+    clock: SimTime,
+    outbox: Vec<(usize, SimTime, E)>,
+}
+
+fn status_of<W: ParallelWorld>(
+    shard: usize,
+    eng: &Engine<W, W::Ev>,
+    outbox: Vec<(usize, SimTime, W::Ev)>,
+) -> Status<W::Ev> {
+    Status {
+        shard,
+        next: eng.next_event_rank(),
+        causal: eng.world.causal_pending(),
+        last: eng.world.last_activity(),
+        clock: eng.now(),
+        outbox,
+    }
+}
+
+/// Enqueues cross-shard envelopes in deterministic `(time, key)` order.
+fn enqueue<W: ParallelWorld>(eng: &mut Engine<W, W::Ev>, mut inbox: Vec<(SimTime, W::Ev)>) {
+    inbox.sort_by_key(|(t, ev)| (*t, ev.key()));
+    for (t, ev) in inbox {
+        eng.world.accept_remote(&ev);
+        eng.schedule_event_at(t, ev);
+    }
+}
+
+/// Runs sharded engines until global quiescence: no causal events remain
+/// and the next pending event (anywhere) lies more than `quiet` past the
+/// last activity. Returns `converged_at = None` if quiescence is not
+/// reached by `deadline`.
+///
+/// `lookahead` is the conservative bound on cross-shard effect latency;
+/// it is clamped to at least 1 ns (a degenerate but correct serial-ish
+/// schedule).
+///
+/// # Panics
+///
+/// Panics if `shards` is empty or a worker thread panics (e.g. an event
+/// handler panicked).
+pub fn run_shards_until_quiet<W: ParallelWorld>(
+    shards: Vec<Engine<W, W::Ev>>,
+    lookahead: SimDuration,
+    quiet: SimDuration,
+    deadline: SimTime,
+) -> ParallelOutcome<W> {
+    let k = shards.len();
+    assert!(k > 0, "at least one shard required");
+    let lookahead = SimDuration::from_nanos(lookahead.as_nanos().max(1));
+
+    std::thread::scope(|scope| {
+        let (stx, srx) = channel::unbounded::<Status<W::Ev>>();
+        let mut txs: Vec<Sender<Cmd<W::Ev>>> = Vec::with_capacity(k);
+        let mut handles = Vec::with_capacity(k);
+        for (i, mut eng) in shards.into_iter().enumerate() {
+            let (tx, rx) = channel::unbounded::<Cmd<W::Ev>>();
+            txs.push(tx);
+            let stx = stx.clone();
+            handles.push(scope.spawn(move || {
+                // Initial status so the coordinator sees the starting
+                // queue before the first window.
+                stx.send(status_of(i, &eng, Vec::new())).ok();
+                loop {
+                    match rx.recv().expect("coordinator hung up") {
+                        Cmd::Run { end, inbox } => {
+                            enqueue(&mut eng, inbox);
+                            while let Some(t) = eng.next_event_time() {
+                                if t >= end {
+                                    break;
+                                }
+                                eng.step();
+                            }
+                            let outbox = eng.world.take_outbox();
+                            stx.send(status_of(i, &eng, outbox)).ok();
+                        }
+                        Cmd::StepOne => {
+                            eng.step();
+                            let outbox = eng.world.take_outbox();
+                            stx.send(status_of(i, &eng, outbox)).ok();
+                        }
+                        Cmd::Finish { inbox } => {
+                            enqueue(&mut eng, inbox);
+                            return eng;
+                        }
+                    }
+                }
+            }));
+        }
+        drop(stx);
+
+        let mut stats: Vec<Option<Status<W::Ev>>> = (0..k).map(|_| None).collect();
+        // Cross-shard envelopes awaiting delivery, per destination.
+        let mut inflight: Vec<Vec<(SimTime, W::Ev)>> = (0..k).map(|_| Vec::new()).collect();
+        let collect = |stats: &mut Vec<Option<Status<W::Ev>>>,
+                       inflight: &mut Vec<Vec<(SimTime, W::Ev)>>,
+                       expected: usize| {
+            for _ in 0..expected {
+                let mut st = srx.recv().expect("worker died");
+                for (dest, t, ev) in st.outbox.drain(..) {
+                    inflight[dest].push((t, ev));
+                }
+                let shard = st.shard;
+                stats[shard] = Some(st);
+            }
+        };
+        collect(&mut stats, &mut inflight, k);
+
+        let epsilon = SimDuration::from_nanos(1);
+        let converged_at;
+        loop {
+            // Global view: shard queues plus in-flight envelopes.
+            let mut next: Option<(SimTime, u64)> = None;
+            let mut causal: u64 = 0;
+            let mut last = SimTime::ZERO;
+            for st in stats.iter().flatten() {
+                if let Some(rank) = st.next {
+                    next = Some(next.map_or(rank, |n| n.min(rank)));
+                }
+                causal += st.causal;
+                last = last.max(st.last);
+            }
+            for (t, ev) in inflight.iter().flatten() {
+                let rank = (*t, ev.key());
+                next = Some(next.map_or(rank, |n| n.min(rank)));
+                causal += u64::from(W::is_causal(ev));
+            }
+            match next {
+                // Nothing left anywhere: quiesced (mirrors the serial
+                // loop's empty-queue arm).
+                None => {
+                    converged_at = Some(last);
+                    break;
+                }
+                // Only acausal work remains and it lies beyond the quiet
+                // horizon.
+                Some((t, _)) if causal == 0 && t > last + quiet => {
+                    converged_at = Some(last);
+                    break;
+                }
+                // Past the quiet horizon (scripted far-future events) or
+                // past the deadline, the serial loop re-arms its predicate
+                // between every two events, so no window is safe: fire
+                // exactly the globally minimal event, lock-step. A key
+                // replicated across shards is one logical event — step
+                // every holder.
+                Some((t, key)) if t > deadline || t > last + quiet => {
+                    if inflight.iter().any(|v| !v.is_empty()) {
+                        // Deliver envelopes first: the minimal event may
+                        // still be in flight. `end = t` fires nothing.
+                        for (i, tx) in txs.iter().enumerate() {
+                            tx.send(Cmd::Run {
+                                end: t,
+                                inbox: std::mem::take(&mut inflight[i]),
+                            })
+                            .expect("worker died");
+                        }
+                        collect(&mut stats, &mut inflight, k);
+                        continue;
+                    }
+                    let holders: Vec<usize> = stats
+                        .iter()
+                        .flatten()
+                        .filter(|st| st.next == Some((t, key)))
+                        .map(|st| st.shard)
+                        .collect();
+                    for &i in &holders {
+                        txs[i].send(Cmd::StepOne).expect("worker died");
+                    }
+                    collect(&mut stats, &mut inflight, holders.len());
+                    if t > deadline {
+                        // The serial loop fires the first over-deadline
+                        // event, then gives up; so do we.
+                        converged_at = None;
+                        break;
+                    }
+                }
+                Some((t, _)) => {
+                    // Conservative window, clipped so no event the serial
+                    // loop would re-check its predicate *before* can fire:
+                    // the quiet horizon and the deadline are both
+                    // predicate edges.
+                    let end = (t + lookahead)
+                        .min(last + quiet + epsilon)
+                        .min(deadline + epsilon);
+                    for (i, tx) in txs.iter().enumerate() {
+                        tx.send(Cmd::Run {
+                            end,
+                            inbox: std::mem::take(&mut inflight[i]),
+                        })
+                        .expect("worker died");
+                    }
+                    collect(&mut stats, &mut inflight, k);
+                }
+            }
+        }
+
+        let clock = stats
+            .iter()
+            .flatten()
+            .map(|st| st.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        for (i, tx) in txs.iter().enumerate() {
+            tx.send(Cmd::Finish {
+                inbox: std::mem::take(&mut inflight[i]),
+            })
+            .expect("worker died");
+        }
+        let shards = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        ParallelOutcome {
+            converged_at,
+            clock,
+            shards,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy world: shards relay a ping back and forth; each hop is causal
+    /// work 10 µs after the previous one.
+    struct Relay {
+        id: usize,
+        hops_seen: Vec<u64>,
+        outbox: Vec<(usize, SimTime, Ping)>,
+        causal: u64,
+        last: SimTime,
+    }
+
+    struct Ping {
+        key: u64,
+        hops_left: u64,
+    }
+
+    const HOP: SimDuration = SimDuration::from_micros(10);
+
+    impl EventFire<Relay> for Ping {
+        fn key(&self) -> u64 {
+            self.key
+        }
+        fn fire(self, e: &mut Engine<Relay, Ping>) {
+            e.world.causal -= 1;
+            e.world.last = e.now();
+            e.world.hops_seen.push(self.hops_left);
+            if self.hops_left > 0 {
+                let dest = 1 - e.world.id;
+                let next = Ping {
+                    key: self.key + 1,
+                    hops_left: self.hops_left - 1,
+                };
+                e.world.outbox.push((dest, e.now() + HOP, next));
+            }
+        }
+    }
+
+    impl ParallelWorld for Relay {
+        type Ev = Ping;
+        fn take_outbox(&mut self) -> Vec<(usize, SimTime, Ping)> {
+            std::mem::take(&mut self.outbox)
+        }
+        fn accept_remote(&mut self, _ev: &Ping) {
+            self.causal += 1;
+        }
+        fn is_causal(_ev: &Ping) -> bool {
+            true
+        }
+        fn causal_pending(&self) -> u64 {
+            self.causal
+        }
+        fn last_activity(&self) -> SimTime {
+            self.last
+        }
+    }
+
+    fn relay(id: usize) -> Engine<Relay, Ping> {
+        Engine::new(Relay {
+            id,
+            hops_seen: Vec::new(),
+            outbox: Vec::new(),
+            causal: 0,
+            last: SimTime::ZERO,
+        })
+    }
+
+    #[test]
+    fn ping_pong_converges_at_last_hop() {
+        let mut a = relay(0);
+        let b = relay(1);
+        a.world.causal += 1;
+        a.schedule_event_at(
+            SimTime::ZERO + HOP,
+            Ping {
+                key: 1,
+                hops_left: 100,
+            },
+        );
+        let out = run_shards_until_quiet(
+            vec![a, b],
+            HOP,
+            SimDuration::from_millis(1),
+            SimTime::ZERO + SimDuration::from_secs(10),
+        );
+        // Hop i fires at (i + 1) × 10 µs; the last at 101 × 10 µs.
+        assert_eq!(out.converged_at, Some(SimTime::ZERO + HOP * 101));
+        assert_eq!(out.clock, SimTime::ZERO + HOP * 101);
+        let total: usize = out.shards.iter().map(|s| s.world.hops_seen.len()).sum();
+        assert_eq!(total, 101);
+        // Even hops land on shard 0, odd on shard 1, in descending order.
+        assert!(out.shards[0].world.hops_seen.iter().all(|h| h % 2 == 0));
+        assert!(out.shards[1].world.hops_seen.iter().all(|h| h % 2 == 1));
+        for s in &out.shards {
+            assert!(s.world.hops_seen.windows(2).all(|w| w[0] > w[1]));
+            assert_eq!(s.world.causal_pending(), 0);
+        }
+    }
+
+    #[test]
+    fn deadline_overrun_reports_none() {
+        let mut a = relay(0);
+        let b = relay(1);
+        a.world.causal += 1;
+        a.schedule_event_at(
+            SimTime::ZERO + HOP,
+            Ping {
+                key: 1,
+                hops_left: 1_000,
+            },
+        );
+        let out = run_shards_until_quiet(
+            vec![a, b],
+            HOP,
+            SimDuration::from_millis(1),
+            SimTime::ZERO + HOP * 10,
+        );
+        assert_eq!(out.converged_at, None);
+        // Like the serial loop, exactly one over-deadline event fired
+        // (hops at 10..=100 µs within the deadline, plus the one at
+        // 110 µs), and its follow-up envelope was requeued, not lost.
+        let fired: usize = out.shards.iter().map(|s| s.world.hops_seen.len()).sum();
+        assert_eq!(fired, 11);
+        let queued: usize = out.shards.iter().map(Engine::events_pending).sum();
+        assert_eq!(queued, 1);
+    }
+
+    #[test]
+    fn far_future_causal_event_single_steps_exactly() {
+        // A scripted event long past the quiet horizon: the coordinator
+        // must drop to lock-step so the quiescence predicate is evaluated
+        // between every two events, exactly like the serial loop.
+        let mut a = relay(0);
+        let b = relay(1);
+        a.world.causal += 2;
+        a.schedule_event_at(
+            SimTime::ZERO + HOP,
+            Ping {
+                key: 1,
+                hops_left: 2,
+            },
+        );
+        let resume = SimTime::ZERO + SimDuration::from_secs(5);
+        a.schedule_event_at(
+            resume,
+            Ping {
+                key: 1000,
+                hops_left: 2,
+            },
+        );
+        let out = run_shards_until_quiet(
+            vec![a, b],
+            HOP,
+            SimDuration::from_millis(1),
+            SimTime::ZERO + SimDuration::from_secs(10),
+        );
+        // First chain ends at 30 µs; the scripted ping resumes at 5 s and
+        // its chain ends two hops later.
+        assert_eq!(out.converged_at, Some(resume + HOP * 2));
+        let total: usize = out.shards.iter().map(|s| s.world.hops_seen.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn single_shard_runs_serially() {
+        let mut a = relay(0);
+        a.world.id = 1; // route "cross-shard" pings back to itself
+        a.world.causal += 1;
+        a.schedule_event_at(
+            SimTime::ZERO + HOP,
+            Ping {
+                key: 1,
+                hops_left: 5,
+            },
+        );
+        let out = run_shards_until_quiet(
+            vec![a],
+            HOP,
+            SimDuration::from_millis(1),
+            SimTime::ZERO + SimDuration::from_secs(1),
+        );
+        assert_eq!(out.converged_at, Some(SimTime::ZERO + HOP * 6));
+        assert_eq!(out.shards[0].world.hops_seen, vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_shards_quiesce_at_zero() {
+        let out = run_shards_until_quiet::<Relay>(
+            vec![relay(0), relay(1)],
+            HOP,
+            SimDuration::from_millis(1),
+            SimTime::ZERO + SimDuration::from_secs(1),
+        );
+        assert_eq!(out.converged_at, Some(SimTime::ZERO));
+    }
+}

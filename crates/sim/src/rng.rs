@@ -4,9 +4,11 @@
 //! tie-breaking in vendor firmware, message timing noise) flows through
 //! [`SimRng`] so that an entire emulation run is a pure function of its
 //! seed. Figure 8's percentile bars come from 10 runs with seeds 0..10.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through
+//! SplitMix64, so streams are identical on every platform and toolchain —
+//! a prerequisite for the parallel executor's bit-identical-replay
+//! contract (no external RNG crate whose algorithm could shift under us).
 
 use crate::time::SimDuration;
 
@@ -16,15 +18,31 @@ use crate::time::SimDuration;
 /// perturbing another's, which keeps perturbation experiments comparable.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// An RNG for the run-global stream of `seed`.
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -40,9 +58,18 @@ impl SimRng {
         SimRng::from_seed(seed ^ h.rotate_left(17))
     }
 
-    /// A uniformly random `u64`.
+    /// A uniformly random `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// A uniformly random value in `[0, bound)`.
@@ -52,12 +79,20 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be non-zero");
-        self.inner.random_range(0..bound)
+        // Rejection sampling to avoid modulo bias (Lemire-style threshold).
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
     }
 
     /// A uniformly random `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high-quality bits into the mantissa.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// True with probability `p` (clamped to `[0, 1]`).
@@ -158,5 +193,14 @@ mod tests {
         let mut r = SimRng::from_seed(1);
         assert_eq!(r.pick::<u32>(&[]), None);
         assert_eq!(r.pick(&[5]), Some(&5));
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut r = SimRng::from_seed(3);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

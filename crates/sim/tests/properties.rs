@@ -55,7 +55,7 @@ proptest! {
         let mut total = SimDuration::ZERO;
         let mut now = SimTime::ZERO;
         for (gap, work) in jobs {
-            now = now + SimDuration::from_nanos(gap);
+            now += SimDuration::from_nanos(gap);
             let work = SimDuration::from_nanos(work);
             let end = cpu.submit(now, work);
             prop_assert!(end >= now + work);

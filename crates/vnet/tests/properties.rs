@@ -2,7 +2,14 @@
 
 use crystalnet_sim::SimTime;
 use crystalnet_vnet::{
-    Cloud, CloudParams, ContainerEngine, ContainerKind, LinkSpan, VirtualLink, VmId, VmSku,
+    Cloud,
+    CloudParams,
+    ContainerEngine,
+    ContainerKind,
+    LinkSpan,
+    VirtualLink,
+    VmId,
+    VmSku,
     VniAllocator, //
 };
 use proptest::prelude::*;

@@ -1,0 +1,411 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote` in the
+//! offline build): supports non-generic structs (named, tuple, unit) and
+//! externally-tagged enums (unit, tuple, struct variants), plus the
+//! `#[serde(skip)]` helper attribute. This covers every derived type in
+//! the workspace; unsupported shapes fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Body {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    /// Skips leading attributes; returns true if any was `#[serde(..)]`
+    /// containing the ident `skip`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.bump(); // '#'
+            if let Some(TokenTree::Group(g)) = self.bump() {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let is_serde = matches!(
+                    inner.first(),
+                    Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+                );
+                if is_serde {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip") {
+                                skip = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        skip
+    }
+
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.bump();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.bump();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes tokens up to (and including) the next `,` at angle-bracket
+    /// depth zero. Returns false if the cursor hit the end instead.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut depth: i32 = 0;
+        while let Some(t) = self.bump() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive shim: generic type `{name}` is not supported");
+    }
+    let body = match kw.as_str() {
+        "struct" => match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match c.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}`"),
+    };
+    (name, body)
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.bump() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_arity(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut arity = 0;
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        if skip {
+            panic!("serde derive shim: #[serde(skip)] on tuple fields is not supported");
+        }
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        arity += 1;
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    arity
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                c.bump();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.bump();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        c.skip_until_comma();
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::Struct(fields) => {
+            let mut s = String::from("let mut o: Vec<(String, serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "o.push((String::from(\"{n}\"), serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("serde::Value::Object(o)");
+            s
+        }
+        Body::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::Str(String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(x0) => serde::Value::Object(vec![(String::from(\"{v}\"), serde::Serialize::to_value(x0))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({b}) => serde::Value::Object(vec![(String::from(\"{v}\"), serde::Value::Array(vec![{it}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            it = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "o.push((String::from(\"{n}\"), serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => {{ let mut o: Vec<(String, serde::Value)> = Vec::new();\n{p}serde::Value::Object(vec![(String::from(\"{v}\"), serde::Value::Object(o))]) }},\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            p = pushes
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic, clippy::nursery)]\nimpl serde::Serialize for {name} {{\nfn to_value(&self) -> serde::Value {{\n{body_code}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_build(type_path: &str, fields: &[Field], obj_var: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{n}: ::core::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: serde::__field({obj_var}, \"{n}\")?,\n",
+                n = f.name
+            ));
+        }
+    }
+    format!("{type_path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::Struct(fields) => {
+            format!(
+                "let o = serde::__object(v)?;\nOk({})",
+                gen_named_build(name, fields, "o")
+            )
+        }
+        Body::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::__index(a, {i})?"))
+                .collect();
+            format!(
+                "let a = serde::__array(v)?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Unit => format!("match v {{ serde::Value::Null => Ok({name}), other => Err(serde::Error::msg(format!(\"expected null for unit struct, got {{other:?}}\"))) }}"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::__index(a, {i})?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let a = serde::__array(inner)?; Ok({name}::{v}({it})) }},\n",
+                            v = v.name,
+                            it = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let build =
+                            gen_named_build(&format!("{name}::{}", v.name), fields, "o");
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let o = serde::__object(inner)?; Ok({build}) }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(serde::Error::msg(format!(\"unknown variant `{{other}}`\"))),\n}},\n\
+                 serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, inner) = &o[0];\nlet _ = inner;\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => Err(serde::Error::msg(format!(\"unknown variant `{{other}}`\"))),\n}}\n}},\n\
+                 other => Err(serde::Error::msg(format!(\"bad enum encoding {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic, clippy::nursery)]\nimpl serde::Deserialize for {name} {{\nfn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n{body_code}\n}}\n}}\n"
+    )
+}
+
+/// Derives the offline stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_serialize(&name, &body)
+        .parse()
+        .expect("serde derive shim: generated invalid Serialize impl")
+}
+
+/// Derives the offline stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_deserialize(&name, &body)
+        .parse()
+        .expect("serde derive shim: generated invalid Deserialize impl")
+}
