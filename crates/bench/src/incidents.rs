@@ -88,13 +88,7 @@ pub fn run_fig1(seed: u64, flows: u32) -> Fig1Result {
             });
         }
     }
-    let mut emu = mockup(
-        Rc::new(prep),
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
 
     // Pull R8's route for P3 via the management plane.
     let winning_path_len = match emu
@@ -113,7 +107,7 @@ pub fn run_fig1(seed: u64, flows: u32) -> Fig1Result {
     for flow in 0..flows {
         let src = crystalnet_net::Ipv4Addr::new(203, 0, (flow >> 8) as u8, flow as u8);
         let sig = emu.inject_packet(f.routers[7], src, f.p3.nth(flow * 13 + 1));
-        let (path, _) = emu.pull_packets(sig);
+        let (path, _) = emu.pull_packets(sig).expect("probe traced");
         if path.contains(&f.routers[5]) {
             via_r6 += 1;
         }

@@ -44,13 +44,7 @@ pub fn reload_comparison(seed: u64) -> Vec<ReloadRow> {
             ..PlanOptions::default()
         },
     );
-    let mut emu = mockup(
-        Rc::new(prep),
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
 
     let targets = [
         ("ToR", dc.pods[0].tors[0]),
@@ -69,9 +63,9 @@ pub fn reload_comparison(seed: u64) -> Vec<ReloadRow> {
             .1
             .clone();
         let two_layer = emu.reload(dev, cfg.clone(), false);
-        emu.settle();
+        let _ = emu.settle();
         let strawman = emu.reload(dev, cfg, true);
-        emu.settle();
+        let _ = emu.settle();
         rows.push(ReloadRow {
             class: class.into(),
             ifaces: dc.topo.device(dev).ifaces.len(),
@@ -128,19 +122,13 @@ pub fn recovery_by_density(seed: u64) -> Vec<RecoveryRow> {
                 ..PlanOptions::default()
             },
         );
-        let mut emu = mockup(
-            Rc::new(prep),
-            MockupOptions {
-                seed,
-                ..MockupOptions::default()
-            },
-        );
+        let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
         let vm_idx = (0..emu.prep.vm_plan.vms.len())
             .max_by_key(|&i| emu.prep.vm_plan.vms[i].devices.len())
             .expect("plan has VMs");
         let density = emu.prep.vm_plan.vms[vm_idx].devices.len();
-        let recovery = emu.fail_and_recover_vm(vm_idx);
-        emu.settle();
+        let recovery = emu.fail_and_recover_vm(vm_idx).expect("valid live VM");
+        let _ = emu.settle();
         rows.push(RecoveryRow { density, recovery });
     }
     rows
@@ -185,11 +173,7 @@ pub fn bridge_ablation(cfg: &DcConfig, seed: u64) -> Vec<AblationRow> {
             let vms = prep.vm_plan.vm_count();
             let emu = mockup(
                 Rc::new(prep),
-                MockupOptions {
-                    seed,
-                    bridge,
-                    ..MockupOptions::default()
-                },
+                MockupOptions::builder().seed(seed).bridge(bridge).build(),
             );
             AblationRow {
                 variant: format!("{bridge:?}"),
@@ -222,13 +206,7 @@ pub fn grouping_ablation(seed: u64) -> Vec<AblationRow> {
                 },
             );
             let vms = prep.vm_plan.vm_count();
-            let emu = mockup(
-                Rc::new(prep),
-                MockupOptions {
-                    seed,
-                    ..MockupOptions::default()
-                },
-            );
+            let emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
             AblationRow {
                 variant: if grouping {
                     "vendor-grouped".into()

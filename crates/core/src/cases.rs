@@ -49,13 +49,7 @@ fn case1_emulation(seed: u64, region: &RegionTopology) -> Emulation {
         SpeakerSource::OriginatedOnly,
         &PlanOptions::default(),
     );
-    mockup(
-        Rc::new(prep),
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    )
+    mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build())
 }
 
 /// A cross-DC reachability check: a ToR in DC0 can reach a ToR subnet in
@@ -70,8 +64,10 @@ fn cross_dc_ok(
     let src = emu.topo.device(src_tor).originated[1].nth(3);
     let dst = emu.topo.device(dst_tor).originated[1].nth(3);
     let sig = emu.inject_packet(src_tor, src, dst);
-    let (path, outcome) = emu.pull_packets(sig);
-    if outcome != Some(ForwardDecision::Deliver) {
+    let (path, outcome) = emu
+        .pull_packets(sig)
+        .map_err(|e| format!("cross-DC probe failed: {e}"))?;
+    if outcome != ForwardDecision::Deliver {
         return Err(format!("cross-DC probe failed: {outcome:?}"));
     }
     let via_ok = path.iter().any(|&d| emu.topo.device(d).role == expect_via);
@@ -235,11 +231,10 @@ fn pipeline(seed: u64, build: VendorProfile) -> Vec<String> {
                 .push("0.0.0.0/0".parse().unwrap());
         }
     }
-    let mut options = MockupOptions {
-        seed,
-        ..MockupOptions::default()
-    };
-    options.profile_overrides.insert(dut, build);
+    let options = MockupOptions::builder()
+        .seed(seed)
+        .profile_override(dut, build)
+        .build();
     let mut emu = mockup(Rc::new(prep), options);
 
     let mut bugs = Vec::new();
@@ -292,7 +287,7 @@ fn pipeline(seed: u64, build: VendorProfile) -> Vec<String> {
         emu.disconnect_at(lid, t);
         t += crystalnet_sim::SimDuration::from_secs(30);
         emu.connect_at(lid, t);
-        emu.settle();
+        let _ = emu.settle();
     }
     if emu.sim.os(dut).is_some_and(DeviceOs::is_down) {
         bugs.push("OS crashed after repeated BGP session flaps".into());

@@ -17,7 +17,8 @@
 //! `InjectPackets`/`PullPackets` telemetry, `PullStates`/`PullConfig`,
 //! VM failure injection and health-monitor recovery.
 
-use crate::metrics::MockupMetrics;
+use crate::faults::{FaultPlan, HealthPolicy};
+use crate::metrics::{JournalKind, MockupMetrics, RecoveryJournal};
 use crate::plan::sandbox_kind;
 use crate::prepare::PrepareOutput;
 use bytes::Bytes;
@@ -50,7 +51,65 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
+/// A typed failure from the [`Emulation`] control/monitor surface.
+///
+/// The Table 2 calls used to answer with bare `Option`s, which collapsed
+/// "no such device" and "device mid-recovery" into one indistinguishable
+/// `None`. Each variant now names its cause, so callers (validation
+/// loops, retry harnesses) can react differently to transient and
+/// permanent failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmulationError {
+    /// The name/id does not resolve to an emulated device.
+    UnknownDevice(String),
+    /// The VM index is outside the provisioned fleet.
+    UnknownVm(usize),
+    /// The production link id is not part of this emulation.
+    UnknownLink(u32),
+    /// The device exists but is mid-recovery (reload or fault handling);
+    /// retry after the next `settle`.
+    DeviceRecovering(String),
+    /// The device's hosting VM is dead (quarantined without recovery).
+    VmDown(usize),
+    /// Route convergence did not complete before the deadline.
+    NotConverged,
+    /// No packet trace recorded under this telemetry signature.
+    UnknownSignature(u16),
+    /// The device resolved but did not answer the management command
+    /// (powered off or shut down).
+    DeviceUnresponsive(String),
+}
+
+impl std::fmt::Display for EmulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmulationError::UnknownDevice(name) => write!(f, "unknown device {name:?}"),
+            EmulationError::UnknownVm(vm) => write!(f, "VM index {vm} out of range"),
+            EmulationError::UnknownLink(lid) => write!(f, "link #{lid} is not emulated"),
+            EmulationError::DeviceRecovering(name) => {
+                write!(f, "device {name:?} is recovering; retry after settle")
+            }
+            EmulationError::VmDown(vm) => write!(f, "VM {vm} is down"),
+            EmulationError::NotConverged => write!(f, "did not converge before the deadline"),
+            EmulationError::UnknownSignature(sig) => {
+                write!(f, "no trace under signature {sig}")
+            }
+            EmulationError::DeviceUnresponsive(name) => {
+                write!(f, "device {name:?} did not respond")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmulationError {}
+
 /// Options controlling a Mockup.
+///
+/// Construct with [`MockupOptions::builder`]; `Default` gives the paper's
+/// baseline. Direct struct-literal construction still compiles for
+/// backward compatibility but is deprecated in favour of the builder —
+/// new options (fault plans, health policy) will keep appearing and the
+/// builder insulates call sites from them.
 #[derive(Clone)]
 pub struct MockupOptions {
     /// Run seed (boot jitter, provisioning jitter).
@@ -69,6 +128,13 @@ pub struct MockupOptions {
     /// stochastic work costs derive from per-device seeds rather than a
     /// shared sequential stream.
     pub workers: usize,
+    /// Faults to inject once the mockup is route-ready (offsets are
+    /// relative to that instant). Executed automatically by [`mockup`];
+    /// empty by default.
+    pub fault_plan: FaultPlan,
+    /// Health-monitor policy: heartbeat interval, miss threshold, and the
+    /// bounded reboot-retry backoff.
+    pub health: HealthPolicy,
 }
 
 impl Default for MockupOptions {
@@ -80,7 +146,98 @@ impl Default for MockupOptions {
             deadline: SimDuration::from_mins(180),
             profile_overrides: HashMap::new(),
             workers: 1,
+            fault_plan: FaultPlan::default(),
+            health: HealthPolicy::default(),
         }
+    }
+}
+
+impl MockupOptions {
+    /// Starts a builder from the defaults.
+    #[must_use]
+    pub fn builder() -> MockupOptionsBuilder {
+        MockupOptionsBuilder {
+            options: MockupOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`MockupOptions`] — the supported construction path.
+#[derive(Clone, Default)]
+pub struct MockupOptionsBuilder {
+    options: MockupOptions,
+}
+
+impl MockupOptionsBuilder {
+    /// Run seed (boot jitter, provisioning jitter).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Worker shards for convergence runs (`1` = serial).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.options.workers = workers;
+        self
+    }
+
+    /// Bridge implementation for virtual links.
+    #[must_use]
+    pub fn bridge(mut self, bridge: BridgeImpl) -> Self {
+        self.options.bridge = bridge;
+        self
+    }
+
+    /// Route quiescence window for convergence detection.
+    #[must_use]
+    pub fn quiet(mut self, quiet: SimDuration) -> Self {
+        self.options.quiet = quiet;
+        self
+    }
+
+    /// Convergence deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.options.deadline = deadline;
+        self
+    }
+
+    /// Overrides one device's firmware profile (dev builds, buggy
+    /// images). May be called repeatedly.
+    #[must_use]
+    pub fn profile_override(mut self, dev: DeviceId, profile: VendorProfile) -> Self {
+        self.options.profile_overrides.insert(dev, profile);
+        self
+    }
+
+    /// Faults to inject once route-ready (offsets relative to that
+    /// instant).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.options.fault_plan = plan;
+        self
+    }
+
+    /// Health-monitor heartbeat interval.
+    #[must_use]
+    pub fn heartbeat(mut self, interval: SimDuration) -> Self {
+        self.options.health.heartbeat = interval;
+        self
+    }
+
+    /// Full health-monitor policy (heartbeat, miss threshold, retry).
+    #[must_use]
+    pub fn health(mut self, health: HealthPolicy) -> Self {
+        self.options.health = health;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> MockupOptions {
+        self.options
     }
 }
 
@@ -126,6 +283,18 @@ impl VmWorkModel {
         z ^= z >> 31;
         let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         base.mul_f64(0.75 + 0.5 * unit)
+    }
+
+    /// Re-homes a device onto another VM (quarantine re-placement): its
+    /// future boot/route work queues on the spare's CPU server.
+    pub(crate) fn rehome_device(&mut self, dev: DeviceId, vm: VmId) {
+        self.device_vm.insert(dev, vm);
+    }
+
+    /// Updates a link's span after re-placement changed which VMs host
+    /// its endpoints (intra-VM veth ↔ inter-VM VXLAN).
+    pub(crate) fn set_link_span(&mut self, link: LinkId, span: LinkSpan) {
+        self.link_span.insert(link, span);
     }
 
     /// Folds a shard replica's per-device mutations back after a parallel
@@ -218,7 +387,21 @@ pub struct Emulation {
     pub traces: TraceStore,
     /// The prepare artifact this emulation was built from.
     pub prep: Rc<PrepareOutput>,
-    options: MockupOptions,
+    /// Structured record of every fault handled and recovery performed.
+    pub journal: RecoveryJournal,
+    /// Per-VM liveness as the health monitor sees it (`true` = declared
+    /// dead and not yet restored).
+    pub(crate) vm_down: Vec<bool>,
+    /// Devices mid-recovery: control/monitor calls answer
+    /// [`EmulationError::DeviceRecovering`] until this instant passes.
+    pub(crate) recovering_until: HashMap<DeviceId, SimTime>,
+    /// Speaker incarnation epochs; bumped on every speaker restart so the
+    /// fresh session token forces peers to flush and resync.
+    pub(crate) speaker_epochs: HashMap<DeviceId, u64>,
+    /// VNI allocator, retained so quarantine re-placement can provision
+    /// replacement VXLAN tunnels without clashing with bring-up VNIs.
+    pub(crate) vnis: VniAllocator,
+    pub(crate) options: MockupOptions,
     next_signature: u16,
 }
 
@@ -405,7 +588,9 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
         engines[sb.vm].start(sb.device);
     }
 
-    Emulation {
+    let vm_count = vm_ids.len();
+    let fault_plan = options.fault_plan.clone();
+    let mut emu = Emulation {
         topo,
         sim,
         cloud,
@@ -417,9 +602,19 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
         metrics: MockupMetrics::from_phases(network_ready_at, route_ready_at, route_ops),
         traces: TraceStore::new(),
         prep,
+        journal: RecoveryJournal::default(),
+        vm_down: vec![false; vm_count],
+        recovering_until: HashMap::new(),
+        speaker_epochs: HashMap::new(),
+        vnis,
         options,
         next_signature: 1,
+    };
+    if !fault_plan.is_empty() {
+        emu.run_fault_plan(&fault_plan)
+            .expect("options.fault_plan failed to execute");
     }
+    emu
 }
 
 /// Runs the sim to route quiescence — serially, or on the sharded
@@ -509,9 +704,48 @@ impl Emulation {
         self.sim.engine.now()
     }
 
+    /// Checks that `dev` is reachable for a control/monitor call:
+    /// emulated, on a live VM, and not mid-recovery.
+    pub(crate) fn guard(&self, dev: DeviceId) -> Result<(), EmulationError> {
+        let Some(sb) = self.sandboxes.get(&dev) else {
+            let name = if (dev.0 as usize) < self.topo.device_count() {
+                self.topo.device(dev).name.clone()
+            } else {
+                format!("device#{}", dev.0)
+            };
+            return Err(EmulationError::UnknownDevice(name));
+        };
+        if self.vm_down.get(sb.vm).copied().unwrap_or(false) {
+            return Err(EmulationError::VmDown(sb.vm));
+        }
+        if let Some(&until) = self.recovering_until.get(&dev) {
+            if until > self.now() {
+                return Err(EmulationError::DeviceRecovering(
+                    self.topo.device(dev).name.clone(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The live [`VmWorkModel`] inside the sim, if one is installed.
+    pub(crate) fn work_model(&mut self) -> Option<&mut VmWorkModel> {
+        self.sim
+            .engine
+            .world
+            .work_mut()
+            .as_any_mut()
+            .downcast_mut::<VmWorkModel>()
+    }
+
     /// Runs until route quiescence (post-change convergence), honouring
     /// `MockupOptions::workers`.
-    pub fn settle(&mut self) -> Option<SimTime> {
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::NotConverged`] if quiescence is not reached
+    /// before `MockupOptions::deadline` elapses.
+    pub fn settle(&mut self) -> Result<SimTime, EmulationError> {
         let deadline = self.now() + self.options.deadline;
         converge(
             &mut self.sim,
@@ -520,6 +754,7 @@ impl Emulation {
             &self.options,
             deadline,
         )
+        .ok_or(EmulationError::NotConverged)
     }
 
     /// `List`: all emulated devices with hostnames and liveness.
@@ -533,17 +768,45 @@ impl Emulation {
 
     /// `Login`: resolve a device by management DNS name and run a command
     /// over the management overlay.
-    pub fn login_and_run(&mut self, name: &str, cmd: MgmtCommand) -> Option<MgmtResponse> {
-        let addr = self.mgmt.resolve(name)?;
-        let dev = self.topo.by_name(self.mgmt.reverse(addr)?)?;
-        self.sim.mgmt_sync(dev, cmd)
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::UnknownDevice`] if the name does not resolve,
+    /// [`EmulationError::VmDown`] / [`EmulationError::DeviceRecovering`]
+    /// if the device is unreachable mid-fault, and
+    /// [`EmulationError::DeviceUnresponsive`] if it resolved but did not
+    /// answer (powered off or shut down).
+    pub fn login_and_run(
+        &mut self,
+        name: &str,
+        cmd: MgmtCommand,
+    ) -> Result<MgmtResponse, EmulationError> {
+        let dev = self
+            .mgmt
+            .resolve(name)
+            .and_then(|addr| self.mgmt.reverse(addr))
+            .and_then(|host| self.topo.by_name(host))
+            .ok_or_else(|| EmulationError::UnknownDevice(name.to_string()))?;
+        self.guard(dev)?;
+        self.sim
+            .mgmt_sync(dev, cmd)
+            .ok_or_else(|| EmulationError::DeviceUnresponsive(name.to_string()))
     }
 
     /// `PullStates`: forwarding/RIB summary for one device.
-    #[must_use]
-    pub fn pull_states(&self, dev: DeviceId) -> Option<DeviceState> {
-        let os = self.sim.os(dev)?;
-        Some(DeviceState {
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::UnknownDevice`], [`EmulationError::VmDown`], or
+    /// [`EmulationError::DeviceRecovering`] when the device is absent or
+    /// unreachable mid-fault.
+    pub fn pull_states(&self, dev: DeviceId) -> Result<DeviceState, EmulationError> {
+        self.guard(dev)?;
+        let os = self
+            .sim
+            .os(dev)
+            .ok_or_else(|| EmulationError::UnknownDevice(self.topo.device(dev).name.clone()))?;
+        Ok(DeviceState {
             device: dev,
             hostname: os.hostname().to_string(),
             up: self.sim.is_up(dev),
@@ -554,13 +817,20 @@ impl Emulation {
     }
 
     /// `PullConfig`: the running configuration text for rollback.
-    #[must_use]
-    pub fn pull_config(&self, dev: DeviceId) -> Option<String> {
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::UnknownDevice`] if no prepared configuration
+    /// exists for `dev` (speakers, unemulated ids), plus the
+    /// [`Self::guard`] reachability errors.
+    pub fn pull_config(&self, dev: DeviceId) -> Result<String, EmulationError> {
+        self.guard(dev)?;
         self.prep
             .configs
             .iter()
             .find(|(d, _)| *d == dev)
             .map(|(_, c)| crystalnet_config::render(c))
+            .ok_or_else(|| EmulationError::UnknownDevice(self.topo.device(dev).name.clone()))
     }
 
     /// `Disconnect`: takes a production link down in the emulation.
@@ -618,9 +888,19 @@ impl Emulation {
     }
 
     /// `PullPackets`: the path a signature took and its fate.
-    #[must_use]
-    pub fn pull_packets(&self, sig: Signature) -> (Vec<DeviceId>, Option<ForwardDecision>) {
-        (self.traces.path(sig), self.traces.outcome(sig))
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::UnknownSignature`] if no trace was captured
+    /// under `sig`.
+    pub fn pull_packets(
+        &self,
+        sig: Signature,
+    ) -> Result<(Vec<DeviceId>, ForwardDecision), EmulationError> {
+        match self.traces.outcome(sig) {
+            Some(outcome) => Ok((self.traces.path(sig), outcome)),
+            None => Err(EmulationError::UnknownSignature(sig.0)),
+        }
     }
 
     /// `Reload`: reboots one device with a new configuration.
@@ -647,29 +927,27 @@ impl Emulation {
         }
         self.engines[sb.vm].start(sb.device);
         let at = self.now() + downtime;
+        self.recovering_until.insert(dev, at);
         self.sim
             .mgmt(dev, MgmtCommand::ReplaceConfig(Box::new(config)), at);
         downtime
     }
 
-    /// Injects a VM failure and runs the health monitor's recovery:
-    /// neighbors see links drop; once the VM reboots, its sandboxes and
-    /// links are re-created and its devices re-boot from their prepared
-    /// configurations.
-    ///
-    /// Returns the recovery latency (§8.3): reset + resetup of the VM's
-    /// devices and links, excluding the VM reboot itself.
-    pub fn fail_and_recover_vm(&mut self, vm_idx: usize) -> SimDuration {
+    /// Kills every sandbox on VM `vm_idx` at `at`: the VM is marked dead,
+    /// its devices power off and their neighbors see link-down. Returns
+    /// the victims.
+    pub(crate) fn crash_vm_devices(&mut self, vm_idx: usize, at: SimTime) -> Vec<DeviceId> {
         let vm_id = self.vm_ids[vm_idx];
-        let now = self.now();
-        let victims: Vec<DeviceId> = self
+        self.vm_down[vm_idx] = true;
+        let mut victims: Vec<DeviceId> = self
             .sandboxes
             .iter()
             .filter(|(_, sb)| sb.vm == vm_idx)
             .map(|(&d, _)| d)
             .collect();
-
-        // The VM dies: devices vanish; neighbors see link-down.
+        // Stable order: recovery event scheduling must not depend on
+        // hash-map iteration order.
+        victims.sort_unstable_by_key(|d| d.0);
         self.cloud
             .lock()
             .expect("cloud lock poisoned")
@@ -678,9 +956,99 @@ impl Emulation {
             self.sim.power_off(dev);
             for (lid, _, _) in self.topo.neighbors(dev).collect::<Vec<_>>() {
                 let ep = ControlPlaneSim::link_endpoints(&self.topo, lid);
-                self.sim.link_down(ep, now);
+                self.sim.link_down(ep, at);
             }
         }
+        victims
+    }
+
+    /// The §8.3 resetup cost for a set of victims: PhyNet restart +
+    /// per-interface bridge setup + sandbox restart, scaling with
+    /// deployment density.
+    pub(crate) fn vm_recovery_cost(&self, victims: &[DeviceId]) -> SimDuration {
+        let mut recovery = SimDuration::ZERO;
+        for &dev in victims {
+            let device = self.topo.device(dev);
+            recovery += ContainerKind::PhyNet.start_cpu();
+            recovery += self.options.bridge.setup_cpu() * (device.ifaces.len() as u64);
+            recovery += SimDuration::from_millis(800); // sandbox restart
+        }
+        recovery
+    }
+
+    /// Boots fresh OS instances for `victims` at `restored_at` from their
+    /// prepared configurations (or speaker scripts, with a bumped
+    /// incarnation epoch so peers resync), and brings their links back.
+    pub(crate) fn restore_devices(&mut self, victims: &[DeviceId], restored_at: SimTime) {
+        for &dev in victims {
+            if let Some((_, cfg)) = self.prep.configs.iter().find(|(d, _)| *d == dev) {
+                let profile = self
+                    .options
+                    .profile_overrides
+                    .get(&dev)
+                    .copied()
+                    .unwrap_or_else(|| VendorProfile::for_vendor(self.topo.device(dev).vendor));
+                let os = BgpRouterOs::new(profile, cfg.clone(), self.topo.device(dev).loopback);
+                self.sim.replace_os(dev, Box::new(os));
+            } else if let Some(mut os) = self.prep.speaker_plan.build_os(&self.topo, dev) {
+                // A restarted speaker must present a fresh session token,
+                // or peers treat its Open as a duplicate of the live
+                // session and never flush its stale routes.
+                let epoch = self.speaker_epochs.entry(dev).or_insert(0);
+                *epoch += 1;
+                os.set_epoch(*epoch);
+                self.journal.record(
+                    restored_at,
+                    JournalKind::SpeakerRestarted {
+                        device: dev.0,
+                        epoch: *epoch,
+                    },
+                );
+                self.sim.replace_os(dev, Box::new(os));
+            }
+            self.sim.boot_device(dev, restored_at);
+            self.recovering_until.insert(dev, restored_at);
+            for (lid, _, _) in self.topo.neighbors(dev).collect::<Vec<_>>() {
+                let ep = ControlPlaneSim::link_endpoints(&self.topo, lid);
+                self.sim.link_up(ep, restored_at);
+            }
+        }
+    }
+
+    /// Injects a VM failure and runs the health monitor's recovery:
+    /// neighbors see links drop; once the VM reboots, its sandboxes and
+    /// links are re-created and its devices re-boot from their prepared
+    /// configurations.
+    ///
+    /// Returns the recovery latency (§8.3): reset + resetup of the VM's
+    /// devices and links, excluding the VM reboot itself. (The journal's
+    /// `RecoveryComplete` entry records the full fault-to-restored
+    /// latency including the reboot.)
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::UnknownVm`] if `vm_idx` is outside the fleet;
+    /// [`EmulationError::VmDown`] if that VM was already declared dead
+    /// (e.g. quarantined by an earlier fault) — a dead VM cannot fail
+    /// again.
+    pub fn fail_and_recover_vm(&mut self, vm_idx: usize) -> Result<SimDuration, EmulationError> {
+        if vm_idx >= self.vm_ids.len() {
+            return Err(EmulationError::UnknownVm(vm_idx));
+        }
+        if self.vm_down[vm_idx] {
+            return Err(EmulationError::VmDown(vm_idx));
+        }
+        let vm_id = self.vm_ids[vm_idx];
+        let now = self.now();
+        self.journal.record(
+            now,
+            JournalKind::FaultInjected {
+                fault: format!("vm {vm_idx} crash (direct injection)"),
+            },
+        );
+
+        // The VM dies: devices vanish; neighbors see link-down.
+        let victims = self.crash_vm_devices(vm_idx, now);
 
         // Health monitor notices and reboots the VM (reboot time itself
         // is excluded from the §8.3 recovery metric).
@@ -697,39 +1065,32 @@ impl Emulation {
             .lock()
             .expect("cloud lock poisoned")
             .reset_cpu(vm_id, reboot_done);
+        self.journal.record(
+            now,
+            JournalKind::RebootAttempt {
+                vm: vm_idx,
+                attempt: 1,
+                backoff: SimDuration::ZERO,
+            },
+        );
 
         // Recovery: re-create PhyNet containers + links, restart device
         // software. Cost scales with deployment density on the VM.
-        let mut recovery = SimDuration::ZERO;
-        for &dev in &victims {
-            let device = self.topo.device(dev);
-            recovery += ContainerKind::PhyNet.start_cpu();
-            recovery += self.options.bridge.setup_cpu() * (device.ifaces.len() as u64);
-            recovery += SimDuration::from_millis(800); // sandbox restart
-        }
+        let recovery = self.vm_recovery_cost(&victims);
         let restored_at = reboot_done + recovery;
 
         // Fresh OS instances boot from the prepared configs.
-        for &dev in &victims {
-            if let Some((_, cfg)) = self.prep.configs.iter().find(|(d, _)| *d == dev) {
-                let profile = self
-                    .options
-                    .profile_overrides
-                    .get(&dev)
-                    .copied()
-                    .unwrap_or_else(|| VendorProfile::for_vendor(self.topo.device(dev).vendor));
-                let os = BgpRouterOs::new(profile, cfg.clone(), self.topo.device(dev).loopback);
-                self.sim.replace_os(dev, Box::new(os));
-            } else if let Some(os) = self.prep.speaker_plan.build_os(&self.topo, dev) {
-                self.sim.replace_os(dev, Box::new(os));
-            }
-            self.sim.boot_device(dev, restored_at);
-            for (lid, _, _) in self.topo.neighbors(dev).collect::<Vec<_>>() {
-                let ep = ControlPlaneSim::link_endpoints(&self.topo, lid);
-                self.sim.link_up(ep, restored_at);
-            }
-        }
-        recovery
+        self.restore_devices(&victims, restored_at);
+        self.vm_down[vm_idx] = false;
+        self.journal.record(
+            restored_at,
+            JournalKind::RecoveryComplete {
+                vm: vm_idx,
+                latency: restored_at.since(now),
+                devices: victims.len(),
+            },
+        );
+        Ok(recovery)
     }
 
     /// `Clear`: resets all VMs to a clean state; returns the latency.

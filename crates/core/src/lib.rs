@@ -23,6 +23,7 @@
 
 pub mod cases;
 pub mod emulation;
+pub mod faults;
 pub mod metrics;
 pub mod plan;
 pub mod prepare;
@@ -30,9 +31,44 @@ pub mod scenarios;
 pub mod workflow;
 
 pub use cases::{run_case1, run_case2, Case1Report, Case2Report};
-pub use emulation::{mockup, DeviceState, Emulation, MockupOptions, Sandbox, VmWorkModel};
-pub use metrics::MockupMetrics;
+pub use emulation::{
+    mockup, DeviceState, Emulation, EmulationError, MockupOptions, MockupOptionsBuilder, Sandbox,
+    VmWorkModel,
+};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultReport, HealthPolicy, RetryPolicy};
+pub use metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
 pub use plan::{plan_vms, sandbox_kind, PlanOptions, PlannedVm, VmPlan};
 pub use prepare::{prepare, BoundaryMode, PrepareOutput, SpeakerSource};
 pub use scenarios::{run_all as run_all_scenarios, RootCause, ScenarioResult};
 pub use workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};
+
+/// One-stop imports for driving an emulation.
+///
+/// ```
+/// use crystalnet::prelude::*;
+/// ```
+///
+/// pulls in the orchestrator API (`prepare`/`mockup`, the typed
+/// [`EmulationError`], the fault subsystem) together with the substrate
+/// types every example ends up needing — topologies, ids, addresses,
+/// management commands, virtual time — so call sites stop deep-importing
+/// individual workspace crates.
+pub mod prelude {
+    pub use crate::emulation::{
+        mockup, DeviceState, Emulation, EmulationError, MockupOptions, MockupOptionsBuilder,
+        Sandbox,
+    };
+    pub use crate::faults::{
+        FaultEvent, FaultKind, FaultPlan, FaultReport, HealthPolicy, RetryPolicy,
+    };
+    pub use crate::metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
+    pub use crate::prepare::{prepare, BoundaryMode, PrepareOutput, SpeakerSource};
+    pub use crate::workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};
+    pub use crystalnet_dataplane::ForwardDecision;
+    pub use crystalnet_net::{
+        ClosParams, ClosTopology, DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, Topology,
+    };
+    pub use crystalnet_routing::{MgmtCommand, MgmtResponse, VendorProfile};
+    pub use crystalnet_sim::{SimDuration, SimTime};
+    pub use std::rc::Rc;
+}

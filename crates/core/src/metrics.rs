@@ -36,6 +36,136 @@ impl MockupMetrics {
     }
 }
 
+/// One structured entry in the recovery journal.
+///
+/// Every step of fault handling — injection, detection, retry, quarantine,
+/// completion — emits exactly one event, so tests and benches can assert
+/// recovery latency and ordering without scraping logs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JournalKind {
+    /// A fault from the plan fired.
+    FaultInjected {
+        /// Human-readable fault description.
+        fault: String,
+    },
+    /// The health monitor missed a VM heartbeat.
+    HeartbeatMissed {
+        /// VM index.
+        vm: usize,
+        /// Consecutive misses so far.
+        consecutive: u32,
+    },
+    /// Misses crossed the threshold: the VM is declared dead.
+    VmDeclaredDead {
+        /// VM index.
+        vm: usize,
+    },
+    /// One bounded-backoff reboot attempt.
+    RebootAttempt {
+        /// VM index.
+        vm: usize,
+        /// Attempt ordinal (1-based).
+        attempt: u32,
+        /// Backoff waited before this attempt.
+        backoff: SimDuration,
+    },
+    /// Retries exhausted: the VM's sandboxes are quarantined off it.
+    VmQuarantined {
+        /// The dead VM's index.
+        vm: usize,
+        /// The spare VM index the sandboxes move to.
+        spare: usize,
+    },
+    /// A speaker agent was restarted with a fresh incarnation epoch.
+    SpeakerRestarted {
+        /// The speaker device.
+        device: u32,
+        /// The new incarnation epoch.
+        epoch: u64,
+    },
+    /// One transition of a link-flap burst.
+    LinkFlap {
+        /// The flapping link.
+        link: u32,
+        /// Whether this transition brought the link up.
+        up: bool,
+    },
+    /// All of a fault's devices are booted and re-linked.
+    RecoveryComplete {
+        /// The recovered VM index (the spare, if quarantined).
+        vm: usize,
+        /// Detection + retry + re-placement latency.
+        latency: SimDuration,
+        /// Devices brought back.
+        devices: usize,
+    },
+}
+
+/// A timestamped [`JournalKind`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalEvent {
+    /// Virtual instant of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: JournalKind,
+}
+
+/// The append-only recovery journal of one emulation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecoveryJournal {
+    /// Events in emission order. Within one fault's handling the `at`
+    /// stamps ascend, but a later fault's detection can predate an
+    /// earlier fault's completion, so the journal is not globally
+    /// time-sorted.
+    pub events: Vec<JournalEvent>,
+}
+
+impl RecoveryJournal {
+    /// Appends an event.
+    pub fn record(&mut self, at: SimTime, kind: JournalKind) {
+        self.events.push(JournalEvent { at, kind });
+    }
+
+    /// All completed recoveries as `(vm, latency, devices)`.
+    #[must_use]
+    pub fn recoveries(&self) -> Vec<(usize, SimDuration, usize)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                JournalKind::RecoveryComplete {
+                    vm,
+                    latency,
+                    devices,
+                } => Some((vm, latency, devices)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The worst completed recovery latency, if any recovery completed.
+    #[must_use]
+    pub fn max_recovery_latency(&self) -> Option<SimDuration> {
+        self.recoveries().iter().map(|&(_, l, _)| l).max()
+    }
+
+    /// Heartbeat misses recorded for `vm`.
+    #[must_use]
+    pub fn misses_for(&self, vm: usize) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, JournalKind::HeartbeatMissed { vm: v, .. } if v == vm))
+            .count() as u32
+    }
+
+    /// Whether `vm` was ever declared dead.
+    #[must_use]
+    pub fn declared_dead(&self, vm: usize) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, JournalKind::VmDeclaredDead { vm: v } if v == vm))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +182,40 @@ mod tests {
             SimDuration::from_secs(90) + SimDuration::from_mins(20)
         );
         assert_eq!(m.ready_at, rr);
+    }
+
+    #[test]
+    fn journal_queries_filter_by_kind_and_vm() {
+        let mut j = RecoveryJournal::default();
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        j.record(
+            t(1),
+            JournalKind::HeartbeatMissed {
+                vm: 0,
+                consecutive: 1,
+            },
+        );
+        j.record(
+            t(2),
+            JournalKind::HeartbeatMissed {
+                vm: 0,
+                consecutive: 2,
+            },
+        );
+        j.record(t(2), JournalKind::VmDeclaredDead { vm: 0 });
+        j.record(
+            t(9),
+            JournalKind::RecoveryComplete {
+                vm: 0,
+                latency: SimDuration::from_secs(7),
+                devices: 3,
+            },
+        );
+        assert_eq!(j.misses_for(0), 2);
+        assert_eq!(j.misses_for(1), 0);
+        assert!(j.declared_dead(0));
+        assert!(!j.declared_dead(1));
+        assert_eq!(j.recoveries(), vec![(0, SimDuration::from_secs(7), 3)]);
+        assert_eq!(j.max_recovery_latency(), Some(SimDuration::from_secs(7)));
     }
 }

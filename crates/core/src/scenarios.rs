@@ -104,18 +104,12 @@ pub fn run_all(seed: u64) -> Vec<ScenarioResult> {
 #[must_use]
 pub fn tool_shutdown_bug(seed: u64) -> ScenarioResult {
     let f = fig7();
-    let mut emu = emulate(
-        &f.topo,
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = emulate(&f.topo, MockupOptions::builder().seed(seed).build());
     // The buggy automation tool runs against the emulated L1.
     let l1 = f.leaves[0];
     let name = f.topo.device(l1).name.clone();
-    emu.login_and_run(&name, MgmtCommand::DeviceShutdown);
-    emu.settle();
+    let _ = emu.login_and_run(&name, MgmtCommand::DeviceShutdown);
+    let _ = emu.settle();
     // Practicing in the emulator reveals the whole device went dark, not
     // one session.
     let detected = !emu.sim.is_up(l1);
@@ -136,11 +130,10 @@ pub fn firmware_stops_announcing(seed: u64) -> ScenarioResult {
     // Upgrade T1 to the buggy firmware build.
     let mut profile = VendorProfile::ctnr_a();
     profile.quirks.stop_announcing_networks = true;
-    let mut options = MockupOptions {
-        seed,
-        ..MockupOptions::default()
-    };
-    options.profile_overrides.insert(f.tors[0], profile);
+    let options = MockupOptions::builder()
+        .seed(seed)
+        .profile_override(f.tors[0], profile)
+        .build();
     let emu = emulate(&f.topo, options);
     // The spine should know T1's subnet; with the buggy image it doesn't.
     let missing = emu
@@ -177,13 +170,7 @@ pub fn aggregation_imbalance(seed: u64) -> ScenarioResult {
             });
         }
     }
-    let mut emu = mockup(
-        Rc::new(prep),
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
 
     // Telemetry: 64 flows from R8 toward P3; count which middle router
     // carries them.
@@ -192,7 +179,7 @@ pub fn aggregation_imbalance(seed: u64) -> ScenarioResult {
         let src = crystalnet_net::Ipv4Addr::new(203, 0, 113, flow as u8);
         let dst = f.p3.nth(256 + flow);
         let sig = emu.inject_packet(f.routers[7], src, dst);
-        let (path, _) = emu.pull_packets(sig);
+        let (path, _) = emu.pull_packets(sig).expect("probe traced");
         if path.contains(&f.routers[5]) {
             via_r6 += 1;
         }
@@ -257,19 +244,16 @@ pub fn fib_overflow_blackhole(seed: u64) -> ScenarioResult {
             cfg.fib_capacity = Some(60);
         }
     }
-    let mut emu = mockup(
-        Rc::new(prep),
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
 
     // Probe every announced block from the router.
     let mut blackholed = 0;
     for block in p("10.1.0.0/16").subnets(24).into_iter().take(100) {
         let sig = emu.inject_packet(router, "172.41.0.2".parse().unwrap(), block.nth(10));
-        if emu.pull_packets(sig).1 == Some(ForwardDecision::DropNoRoute) {
+        if emu
+            .pull_packets(sig)
+            .is_ok_and(|(_, o)| o == ForwardDecision::DropNoRoute)
+        {
             blackholed += 1;
         }
     }
@@ -290,11 +274,10 @@ pub fn acl_format_change(seed: u64) -> ScenarioResult {
     // L1 runs the new firmware that misreads v1 ACL field order.
     let mut profile = VendorProfile::ctnr_a();
     profile.quirks.acl_v2_misread = true;
-    let mut options = MockupOptions {
-        seed,
-        ..MockupOptions::default()
-    };
-    options.profile_overrides.insert(f.leaves[0], profile);
+    let options = MockupOptions::builder()
+        .seed(seed)
+        .profile_override(f.leaves[0], profile)
+        .build();
     let mut emu = emulate(&f.topo, options);
 
     // Operators push the same v1 ACL they always use: permit traffic
@@ -317,7 +300,7 @@ pub fn acl_format_change(seed: u64) -> ScenarioResult {
             acl,
         },
     );
-    emu.settle();
+    let _ = emu.settle();
 
     // Legitimate server-sourced packets from T1 toward a non-10/8
     // destination (T3's loopback) should pass under the v1 reading — the
@@ -329,8 +312,8 @@ pub fn acl_format_change(seed: u64) -> ScenarioResult {
     let mut dropped_at_l1 = false;
     for flow in 0..16u32 {
         let sig = emu.inject_packet(f.tors[0], p("10.7.0.0/24").nth(flow + 7), t3_loopback);
-        let (path, outcome) = emu.pull_packets(sig);
-        if outcome == Some(ForwardDecision::DropAcl) && path.last() == Some(&l1) {
+        let (path, outcome) = emu.pull_packets(sig).expect("probe traced");
+        if outcome == ForwardDecision::DropAcl && path.last() == Some(&l1) {
             dropped_at_l1 = true;
         }
     }
@@ -348,13 +331,7 @@ pub fn acl_format_change(seed: u64) -> ScenarioResult {
 #[must_use]
 pub fn config_route_leak(seed: u64) -> ScenarioResult {
     let f = fig7();
-    let mut emu = emulate(
-        &f.topo,
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = emulate(&f.topo, MockupOptions::builder().seed(seed).build());
     let t1 = f.tors[0];
     // The operator attaches a route map referencing a prefix list that
     // matches nothing (a classic fat-fingered prefix-list name/content
@@ -384,7 +361,7 @@ pub fn config_route_leak(seed: u64) -> ScenarioResult {
         }
     }
     emu.reload(t1, cfg, false);
-    emu.settle();
+    let _ = emu.settle();
     let missing = emu
         .sim
         .fib(f.spines[0])
@@ -402,13 +379,7 @@ pub fn config_route_leak(seed: u64) -> ScenarioResult {
 #[must_use]
 pub fn config_wrong_remote_as(seed: u64) -> ScenarioResult {
     let f = fig7();
-    let mut emu = emulate(
-        &f.topo,
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = emulate(&f.topo, MockupOptions::builder().seed(seed).build());
     let l1 = f.leaves[0];
     let mut cfg = emu
         .prep
@@ -428,7 +399,7 @@ pub fn config_wrong_remote_as(seed: u64) -> ScenarioResult {
         }
     }
     emu.reload(l1, cfg, false);
-    emu.settle();
+    let _ = emu.settle();
     // The session to T1 never comes back: visible in `show bgp summary`.
     let resp = emu.sim.mgmt_sync(l1, MgmtCommand::ShowBgpSummary);
     let down = match resp {
@@ -449,17 +420,11 @@ pub fn config_wrong_remote_as(seed: u64) -> ScenarioResult {
 #[must_use]
 pub fn config_overlapping_prefix(seed: u64) -> ScenarioResult {
     let f = fig7();
-    let mut emu = emulate(
-        &f.topo,
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = emulate(&f.topo, MockupOptions::builder().seed(seed).build());
     // T3 (a different pod) is configured with T1's subnet by mistake.
     emu.sim
         .mgmt_sync(f.tors[2], MgmtCommand::AddNetwork(p("10.7.0.0/24")));
-    emu.settle();
+    let _ = emu.settle();
     // Probes toward T1's subnet from T5's pod now sometimes land on T3.
     let mut misdelivered = 0;
     for flow in 0..32u32 {
@@ -468,7 +433,7 @@ pub fn config_overlapping_prefix(seed: u64) -> ScenarioResult {
             p("10.7.4.0/24").nth(flow + 1),
             p("10.7.0.0/24").nth(flow + 1),
         );
-        let (path, _) = emu.pull_packets(sig);
+        let (path, _) = emu.pull_packets(sig).expect("probe traced");
         if path.last() == Some(&f.tors[2]) {
             misdelivered += 1;
         }
@@ -486,13 +451,7 @@ pub fn config_overlapping_prefix(seed: u64) -> ScenarioResult {
 #[must_use]
 pub fn human_error_acl_typo(seed: u64) -> ScenarioResult {
     let f = fig7();
-    let mut emu = emulate(
-        &f.topo,
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = emulate(&f.topo, MockupOptions::builder().seed(seed).build());
     let l1 = f.leaves[0];
     // Intention: block one /20. Typo: /2 — swallowing a quarter of the
     // address space, including all of 10/8.
@@ -520,7 +479,7 @@ pub fn human_error_acl_typo(seed: u64) -> ScenarioResult {
             acl: typo,
         },
     );
-    emu.settle();
+    let _ = emu.settle();
     // Traffic that must not be affected (10.7.x server space) dies on
     // the flows that traverse L1.
     let mut blocked = false;
@@ -530,7 +489,10 @@ pub fn human_error_acl_typo(seed: u64) -> ScenarioResult {
             p("10.7.0.0/24").nth(flow + 3),
             p("10.7.2.0/24").nth(flow + 4),
         );
-        if emu.pull_packets(sig).1 == Some(ForwardDecision::DropAcl) {
+        if emu
+            .pull_packets(sig)
+            .is_ok_and(|(_, o)| o == ForwardDecision::DropAcl)
+        {
             blocked = true;
         }
     }
@@ -547,13 +509,7 @@ pub fn human_error_acl_typo(seed: u64) -> ScenarioResult {
 #[must_use]
 pub fn hardware_fiber_cut(seed: u64) -> ScenarioResult {
     let f = fig7();
-    let mut emu = emulate(
-        &f.topo,
-        MockupOptions {
-            seed,
-            ..MockupOptions::default()
-        },
-    );
+    let mut emu = emulate(&f.topo, MockupOptions::builder().seed(seed).build());
     let (lid, _, _) = f.topo.neighbors(f.tors[0]).next().unwrap();
     let before = emu
         .sim
@@ -564,7 +520,7 @@ pub fn hardware_fiber_cut(seed: u64) -> ScenarioResult {
         })
         .unwrap_or(0);
     emu.disconnect(lid);
-    emu.settle();
+    let _ = emu.settle();
     let after = emu
         .sim
         .fib(f.spines[0])

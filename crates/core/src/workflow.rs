@@ -126,13 +126,16 @@ impl ValidationLoop {
                 continue;
             }
             (step.apply)(emu);
-            emu.settle();
-            let outcome = match (step.expect)(emu) {
+            let check = match emu.settle() {
+                Ok(_) => (step.expect)(emu),
+                Err(e) => Err(format!("did not converge after apply: {e}")),
+            };
+            let outcome = match check {
                 Ok(()) => StepOutcome::Passed,
                 Err(reason) => {
                     let reverted = if let Some(mut revert) = step.revert {
                         revert(emu);
-                        emu.settle();
+                        let _ = emu.settle();
                         true
                     } else {
                         false

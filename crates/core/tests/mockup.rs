@@ -27,11 +27,7 @@ fn s_dc_emulation_opts(
     );
     let emu = mockup(
         Rc::new(prep),
-        MockupOptions {
-            seed,
-            workers,
-            ..MockupOptions::default()
-        },
+        MockupOptions::builder().seed(seed).workers(workers).build(),
     );
     (dc, emu)
 }
@@ -90,8 +86,8 @@ fn mockup_produces_full_reachability_and_working_apis() {
     let dst_tor = dc.pods[5].tors[15];
     let dst = dc.topo.device(dst_tor).originated[1].nth(9);
     let sig = emu.inject_packet(tor, src, dst);
-    let (path, outcome) = emu.pull_packets(sig);
-    assert_eq!(outcome, Some(ForwardDecision::Deliver));
+    let (path, outcome) = emu.pull_packets(sig).expect("probe traced");
+    assert_eq!(outcome, ForwardDecision::Deliver);
     assert_eq!(path.first(), Some(&tor));
     assert_eq!(path.last(), Some(&dst_tor));
     assert!(path.len() >= 4, "probe must cross the fabric: {path:?}");
@@ -173,7 +169,7 @@ fn vm_failure_recovers_within_paper_bounds() {
     let victims = emu.prep.vm_plan.vms[vm_idx].devices.clone();
     assert!(!victims.is_empty());
 
-    let recovery = emu.fail_and_recover_vm(vm_idx);
+    let recovery = emu.fail_and_recover_vm(vm_idx).expect("live VM in range");
     // §8.3: recovery between 10 and 50 seconds depending on density.
     assert!(
         recovery >= SimDuration::from_secs(2) && recovery <= SimDuration::from_secs(60),

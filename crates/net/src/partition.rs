@@ -248,6 +248,52 @@ pub fn partition_grouped(topo: &Topology, shards: usize, group_of: &[u32]) -> Pa
     }
 }
 
+/// Number of topology links joining `displaced` devices to `resident`
+/// devices — the affinity score the health monitor uses when it must
+/// re-place a quarantined VM's sandboxes on a spare.
+///
+/// Every displaced↔resident link becomes an *intra-VM* veth instead of an
+/// inter-VM VXLAN tunnel if the displaced devices land next to those
+/// residents, so higher affinity means cheaper re-placement and less
+/// cross-VM traffic after recovery. Links internal to `displaced` count
+/// for free (they stay intra-VM wherever the set lands together).
+#[must_use]
+pub fn placement_affinity(topo: &Topology, displaced: &[DeviceId], resident: &[DeviceId]) -> u64 {
+    let mut is_displaced = vec![false; topo.device_count()];
+    let mut is_resident = vec![false; topo.device_count()];
+    for d in displaced {
+        is_displaced[d.index()] = true;
+    }
+    for d in resident {
+        is_resident[d.index()] = true;
+    }
+    topo.links()
+        .filter(|(_, l)| {
+            let (a, b) = (l.a.device.index(), l.b.device.index());
+            (is_displaced[a] && is_resident[b]) || (is_displaced[b] && is_resident[a])
+        })
+        .count() as u64
+}
+
+/// Picks the best spare home for `displaced` among `candidates` (each a
+/// candidate VM's resident device set): highest [`placement_affinity`]
+/// wins, lowest candidate index breaks ties. Deterministic, like
+/// everything else in this module. Returns `None` when there are no
+/// candidates.
+#[must_use]
+pub fn best_spare(
+    topo: &Topology,
+    displaced: &[DeviceId],
+    candidates: &[&[DeviceId]],
+) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, resident)| (i, placement_affinity(topo, displaced, resident)))
+        .max_by(|(ia, sa), (ib, sb)| sa.cmp(sb).then(ib.cmp(ia)))
+        .map(|(i, _)| i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +382,25 @@ mod tests {
         let mut all: Vec<DeviceId> = p.shards.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn spare_placement_prefers_topological_neighbors() {
+        // Line 0-1-2-3-4-5: displace {2,3}. Candidate A holds {0,1}
+        // (link 1-2 touches the displaced set), candidate B holds {4,5}
+        // (link 3-4), candidate C is empty.
+        let topo = line_topo(6);
+        let displaced = [DeviceId(2), DeviceId(3)];
+        let a = [DeviceId(0), DeviceId(1)];
+        let b = [DeviceId(4), DeviceId(5)];
+        let c: [DeviceId; 0] = [];
+        assert_eq!(placement_affinity(&topo, &displaced, &a), 1);
+        assert_eq!(placement_affinity(&topo, &displaced, &b), 1);
+        assert_eq!(placement_affinity(&topo, &displaced, &c), 0);
+        // Equal affinity: the lower candidate index wins — determinism.
+        assert_eq!(best_spare(&topo, &displaced, &[&a, &b, &c]), Some(0));
+        assert_eq!(best_spare(&topo, &displaced, &[&c, &b]), Some(1));
+        assert_eq!(best_spare(&topo, &displaced, &[]), None);
     }
 
     #[test]

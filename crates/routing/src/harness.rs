@@ -494,6 +494,18 @@ impl ControlPlaneSim {
             .map(|(_, r)| r.clone())
     }
 
+    /// Runs every event with `time <= at`, then advances the clock to
+    /// `at`, leaving later events queued.
+    ///
+    /// The fault subsystem uses this to interleave a fault timeline with
+    /// convergence: run up to the next planned fault instant, mutate the
+    /// world (power a VM's devices off, flap a link), and resume — so
+    /// in-flight causal chains on untouched devices keep playing out
+    /// across injections.
+    pub fn run_until(&mut self, at: SimTime) {
+        self.engine.run_until(at);
+    }
+
     /// Runs until no route activity occurs within `quiet` of the last
     /// route change, or gives up past `deadline`.
     ///

@@ -39,6 +39,11 @@ pub struct SpeakerOs {
     received: Vec<(u32, Ipv4Prefix, Option<Arc<PathAttrs>>)>,
     fib: Fib,
     down: bool,
+    /// Incarnation counter mixed into the session token. A speaker agent
+    /// restarted by crash recovery must present a *fresh* token, otherwise
+    /// boundary peers treat its Open as the same incarnation completing
+    /// the old exchange and never flush/resync the session.
+    epoch: u64,
 }
 
 impl SpeakerOs {
@@ -54,12 +59,35 @@ impl SpeakerOs {
             received: Vec::new(),
             fib: Fib::default(),
             down: false,
+            epoch: 0,
         }
     }
 
     /// Sets the announcement script for the session on `iface`.
     pub fn set_script(&mut self, iface: u32, script: SpeakerScript) {
         self.scripts.insert(iface, script);
+    }
+
+    /// Marks this instance as the `epoch`-th incarnation of the agent.
+    ///
+    /// Crash recovery builds a fresh [`SpeakerOs`] and bumps the epoch;
+    /// the changed session token makes every boundary peer flush the old
+    /// session and re-establish, after which the script replays — the
+    /// restart-resync path.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The incarnation epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The session token this incarnation presents in its Opens.
+    #[must_use]
+    pub fn session_token(&self) -> u64 {
+        (u64::from(self.router_id.0) << 20) | (self.epoch & 0xfffff)
     }
 
     /// The speaker's AS.
@@ -119,7 +147,7 @@ impl DeviceOs for SpeakerOs {
                             // Speakers never police hold time: the session
                             // must stay up no matter what.
                             hold_secs: 0,
-                            session_token: u64::from(self.router_id.0) << 20,
+                            session_token: self.session_token(),
                         }),
                     ));
                 }
@@ -140,7 +168,7 @@ impl DeviceOs for SpeakerOs {
                                 asn: self.asn,
                                 router_id: self.router_id,
                                 hold_secs: 0,
-                                session_token: u64::from(self.router_id.0) << 20,
+                                session_token: self.session_token(),
                             }),
                         ));
                         actions.out.push((iface, Frame::Bgp(BgpMsg::Keepalive)));
@@ -282,6 +310,46 @@ mod tests {
         assert_eq!(s.received().len(), 2);
         assert!(s.received()[0].2.is_some());
         assert!(s.received()[1].2.is_none());
+    }
+
+    #[test]
+    fn restarted_incarnation_presents_fresh_token() {
+        let mut gen1 = SpeakerOs::new("sp0".into(), Asn(64600), Ipv4Addr(1));
+        gen1.set_script(0, script("0.0.0.0/0"));
+        let mut gen2 = SpeakerOs::new("sp0".into(), Asn(64600), Ipv4Addr(1));
+        gen2.set_script(0, script("0.0.0.0/0"));
+        gen2.set_epoch(1);
+        assert_ne!(
+            gen1.session_token(),
+            gen2.session_token(),
+            "a restarted speaker must look like a new incarnation to peers"
+        );
+        // The fresh incarnation opens with the bumped token, so a peer that
+        // remembers the old token flushes and resyncs.
+        let a = gen2.handle(SimTime::ZERO, OsEvent::Boot);
+        match &a.out[0].1 {
+            Frame::Bgp(BgpMsg::Open { session_token, .. }) => {
+                assert_eq!(*session_token, gen2.session_token());
+            }
+            other => panic!("expected Open, got {other:?}"),
+        }
+        // And replays its script once the peer answers.
+        let a = gen2.handle(
+            SimTime::ZERO,
+            OsEvent::Frame {
+                iface: 0,
+                frame: Frame::Bgp(BgpMsg::Open {
+                    asn: Asn(65000),
+                    router_id: Ipv4Addr(9),
+                    hold_secs: 180,
+                    session_token: 7,
+                }),
+            },
+        );
+        assert!(a
+            .out
+            .iter()
+            .any(|(_, f)| matches!(f, Frame::Bgp(BgpMsg::Update { .. }))));
     }
 
     #[test]

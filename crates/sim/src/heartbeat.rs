@@ -1,0 +1,188 @@
+//! Deterministic heartbeat schedules and bounded exponential backoff.
+//!
+//! The orchestrator's health monitor (core's fault subsystem) watches VMs
+//! by expecting a heartbeat every fixed interval and reacts to misses with
+//! retries. Both primitives live here because they are pure virtual-time
+//! arithmetic: given the same construction parameters they produce the
+//! same tick instants and the same retry delays on every run, which is
+//! what keeps fault injection and recovery bit-reproducible.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A fixed-interval heartbeat schedule anchored at a start instant.
+///
+/// Ticks are derived (`start + n·interval`), never accumulated, so a
+/// schedule observed out of order or resumed mid-run cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatSchedule {
+    start: SimTime,
+    interval: SimDuration,
+}
+
+impl HeartbeatSchedule {
+    /// A schedule ticking every `interval` starting at `start + interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero — a zero-period heartbeat would make
+    /// the monitor spin forever at one instant.
+    #[must_use]
+    pub fn new(start: SimTime, interval: SimDuration) -> Self {
+        assert!(
+            interval > SimDuration::ZERO,
+            "heartbeat interval must be positive"
+        );
+        HeartbeatSchedule { start, interval }
+    }
+
+    /// The heartbeat interval.
+    #[must_use]
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// The `n`-th tick (1-based; tick 0 is the anchor itself).
+    #[must_use]
+    pub fn tick(&self, n: u64) -> SimTime {
+        self.start + self.interval * n
+    }
+
+    /// The first tick strictly after `t`.
+    #[must_use]
+    pub fn next_after(&self, t: SimTime) -> SimTime {
+        if t < self.start {
+            return self.tick(1);
+        }
+        let elapsed = t.since(self.start).as_nanos();
+        let n = elapsed / self.interval.as_nanos() + 1;
+        self.tick(n)
+    }
+
+    /// How many ticks land in the half-open window `(from, to]`.
+    #[must_use]
+    pub fn ticks_within(&self, from: SimTime, to: SimTime) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let upto = |t: SimTime| -> u64 {
+            if t < self.start {
+                0
+            } else {
+                t.since(self.start).as_nanos() / self.interval.as_nanos()
+            }
+        };
+        upto(to) - upto(from)
+    }
+}
+
+/// Bounded exponential backoff: `base · 2^attempt`, capped, for a fixed
+/// number of attempts.
+///
+/// The sequence is a pure function of the policy — no RNG, no wall clock —
+/// so retry timing under fault injection replays identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base: SimDuration,
+    cap: SimDuration,
+    max_attempts: u32,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, doubling per attempt, never exceeding
+    /// `cap`, exhausted after `max_attempts` delays.
+    #[must_use]
+    pub fn new(base: SimDuration, cap: SimDuration, max_attempts: u32) -> Self {
+        Backoff {
+            base,
+            cap,
+            max_attempts,
+            attempt: 0,
+        }
+    }
+
+    /// Attempts handed out so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Whether every attempt has been consumed.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.attempt >= self.max_attempts
+    }
+
+    /// The delay for attempt `n` (0-based) under this policy, independent
+    /// of iteration state.
+    #[must_use]
+    pub fn delay_for(&self, n: u32) -> SimDuration {
+        let factor = 1u64 << n.min(62);
+        (self.base * factor).min(self.cap)
+    }
+
+    /// The next delay, or `None` once the attempt budget is spent.
+    pub fn next_delay(&mut self) -> Option<SimDuration> {
+        if self.exhausted() {
+            return None;
+        }
+        let d = self.delay_for(self.attempt);
+        self.attempt += 1;
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_derived_not_accumulated() {
+        let hb = HeartbeatSchedule::new(SimTime::ZERO, SimDuration::from_secs(10));
+        assert_eq!(hb.tick(3), SimTime::ZERO + SimDuration::from_secs(30));
+        assert_eq!(
+            hb.next_after(SimTime::ZERO + SimDuration::from_secs(25)),
+            hb.tick(3)
+        );
+        // Landing exactly on a tick yields the *next* one.
+        assert_eq!(hb.next_after(hb.tick(3)), hb.tick(4));
+        // Before the anchor: the first tick.
+        let late = HeartbeatSchedule::new(
+            SimTime::ZERO + SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(late.next_after(SimTime::ZERO), late.tick(1));
+    }
+
+    #[test]
+    fn ticks_within_counts_half_open_window() {
+        let hb = HeartbeatSchedule::new(SimTime::ZERO, SimDuration::from_secs(10));
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        assert_eq!(hb.ticks_within(t(0), t(30)), 3);
+        assert_eq!(hb.ticks_within(t(10), t(30)), 2);
+        assert_eq!(hb.ticks_within(t(5), t(5)), 0);
+        assert_eq!(hb.ticks_within(t(30), t(10)), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_exhausts() {
+        let mut b = Backoff::new(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(10),
+            4, //
+        );
+        assert_eq!(b.next_delay(), Some(SimDuration::from_secs(2)));
+        assert_eq!(b.next_delay(), Some(SimDuration::from_secs(4)));
+        assert_eq!(b.next_delay(), Some(SimDuration::from_secs(8)));
+        assert_eq!(b.next_delay(), Some(SimDuration::from_secs(10)), "capped");
+        assert!(b.exhausted());
+        assert_eq!(b.next_delay(), None);
+        assert_eq!(b.attempts(), 4);
+    }
+
+    #[test]
+    fn backoff_shift_saturates_on_huge_attempt_index() {
+        let b = Backoff::new(SimDuration::from_nanos(1), SimDuration::from_secs(1), 100);
+        assert_eq!(b.delay_for(90), SimDuration::from_secs(1));
+    }
+}

@@ -10,6 +10,8 @@
 //! * [`Engine`] — the event loop over a user-defined world,
 //! * [`CpuServer`] — per-VM multi-core CPU accounting (Figure 9),
 //! * [`SimRng`] — seeded, per-component random streams,
+//! * [`HeartbeatSchedule`] / [`Backoff`] — health-monitor timing
+//!   primitives (fault detection and bounded retry),
 //! * [`metrics`] — percentile and time-series aggregation (Figure 8/9).
 //!
 //! Everything is deterministic given a seed: the engine orders events by
@@ -17,6 +19,7 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod heartbeat;
 pub mod metrics;
 pub mod parallel;
 pub mod rng;
@@ -24,6 +27,7 @@ pub mod time;
 
 pub use cpu::{CpuServer, UtilizationTracker};
 pub use engine::{ClosureEvent, Engine, Event, EventFire};
+pub use heartbeat::{Backoff, HeartbeatSchedule};
 pub use metrics::{LatencySummary, Series};
 pub use parallel::{run_shards_until_quiet, ParallelOutcome, ParallelWorld};
 pub use rng::SimRng;

@@ -12,23 +12,11 @@
 //! cargo run --release --example pod_upgrade
 //! ```
 
-use crystalnet::{
-    mockup,
-    prepare,
-    BoundaryMode,
-    Emulation,
-    MockupOptions,
-    PlanOptions,
-    SpeakerSource,
-    UpdateStep,
-    ValidationLoop, //
-};
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
 use crystalnet_boundary::{check_prop_5_3, Classification};
-use crystalnet_net::{ClosParams, DeviceId};
 use crystalnet_routing::harness::build_full_bgp_sim;
-use crystalnet_routing::{MgmtCommand, UniformWorkModel};
-use crystalnet_sim::{SimDuration, SimTime};
-use std::rc::Rc;
+use crystalnet_routing::UniformWorkModel;
 
 fn main() {
     let dc = ClosParams::s_dc().build();
@@ -68,7 +56,7 @@ fn main() {
         check_prop_5_3(&dc.topo, &class).map(|()| "safe")
     );
 
-    let mut emu = mockup(Rc::new(prep), MockupOptions::default());
+    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().build());
     println!("mockup: {}", emu.metrics.mockup);
 
     // The update: move one ToR's server subnet to a new prefix. First

@@ -5,10 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use crystalnet::{mockup, prepare, BoundaryMode, MockupOptions, PlanOptions, SpeakerSource};
-use crystalnet_net::ClosParams;
-use crystalnet_routing::{MgmtCommand, MgmtResponse};
-use std::rc::Rc;
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
 
 fn main() {
     // 1. A production snapshot: the paper's S-DC Clos fabric
@@ -38,7 +36,7 @@ fn main() {
     );
 
     // 3. Mockup: bring the emulation to route-ready.
-    let mut emu = mockup(Rc::new(prep), MockupOptions::default());
+    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().build());
     println!(
         "mockup: network-ready {}, route-ready {}, total {} ({} route ops)",
         emu.metrics.network_ready,
@@ -50,7 +48,7 @@ fn main() {
     // 4. Log in to a ToR over the management plane, as operators do.
     let tor = dc.pods[0].tors[0];
     let tor_name = dc.topo.device(tor).name.clone();
-    if let Some(MgmtResponse::BgpSummary(rows)) =
+    if let Ok(MgmtResponse::BgpSummary(rows)) =
         emu.login_and_run(&tor_name, MgmtCommand::ShowBgpSummary)
     {
         println!("{tor_name} BGP summary:");
@@ -64,7 +62,7 @@ fn main() {
     let src = dc.topo.device(tor).originated[1].nth(5);
     let dst = dc.topo.device(dst_tor).originated[1].nth(9);
     let sig = emu.inject_packet(tor, src, dst);
-    let (path, outcome) = emu.pull_packets(sig);
+    let (path, outcome) = emu.pull_packets(sig).expect("probe traced");
     println!("probe {src} -> {dst}: {outcome:?}");
     for (hop, dev) in path.iter().enumerate() {
         println!("  hop {hop}: {}", emu.topo.device(*dev).name);

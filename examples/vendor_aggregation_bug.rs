@@ -11,11 +11,10 @@
 //! cargo run --release --example vendor_aggregation_bug
 //! ```
 
-use crystalnet::{mockup, prepare, BoundaryMode, MockupOptions, PlanOptions, SpeakerSource};
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
 use crystalnet_config::AggregateConfig;
 use crystalnet_net::fixtures::fig1;
-use crystalnet_routing::{MgmtCommand, MgmtResponse};
-use std::rc::Rc;
 
 fn main() {
     let f = fig1();
@@ -36,10 +35,10 @@ fn main() {
             });
         }
     }
-    let mut emu = mockup(Rc::new(prep), MockupOptions::default());
+    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().build());
 
     // R8's view of P3, as an operator would pull it.
-    if let Some(MgmtResponse::Routes(rows)) = emu.login_and_run("r8", MgmtCommand::ShowRoutes) {
+    if let Ok(MgmtResponse::Routes(rows)) = emu.login_and_run("r8", MgmtCommand::ShowRoutes) {
         for (prefix, path_len, ecmp) in rows {
             if prefix == f.p3 {
                 println!("R8: {prefix} AS-path length {path_len}, ECMP width {ecmp}");
@@ -52,7 +51,7 @@ fn main() {
     for flow in 0..200u32 {
         let src = crystalnet_net::Ipv4Addr::new(203, 0, (flow >> 8) as u8, flow as u8);
         let sig = emu.inject_packet(f.routers[7], src, f.p3.nth(flow * 7 + 1));
-        let (path, _) = emu.pull_packets(sig);
+        let (path, _) = emu.pull_packets(sig).expect("probe traced");
         if path.contains(&f.routers[5]) {
             via_r6 += 1;
         }

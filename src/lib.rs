@@ -1,5 +1,6 @@
 //! Facade crate: re-exports the CrystalNet reproduction workspace.
 pub use crystalnet as core;
+pub use crystalnet::prelude;
 pub use crystalnet_boundary as boundary;
 pub use crystalnet_config as config;
 pub use crystalnet_dataplane as dataplane;

@@ -2,8 +2,8 @@
 //! the two-layer PhyNet design, per-link VXLAN isolation, and the
 //! loop-free tree-shaped management overlay.
 
-use crystalnet::{mockup, prepare, BoundaryMode, MockupOptions, PlanOptions, SpeakerSource};
-use crystalnet_net::ClosParams;
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
 use crystalnet_vnet::{ContainerKind, ContainerState, LinkSpan};
 use std::collections::HashSet;
 use std::rc::Rc;
@@ -17,7 +17,7 @@ fn emu() -> (crystalnet_net::ClosTopology, crystalnet::Emulation) {
         SpeakerSource::OriginatedOnly,
         &PlanOptions::default(),
     );
-    (dc, mockup(Rc::new(prep), MockupOptions::default()))
+    (dc, mockup(Rc::new(prep), MockupOptions::builder().build()))
 }
 
 #[test]

@@ -2,14 +2,12 @@
 //! datacenter — production ground truth → safe boundary → speaker
 //! synthesis → boundary emulation → operator change → identical outcome.
 
-use crystalnet::{mockup, prepare, BoundaryMode, MockupOptions, PlanOptions, SpeakerSource};
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
 use crystalnet_boundary::{differential_validate, emulated_set};
 use crystalnet_dataplane::CompareOptions;
-use crystalnet_net::{ClosParams, DeviceId};
 use crystalnet_routing::harness::build_full_bgp_sim;
-use crystalnet_routing::{MgmtCommand, UniformWorkModel};
-use crystalnet_sim::{SimDuration, SimTime};
-use std::rc::Rc;
+use crystalnet_routing::UniformWorkModel;
 
 /// The headline guarantee, measured: a pod-scoped emulation behind an
 /// Algorithm 1 boundary reaches exactly the same forwarding state as a
@@ -103,7 +101,7 @@ fn pod_emulation_fib_matches_production_snapshot() {
         SpeakerSource::Snapshot(&production),
         &PlanOptions::default(),
     );
-    let emu = mockup(Rc::new(prep), MockupOptions::default());
+    let emu = mockup(Rc::new(prep), MockupOptions::builder().build());
 
     for &d in &must_have {
         let emu_fib = emu.sim.fib(d).expect("emulated");
