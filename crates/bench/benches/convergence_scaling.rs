@@ -9,6 +9,7 @@
 //! Wall-clock speedup requires hardware parallelism; the JSON records
 //! `hardware_threads` so single-core CI numbers are interpretable.
 
+use crystalnet::prelude::MemRecorder;
 use crystalnet_net::{partition, ClosParams, ClosTopology};
 use crystalnet_routing::harness::build_full_bgp_sim;
 use crystalnet_routing::{ControlPlaneSim, UniformWorkModel, WorkModel};
@@ -83,6 +84,20 @@ fn run_once(topo: &ClosTopology, workers: usize) -> (Outcome, f64) {
     )
 }
 
+/// One extra, untimed run with a live recorder: the timed runs keep the
+/// no-op recorder (so instrumentation stays off the measured path), and
+/// this run supplies the canonical counter section for the JSON artifact.
+fn instrumented_counters(topo: &ClosTopology) -> String {
+    let mut sim = build_full_bgp_sim(&topo.topo, work());
+    sim.engine.world.recorder = Box::new(MemRecorder::new());
+    sim.boot_all(SimTime::ZERO);
+    sim.run_until_quiet(QUIET, deadline());
+    MemRecorder::from_recorder(&*sim.engine.world.recorder)
+        .expect("recorder was installed above")
+        .report()
+        .counters_json()
+}
+
 fn assert_matches(base: &Outcome, got: &Outcome, topo: &ClosTopology, tag: &str) {
     assert_eq!(base.converged_at, got.converged_at, "{tag}: converged_at");
     assert_eq!(base.route_ops, got.route_ops, "{tag}: route ops");
@@ -115,8 +130,13 @@ fn main() {
     }
 
     let mut rows = Vec::new();
+    let mut counter_rows = Vec::new();
     for (label, topo) in fabrics() {
         let devices = topo.topo.device_count();
+        counter_rows.push(format!(
+            "{{\"topology\": \"{label}\", \"counters\": {}}}",
+            instrumented_counters(&topo)
+        ));
         let mut serial_median = 0.0;
         let mut baseline: Option<Outcome> = None;
         for &workers in &WORKERS {
@@ -154,9 +174,11 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"convergence_scaling\",\n  \"quiet_seconds\": {},\n  \
-         \"samples\": {samples},\n  \"hardware_threads\": {hw},\n  \"results\": [\n    {}\n  ]\n}}\n",
+         \"samples\": {samples},\n  \"hardware_threads\": {hw},\n  \"results\": [\n    {}\n  ],\n  \
+         \"counters\": [\n    {}\n  ]\n}}\n",
         QUIET.as_nanos() / 1_000_000_000,
-        rows.join(",\n    ")
+        rows.join(",\n    "),
+        counter_rows.join(",\n    ")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_convergence.json");
     std::fs::write(path, json).expect("write BENCH_convergence.json");

@@ -83,6 +83,7 @@ struct Sample {
     latency: SimDuration,
     devices: usize,
     wall: f64,
+    counters: String,
 }
 
 fn run_once(topo: &ClosTopology, target_vms: u32, plan: Option<&FaultPlan>) -> Sample {
@@ -101,8 +102,11 @@ fn run_once(topo: &ClosTopology, target_vms: u32, plan: Option<&FaultPlan>) -> S
         }
     }
     let wall = start.elapsed().as_secs_f64();
+    // Read the *latest* recovery in virtual time, not emission order:
+    // overlapping faults interleave in the raw journal.
     let (_, latency, devices) = *emu
         .journal
+        .sorted()
         .recoveries()
         .last()
         .expect("every scenario completes a recovery");
@@ -110,6 +114,7 @@ fn run_once(topo: &ClosTopology, target_vms: u32, plan: Option<&FaultPlan>) -> S
         latency,
         devices,
         wall,
+        counters: emu.pull_report().counters_json(),
     }
 }
 
@@ -156,9 +161,11 @@ fn main() {
             rows.push(format!(
                 "{{\"topology\": \"{label}\", \"devices\": {devices}, \"vms\": {vms}, \
                  \"scenario\": \"{scenario}\", \"recovered_devices\": {}, \
-                 \"recovery_latency_ns\": {}, \"median_wall_seconds\": {wall:.6}}}",
+                 \"recovery_latency_ns\": {}, \"median_wall_seconds\": {wall:.6}, \
+                 \"counters\": {}}}",
                 s.devices,
-                s.latency.as_nanos()
+                s.latency.as_nanos(),
+                s.counters
             ));
         }
     }

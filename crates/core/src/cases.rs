@@ -21,6 +21,7 @@ use crystalnet_dataplane::ForwardDecision;
 use crystalnet_net::{DeviceId, RegionParams, RegionTopology, Role};
 use crystalnet_routing::{DeviceOs, Frame, MgmtCommand, OsEvent, VendorProfile};
 use crystalnet_sim::SimTime;
+use crystalnet_telemetry::RunReport;
 use std::rc::Rc;
 
 /// The report of the Case-1 rehearsal.
@@ -36,12 +37,14 @@ pub struct Case1Report {
     pub no_disruption: bool,
     /// VM count of the emulation.
     pub vms_used: usize,
+    /// Run report of the final migration emulation.
+    pub report: RunReport,
 }
 
 /// Builds the Case-1 emulation: both DCs fully emulated plus regional
 /// backbones and legacy WAN cores (the paper emulated all spines of two
 /// DCs + the new backbone + several WAN cores on 150 VMs).
-fn case1_emulation(seed: u64, region: &RegionTopology) -> Emulation {
+fn case1_emulation(options: &MockupOptions, region: &RegionTopology) -> Emulation {
     let prep = prepare(
         &region.topo,
         &[],
@@ -49,7 +52,7 @@ fn case1_emulation(seed: u64, region: &RegionTopology) -> Emulation {
         SpeakerSource::OriginatedOnly,
         &PlanOptions::default(),
     );
-    mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build())
+    mockup(Rc::new(prep), options.clone())
 }
 
 /// A cross-DC reachability check: a ToR in DC0 can reach a ToR subnet in
@@ -77,9 +80,16 @@ fn cross_dc_ok(
     Ok(())
 }
 
-/// Runs the Case-1 migration rehearsal.
+/// Runs the Case-1 migration rehearsal with the default options.
 #[must_use]
 pub fn run_case1(seed: u64) -> Case1Report {
+    run_case1_with(&MockupOptions::builder().seed(seed).build())
+}
+
+/// Runs the Case-1 migration rehearsal under caller-supplied mockup
+/// options (the final run re-derives its seed as `seed + 1000`).
+#[must_use]
+pub fn run_case1_with(options: &MockupOptions) -> Case1Report {
     let mut params = RegionParams::case1();
     // Keep the rehearsal affordable: small DCs, post-migration topology
     // (backbone links exist; the plan brings them into service).
@@ -92,7 +102,7 @@ pub fn run_case1(seed: u64) -> Case1Report {
     // shift step shuts down a whole border router instead of its WAN
     // sessions (the §2 tool-bug class).
     // ------------------------------------------------------------------
-    let mut emu = case1_emulation(seed, &region);
+    let mut emu = case1_emulation(options, &region);
     let border0 = region.dcs[0].borders[0];
     let r1 = region.clone();
     let r2 = region.clone();
@@ -144,7 +154,9 @@ pub fn run_case1(seed: u64) -> Case1Report {
     // border, verifying traffic shifts onto the regional backbone with
     // no disruption.
     // ------------------------------------------------------------------
-    let mut emu = case1_emulation(seed + 1000, &region);
+    let mut final_options = options.clone();
+    final_options.seed += 1000;
+    let mut emu = case1_emulation(&final_options, &region);
     let mut wan_sessions: Vec<(DeviceId, crystalnet_net::Ipv4Addr)> = Vec::new();
     for dc in &region.dcs {
         for &b in &dc.borders {
@@ -187,6 +199,7 @@ pub fn run_case1(seed: u64) -> Case1Report {
         final_run: final_run.steps,
         no_disruption,
         vms_used,
+        report: emu.pull_report(),
     }
 }
 
@@ -197,21 +210,34 @@ pub struct Case2Report {
     pub bugs: Vec<String>,
     /// The same checks against the released build (expected clean).
     pub control_clean: bool,
+    /// Run report of the dev-build emulation under test.
+    pub report: RunReport,
 }
 
-/// Runs the Case-2 switch-OS validation pipeline: replace one production
-/// ToR with the CTNR-B dev build, verify no behaviour change.
+/// Runs the Case-2 switch-OS validation pipeline with the default
+/// options: replace one production ToR with the CTNR-B dev build, verify
+/// no behaviour change.
 #[must_use]
 pub fn run_case2(seed: u64) -> Case2Report {
-    let bugs = pipeline(seed, VendorProfile::ctnr_b_dev());
-    let control = pipeline(seed + 500, VendorProfile::ctnr_b());
+    run_case2_with(&MockupOptions::builder().seed(seed).build())
+}
+
+/// Runs the Case-2 pipeline under caller-supplied mockup options (the
+/// control run re-derives its seed as `seed + 500`).
+#[must_use]
+pub fn run_case2_with(options: &MockupOptions) -> Case2Report {
+    let mut control_options = options.clone();
+    control_options.seed += 500;
+    let (bugs, report) = pipeline(options, VendorProfile::ctnr_b_dev());
+    let (control, _) = pipeline(&control_options, VendorProfile::ctnr_b());
     Case2Report {
         control_clean: control.is_empty(),
         bugs,
+        report,
     }
 }
 
-fn pipeline(seed: u64, build: VendorProfile) -> Vec<String> {
+fn pipeline(options: &MockupOptions, build: VendorProfile) -> (Vec<String>, RunReport) {
     let f = crystalnet_net::fixtures::fig7();
     let dut = f.tors[0]; // device under test
     let mut prep = prepare(
@@ -231,10 +257,8 @@ fn pipeline(seed: u64, build: VendorProfile) -> Vec<String> {
                 .push("0.0.0.0/0".parse().unwrap());
         }
     }
-    let options = MockupOptions::builder()
-        .seed(seed)
-        .profile_override(dut, build)
-        .build();
+    let mut options = options.clone();
+    options.profile_overrides.insert(dut, build);
     let mut emu = mockup(Rc::new(prep), options);
 
     let mut bugs = Vec::new();
@@ -293,7 +317,7 @@ fn pipeline(seed: u64, build: VendorProfile) -> Vec<String> {
         bugs.push("OS crashed after repeated BGP session flaps".into());
     }
 
-    bugs
+    (bugs, emu.pull_report())
 }
 
 /// Internal scheduling helpers used by the pipeline.

@@ -18,7 +18,7 @@
 //! VM failure injection and health-monitor recovery.
 
 use crate::faults::{FaultPlan, HealthPolicy};
-use crate::metrics::{JournalKind, MockupMetrics, RecoveryJournal};
+use crate::metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
 use crate::plan::sandbox_kind;
 use crate::prepare::PrepareOutput;
 use bytes::Bytes;
@@ -34,6 +34,7 @@ use crystalnet_net::{partition_grouped, DeviceId, Ipv4Addr, LinkId, Topology};
 use crystalnet_routing::harness::{WorkKind, WorkModel};
 use crystalnet_routing::{BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, VendorProfile};
 use crystalnet_sim::{SimDuration, SimRng, SimTime};
+use crystalnet_telemetry::{FieldValue, MemRecorder, RunReport, SpanRecord};
 use crystalnet_vnet::{
     BridgeImpl,
     Cloud,
@@ -135,6 +136,11 @@ pub struct MockupOptions {
     /// Health-monitor policy: heartbeat interval, miss threshold, and the
     /// bounded reboot-retry backoff.
     pub health: HealthPolicy,
+    /// Whether to collect the run report (spans, counters, journal) —
+    /// `pull_report()` returns an empty report when off. Recording is
+    /// deterministic and does not perturb the run; disable it only to
+    /// shave the last few percent off large batch sweeps.
+    pub telemetry: bool,
 }
 
 impl Default for MockupOptions {
@@ -148,6 +154,7 @@ impl Default for MockupOptions {
             workers: 1,
             fault_plan: FaultPlan::default(),
             health: HealthPolicy::default(),
+            telemetry: true,
         }
     }
 }
@@ -231,6 +238,13 @@ impl MockupOptionsBuilder {
     #[must_use]
     pub fn health(mut self, health: HealthPolicy) -> Self {
         self.options.health = health;
+        self
+    }
+
+    /// Whether to collect the run report (on by default).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.options.telemetry = telemetry;
         self
     }
 
@@ -534,6 +548,9 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
         boot_seq: HashMap::new(),
     };
     let mut sim = ControlPlaneSim::new(&topo, Box::new(work));
+    if options.telemetry {
+        sim.engine.world.recorder = Box::new(MemRecorder::new());
+    }
 
     // Device firmwares.
     for (dev, cfg) in &prep.configs {
@@ -582,6 +599,30 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
     )
     .expect("emulation failed to converge before the deadline");
     let route_ops = sim.engine.world.route_ops_total;
+
+    // Phase spans + orchestrator events, emitted serially so their order
+    // is identical whatever `workers` drove the convergence.
+    if sim.engine.world.recorder.enabled() {
+        let boot_end = MemRecorder::from_recorder(&*sim.engine.world.recorder)
+            .and_then(|m| m.gauge("routing.last_boot_done_ns"))
+            .map_or(network_ready_at, SimTime);
+        let rec = &mut *sim.engine.world.recorder;
+        rec.span("mockup", None, SimTime::ZERO, route_ready_at);
+        rec.span("boot", None, network_ready_at, boot_end);
+        rec.event(
+            network_ready_at,
+            "network_ready",
+            vec![
+                ("vms", FieldValue::U64(vm_ids.len() as u64)),
+                ("vlinks", FieldValue::U64(vlinks.len() as u64)),
+            ],
+        );
+        rec.event(
+            route_ready_at,
+            "route_ready",
+            vec![("route_ops", FieldValue::U64(route_ops))],
+        );
+    }
 
     // Mark sandboxes running.
     for sb in sandboxes.values() {
@@ -728,6 +769,93 @@ impl Emulation {
         Ok(())
     }
 
+    /// Appends to the recovery journal, mirroring each entry into the
+    /// telemetry recorder — fault counters, the recovery-latency
+    /// histogram, and a `recovery` span per completion. Every fault and
+    /// recovery step emits through here so the journal's typed query API
+    /// and the run report can never drift apart.
+    pub(crate) fn journal_event(&mut self, at: SimTime, kind: JournalKind) {
+        let rec = &mut *self.sim.engine.world.recorder;
+        if rec.enabled() {
+            match &kind {
+                JournalKind::FaultInjected { .. } => rec.counter_add("core.faults_injected", 1),
+                JournalKind::HeartbeatMissed { .. } => rec.counter_add("core.heartbeat_misses", 1),
+                JournalKind::VmDeclaredDead { .. } => rec.counter_add("core.vms_declared_dead", 1),
+                JournalKind::RebootAttempt { .. } => rec.counter_add("core.reboot_attempts", 1),
+                JournalKind::VmQuarantined { .. } => rec.counter_add("core.vms_quarantined", 1),
+                JournalKind::SpeakerRestarted { .. } => {
+                    rec.counter_add("core.speakers_restarted", 1);
+                }
+                JournalKind::LinkFlap { .. } => rec.counter_add("core.link_flaps", 1),
+                JournalKind::RecoveryComplete { latency, .. } => {
+                    rec.counter_add("core.recoveries", 1);
+                    rec.histogram_record("core.recovery_latency_ns", latency.as_nanos() as f64);
+                    rec.span("recovery", None, at - *latency, at);
+                }
+            }
+        }
+        self.journal.record(at, kind);
+    }
+
+    /// `PullReport`: the run's observability snapshot — phase and
+    /// recovery spans, the merged metrics registry, orchestrator events,
+    /// and the time-sorted journal. Canonical JSON
+    /// ([`RunReport::to_json`]) is bit-identical across repetitions and
+    /// across `workers` values for the same seed; the empty report is
+    /// returned when the mockup was built with `telemetry(false)`.
+    #[must_use]
+    pub fn pull_report(&self) -> RunReport {
+        let Some(mem) = MemRecorder::from_recorder(&*self.sim.engine.world.recorder) else {
+            return RunReport::disabled();
+        };
+        let mut report = mem
+            .report()
+            .with_meta("seed", FieldValue::U64(self.options.seed))
+            .with_meta("devices", FieldValue::U64(self.sandboxes.len() as u64))
+            .with_meta("vms", FieldValue::U64(self.vm_ids.len() as u64))
+            .with_meta("quiet", FieldValue::Dur(self.options.quiet))
+            .with_meta("deadline", FieldValue::Dur(self.options.deadline))
+            .with_meta("network_ready", FieldValue::Dur(self.metrics.network_ready))
+            .with_meta("route_ready", FieldValue::Dur(self.metrics.route_ready));
+        // Per-device convergence spans, derived from the last
+        // route-activity gauge: boot start → final route installation.
+        if let Some(per_dev) = mem.device_gauge("routing.convergence_ns") {
+            let start = self.metrics.ready_at - self.metrics.route_ready;
+            for (&dev, &end_ns) in per_dev {
+                report.spans.push(SpanRecord {
+                    name: "convergence".to_string(),
+                    device: Some(dev),
+                    start,
+                    end: SimTime(end_ns),
+                });
+            }
+        }
+        report.journal = self
+            .journal
+            .sorted()
+            .events
+            .iter()
+            .map(JournalEvent::to_event_record)
+            .collect();
+        // Execution-shape facts: never part of the canonical sections.
+        report.diagnostics.insert(
+            "sim.engine.events_executed".to_string(),
+            self.sim.engine.events_executed(),
+        );
+        report.diagnostics.insert(
+            "sim.engine.queue_high_water".to_string(),
+            self.sim.engine.queue_high_water() as u64,
+        );
+        let (hits, misses) = crystalnet_routing::intern_stats();
+        report
+            .diagnostics
+            .insert("routing.intern_hits".to_string(), hits);
+        report
+            .diagnostics
+            .insert("routing.intern_misses".to_string(), misses);
+        report
+    }
+
     /// The live [`VmWorkModel`] inside the sim, if one is installed.
     pub(crate) fn work_model(&mut self) -> Option<&mut VmWorkModel> {
         self.sim
@@ -746,15 +874,21 @@ impl Emulation {
     /// [`EmulationError::NotConverged`] if quiescence is not reached
     /// before `MockupOptions::deadline` elapses.
     pub fn settle(&mut self) -> Result<SimTime, EmulationError> {
-        let deadline = self.now() + self.options.deadline;
-        converge(
+        let start = self.now();
+        let deadline = start + self.options.deadline;
+        let settled = converge(
             &mut self.sim,
             &self.topo,
             &self.sandboxes,
             &self.options,
             deadline,
         )
-        .ok_or(EmulationError::NotConverged)
+        .ok_or(EmulationError::NotConverged)?;
+        let rec = &mut *self.sim.engine.world.recorder;
+        if rec.enabled() {
+            rec.span("settle", None, start, settled);
+        }
+        Ok(settled)
     }
 
     /// `List`: all emulated devices with hostnames and liveness.
@@ -994,14 +1128,17 @@ impl Emulation {
                 // A restarted speaker must present a fresh session token,
                 // or peers treat its Open as a duplicate of the live
                 // session and never flush its stale routes.
-                let epoch = self.speaker_epochs.entry(dev).or_insert(0);
-                *epoch += 1;
-                os.set_epoch(*epoch);
-                self.journal.record(
+                let epoch = *self
+                    .speaker_epochs
+                    .entry(dev)
+                    .and_modify(|e| *e += 1)
+                    .or_insert(1);
+                os.set_epoch(epoch);
+                self.journal_event(
                     restored_at,
                     JournalKind::SpeakerRestarted {
                         device: dev.0,
-                        epoch: *epoch,
+                        epoch,
                     },
                 );
                 self.sim.replace_os(dev, Box::new(os));
@@ -1040,7 +1177,7 @@ impl Emulation {
         }
         let vm_id = self.vm_ids[vm_idx];
         let now = self.now();
-        self.journal.record(
+        self.journal_event(
             now,
             JournalKind::FaultInjected {
                 fault: format!("vm {vm_idx} crash (direct injection)"),
@@ -1065,7 +1202,7 @@ impl Emulation {
             .lock()
             .expect("cloud lock poisoned")
             .reset_cpu(vm_id, reboot_done);
-        self.journal.record(
+        self.journal_event(
             now,
             JournalKind::RebootAttempt {
                 vm: vm_idx,
@@ -1082,7 +1219,7 @@ impl Emulation {
         // Fresh OS instances boot from the prepared configs.
         self.restore_devices(&victims, restored_at);
         self.vm_down[vm_idx] = false;
-        self.journal.record(
+        self.journal_event(
             restored_at,
             JournalKind::RecoveryComplete {
                 vm: vm_idx,

@@ -314,7 +314,7 @@ impl Emulation {
     }
 
     fn apply_fault(&mut self, t: SimTime, kind: &FaultKind) {
-        self.journal.record(
+        self.journal_event(
             t,
             JournalKind::FaultInjected {
                 fault: kind.to_string(),
@@ -337,7 +337,7 @@ impl Emulation {
                     let down_at = t + period * (2 * i);
                     let up_at = t + period * (2 * i + 1);
                     self.sim.link_down(ep, down_at);
-                    self.journal.record(
+                    self.journal_event(
                         down_at,
                         JournalKind::LinkFlap {
                             link: link.0,
@@ -345,7 +345,7 @@ impl Emulation {
                         },
                     );
                     self.sim.link_up(ep, up_at);
-                    self.journal.record(
+                    self.journal_event(
                         up_at,
                         JournalKind::LinkFlap {
                             link: link.0,
@@ -360,8 +360,7 @@ impl Emulation {
                     // The monitor cannot tell a stalled reporter from a
                     // dead VM: past the threshold it declares death and
                     // power-cycles a VM that was actually healthy.
-                    self.journal
-                        .record(detected, JournalKind::VmDeclaredDead { vm });
+                    self.journal_event(detected, JournalKind::VmDeclaredDead { vm });
                     let victims = self.crash_vm_devices(vm, detected);
                     self.retry_and_restore(t, detected, vm, 0, &victims);
                 }
@@ -379,8 +378,7 @@ impl Emulation {
         }
         let victims = self.crash_vm_devices(vm, t);
         let detected = self.journal_misses(t, vm, self.options.health.miss_threshold);
-        self.journal
-            .record(detected, JournalKind::VmDeclaredDead { vm });
+        self.journal_event(detected, JournalKind::VmDeclaredDead { vm });
         self.retry_and_restore(t, detected, vm, failed_attempts, &victims);
     }
 
@@ -390,8 +388,7 @@ impl Emulation {
         let hb = HeartbeatSchedule::new(SimTime::ZERO, self.options.health.heartbeat);
         let mut tick = hb.next_after(t);
         for m in 1..=misses.max(1) {
-            self.journal
-                .record(tick, JournalKind::HeartbeatMissed { vm, consecutive: m });
+            self.journal_event(tick, JournalKind::HeartbeatMissed { vm, consecutive: m });
             if m < misses {
                 tick = hb.next_after(tick);
             }
@@ -421,7 +418,7 @@ impl Emulation {
             };
             when += delay;
             let attempt = backoff.attempts();
-            self.journal.record(
+            self.journal_event(
                 when,
                 JournalKind::RebootAttempt {
                     vm,
@@ -442,7 +439,7 @@ impl Emulation {
             let restored_at = reboot_done + self.vm_recovery_cost(victims);
             self.restore_devices(victims, restored_at);
             self.vm_down[vm] = false;
-            self.journal.record(
+            self.journal_event(
                 restored_at,
                 JournalKind::RecoveryComplete {
                     vm,
@@ -518,8 +515,7 @@ impl Emulation {
                 (self.vm_ids.len() - 1, ready)
             }
         };
-        self.journal
-            .record(when, JournalKind::VmQuarantined { vm: dead_vm, spare });
+        self.journal_event(when, JournalKind::VmQuarantined { vm: dead_vm, spare });
 
         // Rebuild the sandboxes on the spare.
         let spare_id = self.vm_ids[spare];
@@ -592,7 +588,7 @@ impl Emulation {
 
         let restored_at = setup_from + self.vm_recovery_cost(victims);
         self.restore_devices(victims, restored_at);
-        self.journal.record(
+        self.journal_event(
             restored_at,
             JournalKind::RecoveryComplete {
                 vm: spare,
@@ -631,7 +627,7 @@ impl Emulation {
         let restored_at = hb.next_after(t) + SimDuration::from_secs(3);
         self.restore_devices(&[device], restored_at);
         let vm = self.sandboxes[&device].vm;
-        self.journal.record(
+        self.journal_event(
             restored_at,
             JournalKind::RecoveryComplete {
                 vm,

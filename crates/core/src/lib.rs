@@ -30,7 +30,7 @@ pub mod prepare;
 pub mod scenarios;
 pub mod workflow;
 
-pub use cases::{run_case1, run_case2, Case1Report, Case2Report};
+pub use cases::{run_case1, run_case1_with, run_case2, run_case2_with, Case1Report, Case2Report};
 pub use emulation::{
     mockup, DeviceState, Emulation, EmulationError, MockupOptions, MockupOptionsBuilder, Sandbox,
     VmWorkModel,
@@ -70,5 +70,9 @@ pub mod prelude {
     };
     pub use crystalnet_routing::{MgmtCommand, MgmtResponse, VendorProfile};
     pub use crystalnet_sim::{SimDuration, SimTime};
+    pub use crystalnet_telemetry::{
+        EventRecord, FieldValue, HistogramSummary, MemRecorder, NoopRecorder, Recorder, RunReport,
+        SpanRecord,
+    };
     pub use std::rc::Rc;
 }

@@ -1,6 +1,7 @@
 //! Emulation metrics: the quantities §8 reports.
 
 use crystalnet_sim::{SimDuration, SimTime};
+use crystalnet_telemetry::{EventRecord, FieldValue};
 use serde::{Deserialize, Serialize};
 
 /// Latency breakdown of one Mockup run (the Figure 8 quantities).
@@ -110,6 +111,77 @@ pub struct JournalEvent {
     pub kind: JournalKind,
 }
 
+impl JournalEvent {
+    /// Renders the entry as a typed telemetry event — the rows of the run
+    /// report's `journal` section.
+    #[must_use]
+    pub fn to_event_record(&self) -> EventRecord {
+        let (name, fields): (&str, Vec<(&str, FieldValue)>) = match &self.kind {
+            JournalKind::FaultInjected { fault } => (
+                "fault_injected",
+                vec![("fault", FieldValue::Str(fault.clone()))],
+            ),
+            JournalKind::HeartbeatMissed { vm, consecutive } => (
+                "heartbeat_missed",
+                vec![
+                    ("vm", FieldValue::U64(*vm as u64)),
+                    ("consecutive", FieldValue::U64(u64::from(*consecutive))),
+                ],
+            ),
+            JournalKind::VmDeclaredDead { vm } => (
+                "vm_declared_dead",
+                vec![("vm", FieldValue::U64(*vm as u64))],
+            ),
+            JournalKind::RebootAttempt {
+                vm,
+                attempt,
+                backoff,
+            } => (
+                "reboot_attempt",
+                vec![
+                    ("vm", FieldValue::U64(*vm as u64)),
+                    ("attempt", FieldValue::U64(u64::from(*attempt))),
+                    ("backoff", FieldValue::Dur(*backoff)),
+                ],
+            ),
+            JournalKind::VmQuarantined { vm, spare } => (
+                "vm_quarantined",
+                vec![
+                    ("vm", FieldValue::U64(*vm as u64)),
+                    ("spare", FieldValue::U64(*spare as u64)),
+                ],
+            ),
+            JournalKind::SpeakerRestarted { device, epoch } => (
+                "speaker_restarted",
+                vec![
+                    ("device", FieldValue::U64(u64::from(*device))),
+                    ("epoch", FieldValue::U64(*epoch)),
+                ],
+            ),
+            JournalKind::LinkFlap { link, up } => (
+                "link_flap",
+                vec![
+                    ("link", FieldValue::U64(u64::from(*link))),
+                    ("up", FieldValue::Bool(*up)),
+                ],
+            ),
+            JournalKind::RecoveryComplete {
+                vm,
+                latency,
+                devices,
+            } => (
+                "recovery_complete",
+                vec![
+                    ("vm", FieldValue::U64(*vm as u64)),
+                    ("latency", FieldValue::Dur(*latency)),
+                    ("devices", FieldValue::U64(*devices as u64)),
+                ],
+            ),
+        };
+        EventRecord::new(self.at, name, fields)
+    }
+}
+
 /// The append-only recovery journal of one emulation.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RecoveryJournal {
@@ -164,6 +236,19 @@ impl RecoveryJournal {
             .iter()
             .any(|e| matches!(e.kind, JournalKind::VmDeclaredDead { vm: v } if v == vm))
     }
+
+    /// A globally time-sorted copy: stable merge by `at`, with emission
+    /// order as the tie-break. `events` preserves raw emission order
+    /// (within one fault the stamps ascend, but across overlapping faults
+    /// they interleave); this is the safe surface for "last recovery" /
+    /// "first miss" style reads.
+    #[must_use]
+    pub fn sorted(&self) -> RecoveryJournal {
+        let mut events = self.events.clone();
+        // Vec::sort_by_key is stable, so equal stamps keep emission order.
+        events.sort_by_key(|e| e.at);
+        RecoveryJournal { events }
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +302,63 @@ mod tests {
         assert!(!j.declared_dead(1));
         assert_eq!(j.recoveries(), vec![(0, SimDuration::from_secs(7), 3)]);
         assert_eq!(j.max_recovery_latency(), Some(SimDuration::from_secs(7)));
+    }
+
+    #[test]
+    fn sorted_is_a_stable_time_merge() {
+        let mut j = RecoveryJournal::default();
+        let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
+        // Overlapping faults: the second fault's detection predates the
+        // first fault's completion, and two entries share a stamp.
+        j.record(
+            t(20),
+            JournalKind::RecoveryComplete {
+                vm: 0,
+                latency: SimDuration::from_secs(10),
+                devices: 1,
+            },
+        );
+        j.record(
+            t(5),
+            JournalKind::HeartbeatMissed {
+                vm: 1,
+                consecutive: 1,
+            },
+        );
+        j.record(t(5), JournalKind::VmDeclaredDead { vm: 1 });
+        let s = j.sorted();
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.events[0].at, t(5));
+        // Stable: equal stamps keep emission order (miss before declared).
+        assert!(matches!(
+            s.events[0].kind,
+            JournalKind::HeartbeatMissed { .. }
+        ));
+        assert!(matches!(
+            s.events[1].kind,
+            JournalKind::VmDeclaredDead { .. }
+        ));
+        assert_eq!(s.events[2].at, t(20));
+        // The original emission order is untouched.
+        assert_eq!(j.events[0].at, t(20));
+    }
+
+    #[test]
+    fn journal_events_render_typed_records() {
+        let ev = JournalEvent {
+            at: SimTime::ZERO + SimDuration::from_secs(3),
+            kind: JournalKind::RebootAttempt {
+                vm: 2,
+                attempt: 1,
+                backoff: SimDuration::from_secs(4),
+            },
+        };
+        let rec = ev.to_event_record();
+        assert_eq!(rec.name, "reboot_attempt");
+        assert_eq!(rec.field("vm"), Some(&FieldValue::U64(2)));
+        assert_eq!(
+            rec.field("backoff"),
+            Some(&FieldValue::Dur(SimDuration::from_secs(4)))
+        );
     }
 }

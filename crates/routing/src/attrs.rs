@@ -16,7 +16,25 @@
 use crystalnet_net::{Asn, Ipv4Addr, Ipv4Prefix};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Lookups served from the table without allocating.
+static INTERN_HITS: AtomicU64 = AtomicU64::new(0);
+/// Lookups that allocated a new canonical `Arc`.
+static INTERN_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide interner statistics as `(hits, misses)` since process
+/// start. The table outlives individual emulations (and is shared by
+/// parallel workers), so treat these as execution diagnostics rather than
+/// canonical per-run facts.
+#[must_use]
+pub fn intern_stats() -> (u64, u64) {
+    (
+        INTERN_HITS.load(Ordering::Relaxed),
+        INTERN_MISSES.load(Ordering::Relaxed),
+    )
+}
 
 /// BGP route origin, in decision-process preference order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -114,8 +132,10 @@ impl PathAttrs {
     pub fn intern(self) -> Arc<PathAttrs> {
         let mut table = interner().lock().expect("attr interner poisoned");
         if let Some(existing) = table.get(&self) {
+            INTERN_HITS.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(existing);
         }
+        INTERN_MISSES.fetch_add(1, Ordering::Relaxed);
         let arc = Arc::new(self);
         table.insert(Arc::clone(&arc));
         arc
@@ -233,6 +253,22 @@ mod tests {
         // round trip still works.)
         let again = unique.intern();
         assert_eq!(again.communities, vec![0xdead_beef]);
+    }
+
+    #[test]
+    fn intern_stats_count_hits_and_misses() {
+        let (h0, m0) = intern_stats();
+        let unique = PathAttrs {
+            communities: vec![0x57a7_0001],
+            ..PathAttrs::originated(Ipv4Addr(0x57a7))
+        };
+        let _first = unique.clone().intern(); // miss: allocates
+        let _second = unique.intern(); // hit: shared
+        let (h1, m1) = intern_stats();
+        // Counters are process-global and only ever advance, so with other
+        // tests running concurrently we can only assert monotonicity.
+        assert!(h1 > h0, "expected at least one hit");
+        assert!(m1 > m0, "expected at least one miss");
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //! matching the paper's route-ready definition, "the moment when all
 //! routes are installed and stabilized in all switches" (§8.1).
 
-use crate::msg::Frame;
+use crate::msg::{BgpMsg, Frame};
 use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
 use crystalnet_dataplane::{decide, Fib, ForwardDecision, Ipv4Packet};
 use crystalnet_net::{DeviceId, LinkId, Partition, Topology};
 use crystalnet_sim::parallel::{run_shards_until_quiet, ParallelWorld};
 use crystalnet_sim::{Engine, EventFire, SimDuration, SimTime};
+use crystalnet_telemetry::{NoopRecorder, Recorder};
 use std::collections::HashMap;
 
 /// Work classes a device performs (costed by the [`WorkModel`]).
@@ -210,6 +211,11 @@ impl EventFire<ControlPlaneWorld> for HarnessEvent {
             HarnessEventKind::BootDone(dev) => {
                 e.world.causal_pending -= 1;
                 e.world.booted[dev.index()] = true;
+                if e.world.recorder.enabled() {
+                    let now = e.now().as_nanos();
+                    e.world.recorder.counter_add("routing.devices_booted", 1);
+                    e.world.recorder.gauge_max("routing.last_boot_done_ns", now);
+                }
                 dispatch(e, dev, OsEvent::Boot);
             }
             HarnessEventKind::LinkState {
@@ -246,6 +252,9 @@ impl EventFire<ControlPlaneWorld> for HarnessEvent {
                 e.world.causal_pending -= 1;
                 // Re-check link state at delivery time.
                 if e.world.link_up.get(&link).copied().unwrap_or(false) {
+                    if e.world.recorder.enabled() {
+                        record_frame(&mut *e.world.recorder, &frame, false);
+                    }
                     dispatch(e, dev, OsEvent::Frame { iface, frame });
                 }
             }
@@ -281,6 +290,11 @@ pub struct ControlPlaneWorld {
     control_key_seq: u32,
     /// Set while this world is a shard of a parallel run.
     shard_route: Option<ShardRoute>,
+    /// Observability sink. Defaults to the zero-cost [`NoopRecorder`];
+    /// orchestration layers install a `MemRecorder` to collect a run
+    /// report. Shards fork it and the join merges them back, so canonical
+    /// counters are identical whichever shard recorded them.
+    pub recorder: Box<dyn Recorder>,
 }
 
 impl ControlPlaneWorld {
@@ -380,6 +394,7 @@ impl ControlPlaneSim {
                 dev_key_seq: vec![0; n],
                 control_key_seq: 0,
                 shard_route: None,
+                recorder: Box::new(NoopRecorder),
             }),
         }
     }
@@ -612,6 +627,7 @@ impl ControlPlaneSim {
                         shard_of: partition.shard_of.clone(),
                         outbox: Vec::new(),
                     }),
+                    recorder: world.recorder.fork(),
                 })
             })
             .collect();
@@ -648,9 +664,23 @@ impl ControlPlaneSim {
         let mut responses: Vec<(DeviceId, MgmtResponse)> = Vec::new();
         let mut remaining: Vec<(SimTime, HarnessEvent)> = Vec::new();
         for (s, mut eng) in outcome.shards.into_iter().enumerate() {
+            let executed = eng.events_executed();
+            let queue_high = eng.queue_high_water();
             let drained = eng.drain_pending();
             let mut sw = eng.world;
             let world = &mut self.engine.world;
+            // Canonical shard metrics merge order-independently; the
+            // per-shard execution-shape facts go in as diagnostics.
+            world.recorder.absorb(sw.recorder);
+            if world.recorder.enabled() {
+                world
+                    .recorder
+                    .diagnostic_add(format!("sim.parallel.shard{s}.events_executed"), executed);
+                world.recorder.diagnostic_max(
+                    format!("sim.parallel.shard{s}.queue_high_water"),
+                    queue_high as u64,
+                );
+            }
             for &dev in &partition.shards[s] {
                 let i = dev.index();
                 world.oses[i] = sw.oses[i].take();
@@ -689,6 +719,14 @@ impl ControlPlaneSim {
             self.engine.schedule_event_at(t, ev);
         }
         self.engine.world.causal_pending = causal;
+        if self.engine.world.recorder.enabled() {
+            let rec = &mut *self.engine.world.recorder;
+            rec.diagnostic_add("sim.parallel.windows".to_string(), outcome.windows);
+            rec.diagnostic_add(
+                "sim.parallel.lockstep_rounds".to_string(),
+                outcome.lockstep_rounds,
+            );
+        }
 
         (outcome.converged_at, shard_models)
     }
@@ -810,6 +848,12 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
         e.world.route_ops_total += actions.route_ops as u64;
         *e.world.route_ops_by_dev.entry(dev).or_insert(0) += actions.route_ops as u64;
         e.world.last_route_activity = e.world.last_route_activity.max(t);
+        if e.world.recorder.enabled() {
+            let rec = &mut *e.world.recorder;
+            rec.device_counter_add("routing.route_churn", dev.0, actions.route_ops as u64);
+            rec.device_gauge_max("routing.convergence_ns", dev.0, t.as_nanos());
+            rec.gauge_max("routing.last_route_activity_ns", t.as_nanos());
+        }
         t
     } else {
         now
@@ -839,6 +883,11 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
             continue;
         }
         let arrive = done + e.world.work.link_delay(link, done);
+        // Counted here, after the link-up check: frames *actually sent*
+        // are a world fact the parallel replay reproduces exactly.
+        if e.world.recorder.enabled() {
+            record_frame(&mut *e.world.recorder, &frame, true);
+        }
         // Keyed by the *sender*: the key travels with the frame, so a
         // cross-shard delivery merges into the receiver's queue at exactly
         // the position the serial engine would have given it.
@@ -863,6 +912,48 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
         }
         e.world.causal_pending += 1;
         e.schedule_event_at(arrive, ev);
+    }
+}
+
+/// Classifies a frame into the canonical counter set. `sent` selects the
+/// TX names (counted after the link-up check in [`dispatch`]) versus the
+/// RX names (counted at delivery); both sets are world facts that the
+/// parallel replay reproduces bit-identically.
+fn record_frame(rec: &mut dyn Recorder, frame: &Frame, sent: bool) {
+    let (frames, opens, updates, keepalives, notifications) = if sent {
+        (
+            "routing.frames_sent",
+            "routing.bgp_opens_sent",
+            "routing.bgp_updates_sent",
+            "routing.bgp_keepalives_sent",
+            "routing.bgp_notifications_sent",
+        )
+    } else {
+        (
+            "routing.frames_delivered",
+            "routing.bgp_opens_received",
+            "routing.bgp_updates_received",
+            "routing.bgp_keepalives_received",
+            "routing.bgp_notifications_received",
+        )
+    };
+    rec.counter_add(frames, 1);
+    if let Frame::Bgp(msg) = frame {
+        match msg {
+            BgpMsg::Open { .. } => rec.counter_add(opens, 1),
+            BgpMsg::Update {
+                announced,
+                withdrawn,
+            } => {
+                rec.counter_add(updates, 1);
+                if sent {
+                    rec.counter_add("routing.bgp_prefixes_announced", announced.len() as u64);
+                    rec.counter_add("routing.bgp_prefixes_withdrawn", withdrawn.len() as u64);
+                }
+            }
+            BgpMsg::Keepalive => rec.counter_add(keepalives, 1),
+            BgpMsg::Notification { .. } => rec.counter_add(notifications, 1),
+        }
     }
 }
 

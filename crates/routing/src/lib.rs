@@ -21,7 +21,7 @@ pub mod ospf;
 pub mod speaker;
 pub mod vendor;
 
-pub use attrs::{Origin, PathAttrs, Route};
+pub use attrs::{intern_stats, Origin, PathAttrs, Route};
 pub use bgp::{BgpRouterOs, SessionState, LOCAL_IFACE};
 pub use harness::{ControlPlaneSim, ControlPlaneWorld, UniformWorkModel, WorkKind, WorkModel};
 pub use msg::{BgpMsg, Frame, OspfMsg};

@@ -246,6 +246,7 @@ pub struct Engine<W, E = ClosureEvent<W>> {
     clock: SimTime,
     seq: u64,
     executed: u64,
+    high_water: usize,
     queue: CalendarQueue<E>,
     /// The simulated world mutated by events.
     pub world: W,
@@ -258,6 +259,7 @@ impl<W, E: EventFire<W>> Engine<W, E> {
             clock: SimTime::ZERO,
             seq: 0,
             executed: 0,
+            high_water: 0,
             queue: CalendarQueue::new(),
             world,
         }
@@ -281,6 +283,13 @@ impl<W, E: EventFire<W>> Engine<W, E> {
         self.queue.len()
     }
 
+    /// High-water mark of the pending-event queue depth. Execution-shape
+    /// diagnostic: differs between serial and sharded runs.
+    #[must_use]
+    pub fn queue_high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedules a typed event at absolute time `at`.
     ///
     /// Events scheduled in the past run at the current time (the clock
@@ -295,6 +304,8 @@ impl<W, E: EventFire<W>> Engine<W, E> {
             seq,
             event,
         });
+        // CalendarQueue::len is O(1), so high-water tracking is free.
+        self.high_water = self.high_water.max(self.queue.len());
     }
 
     /// Schedules a typed event after `delay` from the current time.

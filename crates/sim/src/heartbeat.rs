@@ -8,12 +8,13 @@
 //! what keeps fault injection and recovery bit-reproducible.
 
 use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// A fixed-interval heartbeat schedule anchored at a start instant.
 ///
 /// Ticks are derived (`start + n·interval`), never accumulated, so a
 /// schedule observed out of order or resumed mid-run cannot drift.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HeartbeatSchedule {
     start: SimTime,
     interval: SimDuration,
@@ -80,7 +81,7 @@ impl HeartbeatSchedule {
 ///
 /// The sequence is a pure function of the policy — no RNG, no wall clock —
 /// so retry timing under fault injection replays identically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Backoff {
     base: SimDuration,
     cap: SimDuration,

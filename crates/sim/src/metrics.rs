@@ -7,8 +7,11 @@
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// Returns the `p`-th percentile (0..=100) of `samples` using
-/// nearest-rank interpolation on a sorted copy.
+/// Returns the `p`-th percentile (0..=100) of `samples` by linear
+/// interpolation between the two nearest ranks of a sorted copy (the
+/// "exclusive" definition spreadsheets call `PERCENTILE.INC`): the rank is
+/// `p/100 · (n−1)` and fractional ranks blend the two bracketing samples.
+/// `p` outside 0..=100 is clamped.
 ///
 /// Returns `None` for an empty slice.
 #[must_use]
@@ -150,6 +153,25 @@ mod tests {
         let v = vec![0.0, 10.0];
         assert_eq!(percentile_f64(&v, 50.0), Some(5.0));
         assert_eq!(percentile_f64(&v, 90.0), Some(9.0));
+    }
+
+    #[test]
+    fn percentile_single_sample_is_constant() {
+        // With one sample the rank is always 0 regardless of p.
+        let v = vec![42.0];
+        assert_eq!(percentile_f64(&v, 0.0), Some(42.0));
+        assert_eq!(percentile_f64(&v, 50.0), Some(42.0));
+        assert_eq!(percentile_f64(&v, 100.0), Some(42.0));
+    }
+
+    #[test]
+    fn percentile_extremes_hit_min_and_max() {
+        let v = vec![7.0, -3.0, 12.5, 0.0];
+        assert_eq!(percentile_f64(&v, 0.0), Some(-3.0));
+        assert_eq!(percentile_f64(&v, 100.0), Some(12.5));
+        // Out-of-range p clamps rather than panicking or extrapolating.
+        assert_eq!(percentile_f64(&v, -10.0), Some(-3.0));
+        assert_eq!(percentile_f64(&v, 250.0), Some(12.5));
     }
 
     #[test]

@@ -83,6 +83,12 @@ pub struct ParallelOutcome<W: ParallelWorld> {
     /// The shard engines, in input order, with undelivered envelopes
     /// already re-enqueued on their destination shard.
     pub shards: Vec<Engine<W, W::Ev>>,
+    /// Conservative windows broadcast by the coordinator. Execution-shape
+    /// diagnostic: varies with the shard count.
+    pub windows: u64,
+    /// Lock-step single-event rounds past the quiet/deadline horizons.
+    /// Execution-shape diagnostic.
+    pub lockstep_rounds: u64,
 }
 
 /// Coordinator → worker commands.
@@ -215,6 +221,8 @@ pub fn run_shards_until_quiet<W: ParallelWorld>(
 
         let epsilon = SimDuration::from_nanos(1);
         let converged_at;
+        let mut windows: u64 = 0;
+        let mut lockstep_rounds: u64 = 0;
         loop {
             // Global view: shard queues plus in-flight envelopes.
             let mut next: Option<(SimTime, u64)> = None;
@@ -271,6 +279,7 @@ pub fn run_shards_until_quiet<W: ParallelWorld>(
                         .filter(|st| st.next == Some((t, key)))
                         .map(|st| st.shard)
                         .collect();
+                    lockstep_rounds += 1;
                     for &i in &holders {
                         txs[i].send(Cmd::StepOne).expect("worker died");
                     }
@@ -290,6 +299,7 @@ pub fn run_shards_until_quiet<W: ParallelWorld>(
                     let end = (t + lookahead)
                         .min(last + quiet + epsilon)
                         .min(deadline + epsilon);
+                    windows += 1;
                     for (i, tx) in txs.iter().enumerate() {
                         tx.send(Cmd::Run {
                             end,
@@ -322,6 +332,8 @@ pub fn run_shards_until_quiet<W: ParallelWorld>(
             converged_at,
             clock,
             shards,
+            windows,
+            lockstep_rounds,
         }
     })
 }

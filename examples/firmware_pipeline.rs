@@ -10,10 +10,12 @@
 //! cargo run --release --example firmware_pipeline
 //! ```
 
-use crystalnet::run_case2;
+use crystalnet::prelude::*;
+use crystalnet::run_case2_with;
 
 fn main() {
-    let report = run_case2(2026);
+    let options = MockupOptions::builder().seed(2026).build();
+    let report = run_case2_with(&options);
 
     println!("=== dev build under test ===");
     if report.bugs.is_empty() {
@@ -36,4 +38,7 @@ fn main() {
         "\n{} bugs caught that escaped unit and testbed tests",
         report.bugs.len()
     );
+
+    println!("\n=== run report (dev-build emulation) ===");
+    print!("{}", report.report.summary());
 }

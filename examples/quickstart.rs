@@ -68,7 +68,16 @@ fn main() {
         println!("  hop {hop}: {}", emu.topo.device(*dev).name);
     }
 
-    // 6. Clear and destroy, reporting the dollars burned.
+    // 6. Pull the run report: spans, counters, and the recovery journal,
+    //    all in deterministic virtual time. The JSON artifact is what CI
+    //    validates; the summary is the operator-facing table.
+    let report = emu.pull_report();
+    print!("{}", report.summary());
+    let json_path = "target/quickstart_report.json";
+    std::fs::write(json_path, report.to_json()).expect("write run report");
+    println!("run report written to {json_path}");
+
+    // 7. Clear and destroy, reporting the dollars burned.
     let clear = emu.clear();
     println!("clear latency: {clear}");
     let cost = emu.destroy();

@@ -10,10 +10,12 @@
 //! cargo run --release --example regional_migration
 //! ```
 
-use crystalnet::run_case1;
+use crystalnet::prelude::*;
+use crystalnet::run_case1_with;
 
 fn main() {
-    let report = run_case1(2026);
+    let options = MockupOptions::builder().seed(2026).build();
+    let report = run_case1_with(&options);
 
     println!("=== rehearsal (buggy tooling) ===");
     for (name, outcome) in &report.rehearsal {
@@ -34,4 +36,7 @@ fn main() {
         },
         report.vms_used
     );
+
+    println!("\n=== run report (final migration emulation) ===");
+    print!("{}", report.report.summary());
 }

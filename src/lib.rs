@@ -7,4 +7,5 @@ pub use crystalnet_dataplane as dataplane;
 pub use crystalnet_net as net;
 pub use crystalnet_routing as routing;
 pub use crystalnet_sim as sim;
+pub use crystalnet_telemetry as telemetry;
 pub use crystalnet_vnet as vnet;
