@@ -190,6 +190,68 @@ fn bench_convergence(c: &mut Criterion) {
     });
 }
 
+fn bench_provenance(c: &mut Criterion) {
+    use crystalnet_routing::{OriginKind, Provenance};
+    use crystalnet_sim::EventId;
+    use crystalnet_telemetry::{FieldValue, TraceRecord, TraceSink};
+
+    // Per-hop provenance extension: one Arc + interner probe per
+    // re-exported announcement, the incremental cost of tagging every
+    // BGP update with its causal chain.
+    let origin = Provenance::originated(
+        OriginKind::Network,
+        Ipv4Addr::new(10, 0, 0, 1),
+        EventId {
+            time_ns: 1_000,
+            key: 42,
+        },
+    );
+    c.bench_function("provenance_extend_intern", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(origin.extended(
+                Ipv4Addr(0x0a00_0000 + (i % 64)),
+                EventId {
+                    time_ns: 2_000,
+                    key: u64::from(i % 64),
+                },
+            ))
+        })
+    });
+    let chain = (0..4).fold(origin, |p, i| {
+        p.extended(
+            Ipv4Addr(0x0a00_0100 + i),
+            EventId {
+                time_ns: 3_000 + u64::from(i),
+                key: u64::from(i),
+            },
+        )
+    });
+    c.bench_function("provenance_digest_4hop", |b| {
+        b.iter(|| std::hint::black_box(chain.digest()))
+    });
+
+    // Ring-buffer push at capacity: the steady-state trace cost once the
+    // sink is full and every record evicts the oldest.
+    c.bench_function("trace_sink_push_at_capacity", |b| {
+        let mut sink = TraceSink::new(4_096);
+        let mut t = 0u64;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            sink.push(TraceRecord::new(
+                SimTime::ZERO + SimDuration::from_nanos(t),
+                EventId { time_ns: t, key: t },
+                None,
+                "fib_install",
+                Some(7),
+                vec![("prov", FieldValue::U64(t))],
+            ));
+        });
+        std::hint::black_box(sink.len());
+    });
+}
+
 fn bench_config(c: &mut Criterion) {
     let dc = ClosParams::s_dc().build();
     let spine = dc.spine_groups[0][0];
@@ -211,6 +273,7 @@ criterion_group!(
         bench_vxlan,
         bench_topology_and_boundary,
         bench_convergence,
+        bench_provenance,
         bench_config
 );
 criterion_main!(micro);

@@ -1,0 +1,179 @@
+//! Runtime provenance audit: Lemma 5.1 checked against a converged run.
+//!
+//! [`check_lemma_5_1`](crate::check_lemma_5_1) proves a boundary safe
+//! *statically*, by enumerating feasible propagation paths over the
+//! topology. This module is its runtime companion: once an emulation has
+//! converged, every installed route carries an interned
+//! [`Provenance`] chain, and the lemma's condition becomes directly
+//! observable — a route that crossed the boundary must have *originated*
+//! at a speaker (the legal single crossing), and no route may have
+//! *passed through* a speaker mid-chain (that would be a second
+//! crossing, exactly the update the lemma forbids).
+//!
+//! The audit is exact for the routes that actually propagated, so it
+//! catches boundary bugs the static check cannot see (a mis-synthesized
+//! speaker script, a speaker that re-announces learned state) and
+//! vice versa serves as an end-to-end regression for the static result.
+
+use crystalnet_net::{DeviceId, Ipv4Addr, Ipv4Prefix};
+use crystalnet_routing::{OriginKind, Provenance};
+use std::collections::BTreeSet;
+
+/// How a route's provenance chain violates the boundary contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditViolation {
+    /// The chain originates at a speaker loopback but is not labelled
+    /// [`OriginKind::Speaker`] — an emulated device fabricated a route
+    /// in the speakers' address space.
+    MislabelledOrigin,
+    /// The chain is labelled [`OriginKind::Speaker`] but its origin
+    /// router is not a known speaker — a forged boundary injection.
+    ForgedSpeakerOrigin,
+    /// A speaker appears mid-chain: the route left the emulated region
+    /// and re-entered it. This is the Lemma 5.1 unsafe condition.
+    ReentryThroughSpeaker,
+}
+
+impl AuditViolation {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AuditViolation::MislabelledOrigin => "mislabelled-origin",
+            AuditViolation::ForgedSpeakerOrigin => "forged-speaker-origin",
+            AuditViolation::ReentryThroughSpeaker => "reentry-through-speaker",
+        }
+    }
+}
+
+/// A route whose provenance fails the audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceWitness {
+    /// The device holding the offending route.
+    pub device: DeviceId,
+    /// The offending prefix.
+    pub prefix: Ipv4Prefix,
+    /// What the chain did wrong.
+    pub violation: AuditViolation,
+    /// The router (origin or mid-chain speaker) that triggered it.
+    pub router: Ipv4Addr,
+}
+
+/// Audits one provenance chain against the speaker set. Returns the
+/// first violation in chain order, or `None` when the chain is clean.
+#[must_use]
+pub fn audit_chain(
+    prov: &Provenance,
+    speakers: &BTreeSet<Ipv4Addr>,
+) -> Option<(AuditViolation, Ipv4Addr)> {
+    let origin_is_speaker = speakers.contains(&prov.origin_router);
+    if origin_is_speaker && prov.origin_kind != OriginKind::Speaker {
+        return Some((AuditViolation::MislabelledOrigin, prov.origin_router));
+    }
+    if prov.origin_kind == OriginKind::Speaker && !origin_is_speaker {
+        return Some((AuditViolation::ForgedSpeakerOrigin, prov.origin_router));
+    }
+    for hop in &prov.hops {
+        if speakers.contains(&hop.router_id) {
+            return Some((AuditViolation::ReentryThroughSpeaker, hop.router_id));
+        }
+    }
+    None
+}
+
+/// Audits every supplied route. `routes` yields `(holder, prefix,
+/// provenance)` triples — feed it each emulated device's
+/// [`routes_with_detail`](crystalnet_routing::DeviceOs::routes_with_detail)
+/// output; `speakers` is the set of speaker loopbacks (router ids).
+///
+/// # Errors
+///
+/// The first offending route, in iteration order (deterministic when the
+/// caller iterates devices and prefixes in sorted order).
+pub fn audit_provenance<'a>(
+    routes: impl IntoIterator<Item = (DeviceId, Ipv4Prefix, &'a Provenance)>,
+    speakers: &BTreeSet<Ipv4Addr>,
+) -> Result<(), ProvenanceWitness> {
+    for (device, prefix, prov) in routes {
+        if let Some((violation, router)) = audit_chain(prov, speakers) {
+            return Err(ProvenanceWitness {
+                device,
+                prefix,
+                violation,
+                router,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystalnet_sim::EventId;
+
+    fn ev(t: u64, k: u64) -> EventId {
+        EventId { time_ns: t, key: k }
+    }
+
+    fn speakers() -> BTreeSet<Ipv4Addr> {
+        [Ipv4Addr(0x0a00_0001)].into_iter().collect()
+    }
+
+    #[test]
+    fn speaker_origin_is_the_legal_crossing() {
+        let prov = Provenance::originated(OriginKind::Speaker, Ipv4Addr(0x0a00_0001), ev(1, 1))
+            .extended(Ipv4Addr(0x0a00_0002), ev(2, 2));
+        assert_eq!(audit_chain(&prov, &speakers()), None);
+    }
+
+    #[test]
+    fn internal_origin_is_clean() {
+        let prov = Provenance::originated(OriginKind::Network, Ipv4Addr(0x0a00_0003), ev(1, 1));
+        assert_eq!(audit_chain(&prov, &speakers()), None);
+    }
+
+    #[test]
+    fn speaker_loopback_with_network_kind_is_mislabelled() {
+        let prov = Provenance::originated(OriginKind::Network, Ipv4Addr(0x0a00_0001), ev(1, 1));
+        assert_eq!(
+            audit_chain(&prov, &speakers()),
+            Some((AuditViolation::MislabelledOrigin, Ipv4Addr(0x0a00_0001)))
+        );
+    }
+
+    #[test]
+    fn speaker_kind_from_unknown_router_is_forged() {
+        let prov = Provenance::originated(OriginKind::Speaker, Ipv4Addr(0x0a00_0009), ev(1, 1));
+        assert_eq!(
+            audit_chain(&prov, &speakers()),
+            Some((AuditViolation::ForgedSpeakerOrigin, Ipv4Addr(0x0a00_0009)))
+        );
+    }
+
+    #[test]
+    fn mid_chain_speaker_is_a_reentry() {
+        // Originated inside, re-announced by the speaker, held inside:
+        // the update crossed the boundary twice.
+        let prov = Provenance::originated(OriginKind::Network, Ipv4Addr(0x0a00_0002), ev(1, 1))
+            .extended(Ipv4Addr(0x0a00_0001), ev(2, 2))
+            .extended(Ipv4Addr(0x0a00_0003), ev(3, 3));
+        assert_eq!(
+            audit_chain(&prov, &speakers()),
+            Some((AuditViolation::ReentryThroughSpeaker, Ipv4Addr(0x0a00_0001)))
+        );
+    }
+
+    #[test]
+    fn audit_reports_the_holder_and_prefix() {
+        let bad = Provenance::originated(OriginKind::Speaker, Ipv4Addr(0x0a00_0009), ev(1, 1));
+        let good = Provenance::originated(OriginKind::Network, Ipv4Addr(0x0a00_0002), ev(1, 1));
+        let p1 = Ipv4Prefix::new(Ipv4Addr(0x0a07_0100), 24);
+        let p2 = Ipv4Prefix::new(Ipv4Addr(0x0a07_0200), 24);
+        let routes = vec![(DeviceId(4), p1, &*good), (DeviceId(5), p2, &*bad)];
+        let w = audit_provenance(routes, &speakers()).unwrap_err();
+        assert_eq!(w.device, DeviceId(5));
+        assert_eq!(w.prefix, p2);
+        assert_eq!(w.violation, AuditViolation::ForgedSpeakerOrigin);
+    }
+}

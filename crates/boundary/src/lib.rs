@@ -17,8 +17,12 @@
 //!   production routing snapshot,
 //! * [`differential`] — validating a boundary empirically by running the
 //!   same change against a full emulation and a boundary emulation and
-//!   comparing must-have FIBs.
+//!   comparing must-have FIBs,
+//! * [`audit_provenance`] — the runtime companion to Lemma 5.1: checks
+//!   every converged route's provenance chain originates at a speaker
+//!   when it crossed the boundary, and never passed through one.
 
+pub mod audit;
 pub mod classify;
 pub mod differential;
 pub mod lemma;
@@ -26,6 +30,7 @@ pub mod props;
 pub mod search;
 pub mod speakers;
 
+pub use audit::{audit_chain, audit_provenance, AuditViolation, ProvenanceWitness};
 pub use classify::Classification;
 pub use differential::{differential_validate, DifferentialReport};
 pub use lemma::{check_lemma_5_1, UnsafeWitness};

@@ -17,6 +17,7 @@
 //! `InjectPackets`/`PullPackets` telemetry, `PullStates`/`PullConfig`,
 //! VM failure injection and health-monitor recovery.
 
+use crate::explain::RouteExplanation;
 use crate::faults::{FaultPlan, HealthPolicy};
 use crate::metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
 use crate::plan::sandbox_kind;
@@ -30,11 +31,13 @@ use crystalnet_dataplane::{
     TraceEvent,
     TraceStore, //
 };
-use crystalnet_net::{partition_grouped, DeviceId, Ipv4Addr, LinkId, Topology};
+use crystalnet_net::{partition_grouped, DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, Topology};
 use crystalnet_routing::harness::{WorkKind, WorkModel};
 use crystalnet_routing::{BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, VendorProfile};
-use crystalnet_sim::{SimDuration, SimRng, SimTime};
-use crystalnet_telemetry::{FieldValue, MemRecorder, RunReport, SpanRecord};
+use crystalnet_sim::{EventId, SimDuration, SimRng, SimTime};
+use crystalnet_telemetry::{
+    trace_chrome_json, trace_jsonl, FieldValue, MemRecorder, RunReport, SpanRecord, TraceRecord,
+};
 use crystalnet_vnet::{
     BridgeImpl,
     Cloud,
@@ -48,7 +51,7 @@ use crystalnet_vnet::{
     VmId,
     VniAllocator, //
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
@@ -79,6 +82,14 @@ pub enum EmulationError {
     /// The device resolved but did not answer the management command
     /// (powered off or shut down).
     DeviceUnresponsive(String),
+    /// The device holds no FIB entry for the asked prefix, so there is
+    /// nothing to explain.
+    NoRoute {
+        /// Hostname of the queried device.
+        device: String,
+        /// The prefix that has no installed route.
+        prefix: Ipv4Prefix,
+    },
 }
 
 impl std::fmt::Display for EmulationError {
@@ -97,6 +108,9 @@ impl std::fmt::Display for EmulationError {
             }
             EmulationError::DeviceUnresponsive(name) => {
                 write!(f, "device {name:?} did not respond")
+            }
+            EmulationError::NoRoute { device, prefix } => {
+                write!(f, "device {device:?} has no route to {prefix}")
             }
         }
     }
@@ -141,6 +155,11 @@ pub struct MockupOptions {
     /// deterministic and does not perturb the run; disable it only to
     /// shave the last few percent off large batch sweeps.
     pub telemetry: bool,
+    /// Maximum causal-trace records retained (a ring buffer keeping the
+    /// newest). `0` disables trace collection entirely while leaving the
+    /// rest of telemetry on; drops are counted in the run report under
+    /// `telemetry.trace_dropped`.
+    pub trace_capacity: usize,
 }
 
 impl Default for MockupOptions {
@@ -155,6 +174,7 @@ impl Default for MockupOptions {
             fault_plan: FaultPlan::default(),
             health: HealthPolicy::default(),
             telemetry: true,
+            trace_capacity: 65_536,
         }
     }
 }
@@ -245,6 +265,13 @@ impl MockupOptionsBuilder {
     #[must_use]
     pub fn telemetry(mut self, telemetry: bool) -> Self {
         self.options.telemetry = telemetry;
+        self
+    }
+
+    /// Caps retained causal-trace records (`0` disables tracing).
+    #[must_use]
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.options.trace_capacity = capacity;
         self
     }
 
@@ -549,7 +576,9 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
     };
     let mut sim = ControlPlaneSim::new(&topo, Box::new(work));
     if options.telemetry {
-        sim.engine.world.recorder = Box::new(MemRecorder::new());
+        sim.engine.world.recorder =
+            Box::new(MemRecorder::with_trace_capacity(options.trace_capacity));
+        sim.sync_tracing();
     }
 
     // Device firmwares.
@@ -692,6 +721,8 @@ fn converge(
             }
         })
         .collect();
+    // The partition may produce fewer shards than requested workers on
+    // small fleets (one shard per VM group at most).
     let part = partition_grouped(topo, workers, &group_of);
 
     let template = sim
@@ -702,7 +733,7 @@ fn converge(
         .downcast_mut::<VmWorkModel>()
         .expect("mockup sims drive a VmWorkModel")
         .clone();
-    let shard_work: Vec<Box<dyn WorkModel>> = (0..workers)
+    let shard_work: Vec<Box<dyn WorkModel>> = (0..part.shard_count())
         .map(|_| Box::new(template.clone()) as Box<dyn WorkModel>)
         .collect();
     let (t, models) = sim.run_until_quiet_parallel(options.quiet, deadline, &part, shard_work);
@@ -720,6 +751,17 @@ fn converge(
         }
     }
     t
+}
+
+/// Stable label for a forwarding decision in exported trace records.
+fn decision_label(d: ForwardDecision) -> &'static str {
+    match d {
+        ForwardDecision::Forward(_) => "forward",
+        ForwardDecision::Deliver => "deliver",
+        ForwardDecision::DropNoRoute => "drop-no-route",
+        ForwardDecision::DropTtlExpired => "drop-ttl-expired",
+        ForwardDecision::DropAcl => "drop-acl",
+    }
 }
 
 /// Replaces the device-cost table inside the sim's boxed work model.
@@ -1007,6 +1049,12 @@ impl Emulation {
                     via: Ipv4Addr(0),
                 })
             };
+            // Join the packet hop to the control plane: the digest of the
+            // provenance chain behind the FIB entry this device used.
+            let prov = self.sim.os(dev).and_then(|os| {
+                let (prefix, _) = os.fib().lookup(dst)?;
+                Some(os.route_detail(prefix)?.prov.digest())
+            });
             self.traces.capture(
                 &pkt,
                 TraceEvent {
@@ -1015,6 +1063,7 @@ impl Emulation {
                     ingress: None,
                     decision,
                     hop: hop as u32,
+                    prov,
                 },
             );
         }
@@ -1035,6 +1084,143 @@ impl Emulation {
             Some(outcome) => Ok((self.traces.path(sig), outcome)),
             None => Err(EmulationError::UnknownSignature(sig.0)),
         }
+    }
+
+    /// `ExplainRoute`: the full causal answer to "why does `device`
+    /// forward `prefix` that way?" — origin announcement, per-hop
+    /// propagation chain (with hostnames and event ids), and the
+    /// best-path decision reason.
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::UnknownDevice`] if the hostname does not
+    /// resolve, the [`Self::guard`] reachability errors, and
+    /// [`EmulationError::NoRoute`] if the device holds no FIB entry for
+    /// `prefix`.
+    pub fn explain_route(
+        &self,
+        device: &str,
+        prefix: Ipv4Prefix,
+    ) -> Result<RouteExplanation, EmulationError> {
+        let dev = self
+            .topo
+            .by_name(device)
+            .ok_or_else(|| EmulationError::UnknownDevice(device.to_string()))?;
+        self.guard(dev)?;
+        let os = self
+            .sim
+            .os(dev)
+            .ok_or_else(|| EmulationError::UnknownDevice(device.to_string()))?;
+        let detail = os.route_detail(prefix).ok_or(EmulationError::NoRoute {
+            device: device.to_string(),
+            prefix,
+        })?;
+        Ok(RouteExplanation::from_detail(
+            dev,
+            os.hostname().to_string(),
+            prefix,
+            &detail,
+            |router| self.hostname_of_loopback(router),
+        ))
+    }
+
+    /// Resolves a router loopback back to its production hostname.
+    fn hostname_of_loopback(&self, loopback: Ipv4Addr) -> Option<String> {
+        (0..self.topo.device_count() as u32)
+            .map(DeviceId)
+            .find(|&d| self.topo.device(d).loopback == loopback)
+            .map(|d| self.topo.device(d).name.clone())
+    }
+
+    /// `PullTrace`: the merged deterministic causal trace — control-plane
+    /// records (boots, link transitions, frame deliveries, FIB mutations
+    /// with provenance) from the ring-buffer sink, plus one `packet_hop`
+    /// record per captured [`TraceEvent`], each carrying the provenance
+    /// digest of the FIB entry that forwarded it. Sorted by the global
+    /// rank, so the stream is byte-identical across `workers` values and
+    /// repetitions for a fixed seed.
+    #[must_use]
+    pub fn pull_trace(&self) -> Vec<TraceRecord> {
+        let mut recs: Vec<TraceRecord> =
+            MemRecorder::from_recorder(&*self.sim.engine.world.recorder)
+                .and_then(MemRecorder::trace_sink)
+                .map(crystalnet_telemetry::TraceSink::records)
+                .unwrap_or_default();
+        for sig in self.traces.signatures() {
+            for ev in self.traces.events(sig) {
+                // Synthetic event id in a key range no scheduled event
+                // uses (high bit set), so packet hops interleave with
+                // control-plane records by time without colliding.
+                let id = EventId {
+                    time_ns: ev.at_nanos,
+                    key: (1 << 63) | (u64::from(sig.0) << 16) | u64::from(ev.hop),
+                };
+                let mut fields = vec![
+                    ("signature", FieldValue::U64(u64::from(sig.0))),
+                    ("hop", FieldValue::U64(u64::from(ev.hop))),
+                    (
+                        "decision",
+                        FieldValue::Str(decision_label(ev.decision).to_string()),
+                    ),
+                ];
+                if let Some(p) = ev.prov {
+                    fields.push(("prov", FieldValue::U64(p)));
+                }
+                recs.push(TraceRecord::new(
+                    SimTime(ev.at_nanos),
+                    id,
+                    None,
+                    "packet_hop",
+                    Some(ev.device.0),
+                    fields,
+                ));
+            }
+        }
+        recs.sort_by_key(TraceRecord::rank);
+        recs
+    }
+
+    /// The merged trace as JSON Lines (one record per line).
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        trace_jsonl(&self.pull_trace())
+    }
+
+    /// The merged trace as a Chrome trace-event JSON document, loadable
+    /// in Perfetto / `chrome://tracing`.
+    #[must_use]
+    pub fn trace_chrome_json(&self) -> String {
+        trace_chrome_json(&self.pull_trace())
+    }
+
+    /// Runtime Lemma 5.1 audit
+    /// ([`audit_provenance`](crystalnet_boundary::audit_provenance)) over
+    /// every converged route: a boundary-crossing route must *originate*
+    /// at a speaker (the legal single crossing) and must never pass
+    /// *through* one mid-chain (a second crossing).
+    ///
+    /// # Errors
+    ///
+    /// The first offending route, in device-id then iteration order.
+    pub fn audit_boundary(&self) -> Result<(), crystalnet_boundary::ProvenanceWitness> {
+        let speakers: BTreeSet<Ipv4Addr> = self
+            .prep
+            .speaker_plan
+            .scripts
+            .iter()
+            .map(|(d, _)| self.topo.device(*d).loopback)
+            .collect();
+        let mut devs: Vec<DeviceId> = self.sandboxes.keys().copied().collect();
+        devs.sort_unstable_by_key(|d| d.0);
+        for dev in devs {
+            let Some(os) = self.sim.os(dev) else { continue };
+            let rows = os.routes_with_detail();
+            crystalnet_boundary::audit_provenance(
+                rows.iter().map(|(p, detail)| (dev, *p, &*detail.prov)),
+                &speakers,
+            )?;
+        }
+        Ok(())
     }
 
     /// `Reload`: reboots one device with a new configuration.

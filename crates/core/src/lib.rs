@@ -23,6 +23,7 @@
 
 pub mod cases;
 pub mod emulation;
+pub mod explain;
 pub mod faults;
 pub mod metrics;
 pub mod plan;
@@ -35,6 +36,7 @@ pub use emulation::{
     mockup, DeviceState, Emulation, EmulationError, MockupOptions, MockupOptionsBuilder, Sandbox,
     VmWorkModel,
 };
+pub use explain::{ExplainHop, RouteExplanation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultReport, HealthPolicy, RetryPolicy};
 pub use metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
 pub use plan::{plan_vms, sandbox_kind, PlanOptions, PlannedVm, VmPlan};
@@ -58,6 +60,7 @@ pub mod prelude {
         mockup, DeviceState, Emulation, EmulationError, MockupOptions, MockupOptionsBuilder,
         Sandbox,
     };
+    pub use crate::explain::{ExplainHop, RouteExplanation};
     pub use crate::faults::{
         FaultEvent, FaultKind, FaultPlan, FaultReport, HealthPolicy, RetryPolicy,
     };
@@ -71,8 +74,8 @@ pub mod prelude {
     pub use crystalnet_routing::{MgmtCommand, MgmtResponse, VendorProfile};
     pub use crystalnet_sim::{SimDuration, SimTime};
     pub use crystalnet_telemetry::{
-        EventRecord, FieldValue, HistogramSummary, MemRecorder, NoopRecorder, Recorder, RunReport,
-        SpanRecord,
+        trace_chrome_json, trace_jsonl, EventRecord, FieldValue, HistogramSummary, MemRecorder,
+        NoopRecorder, Recorder, RunReport, SpanRecord, TraceRecord, TraceSink,
     };
     pub use std::rc::Rc;
 }

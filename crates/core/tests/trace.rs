@@ -1,0 +1,267 @@
+//! Causal tracing + route provenance tests: the merged trace export is a
+//! pure function of the seed (byte-identical across worker counts and
+//! repetitions), `explain_route` agrees with packet tracing, the ring
+//! buffer caps memory deterministically, the Chrome export round-trips
+//! through serde, and the runtime Lemma 5.1 audit passes on a real
+//! speaker boundary.
+
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
+use crystalnet_net::fixtures::fig7;
+use crystalnet_net::DeviceId;
+use crystalnet_routing::harness::build_full_bgp_sim;
+use crystalnet_routing::{OriginKind, UniformWorkModel};
+use std::collections::BTreeSet;
+
+fn fig7_emu(seed: u64, workers: usize, trace_capacity: usize) -> Emulation {
+    let f = fig7();
+    let prep = prepare(
+        &f.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    );
+    mockup(
+        Rc::new(prep),
+        MockupOptions::builder()
+            .seed(seed)
+            .workers(workers)
+            .trace_capacity(trace_capacity)
+            .build(),
+    )
+}
+
+/// Injects the same probe in any emulation so packet hops join the trace.
+fn probe(emu: &mut Emulation) {
+    let f = fig7();
+    let src = "10.7.0.5".parse().unwrap();
+    let dst = "10.7.5.9".parse().unwrap();
+    let _ = emu.inject_packet(f.tors[0], src, dst);
+}
+
+/// Flaps one ToR uplink so link transitions and re-convergence appear in
+/// the trace.
+fn flap(emu: &mut Emulation) {
+    let f = fig7();
+    let (lid, _, _) = f.topo.neighbors(f.tors[0]).next().unwrap();
+    emu.disconnect(lid);
+    emu.settle().expect("re-converges after disconnect");
+    emu.connect(lid);
+    emu.settle().expect("re-converges after reconnect");
+}
+
+#[test]
+fn trace_export_is_byte_identical_across_worker_counts_and_reps() {
+    let mut serial = fig7_emu(7, 1, 65_536);
+    let mut sharded = fig7_emu(7, 4, 65_536);
+    let mut again = fig7_emu(7, 4, 65_536);
+    for emu in [&mut serial, &mut sharded, &mut again] {
+        flap(emu);
+        probe(emu);
+    }
+
+    let a = serial.trace_jsonl();
+    let b = sharded.trace_jsonl();
+    let c = again.trace_jsonl();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "JSONL trace must not depend on the worker count");
+    assert_eq!(b, c, "JSONL trace must reproduce across repetitions");
+    assert_eq!(
+        serial.trace_chrome_json(),
+        sharded.trace_chrome_json(),
+        "Chrome trace must not depend on the worker count"
+    );
+
+    // The merged stream carries all the record families.
+    for kind in [
+        "boot_done",
+        "link_state",
+        "frame_rx",
+        "fib_install",
+        "packet_hop",
+    ] {
+        assert!(a.contains(kind), "trace is missing {kind:?} records");
+    }
+}
+
+#[test]
+fn capped_trace_is_still_deterministic_and_counts_drops() {
+    let serial = fig7_emu(9, 1, 500);
+    let sharded = fig7_emu(9, 4, 500);
+    let a = serial.trace_jsonl();
+    assert_eq!(
+        a,
+        sharded.trace_jsonl(),
+        "newest-capped trace must not depend on the worker count"
+    );
+    assert_eq!(a.lines().count(), 500, "ring buffer keeps exactly the cap");
+
+    let report = serial.pull_report();
+    let emitted = report.counters["telemetry.trace_emitted"];
+    let retained = report.counters["telemetry.trace_retained"];
+    let dropped = report.counters["telemetry.trace_dropped"];
+    assert_eq!(retained, 500);
+    assert!(dropped > 0, "a 500-record cap must drop on fig7");
+    assert_eq!(emitted, retained + dropped);
+
+    // Capacity 0 disables collection without touching the rest of
+    // telemetry.
+    let off = fig7_emu(9, 1, 0);
+    assert!(off.pull_trace().is_empty());
+    assert!(off.pull_report().enabled);
+}
+
+#[test]
+fn explain_route_agrees_with_packet_trace() {
+    let mut emu = fig7_emu(3, 1, 65_536);
+    let f = fig7();
+    let prefix: crystalnet_net::Ipv4Prefix = "10.7.5.0/24".parse().unwrap();
+
+    // Every FIB entry on every device explains completely.
+    for (id, d) in emu.topo.devices() {
+        let Some(os) = emu.sim.os(id) else { continue };
+        for (p, _) in os.routes_with_detail() {
+            let ex = emu.explain_route(&d.name, p).expect("every entry explains");
+            assert!(!ex.chain.is_empty(), "{}: empty chain for {p}", d.name);
+            assert!(ex.prov_digest != 0);
+        }
+    }
+
+    // The s1 explanation for T6's subnet starts at T6's announcement...
+    let ex = emu.explain_route("s1", prefix).unwrap();
+    assert_eq!(ex.origin_kind, OriginKind::Network);
+    assert_eq!(ex.chain[0].hostname.as_deref(), Some("t6"));
+    assert_eq!(ex.chain[0].router, emu.topo.device(f.tors[5]).loopback);
+    assert_eq!(ex.as_path, vec![400, 506], "leaf AS then T6's origin AS");
+    // ...and the chain reversed is an adjacency-valid forwarding path
+    // from s1 toward the origin.
+    let mut walk = vec![f.spines[0]];
+    walk.extend(ex.chain.iter().rev().filter_map(|h| {
+        h.hostname
+            .as_deref()
+            .and_then(|name| emu.topo.by_name(name))
+    }));
+    assert_eq!(walk.len(), ex.chain.len() + 1, "every hop resolves");
+    for pair in walk.windows(2) {
+        assert!(
+            emu.topo.neighbor_devices(pair[0]).any(|n| n == pair[1]),
+            "chain hop {:?} -> {:?} is not a topology edge",
+            pair[0],
+            pair[1]
+        );
+    }
+
+    // A probe toward the prefix lands where the chain says it began, and
+    // its first hop carries the provenance digest of the FIB entry s1
+    // would use.
+    let sig = emu.inject_packet(
+        f.spines[0],
+        emu.topo.device(f.spines[0]).loopback,
+        prefix.nth(9),
+    );
+    let (path, outcome) = emu.pull_packets(sig).unwrap();
+    assert_eq!(outcome, ForwardDecision::Deliver);
+    assert_eq!(path.first(), Some(&f.spines[0]));
+    assert_eq!(path.last(), Some(&f.tors[5]));
+    let trace = emu.pull_trace();
+    let hop0 = trace
+        .iter()
+        .find(|r| r.name == "packet_hop" && r.device == Some(f.spines[0].0))
+        .expect("first hop is traced");
+    let prov = hop0.fields.iter().find(|(k, _)| *k == "prov").unwrap();
+    assert_eq!(prov.1, FieldValue::U64(ex.prov_digest));
+}
+
+#[test]
+fn explain_route_failures_are_typed() {
+    let emu = fig7_emu(5, 1, 1024);
+    let absent: crystalnet_net::Ipv4Prefix = "192.0.2.0/24".parse().unwrap();
+    match emu.explain_route("s1", absent) {
+        Err(EmulationError::NoRoute { device, prefix }) => {
+            assert_eq!(device, "s1");
+            assert_eq!(prefix, absent);
+        }
+        other => panic!("expected NoRoute, got {other:?}"),
+    }
+    assert!(matches!(
+        emu.explain_route("nonesuch", absent),
+        Err(EmulationError::UnknownDevice(_))
+    ));
+}
+
+#[test]
+fn chrome_trace_round_trips_through_serde() {
+    let mut emu = fig7_emu(2, 2, 4096);
+    probe(&mut emu);
+
+    let chrome = emu.trace_chrome_json();
+    let doc: serde_json::Value = serde_json::from_str(&chrome).expect("valid JSON document");
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), emu.pull_trace().len());
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "args"] {
+            assert!(ev.get(key).is_some(), "event missing {key:?}: {ev:?}");
+        }
+    }
+
+    // Every JSONL line is itself a parseable record with the id fields.
+    let jsonl = emu.trace_jsonl();
+    for line in jsonl.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL line");
+        assert!(v.get("at_ns").is_some() && v.get("id").is_some() && v.get("name").is_some());
+    }
+}
+
+#[test]
+fn boundary_audit_passes_and_explains_speaker_routes() {
+    // Figure 7b boundary: emulate S1-2, L1-4, T1-4; L5/L6 become static
+    // speakers replaying what the spines heard in production.
+    let f = fig7();
+    let mut prod = build_full_bgp_sim(
+        &f.topo,
+        Box::new(UniformWorkModel {
+            boot: SimDuration::from_secs(1),
+            ..UniformWorkModel::default()
+        }),
+    );
+    prod.boot_all(SimTime::ZERO);
+    prod.run_until_quiet(
+        SimDuration::from_secs(5),
+        SimTime::ZERO + SimDuration::from_mins(60),
+    )
+    .unwrap();
+    let emulated: BTreeSet<DeviceId> = f
+        .spines
+        .iter()
+        .chain(&f.leaves[..4])
+        .chain(&f.tors[..4])
+        .copied()
+        .collect();
+    let prep = prepare(
+        &f.topo,
+        &[],
+        BoundaryMode::Explicit(emulated),
+        SpeakerSource::Snapshot(&prod),
+        &PlanOptions::default(),
+    );
+    let emu = mockup(Rc::new(prep), MockupOptions::builder().seed(1).build());
+
+    // Lemma 5.1, checked at runtime over every converged route's
+    // provenance chain.
+    emu.audit_boundary().expect("figure 7b boundary is safe");
+
+    // A route that crossed the boundary explains as a speaker origin.
+    let prefix: crystalnet_net::Ipv4Prefix = "10.7.4.0/24".parse().unwrap();
+    let ex = emu.explain_route("s1", prefix).unwrap();
+    assert_eq!(ex.origin_kind, OriginKind::Speaker);
+    assert!(
+        matches!(ex.chain[0].hostname.as_deref(), Some("l5" | "l6")),
+        "speaker origin, got {:?}",
+        ex.chain[0]
+    );
+    assert!(ex.render().contains("origin: speaker"));
+}

@@ -30,6 +30,11 @@ pub struct TraceEvent {
     pub decision: ForwardDecision,
     /// Hop count position within its packet's journey (0 = injection).
     pub hop: u32,
+    /// Content digest of the provenance record behind the FIB entry that
+    /// forwarded this packet, when the control plane recorded one. Links a
+    /// packet hop back to the route announcement chain that created it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub prov: Option<u64>,
 }
 
 /// The per-signature trace store each PhyNet container contributes to.
@@ -146,6 +151,7 @@ mod tests {
             ingress: None,
             decision,
             hop,
+            prov: None,
         }
     }
 

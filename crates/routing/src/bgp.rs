@@ -17,11 +17,14 @@
 use crate::attrs::{Origin, PathAttrs};
 use crate::msg::{BgpMsg, Frame};
 use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
+use crate::provenance::{
+    DecisionReason, MutationKind, OriginKind, Provenance, RouteDetail, RouteMutation,
+};
 use crate::vendor::{AggregateMode, FibOverflow, VendorProfile};
 use crystalnet_config::{Action, DeviceConfig, RouteMap, RouteMatch, RouteSet};
 use crystalnet_dataplane::{Fib, FibEntry, NextHop};
 use crystalnet_net::{Asn, Ipv4Addr, Ipv4Prefix};
-use crystalnet_sim::SimTime;
+use crystalnet_sim::{EventId, SimTime};
 use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -69,7 +72,16 @@ struct LocEntry {
     /// Monotonic change tick (drives timing-dependent aggregate
     /// contributor selection, the §9 non-determinism).
     changed_tick: u64,
+    /// Causal chain of the winning path (interned; cloned from the
+    /// Adj-RIB-In entry for learned routes, so no per-decision work).
+    prov: Arc<Provenance>,
+    /// Why the winning path won.
+    reason: DecisionReason,
 }
+
+/// An Adj-RIB entry: attributes plus the causal chain that announced them
+/// (both interned, so cloning the pair is two refcount bumps).
+type RibAttrs = (Arc<PathAttrs>, Arc<Provenance>);
 
 #[derive(Debug)]
 struct Peer {
@@ -83,15 +95,15 @@ struct Peer {
     link_up: bool,
     /// Session token of the peer's current incarnation.
     remote_token: Option<u64>,
-    adj_in: HashMap<Ipv4Prefix, Arc<PathAttrs>>,
+    adj_in: HashMap<Ipv4Prefix, RibAttrs>,
     /// Last flushed Adj-RIB-Out.
-    advertised: HashMap<Ipv4Prefix, Arc<PathAttrs>>,
+    advertised: HashMap<Ipv4Prefix, RibAttrs>,
     /// Pending (MRAI-batched) changes; `None` = withdraw.
-    pending: HashMap<Ipv4Prefix, Option<Arc<PathAttrs>>>,
+    pending: HashMap<Ipv4Prefix, Option<RibAttrs>>,
 }
 
 impl Peer {
-    fn effective_advertised(&self, prefix: Ipv4Prefix) -> Option<&Arc<PathAttrs>> {
+    fn effective_advertised(&self, prefix: Ipv4Prefix) -> Option<&RibAttrs> {
         match self.pending.get(&prefix) {
             Some(p) => p.as_ref(),
             None => self.advertised.get(&prefix),
@@ -126,6 +138,13 @@ pub struct BgpRouterOs {
     /// This control-plane incarnation's identity (changes on every boot
     /// and config replace — models the TCP connection epoch).
     session_token: u64,
+    /// Stable id of the event being handled ([`DeviceOs::begin_event`]);
+    /// stamps provenance hops and originations.
+    cur_event: EventId,
+    /// Whether to journal RIB/FIB mutations for the trace sink.
+    tracing: bool,
+    /// Mutations journaled since the last `take_route_mutations`.
+    mutations: Vec<RouteMutation>,
 }
 
 impl BgpRouterOs {
@@ -157,6 +176,9 @@ impl BgpRouterOs {
             down: false,
             booted: false,
             session_token: 0,
+            cur_event: EventId::ZERO,
+            tracing: false,
+            mutations: Vec::new(),
             config,
         };
         os.apply_config_internal();
@@ -358,13 +380,13 @@ impl BgpRouterOs {
         }
         self.peers[idx].state = SessionState::Established;
         // Full-table advertisement toward the new peer.
-        let prefixes: Vec<(Ipv4Prefix, Arc<PathAttrs>, RouteSource)> = self
+        let prefixes: Vec<(Ipv4Prefix, Arc<PathAttrs>, RouteSource, Arc<Provenance>)> = self
             .loc_rib
             .iter()
-            .map(|(p, e)| (*p, e.attrs.clone(), e.source))
+            .map(|(p, e)| (*p, e.attrs.clone(), e.source, e.prov.clone()))
             .collect();
-        for (prefix, attrs, source) in prefixes {
-            if let Some(exported) = self.export_for(idx, prefix, &attrs, source) {
+        for (prefix, attrs, source, prov) in prefixes {
+            if let Some(exported) = self.export_for(idx, prefix, &attrs, source, &prov) {
                 self.peers[idx].pending.insert(prefix, Some(exported));
                 actions.route_ops += 1;
             }
@@ -391,9 +413,10 @@ impl BgpRouterOs {
             let mut withdrawn = Vec::new();
             for (prefix, change) in peer.pending.drain() {
                 match change {
-                    Some(attrs) => {
-                        peer.advertised.insert(prefix, attrs.clone());
-                        announced.push((prefix, attrs));
+                    Some((attrs, prov)) => {
+                        peer.advertised
+                            .insert(prefix, (attrs.clone(), prov.clone()));
+                        announced.push((prefix, attrs, prov));
                     }
                     None => {
                         if peer.advertised.remove(&prefix).is_some() {
@@ -403,7 +426,7 @@ impl BgpRouterOs {
                 }
             }
             if !announced.is_empty() || !withdrawn.is_empty() {
-                announced.sort_by_key(|(p, _)| *p);
+                announced.sort_by_key(|(p, _, _)| *p);
                 withdrawn.sort();
                 actions.route_ops += announced.len() + withdrawn.len();
                 actions.out.push((
@@ -469,14 +492,19 @@ impl BgpRouterOs {
     }
 
     /// Computes what (if anything) `prefix` looks like when exported to
-    /// peer `idx`.
+    /// peer `idx`: the rewritten attributes plus the causal chain,
+    /// extended by this router's re-announcement hop for learned routes
+    /// (self-originated routes keep their origin-only chain, matching the
+    /// speaker convention). The extension interns once per (route, event)
+    /// and hits the table for every further peer in the same fan-out.
     fn export_for(
         &self,
         idx: usize,
         prefix: Ipv4Prefix,
         attrs: &Arc<PathAttrs>,
         source: RouteSource,
-    ) -> Option<Arc<PathAttrs>> {
+        prov: &Arc<Provenance>,
+    ) -> Option<RibAttrs> {
         let peer = &self.peers[idx];
         // Firmware bug: stop announcing locally originated networks.
         if self.profile.quirks.stop_announcing_networks && source == RouteSource::Local {
@@ -508,7 +536,11 @@ impl BgpRouterOs {
             }
             None => exported,
         };
-        Some(exported.intern())
+        let out_prov = match source {
+            RouteSource::Peer(_) => prov.extended(self.router_id, self.cur_event),
+            RouteSource::Local | RouteSource::Aggregate => prov.clone(),
+        };
+        Some((exported.intern(), out_prov))
     }
 
     fn suppressed_by_aggregate(&self, prefix: Ipv4Prefix, source: RouteSource) -> bool {
@@ -566,50 +598,83 @@ impl BgpRouterOs {
                 source: RouteSource::Local,
                 ecmp: vec![],
                 changed_tick: self.change_tick,
+                // Stamped with the current event on first origination; the
+                // unchanged-check below keeps that first entry alive, so
+                // re-decisions never re-stamp it.
+                prov: Provenance::originated(OriginKind::Network, self.loopback, self.cur_event),
+                reason: DecisionReason::LocalOrigination,
             })
         } else {
-            let mut best: Option<(usize, &Arc<PathAttrs>)> = None;
+            let mut best: Option<(usize, &Arc<PathAttrs>, &Arc<Provenance>)> = None;
             for (idx, peer) in self.peers.iter().enumerate() {
                 if peer.state != SessionState::Established {
                     continue;
                 }
-                let Some(attrs) = peer.adj_in.get(&prefix) else {
+                let Some((attrs, prov)) = peer.adj_in.get(&prefix) else {
                     continue;
                 };
                 let better = match best {
                     None => true,
-                    Some((bidx, battrs)) => {
+                    Some((bidx, battrs, _)) => {
                         let ka = Self::candidate_key(attrs);
                         let kb = Self::candidate_key(battrs);
                         ka > kb || (ka == kb && peer.addr < self.peers[bidx].addr)
                     }
                 };
                 if better {
-                    best = Some((idx, attrs));
+                    best = Some((idx, attrs, prov));
                 }
             }
-            best.map(|(bidx, battrs)| {
+            best.map(|(bidx, battrs, bprov)| {
                 let key = Self::candidate_key(battrs);
                 let battrs = battrs.clone();
-                let mut ecmp: Vec<usize> = self
-                    .peers
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| p.state == SessionState::Established)
-                    .filter(|(_, p)| {
-                        p.adj_in
-                            .get(&prefix)
-                            .is_some_and(|a| Self::candidate_key(a) == key)
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
+                let bprov = bprov.clone();
+                // One pass collects the ECMP set and the runner-up key —
+                // the best key among losing candidates, which names the
+                // decision step that eliminated them.
+                let mut ecmp: Vec<usize> = Vec::new();
+                let mut runner: Option<_> = None;
+                for (i, p) in self.peers.iter().enumerate() {
+                    if p.state != SessionState::Established {
+                        continue;
+                    }
+                    let Some((a, _)) = p.adj_in.get(&prefix) else {
+                        continue;
+                    };
+                    let k = Self::candidate_key(a);
+                    if k == key {
+                        ecmp.push(i);
+                    } else if runner.as_ref().is_none_or(|r| k > *r) {
+                        runner = Some(k);
+                    }
+                }
+                let equal_count = ecmp.len();
                 ecmp.sort_by_key(|&i| self.peers[i].addr);
                 ecmp.truncate(self.max_paths());
+                let reason = match runner {
+                    Some(rk) => {
+                        if key.0 > rk.0 {
+                            DecisionReason::HigherLocalPref
+                        } else if key.1 > rk.1 {
+                            DecisionReason::ShorterAsPath
+                        } else if key.2 > rk.2 {
+                            DecisionReason::LowerOriginCode
+                        } else {
+                            DecisionReason::LowerMed
+                        }
+                    }
+                    // All candidates tied through the attributes: if any
+                    // fell off the multipath limit, peer address decided.
+                    None if equal_count > ecmp.len() => DecisionReason::LowerPeerAddr,
+                    None => DecisionReason::OnlyCandidate,
+                };
                 LocEntry {
                     attrs: battrs,
                     source: RouteSource::Peer(bidx),
                     ecmp,
                     changed_tick: self.change_tick,
+                    prov: bprov,
+                    reason,
                 }
             })
         };
@@ -636,21 +701,39 @@ impl BgpRouterOs {
                 if keep_in_rib {
                     let attrs = entry.attrs.clone();
                     let source = entry.source;
+                    let prov = entry.prov.clone();
+                    self.journal(prefix, MutationKind::Install, Some(&entry));
                     self.loc_rib.insert(prefix, entry);
-                    self.enqueue_export(prefix, Some((attrs, source)), actions);
+                    self.enqueue_export(prefix, Some((attrs, source, prov)), actions);
                 } else {
                     // RejectRoute overflow: drop entirely and withdraw.
+                    self.journal(prefix, MutationKind::Remove, None);
                     self.loc_rib.remove(&prefix);
                     self.remove_fib(prefix);
                     self.enqueue_export(prefix, None, actions);
                 }
             }
             None => {
+                self.journal(prefix, MutationKind::Remove, None);
                 self.loc_rib.remove(&prefix);
                 self.remove_fib(prefix);
                 self.enqueue_export(prefix, None, actions);
             }
         }
+    }
+
+    /// Journals one RIB/FIB mutation when tracing is on (no-op otherwise,
+    /// so untraced runs pay nothing).
+    fn journal(&mut self, prefix: Ipv4Prefix, kind: MutationKind, entry: Option<&LocEntry>) {
+        if !self.tracing {
+            return;
+        }
+        self.mutations.push(RouteMutation {
+            prefix,
+            kind,
+            prov: entry.map(|e| e.prov.clone()),
+            reason: entry.map(|e| e.reason),
+        });
     }
 
     fn fib_entry_for(&self, entry: &LocEntry) -> FibEntry {
@@ -703,20 +786,23 @@ impl BgpRouterOs {
     fn enqueue_export(
         &mut self,
         prefix: Ipv4Prefix,
-        new: Option<(Arc<PathAttrs>, RouteSource)>,
+        new: Option<(Arc<PathAttrs>, RouteSource, Arc<Provenance>)>,
         actions: &mut OsActions,
     ) {
         for idx in 0..self.peers.len() {
             if self.peers[idx].state != SessionState::Established {
                 continue;
             }
-            let exported = new
-                .as_ref()
-                .and_then(|(attrs, source)| self.export_for(idx, prefix, attrs, *source));
+            let exported = new.as_ref().and_then(|(attrs, source, prov)| {
+                self.export_for(idx, prefix, attrs, *source, prov)
+            });
             let peer = &mut self.peers[idx];
             let current = peer.effective_advertised(prefix);
             match (&exported, current) {
-                (Some(e), Some(c)) if same_attrs(e, c) => {}
+                // Same attrs toward this peer ⇒ nothing to send; the
+                // provenance is not compared because an attr-identical
+                // re-export carries no new routing information.
+                (Some(e), Some(c)) if same_attrs(&e.0, &c.0) => {}
                 (None, None) => {}
                 _ => {
                     actions.route_ops += 1;
@@ -777,12 +863,20 @@ impl BgpRouterOs {
                             source: RouteSource::Aggregate,
                             ecmp: vec![],
                             changed_tick: self.change_tick,
+                            prov: Provenance::originated(
+                                OriginKind::Aggregate,
+                                self.loopback,
+                                self.cur_event,
+                            ),
+                            reason: DecisionReason::AggregateSynthesis,
                         };
+                        let prov = entry.prov.clone();
                         self.install_fib(agg.prefix, &entry);
+                        self.journal(agg.prefix, MutationKind::Install, Some(&entry));
                         self.loc_rib.insert(agg.prefix, entry);
                         self.enqueue_export(
                             agg.prefix,
-                            Some((attrs, RouteSource::Aggregate)),
+                            Some((attrs, RouteSource::Aggregate, prov)),
                             actions,
                         );
                     }
@@ -794,6 +888,7 @@ impl BgpRouterOs {
                         .is_some_and(|e| e.source == RouteSource::Aggregate);
                     if present {
                         self.change_tick += 1;
+                        self.journal(agg.prefix, MutationKind::Remove, None);
                         self.loc_rib.remove(&agg.prefix);
                         self.remove_fib(agg.prefix);
                         self.enqueue_export(agg.prefix, None, actions);
@@ -866,7 +961,7 @@ impl BgpRouterOs {
                     return;
                 }
                 actions.route_ops += announced.len() + withdrawn.len();
-                for (prefix, attrs) in announced {
+                for (prefix, attrs, prov) in announced {
                     // eBGP loop prevention: my AS in the path ⇒ discard.
                     if attrs.contains_as(self.asn) {
                         // A previously accepted route may need removal.
@@ -892,12 +987,16 @@ impl BgpRouterOs {
                     };
                     match accepted {
                         Some(a) => {
+                            // Attr-identical re-announcements keep the old
+                            // provenance: no routing change happened, and
+                            // event ordering (hence which announcement is
+                            // "first") is deterministic.
                             let known = self.peers[idx]
                                 .adj_in
                                 .get(&prefix)
-                                .is_some_and(|cur| same_attrs(cur, &a));
+                                .is_some_and(|cur| same_attrs(&cur.0, &a));
                             if !known {
-                                self.peers[idx].adj_in.insert(prefix, a);
+                                self.peers[idx].adj_in.insert(prefix, (a, prov));
                                 self.dirty.insert(prefix);
                             }
                         }
@@ -1147,7 +1246,49 @@ impl DeviceOs for BgpRouterOs {
         let mut rows: Vec<(Ipv4Prefix, Arc<PathAttrs>)> = self.peers[idx]
             .adj_in
             .iter()
-            .map(|(p, a)| (*p, a.clone()))
+            .map(|(p, (a, _))| (*p, a.clone()))
+            .collect();
+        rows.sort_by_key(|(p, _)| *p);
+        rows
+    }
+
+    fn begin_event(&mut self, id: EventId) {
+        self.cur_event = id;
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.mutations.clear();
+        }
+    }
+
+    fn take_route_mutations(&mut self) -> Vec<RouteMutation> {
+        std::mem::take(&mut self.mutations)
+    }
+
+    fn route_detail(&self, prefix: Ipv4Prefix) -> Option<RouteDetail> {
+        self.loc_rib.get(&prefix).map(|e| RouteDetail {
+            attrs: e.attrs.clone(),
+            prov: e.prov.clone(),
+            reason: e.reason,
+        })
+    }
+
+    fn routes_with_detail(&self) -> Vec<(Ipv4Prefix, RouteDetail)> {
+        let mut rows: Vec<(Ipv4Prefix, RouteDetail)> = self
+            .loc_rib
+            .iter()
+            .map(|(p, e)| {
+                (
+                    *p,
+                    RouteDetail {
+                        attrs: e.attrs.clone(),
+                        prov: e.prov.clone(),
+                        reason: e.reason,
+                    },
+                )
+            })
             .collect();
         rows.sort_by_key(|(p, _)| *p);
         rows

@@ -15,8 +15,8 @@ use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKi
 use crystalnet_dataplane::{decide, Fib, ForwardDecision, Ipv4Packet};
 use crystalnet_net::{DeviceId, LinkId, Partition, Topology};
 use crystalnet_sim::parallel::{run_shards_until_quiet, ParallelWorld};
-use crystalnet_sim::{Engine, EventFire, SimDuration, SimTime};
-use crystalnet_telemetry::{NoopRecorder, Recorder};
+use crystalnet_sim::{Engine, EventFire, EventId, SimDuration, SimTime};
+use crystalnet_telemetry::{FieldValue, NoopRecorder, Recorder, TraceRecord};
 use std::collections::HashMap;
 
 /// Work classes a device performs (costed by the [`WorkModel`]).
@@ -108,9 +108,16 @@ struct ShardRoute {
 /// unique, so `(time, key)` totally orders harness events regardless of
 /// the order they were pushed into any queue — the property the parallel
 /// executor's cross-shard merge relies on for bit-identical replay.
+///
+/// The causal parent travels *inside* the event (not in engine
+/// bookkeeping): the parallel executor drains, ships, and re-schedules
+/// events across shard queues, and the cause link must survive that trip.
 #[derive(Debug)]
 pub struct HarnessEvent {
     key: u64,
+    /// Stable id of the event whose firing scheduled this one; `None` for
+    /// script-scheduled events (boots, link flaps, management injections).
+    cause: Option<EventId>,
     kind: HarnessEventKind,
 }
 
@@ -169,6 +176,7 @@ impl HarnessEvent {
                 ib,
             } => Some(HarnessEvent {
                 key: self.key,
+                cause: self.cause,
                 kind: HarnessEventKind::LinkState {
                     lid,
                     up,
@@ -195,15 +203,21 @@ impl EventFire<ControlPlaneWorld> for HarnessEvent {
         self.key
     }
 
+    fn cause(&self) -> Option<EventId> {
+        self.cause
+    }
+
     fn fire(self, e: &mut ControlPlaneEngine) {
         match self.kind {
             HarnessEventKind::BootStart(dev) => {
                 let ready = e.world.work.completion(dev, WorkKind::Boot, e.now());
                 let key = e.world.device_key(dev);
+                let cause = e.current_event();
                 e.schedule_event_at(
                     ready,
                     HarnessEvent {
                         key,
+                        cause,
                         kind: HarnessEventKind::BootDone(dev),
                     },
                 );
@@ -215,6 +229,9 @@ impl EventFire<ControlPlaneWorld> for HarnessEvent {
                     let now = e.now().as_nanos();
                     e.world.recorder.counter_add("routing.devices_booted", 1);
                     e.world.recorder.gauge_max("routing.last_boot_done_ns", now);
+                }
+                if e.world.recorder.trace_enabled() {
+                    trace_here(e, "boot_done", Some(dev), vec![]);
                 }
                 dispatch(e, dev, OsEvent::Boot);
             }
@@ -233,11 +250,31 @@ impl EventFire<ControlPlaneWorld> for HarnessEvent {
                 } else {
                     (OsEvent::LinkDown(ia), OsEvent::LinkDown(ib))
                 };
+                // The transition is recorded per *endpoint* (guarded by OS
+                // presence) so each record is emitted exactly once — on the
+                // shard owning that endpoint — even though every shard
+                // replays the wiring change itself.
+                for (dev, _iface) in [(a, ia), (b, ib)] {
+                    if e.world.recorder.trace_enabled() && e.world.oses[dev.index()].is_some() {
+                        trace_here(
+                            e,
+                            "link_state",
+                            Some(dev),
+                            vec![
+                                ("link", FieldValue::U64(u64::from(lid.0))),
+                                ("up", FieldValue::Bool(up)),
+                            ],
+                        );
+                    }
+                }
                 dispatch(e, a, ev_a);
                 dispatch(e, b, ev_b);
             }
             HarnessEventKind::Mgmt(dev, cmd) => {
                 e.world.causal_pending -= 1;
+                if e.world.recorder.trace_enabled() {
+                    trace_here(e, "mgmt", Some(dev), vec![]);
+                }
                 dispatch(e, dev, OsEvent::Mgmt(cmd));
             }
             HarnessEventKind::Timer(dev, kind) => {
@@ -255,11 +292,37 @@ impl EventFire<ControlPlaneWorld> for HarnessEvent {
                     if e.world.recorder.enabled() {
                         record_frame(&mut *e.world.recorder, &frame, false);
                     }
+                    if e.world.recorder.trace_enabled() {
+                        trace_here(
+                            e,
+                            "frame_rx",
+                            Some(dev),
+                            vec![
+                                ("kind", FieldValue::Str(frame.kind().to_string())),
+                                ("iface", FieldValue::U64(u64::from(iface))),
+                            ],
+                        );
+                    }
                     dispatch(e, dev, OsEvent::Frame { iface, frame });
                 }
             }
         }
     }
+}
+
+/// Emits one trace record under the currently firing event. The id falls
+/// back to [`EventId::ZERO`] for synchronous out-of-event calls
+/// (`mgmt_sync`), which by construction happen before or after the run.
+fn trace_here(
+    e: &mut ControlPlaneEngine,
+    name: &'static str,
+    dev: Option<DeviceId>,
+    fields: Vec<(&'static str, FieldValue)>,
+) {
+    let id = e.current_event().unwrap_or(EventId::ZERO);
+    let cause = e.current_cause();
+    let rec = TraceRecord::new(e.now(), id, cause, name, dev.map(|d| d.0), fields);
+    e.world.recorder.trace(rec);
 }
 
 /// The simulated world: OS instances plus wiring.
@@ -400,8 +463,19 @@ impl ControlPlaneSim {
     }
 
     /// Installs a firmware instance on `dev` (not yet booted).
-    pub fn add_os(&mut self, dev: DeviceId, os: Box<dyn DeviceOs>) {
+    pub fn add_os(&mut self, dev: DeviceId, mut os: Box<dyn DeviceOs>) {
+        os.set_tracing(self.engine.world.recorder.trace_enabled());
         self.engine.world.oses[dev.index()] = Some(os);
+    }
+
+    /// Pushes the recorder's tracing flag into every installed OS. Call
+    /// after swapping the recorder on an already-populated sim (OSes
+    /// installed later pick the flag up in [`Self::add_os`]).
+    pub fn sync_tracing(&mut self) {
+        let on = self.engine.world.recorder.trace_enabled();
+        for os in self.engine.world.oses.iter_mut().flatten() {
+            os.set_tracing(on);
+        }
     }
 
     /// Schedules `dev` to boot at `at` (firmware boot latency is added by
@@ -413,6 +487,7 @@ impl ControlPlaneSim {
             at,
             HarnessEvent {
                 key,
+                cause: None,
                 kind: HarnessEventKind::BootStart(dev),
             },
         );
@@ -458,6 +533,7 @@ impl ControlPlaneSim {
             at,
             HarnessEvent {
                 key,
+                cause: None,
                 kind: HarnessEventKind::LinkState {
                     lid,
                     up,
@@ -492,6 +568,7 @@ impl ControlPlaneSim {
             at,
             HarnessEvent {
                 key,
+                cause: None,
                 kind: HarnessEventKind::Mgmt(dev, cmd),
             },
         );
@@ -758,7 +835,8 @@ impl ControlPlaneSim {
 
     /// Replaces a device's OS instance (used when a VM is rebuilt and its
     /// sandboxes restart from scratch). The device must be re-booted.
-    pub fn replace_os(&mut self, dev: DeviceId, os: Box<dyn DeviceOs>) {
+    pub fn replace_os(&mut self, dev: DeviceId, mut os: Box<dyn DeviceOs>) {
+        os.set_tracing(self.engine.world.recorder.trace_enabled());
         self.engine.world.booted[dev.index()] = false;
         self.engine.world.oses[dev.index()] = Some(os);
     }
@@ -828,6 +906,7 @@ impl ControlPlaneSim {
 fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
     let now = e.now();
     let idx = dev.index();
+    let cur = e.current_event().unwrap_or(EventId::ZERO);
     let actions: OsActions = {
         let world = &mut e.world;
         let Some(os) = world.oses[idx].as_mut() else {
@@ -838,8 +917,34 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
         if !is_boot && !world.booted[idx] {
             return;
         }
+        // Stamp the event id first: provenance chains the OS builds while
+        // handling must point at this event.
+        os.begin_event(cur);
         os.handle(now, event)
     };
+    // Journaled RIB/FIB mutations become trace records naming the causal
+    // chain and decision reason of the installed path.
+    if e.world.recorder.trace_enabled() {
+        let muts = e.world.oses[idx]
+            .as_mut()
+            .map(|os| os.take_route_mutations())
+            .unwrap_or_default();
+        for m in muts {
+            let mut fields = vec![("prefix", FieldValue::Str(m.prefix.to_string()))];
+            if let Some(prov) = &m.prov {
+                fields.push((
+                    "origin",
+                    FieldValue::Str(prov.origin_kind.label().to_string()),
+                ));
+                fields.push(("prov", FieldValue::U64(prov.digest())));
+                fields.push(("chain_len", FieldValue::U64(prov.hops.len() as u64 + 1)));
+            }
+            if let Some(reason) = m.reason {
+                fields.push(("reason", FieldValue::Str(reason.label().to_string())));
+            }
+            trace_here(e, m.kind.label(), Some(dev), fields);
+        }
+    }
     let done = if actions.route_ops > 0 {
         let t = e
             .world
@@ -864,12 +969,14 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
     if let Some(resp) = actions.response {
         e.world.mgmt_responses.push((dev, resp));
     }
+    let cause = e.current_event();
     for (delay, kind) in actions.timers {
         let key = e.world.device_key(dev);
         e.schedule_event_at(
             done + delay,
             HarnessEvent {
                 key,
+                cause,
                 kind: HarnessEventKind::Timer(dev, kind),
             },
         );
@@ -888,12 +995,24 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
         if e.world.recorder.enabled() {
             record_frame(&mut *e.world.recorder, &frame, true);
         }
+        if e.world.recorder.trace_enabled() {
+            trace_here(
+                e,
+                "frame_tx",
+                Some(dev),
+                vec![
+                    ("kind", FieldValue::Str(frame.kind().to_string())),
+                    ("iface", FieldValue::U64(u64::from(iface))),
+                ],
+            );
+        }
         // Keyed by the *sender*: the key travels with the frame, so a
         // cross-shard delivery merges into the receiver's queue at exactly
         // the position the serial engine would have given it.
         let key = e.world.device_key(dev);
         let ev = HarnessEvent {
             key,
+            cause,
             kind: HarnessEventKind::Deliver {
                 dev: rdev,
                 iface: riface,

@@ -18,6 +18,7 @@ pub mod harness;
 pub mod msg;
 pub mod os;
 pub mod ospf;
+pub mod provenance;
 pub mod speaker;
 pub mod vendor;
 
@@ -27,5 +28,8 @@ pub use harness::{ControlPlaneSim, ControlPlaneWorld, UniformWorkModel, WorkKind
 pub use msg::{BgpMsg, Frame, OspfMsg};
 pub use os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
 pub use ospf::{elect_dr_bdr, OspfRouterOs, RouterLsa};
+pub use provenance::{
+    DecisionReason, MutationKind, OriginKind, ProvHop, Provenance, RouteDetail, RouteMutation,
+};
 pub use speaker::{SpeakerOs, SpeakerScript};
 pub use vendor::{AggregateMode, FibOverflow, Quirks, VendorProfile};

@@ -8,6 +8,7 @@
 //! encodings from `crystalnet-dataplane`.
 
 use crate::attrs::PathAttrs;
+use crate::provenance::Provenance;
 use crystalnet_dataplane::{ArpMessage, Ipv4Packet};
 use crystalnet_net::{Asn, Ipv4Addr, Ipv4Prefix};
 use serde::{Deserialize, Serialize};
@@ -32,11 +33,14 @@ pub enum BgpMsg {
         /// same session (duplicate Open exchange) and is ignored.
         session_token: u64,
     },
-    /// Route advertisement/withdrawal. Announcements share attribute
-    /// objects; real BGP packs many prefixes per UPDATE the same way.
+    /// Route advertisement/withdrawal. Announcements share attribute and
+    /// provenance objects; real BGP packs many prefixes per UPDATE the
+    /// same way.
     Update {
-        /// Newly announced prefixes with their attributes.
-        announced: Vec<(Ipv4Prefix, Arc<PathAttrs>)>,
+        /// Newly announced prefixes with their attributes and the causal
+        /// chain that produced them (both interned, so the fan-out cost
+        /// per link is two `Arc` clones per prefix).
+        announced: Vec<(Ipv4Prefix, Arc<PathAttrs>, Arc<Provenance>)>,
         /// Withdrawn prefixes.
         withdrawn: Vec<Ipv4Prefix>,
     },
@@ -116,13 +120,22 @@ impl Frame {
 mod tests {
     use super::*;
 
+    fn test_prov() -> Arc<Provenance> {
+        Provenance::originated(
+            crate::provenance::OriginKind::Network,
+            Ipv4Addr(1),
+            crystalnet_sim::EventId::ZERO,
+        )
+    }
+
     #[test]
     fn update_route_ops() {
         let attrs = Arc::new(PathAttrs::originated(Ipv4Addr(1)));
+        let prov = test_prov();
         let m = BgpMsg::Update {
             announced: vec![
-                ("10.0.0.0/24".parse().unwrap(), attrs.clone()),
-                ("10.0.1.0/24".parse().unwrap(), attrs),
+                ("10.0.0.0/24".parse().unwrap(), attrs.clone(), prov.clone()),
+                ("10.0.1.0/24".parse().unwrap(), attrs, prov),
             ],
             withdrawn: vec!["10.0.2.0/24".parse().unwrap()],
         };
@@ -145,9 +158,10 @@ mod tests {
     #[test]
     fn shared_attrs_are_cheap_to_fan_out() {
         let attrs = Arc::new(PathAttrs::originated(Ipv4Addr(1)));
+        let prov = test_prov();
         let updates: Vec<BgpMsg> = (0..100)
             .map(|_| BgpMsg::Update {
-                announced: vec![("10.0.0.0/24".parse().unwrap(), attrs.clone())],
+                announced: vec![("10.0.0.0/24".parse().unwrap(), attrs.clone(), prov.clone())],
                 withdrawn: vec![],
             })
             .collect();

@@ -10,10 +10,11 @@
 //! exactly as the paper's unified PhyNet container layer does (§4.1).
 
 use crate::msg::Frame;
+use crate::provenance::{RouteDetail, RouteMutation};
 use crystalnet_config::{Acl, DeviceConfig};
 use crystalnet_dataplane::Fib;
 use crystalnet_net::{Ipv4Addr, Ipv4Prefix};
-use crystalnet_sim::{SimDuration, SimTime};
+use crystalnet_sim::{EventId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Timers a device OS can arm.
@@ -167,6 +168,41 @@ pub trait DeviceOs: Send {
     /// that speaker scripts replay (§3.2, §5.1). Default: none.
     fn adj_rib_in(&self, iface: u32) -> Vec<(Ipv4Prefix, std::sync::Arc<crate::attrs::PathAttrs>)> {
         let _ = iface;
+        Vec::new()
+    }
+
+    /// Tells the OS the stable id of the event about to be handled, so
+    /// provenance hops and mutations it produces can point at it. Kept
+    /// separate from [`DeviceOs::handle`] so firmwares that don't track
+    /// causality (and the many direct-`handle` tests) need no changes.
+    /// Default: ignored.
+    fn begin_event(&mut self, id: EventId) {
+        let _ = id;
+    }
+
+    /// Enables/disables mutation journaling ([`DeviceOs::take_route_mutations`]).
+    /// The harness switches this on only when a trace sink is attached, so
+    /// untraced runs never pay for the journal. Default: ignored.
+    fn set_tracing(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drains the RIB/FIB mutations performed since the last call. Only
+    /// populated while tracing is on. Default: empty.
+    fn take_route_mutations(&mut self) -> Vec<RouteMutation> {
+        Vec::new()
+    }
+
+    /// Full detail — attributes, provenance, decision reason — for one
+    /// installed prefix. Default: unknown.
+    fn route_detail(&self, prefix: Ipv4Prefix) -> Option<RouteDetail> {
+        let _ = prefix;
+        None
+    }
+
+    /// [`DeviceOs::route_detail`] for every installed prefix, sorted by
+    /// prefix. Default: empty.
+    fn routes_with_detail(&self) -> Vec<(Ipv4Prefix, RouteDetail)> {
         Vec::new()
     }
 }

@@ -9,9 +9,10 @@
 
 use crate::msg::{Frame, OspfMsg};
 use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
+use crate::provenance::{DecisionReason, OriginKind, Provenance, RouteDetail};
 use crystalnet_dataplane::{Fib, FibEntry, NextHop};
 use crystalnet_net::{Ipv4Addr, Ipv4Prefix};
-use crystalnet_sim::{SimDuration, SimTime};
+use crystalnet_sim::{EventId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -60,9 +61,14 @@ pub struct OspfRouterOs {
     my_seq: u32,
     prefixes: Vec<(Ipv4Prefix, u32)>,
     fib: Fib,
+    /// Per installed prefix: the LSA origin router and the event of the
+    /// SPF run that installed it (feeds [`DeviceOs::route_detail`]).
+    route_meta: HashMap<Ipv4Prefix, (Ipv4Addr, EventId)>,
     hello_interval: SimDuration,
     hello_armed: bool,
     down: bool,
+    /// Stable id of the event being handled ([`DeviceOs::begin_event`]).
+    cur_event: EventId,
 }
 
 impl OspfRouterOs {
@@ -86,9 +92,11 @@ impl OspfRouterOs {
             my_seq: 0,
             prefixes: prefixes.into_iter().map(|p| (p, 0)).collect(),
             fib: Fib::default(),
+            route_meta: HashMap::new(),
             hello_interval: SimDuration::from_secs(1),
             hello_armed: false,
             down: false,
+            cur_event: EventId::ZERO,
         }
     }
 
@@ -239,7 +247,7 @@ impl OspfRouterOs {
         // Rebuild the FIB from reachable routers' prefixes, keeping the
         // lowest-cost route per prefix (ties broken by next-hop id for
         // determinism).
-        let mut routes: Vec<(Ipv4Prefix, u32, NextHop)> = Vec::new();
+        let mut routes: Vec<(Ipv4Prefix, u32, NextHop, Ipv4Addr)> = Vec::new();
         for (&router, &(cost, first_hop)) in &dist {
             let Some(lsa) = self.lsdb.get(&router) else {
                 continue;
@@ -261,14 +269,16 @@ impl OspfRouterOs {
                         NextHop { iface, via: fh }
                     }
                 };
-                routes.push((*prefix, cost + pcost, hop));
+                routes.push((*prefix, cost + pcost, hop, lsa.origin));
             }
         }
-        routes.sort_by_key(|(p, cost, hop)| (*p, *cost, hop.via));
+        routes.sort_by_key(|(p, cost, hop, _)| (*p, *cost, hop.via));
         self.fib.clear();
-        for (prefix, _, hop) in routes {
+        self.route_meta.clear();
+        for (prefix, _, hop, origin) in routes {
             if self.fib.get(prefix).is_none() {
                 self.fib.install(prefix, FibEntry::new(vec![hop]));
+                self.route_meta.insert(prefix, (origin, self.cur_event));
             }
         }
     }
@@ -392,6 +402,36 @@ impl DeviceOs for OspfRouterOs {
 
     fn hostname(&self) -> &str {
         &self.hostname
+    }
+
+    fn begin_event(&mut self, id: EventId) {
+        self.cur_event = id;
+    }
+
+    fn route_detail(&self, prefix: Ipv4Prefix) -> Option<RouteDetail> {
+        let (origin, event) = self.route_meta.get(&prefix)?;
+        Some(ospf_detail(*origin, *event))
+    }
+
+    fn routes_with_detail(&self) -> Vec<(Ipv4Prefix, RouteDetail)> {
+        let mut rows: Vec<(Ipv4Prefix, RouteDetail)> = self
+            .route_meta
+            .iter()
+            .map(|(p, (origin, event))| (*p, ospf_detail(*origin, *event)))
+            .collect();
+        rows.sort_by_key(|(p, _)| *p);
+        rows
+    }
+}
+
+/// SPF installs one lowest-cost route per prefix, so the decision is a
+/// single-candidate one; the chain names the LSA's originating router and
+/// the SPF run that installed the route.
+fn ospf_detail(origin: Ipv4Addr, event: EventId) -> RouteDetail {
+    RouteDetail {
+        attrs: crate::attrs::PathAttrs::originated(origin).intern(),
+        prov: Provenance::originated(OriginKind::Ospf, origin, event),
+        reason: DecisionReason::OnlyCandidate,
     }
 }
 

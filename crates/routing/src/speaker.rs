@@ -11,9 +11,10 @@
 use crate::attrs::PathAttrs;
 use crate::msg::{BgpMsg, Frame};
 use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent};
+use crate::provenance::{OriginKind, Provenance};
 use crystalnet_dataplane::Fib;
 use crystalnet_net::{Asn, Ipv4Addr, Ipv4Prefix};
-use crystalnet_sim::SimTime;
+use crystalnet_sim::{EventId, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -44,6 +45,9 @@ pub struct SpeakerOs {
     /// boundary peers treat its Open as the same incarnation completing
     /// the old exchange and never flush/resync the session.
     epoch: u64,
+    /// Stable id of the event being handled; stamps the origin of every
+    /// announced route's causal chain (Lemma 5.1 audits the kind).
+    cur_event: EventId,
 }
 
 impl SpeakerOs {
@@ -60,6 +64,7 @@ impl SpeakerOs {
             fib: Fib::default(),
             down: false,
             epoch: 0,
+            cur_event: EventId::ZERO,
         }
     }
 
@@ -113,10 +118,18 @@ impl SpeakerOs {
         if let Some(script) = self.scripts.get(&iface) {
             if !script.routes.is_empty() {
                 actions.route_ops += script.routes.len();
+                // Every scripted route starts a Speaker-kind causal chain
+                // here: one interner hit per event, free clones after.
+                let prov =
+                    Provenance::originated(OriginKind::Speaker, self.router_id, self.cur_event);
                 actions.out.push((
                     iface,
                     Frame::Bgp(BgpMsg::Update {
-                        announced: script.routes.clone(),
+                        announced: script
+                            .routes
+                            .iter()
+                            .map(|(p, a)| (*p, a.clone(), prov.clone()))
+                            .collect(),
                         withdrawn: vec![],
                     }),
                 ));
@@ -182,7 +195,7 @@ impl DeviceOs for SpeakerOs {
                     withdrawn,
                 }) => {
                     // Record, never react, never reflect.
-                    for (p, a) in announced {
+                    for (p, a, _) in announced {
                         self.received.push((iface, p, Some(a)));
                     }
                     for p in withdrawn {
@@ -231,6 +244,10 @@ impl DeviceOs for SpeakerOs {
 
     fn hostname(&self) -> &str {
         &self.hostname
+    }
+
+    fn begin_event(&mut self, id: EventId) {
+        self.cur_event = id;
     }
 }
 
@@ -296,12 +313,17 @@ mod tests {
         );
         // An update arrives from the boundary: recorded, nothing sent.
         let attrs = Arc::new(PathAttrs::originated(Ipv4Addr(7)));
+        let prov = Provenance::originated(
+            OriginKind::Network,
+            Ipv4Addr(7),
+            crystalnet_sim::EventId::ZERO,
+        );
         let a = s.handle(
             SimTime::ZERO,
             OsEvent::Frame {
                 iface: 0,
                 frame: Frame::Bgp(BgpMsg::Update {
-                    announced: vec![("10.1.0.0/16".parse().unwrap(), attrs)],
+                    announced: vec![("10.1.0.0/16".parse().unwrap(), attrs, prov)],
                     withdrawn: vec!["10.2.0.0/16".parse().unwrap()],
                 }),
             },

@@ -29,11 +29,39 @@
 //! what lets the parallel executor replay the serial order bit-for-bit.
 
 use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// A one-shot boxed event handler (the default engine event payload).
 pub type Event<W> = Box<dyn FnOnce(&mut Engine<W>)>;
+
+/// A stable, content-derived identity for one fired event.
+///
+/// `(time, key)` uniquely names an event as long as keys are globally
+/// unique among events due at the same instant — which the routing
+/// harness guarantees by deriving keys from the scheduling device and a
+/// per-device counter. Crucially the id does *not* involve the engine's
+/// scheduling sequence number, which differs between serial and sharded
+/// execution; the same run therefore produces the same ids whatever
+/// `workers` drove it, and a trace record can point at its causal parent
+/// across shard boundaries.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EventId {
+    /// Virtual time the event fired, in nanoseconds.
+    pub time_ns: u64,
+    /// The event's deterministic tie-break key ([`EventFire::key`]).
+    pub key: u64,
+}
+
+impl EventId {
+    /// The null id: time 0, key 0. The harness never schedules a real
+    /// event with key 0, so this is safe as an "outside any event"
+    /// sentinel (management sync, orchestrator actions).
+    pub const ZERO: EventId = EventId { time_ns: 0, key: 0 };
+}
 
 /// A schedulable event: fired once at its due time.
 pub trait EventFire<W>: Sized {
@@ -47,6 +75,17 @@ pub trait EventFire<W>: Sized {
     /// order in which events were scheduled.
     fn key(&self) -> u64 {
         0
+    }
+
+    /// The id of the event that scheduled this one, if known.
+    ///
+    /// Causal links must travel *inside* the event (not in engine
+    /// bookkeeping): the parallel executor drains queues, ships events
+    /// across shards in envelopes, and re-schedules survivors, losing any
+    /// engine-side metadata along the way. Events that carry their cause
+    /// as a field survive all of that unchanged.
+    fn cause(&self) -> Option<EventId> {
+        None
     }
 }
 
@@ -247,6 +286,10 @@ pub struct Engine<W, E = ClosureEvent<W>> {
     seq: u64,
     executed: u64,
     high_water: usize,
+    /// `(id, cause)` of the event currently firing, if any. Set by
+    /// [`Engine::step`] for the duration of the fire so handlers can stamp
+    /// follow-up events with a causal parent.
+    firing: Option<(EventId, Option<EventId>)>,
     queue: CalendarQueue<E>,
     /// The simulated world mutated by events.
     pub world: W,
@@ -260,6 +303,7 @@ impl<W, E: EventFire<W>> Engine<W, E> {
             seq: 0,
             executed: 0,
             high_water: 0,
+            firing: None,
             queue: CalendarQueue::new(),
             world,
         }
@@ -320,11 +364,30 @@ impl<W, E: EventFire<W>> Engine<W, E> {
                 debug_assert!(s.time >= self.clock, "event queue went backwards");
                 self.clock = s.time;
                 self.executed += 1;
+                let id = EventId {
+                    time_ns: s.time.as_nanos(),
+                    key: s.key,
+                };
+                self.firing = Some((id, s.event.cause()));
                 s.event.fire(self);
+                self.firing = None;
                 true
             }
             None => false,
         }
+    }
+
+    /// The stable id of the event currently firing, if `step` is on the
+    /// call stack.
+    #[must_use]
+    pub fn current_event(&self) -> Option<EventId> {
+        self.firing.map(|(id, _)| id)
+    }
+
+    /// The causal parent of the event currently firing, if any.
+    #[must_use]
+    pub fn current_cause(&self) -> Option<EventId> {
+        self.firing.and_then(|(_, cause)| cause)
     }
 
     /// Runs until the event queue is empty.
@@ -512,6 +575,62 @@ mod tests {
         fn key(&self) -> u64 {
             self.0
         }
+    }
+
+    /// A typed event carrying an explicit cause link.
+    struct Caused {
+        key: u64,
+        cause: Option<EventId>,
+    }
+    impl EventFire<Vec<(EventId, Option<EventId>)>> for Caused {
+        fn fire(self, e: &mut Engine<Vec<(EventId, Option<EventId>)>, Caused>) {
+            let id = e.current_event().expect("firing");
+            assert_eq!(e.current_cause(), self.cause);
+            e.world.push((id, e.current_cause()));
+            if self.cause.is_none() {
+                // Schedule a child stamped with this event's id.
+                e.schedule_event_after(
+                    SimDuration::from_secs(1),
+                    Caused {
+                        key: self.key + 100,
+                        cause: Some(id),
+                    },
+                );
+            }
+        }
+        fn key(&self) -> u64 {
+            self.key
+        }
+        fn cause(&self) -> Option<EventId> {
+            self.cause
+        }
+    }
+
+    #[test]
+    fn event_ids_are_stable_and_causes_thread_through() {
+        let mut e: Engine<Vec<(EventId, Option<EventId>)>, Caused> = Engine::new(Vec::new());
+        e.schedule_event_at(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            Caused {
+                key: 7,
+                cause: None,
+            },
+        );
+        e.run();
+        assert_eq!(e.world.len(), 2);
+        let root = EventId {
+            time_ns: SimDuration::from_secs(1).as_nanos(),
+            key: 7,
+        };
+        let child = EventId {
+            time_ns: SimDuration::from_secs(2).as_nanos(),
+            key: 107,
+        };
+        assert_eq!(e.world[0], (root, None));
+        assert_eq!(e.world[1], (child, Some(root)));
+        // Outside step() there is no current event.
+        assert_eq!(e.current_event(), None);
+        assert_eq!(e.current_cause(), None);
     }
 
     #[test]

@@ -38,10 +38,10 @@
 //! emission order is deterministic by construction.
 
 use crystalnet_sim::metrics::percentile_f64;
-use crystalnet_sim::{SimDuration, SimTime};
+use crystalnet_sim::{EventId, SimDuration, SimTime};
 use serde::{Serialize, Value};
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// A typed field value attached to an event or report metadata.
 ///
@@ -233,6 +233,288 @@ impl Serialize for HistogramSummary {
     }
 }
 
+/// One causal trace record: something the emulated world did, stamped
+/// with the stable id of the event that did it and a link to the event
+/// that caused that one.
+///
+/// Records are device-scoped world facts (a frame delivered, a FIB entry
+/// installed, a link transition observed by an endpoint), so the sharded
+/// executor emits each exactly once — on the shard owning the device —
+/// and the merged, sorted stream is byte-identical to a serial run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the record.
+    pub at: SimTime,
+    /// Stable id of the event this record was emitted under.
+    pub id: EventId,
+    /// Ordinal among records emitted under the same `(event id, device)`
+    /// pair. Assigned by the sink at push time (one device's records for
+    /// one event are pushed consecutively on the single shard owning that
+    /// device, so the numbering is deterministic even when an event —
+    /// e.g. a link transition — touches devices on different shards);
+    /// used only as a sort tiebreak and never exported.
+    pub sub: u32,
+    /// Id of the causal parent event, if known.
+    pub cause: Option<EventId>,
+    /// Record kind (`bgp_rx`, `fib_install`, `link_state`, ...).
+    pub name: &'static str,
+    /// Device scope, if the record belongs to one device.
+    pub device: Option<u32>,
+    /// Typed payload, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceRecord {
+    /// Builds a record; `sub` starts at 0 and is reassigned by the sink.
+    #[must_use]
+    pub fn new(
+        at: SimTime,
+        id: EventId,
+        cause: Option<EventId>,
+        name: &'static str,
+        device: Option<u32>,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> Self {
+        TraceRecord {
+            at,
+            id,
+            sub: 0,
+            cause,
+            name,
+            device,
+            fields,
+        }
+    }
+
+    /// The deterministic global sort rank: `(time, event key, device,
+    /// ordinal)`. Device-less records sort before device-scoped ones
+    /// within the same event.
+    #[must_use]
+    pub fn rank(&self) -> (u64, u64, u64, u32) {
+        (
+            self.id.time_ns,
+            self.id.key,
+            self.device.map_or(0, |d| u64::from(d) + 1),
+            self.sub,
+        )
+    }
+
+    fn jsonl_value(&self) -> Value {
+        let mut obj = vec![
+            ("at_ns".to_string(), Value::Uint(self.at.as_nanos())),
+            ("id".to_string(), event_id_value(self.id)),
+            (
+                "cause".to_string(),
+                match self.cause {
+                    Some(c) => event_id_value(c),
+                    None => Value::Null,
+                },
+            ),
+            ("name".to_string(), Value::Str(self.name.to_string())),
+        ];
+        if let Some(dev) = self.device {
+            obj.push(("device".to_string(), Value::Uint(u64::from(dev))));
+        }
+        obj.push((
+            "fields".to_string(),
+            Value::Object(
+                self.fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.to_value()))
+                    .collect(),
+            ),
+        ));
+        Value::Object(obj)
+    }
+
+    fn chrome_value(&self) -> Value {
+        // Chrome trace-event format: an instant event ("ph": "i") with
+        // thread scope. `ts` is in microseconds; the exact nanosecond
+        // timestamp and the causal ids ride in `args` so nothing is lost
+        // to the unit conversion.
+        let mut args = vec![
+            ("time_ns".to_string(), Value::Uint(self.at.as_nanos())),
+            ("id_key".to_string(), Value::Uint(self.id.key)),
+        ];
+        if let Some(c) = self.cause {
+            args.push(("cause_time_ns".to_string(), Value::Uint(c.time_ns)));
+            args.push(("cause_key".to_string(), Value::Uint(c.key)));
+        }
+        for (k, v) in &self.fields {
+            args.push(((*k).to_string(), v.to_value()));
+        }
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.to_string())),
+            ("ph".to_string(), Value::Str("i".to_string())),
+            ("s".to_string(), Value::Str("t".to_string())),
+            ("pid".to_string(), Value::Uint(1)),
+            (
+                "tid".to_string(),
+                Value::Uint(self.device.map_or(0, u64::from)),
+            ),
+            ("ts".to_string(), Value::Uint(self.at.as_nanos() / 1_000)),
+            ("args".to_string(), Value::Object(args)),
+        ])
+    }
+}
+
+fn event_id_value(id: EventId) -> Value {
+    Value::Object(vec![
+        ("time_ns".to_string(), Value::Uint(id.time_ns)),
+        ("key".to_string(), Value::Uint(id.key)),
+    ])
+}
+
+/// Renders records as stream-friendly JSONL: one object per line, in
+/// rank order if the caller sorted them (the sink does).
+#[must_use]
+pub fn trace_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde_json::to_string(&r.jsonl_value()).expect("trace serialization"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders records as Chrome trace-event JSON (the `traceEvents` object
+/// form), loadable in Perfetto / `chrome://tracing`.
+#[must_use]
+pub fn trace_chrome_json(records: &[TraceRecord]) -> String {
+    let value = Value::Object(vec![
+        (
+            "traceEvents".to_string(),
+            Value::Array(records.iter().map(TraceRecord::chrome_value).collect()),
+        ),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    let mut s = serde_json::to_string_pretty(&value).expect("trace serialization");
+    s.push('\n');
+    s
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s.
+///
+/// Keeps the **newest** `capacity` records; older records are dropped and
+/// counted. Because the global record stream is totally ordered by
+/// [`TraceRecord::rank`] and each shard holds a contiguous-by-device
+/// subset, "newest `capacity` per shard, then merge-sort and keep the
+/// newest `capacity` overall" retains exactly the same set a serial run
+/// would — any record in the global newest-`capacity` set is necessarily
+/// within its own shard's newest `capacity`. Dropped counts therefore
+/// merge deterministically too (`emitted − retained`).
+#[derive(Debug)]
+pub struct TraceSink {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    emitted: u64,
+    last_id: EventId,
+    last_dev: Option<u32>,
+    last_sub: u32,
+}
+
+impl TraceSink {
+    /// An empty sink bounded to `capacity` records.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        TraceSink {
+            capacity,
+            records: VecDeque::new(),
+            emitted: 0,
+            last_id: EventId::ZERO,
+            last_dev: None,
+            last_sub: 0,
+        }
+    }
+
+    /// The configured bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total records ever pushed (including dropped ones).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Records dropped to stay within the bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.emitted - self.records.len() as u64
+    }
+
+    /// Appends a record, assigning its `sub` ordinal and evicting the
+    /// oldest record if the sink is full.
+    pub fn push(&mut self, mut rec: TraceRecord) {
+        if rec.id == self.last_id && rec.device == self.last_dev {
+            self.last_sub += 1;
+        } else {
+            self.last_id = rec.id;
+            self.last_dev = rec.device;
+            self.last_sub = 0;
+        }
+        rec.sub = self.last_sub;
+        self.emitted += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Retained records in [`TraceRecord::rank`] order.
+    #[must_use]
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = self.records.iter().cloned().collect();
+        out.sort_by_key(TraceRecord::rank);
+        out
+    }
+
+    /// Merges a shard sink back: records interleave by rank, the newest
+    /// `capacity` survive, and emit counts add.
+    pub fn absorb(&mut self, child: TraceSink) {
+        self.emitted += child.emitted;
+        self.records.extend(child.records);
+        let mut all: Vec<TraceRecord> = std::mem::take(&mut self.records).into();
+        all.sort_by_key(TraceRecord::rank);
+        let drop = all.len().saturating_sub(self.capacity);
+        self.records = all.into_iter().skip(drop).collect();
+        if let Some(last) = self.records.back() {
+            self.last_id = last.id;
+            self.last_dev = last.device;
+            self.last_sub = last.sub;
+        }
+    }
+
+    /// JSONL export of the retained records.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        trace_jsonl(&self.records())
+    }
+
+    /// Chrome trace-event JSON export of the retained records.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        trace_chrome_json(&self.records())
+    }
+}
+
 /// The sink instrumented code emits through.
 ///
 /// Every method has a no-op default body, so [`NoopRecorder`] is an empty
@@ -282,6 +564,16 @@ pub trait Recorder: Send {
     ) {
     }
 
+    /// Whether causal trace records are stored. Like [`Recorder::enabled`]
+    /// this gates argument preparation: emitting a trace record means
+    /// formatting fields, so hot paths must check first.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Appends one causal trace record to the bounded sink.
+    fn trace(&mut self, _rec: TraceRecord) {}
+
     /// Creates an empty recorder of the same kind for a shard worker.
     fn fork(&self) -> Box<dyn Recorder>;
 
@@ -328,13 +620,30 @@ pub struct MemRecorder {
     diag_gauges: BTreeMap<String, u64>,
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
+    trace: Option<TraceSink>,
 }
 
 impl MemRecorder {
-    /// An empty enabled recorder.
+    /// An empty enabled recorder, with causal tracing off.
     #[must_use]
     pub fn new() -> Self {
         MemRecorder::default()
+    }
+
+    /// An empty enabled recorder with a bounded causal-trace sink.
+    /// `capacity == 0` leaves tracing off.
+    #[must_use]
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        MemRecorder {
+            trace: (capacity > 0).then(|| TraceSink::new(capacity)),
+            ..MemRecorder::default()
+        }
+    }
+
+    /// The causal-trace sink, if tracing is on.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
     }
 
     /// Downcasts a `dyn Recorder` to `MemRecorder` for reading; `None` for
@@ -403,6 +712,14 @@ impl MemRecorder {
         }
         for (name, v) in &self.gauges {
             counters.insert((*name).to_string(), *v);
+        }
+        if let Some(sink) = &self.trace {
+            // Emit/retain/drop counts are world facts (each record is
+            // emitted exactly once whatever the worker count), so they
+            // belong in the canonical section.
+            counters.insert("telemetry.trace_emitted".to_string(), sink.emitted());
+            counters.insert("telemetry.trace_retained".to_string(), sink.len() as u64);
+            counters.insert("telemetry.trace_dropped".to_string(), sink.dropped());
         }
         let mut diagnostics = self.diag_counters.clone();
         for (name, v) in &self.diag_gauges {
@@ -481,8 +798,23 @@ impl Recorder for MemRecorder {
         self.events.push(EventRecord::new(at, name, fields));
     }
 
+    fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn trace(&mut self, rec: TraceRecord) {
+        if let Some(sink) = &mut self.trace {
+            sink.push(rec);
+        }
+    }
+
     fn fork(&self) -> Box<dyn Recorder> {
-        Box::new(MemRecorder::new())
+        // Shard sinks share the parent's bound so the post-merge
+        // newest-`capacity` set matches a serial run's (see [`TraceSink`]).
+        Box::new(match &self.trace {
+            Some(sink) => MemRecorder::with_trace_capacity(sink.capacity()),
+            None => MemRecorder::new(),
+        })
     }
 
     fn absorb(&mut self, child: Box<dyn Recorder>) {
@@ -522,6 +854,9 @@ impl Recorder for MemRecorder {
         }
         self.spans.extend(child.spans);
         self.events.extend(child.events);
+        if let (Some(mine), Some(theirs)) = (self.trace.as_mut(), child.trace) {
+            mine.absorb(theirs);
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -885,6 +1220,105 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"at_ns\": 5"));
         assert!(json.contains("\"latency\": 2000000000"));
+    }
+
+    fn rec(t: u64, key: u64, name: &'static str) -> TraceRecord {
+        TraceRecord::new(
+            SimTime(t),
+            EventId { time_ns: t, key },
+            None,
+            name,
+            Some(1),
+            vec![("n", FieldValue::U64(key))],
+        )
+    }
+
+    #[test]
+    fn trace_sink_assigns_sub_ordinals_and_bounds_memory() {
+        let mut sink = TraceSink::new(3);
+        sink.push(rec(10, 1, "a"));
+        sink.push(rec(10, 1, "b")); // same event → sub 1
+        sink.push(rec(20, 2, "c"));
+        sink.push(rec(30, 3, "d")); // evicts the oldest ("a")
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.emitted(), 4);
+        assert_eq!(sink.dropped(), 1);
+        let records = sink.records();
+        assert_eq!(
+            records.iter().map(|r| r.name).collect::<Vec<_>>(),
+            vec!["b", "c", "d"]
+        );
+        assert_eq!(records[0].sub, 1);
+        assert_eq!(records[1].sub, 0);
+    }
+
+    #[test]
+    fn trace_sink_absorb_matches_serial_retention() {
+        // Serial: one sink sees everything in rank order.
+        let mut serial = TraceSink::new(4);
+        for (t, key) in [(10u64, 1u64), (20, 2), (30, 3), (40, 4), (50, 5), (60, 6)] {
+            serial.push(rec(t, key, "x"));
+        }
+        // Sharded: the same records split across two sinks, merged back.
+        let mut a = TraceSink::new(4);
+        let mut b = TraceSink::new(4);
+        for (t, key) in [(10u64, 1u64), (30, 3), (50, 5)] {
+            a.push(rec(t, key, "x"));
+        }
+        for (t, key) in [(20u64, 2u64), (40, 4), (60, 6)] {
+            b.push(rec(t, key, "x"));
+        }
+        let mut merged = TraceSink::new(4);
+        merged.absorb(a);
+        merged.absorb(b);
+        assert_eq!(merged.to_jsonl(), serial.to_jsonl());
+        assert_eq!(merged.dropped(), serial.dropped());
+    }
+
+    #[test]
+    fn trace_exports_are_valid_json() {
+        let mut sink = TraceSink::new(16);
+        sink.push(TraceRecord::new(
+            SimTime(5),
+            EventId { time_ns: 5, key: 9 },
+            Some(EventId { time_ns: 1, key: 3 }),
+            "fib_install",
+            Some(7),
+            vec![("prefix", FieldValue::Str("10.0.0.0/24".to_string()))],
+        ));
+        let jsonl = sink.to_jsonl();
+        for line in jsonl.lines() {
+            let _: Value = serde_json::from_str(line).expect("each JSONL line parses");
+        }
+        assert!(jsonl.contains("\"cause\""));
+        assert!(!jsonl.contains("\"sub\""), "sub ordinal must not export");
+        let chrome = sink.to_chrome_json();
+        let parsed = serde_json::from_str(&chrome).expect("chrome trace parses");
+        let Value::Object(obj) = parsed else {
+            panic!("chrome trace must be an object")
+        };
+        assert!(obj.iter().any(|(k, _)| k == "traceEvents"));
+    }
+
+    #[test]
+    fn mem_recorder_trace_plumbs_through_fork_and_absorb() {
+        let mut root = MemRecorder::with_trace_capacity(8);
+        assert!(root.trace_enabled());
+        assert!(!MemRecorder::new().trace_enabled());
+        let mut shard = root.fork();
+        assert!(shard.trace_enabled());
+        shard.trace(rec(10, 1, "shard"));
+        root.trace(rec(20, 2, "root"));
+        root.absorb(shard);
+        let sink = root.trace_sink().expect("sink present");
+        assert_eq!(sink.len(), 2);
+        assert_eq!(
+            sink.records().iter().map(|r| r.name).collect::<Vec<_>>(),
+            vec!["shard", "root"]
+        );
+        let report = root.report();
+        assert_eq!(report.counters["telemetry.trace_emitted"], 2);
+        assert_eq!(report.counters["telemetry.trace_dropped"], 0);
     }
 
     #[test]

@@ -68,7 +68,16 @@ fn main() {
         println!("  hop {hop}: {}", emu.topo.device(*dev).name);
     }
 
-    // 6. Pull the run report: spans, counters, and the recovery journal,
+    // 6. Explain a route: why does this ToR forward the probed prefix
+    //    the way it does? The answer is the FIB entry's provenance —
+    //    origin announcement, propagation chain, best-path reason.
+    let dst_prefix = dc.topo.device(dst_tor).originated[1];
+    match emu.explain_route(&tor_name, dst_prefix) {
+        Ok(explanation) => print!("{}", explanation.render()),
+        Err(e) => println!("explain failed: {e}"),
+    }
+
+    // 7. Pull the run report: spans, counters, and the recovery journal,
     //    all in deterministic virtual time. The JSON artifact is what CI
     //    validates; the summary is the operator-facing table.
     let report = emu.pull_report();
@@ -77,7 +86,17 @@ fn main() {
     std::fs::write(json_path, report.to_json()).expect("write run report");
     println!("run report written to {json_path}");
 
-    // 7. Clear and destroy, reporting the dollars burned.
+    // 8. Export the causal trace — control-plane records merged with the
+    //    probe's packet hops — as a Chrome trace-event document; open it
+    //    in Perfetto or chrome://tracing.
+    let trace_path = "target/quickstart_trace.json";
+    std::fs::write(trace_path, emu.trace_chrome_json()).expect("write trace");
+    println!(
+        "causal trace ({} records) written to {trace_path}",
+        emu.pull_trace().len()
+    );
+
+    // 9. Clear and destroy, reporting the dollars burned.
     let clear = emu.clear();
     println!("clear latency: {clear}");
     let cost = emu.destroy();
