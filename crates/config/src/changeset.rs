@@ -1,0 +1,376 @@
+//! Typed change sets for incremental rehearsal (§2, §7, Fig. 3).
+//!
+//! A rehearsal step is not "a new config file": it is a *change* — a
+//! config edit on one device, a link drain, a device decommission, a new
+//! route set on a boundary speaker. This module turns those operator
+//! intents into a typed [`ChangeSet`] that `Emulation::apply_change`
+//! consumes, and classifies each config edit by its blast radius: a
+//! policy-only edit can be applied as a *soft refresh* (BGP sessions and
+//! Adj-RIB-In survive, RFC 2918-style route refresh replays the inputs),
+//! while neighbor/interface/platform edits force a full *session reset*
+//! (the `ReplaceConfig` path).
+
+use crate::diff::{ConfigDiff, SemanticChange};
+use crate::DeviceConfig;
+use crystalnet_net::{Asn, DeviceId, Ipv4Prefix, LinkId};
+use serde::{Deserialize, Serialize};
+
+/// How disruptive a configuration diff is to the running control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeImpact {
+    /// The diff is empty: nothing to do, the dirty set is empty.
+    NoOp,
+    /// Only policy objects (route maps, prefix lists, ACLs), originated
+    /// networks, aggregates, or cosmetic text changed. Sessions and
+    /// Adj-RIB-In state survive; the device re-runs import/export policy
+    /// and asks established peers to replay their announcements.
+    SoftRefresh,
+    /// Neighbor definitions, interfaces, or platform limits changed.
+    /// The device's control plane is reset and rebooted with the new
+    /// configuration (sessions flap, tables rebuild).
+    SessionReset,
+}
+
+/// Classifies a [`ConfigDiff`] by the least disruptive mechanism that can
+/// apply it faithfully.
+///
+/// The rule is conservative: any semantic change that alters *who the
+/// device talks to* ([`SemanticChange::NeighborChanged`],
+/// [`SemanticChange::InterfaceChanged`]) or *what hardware it models*
+/// ([`SemanticChange::PlatformChanged`]) needs a session reset, because
+/// the running sessions were negotiated under the old definitions.
+/// Everything else — policy, networks, aggregates, or pure text edits
+/// (hostname, credentials) — is expressible as a soft refresh.
+#[must_use]
+pub fn classify_diff(diff: &ConfigDiff) -> ChangeImpact {
+    if diff.is_empty() {
+        return ChangeImpact::NoOp;
+    }
+    let needs_reset = diff.semantic.iter().any(|c| {
+        matches!(
+            c,
+            SemanticChange::NeighborChanged(_)
+                | SemanticChange::InterfaceChanged(_)
+                | SemanticChange::PlatformChanged(_)
+        )
+    });
+    if needs_reset {
+        ChangeImpact::SessionReset
+    } else {
+        ChangeImpact::SoftRefresh
+    }
+}
+
+/// One route in a speaker's replacement script, in config-level terms
+/// (the emulation layer turns this into full BGP path attributes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeakerRoute {
+    /// The announced prefix.
+    pub prefix: Ipv4Prefix,
+    /// The `AS_PATH` the speaker presents (leftmost = the speaker's AS).
+    pub as_path: Vec<Asn>,
+    /// Multi-exit discriminator (0 when the operator does not care).
+    pub med: u32,
+}
+
+/// One operator-visible change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    /// Replace a device's configuration. The mechanism (soft refresh vs.
+    /// session reset) is chosen by diffing against the running config
+    /// with [`classify_diff`].
+    ConfigUpdate {
+        /// The device being reconfigured.
+        device: DeviceId,
+        /// The complete new configuration.
+        config: Box<DeviceConfig>,
+    },
+    /// Administratively bring a link down (a drain rehearsal).
+    LinkDown(LinkId),
+    /// Bring a previously drained link back up.
+    LinkUp(LinkId),
+    /// Decommission a device: its control plane stops and every adjacent
+    /// link goes down.
+    DeviceRemove(DeviceId),
+    /// Replace a boundary speaker's announcement script (e.g. rehearse a
+    /// WAN-side route change). Applied to every session the speaker runs.
+    SpeakerRouteSwap {
+        /// The speaker device.
+        device: DeviceId,
+        /// The complete new route set.
+        routes: Vec<SpeakerRoute>,
+    },
+}
+
+impl Change {
+    /// The devices this change directly perturbs — the seeds from which
+    /// the dirty set is grown. Link changes seed nothing here; the
+    /// emulation resolves the link's endpoints from the topology.
+    #[must_use]
+    pub fn seed_devices(&self) -> Vec<DeviceId> {
+        match self {
+            Change::ConfigUpdate { device, .. }
+            | Change::DeviceRemove(device)
+            | Change::SpeakerRouteSwap { device, .. } => vec![*device],
+            Change::LinkDown(_) | Change::LinkUp(_) => vec![],
+        }
+    }
+
+    /// The link this change perturbs, if any.
+    #[must_use]
+    pub fn seed_link(&self) -> Option<LinkId> {
+        match self {
+            Change::LinkDown(l) | Change::LinkUp(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable label for journals and telemetry spans.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Change::ConfigUpdate { .. } => "config-update",
+            Change::LinkDown(_) => "link-down",
+            Change::LinkUp(_) => "link-up",
+            Change::DeviceRemove(_) => "device-remove",
+            Change::SpeakerRouteSwap { .. } => "speaker-route-swap",
+        }
+    }
+}
+
+/// An ordered list of changes applied as one rehearsal step.
+///
+/// The changes are applied together at the same virtual instant and the
+/// network re-converges once; a multi-step plan is a sequence of
+/// `ChangeSet`s (see `Emulation::rehearse`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChangeSet {
+    /// The changes, in application order.
+    pub changes: Vec<Change>,
+}
+
+impl ChangeSet {
+    /// An empty change set (applying it is a no-op).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the set contains no changes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Adds a config replacement for `device`.
+    #[must_use]
+    pub fn config_update(mut self, device: DeviceId, config: DeviceConfig) -> Self {
+        self.changes.push(Change::ConfigUpdate {
+            device,
+            config: Box::new(config),
+        });
+        self
+    }
+
+    /// Adds a link drain.
+    #[must_use]
+    pub fn link_down(mut self, link: LinkId) -> Self {
+        self.changes.push(Change::LinkDown(link));
+        self
+    }
+
+    /// Adds a link restore.
+    #[must_use]
+    pub fn link_up(mut self, link: LinkId) -> Self {
+        self.changes.push(Change::LinkUp(link));
+        self
+    }
+
+    /// Adds a device decommission.
+    #[must_use]
+    pub fn device_remove(mut self, device: DeviceId) -> Self {
+        self.changes.push(Change::DeviceRemove(device));
+        self
+    }
+
+    /// Adds a speaker script replacement.
+    #[must_use]
+    pub fn speaker_route_swap(mut self, device: DeviceId, routes: Vec<SpeakerRoute>) -> Self {
+        self.changes
+            .push(Change::SpeakerRouteSwap { device, routes });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{NeighborConfig, RouteMap, RouteMapEntry};
+    use crate::diff::config_diff;
+    use crate::Action;
+
+    fn base() -> DeviceConfig {
+        DeviceConfig {
+            hostname: "r1".into(),
+            bgp: Some(crate::BgpConfig {
+                asn: Asn(65000),
+                router_id: "172.16.0.1".parse().unwrap(),
+                max_paths: 64,
+                networks: vec!["10.0.0.0/24".parse().unwrap()],
+                aggregates: vec![],
+                neighbors: vec![NeighborConfig {
+                    addr: "100.64.0.1".parse().unwrap(),
+                    remote_as: Asn(65100),
+                    shutdown: false,
+                    route_map_in: None,
+                    route_map_out: None,
+                }],
+            }),
+            ..DeviceConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_diff_is_noop() {
+        let d = config_diff(&base(), &base());
+        assert_eq!(classify_diff(&d), ChangeImpact::NoOp);
+    }
+
+    #[test]
+    fn route_map_only_edit_is_soft_refresh() {
+        let old = base();
+        let mut new = base();
+        new.route_maps.insert(
+            "DENY-ALL".into(),
+            RouteMap {
+                entries: vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                }],
+            },
+        );
+        let d = config_diff(&old, &new);
+        assert_eq!(classify_diff(&d), ChangeImpact::SoftRefresh);
+    }
+
+    #[test]
+    fn acl_only_edit_is_soft_refresh() {
+        let old = base();
+        let mut new = base();
+        new.acls.insert(
+            "MGMT-ONLY".into(),
+            crate::Acl {
+                entries: vec![crate::AclEntry {
+                    seq: 10,
+                    action: Action::Permit,
+                    src: "10.0.0.0/8".parse().unwrap(),
+                    dst: "0.0.0.0/0".parse().unwrap(),
+                }],
+            },
+        );
+        let d = config_diff(&old, &new);
+        assert!(d
+            .semantic
+            .iter()
+            .any(|c| matches!(c, crate::SemanticChange::PolicyChanged(s) if s == "acl")));
+        assert_eq!(classify_diff(&d), ChangeImpact::SoftRefresh);
+    }
+
+    #[test]
+    fn interface_edit_is_session_reset() {
+        let old = base();
+        let mut new = base();
+        new.interfaces.push(crate::InterfaceConfig {
+            name: "et9".into(),
+            addr: None,
+            shutdown: false,
+            acl_in: None,
+            acl_out: None,
+        });
+        let d = config_diff(&old, &new);
+        assert_eq!(classify_diff(&d), ChangeImpact::SessionReset);
+    }
+
+    #[test]
+    fn mixed_policy_and_neighbor_edit_is_session_reset() {
+        // A reset-requiring change dominates a soft one in the same diff.
+        let old = base();
+        let mut new = base();
+        new.route_maps.insert(
+            "DENY-ALL".into(),
+            RouteMap {
+                entries: vec![RouteMapEntry {
+                    seq: 10,
+                    action: Action::Deny,
+                    matches: vec![],
+                    sets: vec![],
+                }],
+            },
+        );
+        new.bgp.as_mut().unwrap().neighbors[0].shutdown = true;
+        let d = config_diff(&old, &new);
+        assert_eq!(classify_diff(&d), ChangeImpact::SessionReset);
+    }
+
+    #[test]
+    fn network_edit_is_soft_refresh() {
+        let old = base();
+        let mut new = base();
+        new.bgp
+            .as_mut()
+            .unwrap()
+            .networks
+            .push("10.9.0.0/24".parse().unwrap());
+        let d = config_diff(&old, &new);
+        assert_eq!(classify_diff(&d), ChangeImpact::SoftRefresh);
+    }
+
+    #[test]
+    fn cosmetic_hostname_edit_is_soft_refresh() {
+        let old = base();
+        let mut new = base();
+        new.hostname = "r1-renamed".into();
+        let d = config_diff(&old, &new);
+        assert!(!d.is_empty());
+        assert_eq!(classify_diff(&d), ChangeImpact::SoftRefresh);
+    }
+
+    #[test]
+    fn neighbor_edit_is_session_reset() {
+        let old = base();
+        let mut new = base();
+        new.bgp
+            .as_mut()
+            .unwrap()
+            .neighbor_mut("100.64.0.1".parse().unwrap())
+            .unwrap()
+            .shutdown = true;
+        let d = config_diff(&old, &new);
+        assert_eq!(classify_diff(&d), ChangeImpact::SessionReset);
+    }
+
+    #[test]
+    fn fib_capacity_edit_is_session_reset() {
+        let old = base();
+        let mut new = base();
+        new.fib_capacity = Some(128);
+        let d = config_diff(&old, &new);
+        assert_eq!(classify_diff(&d), ChangeImpact::SessionReset);
+    }
+
+    #[test]
+    fn change_seeds_and_kinds() {
+        let cs = ChangeSet::new()
+            .config_update(DeviceId(3), base())
+            .link_down(LinkId(7))
+            .device_remove(DeviceId(5));
+        assert_eq!(cs.changes[0].seed_devices(), vec![DeviceId(3)]);
+        assert_eq!(cs.changes[1].seed_link(), Some(LinkId(7)));
+        assert_eq!(cs.changes[1].seed_devices(), vec![]);
+        assert_eq!(cs.changes[2].kind(), "device-remove");
+        assert!(!cs.is_empty());
+        assert!(ChangeSet::new().is_empty());
+    }
+}

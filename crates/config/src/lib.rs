@@ -7,7 +7,10 @@
 //! initial configs from a topology snapshot, and a diff engine backing
 //! `PullConfig`/rollback workflows.
 
+#![warn(missing_docs)]
+
 pub mod ast;
+pub mod changeset;
 pub mod diff;
 pub mod generate;
 pub mod parse;
@@ -30,6 +33,7 @@ pub use ast::{
     RouteMatch,
     RouteSet, //
 };
+pub use changeset::{classify_diff, Change, ChangeImpact, ChangeSet, SpeakerRoute};
 pub use diff::{config_diff, ConfigDiff, LineChange, SemanticChange};
 pub use generate::{generate_all, generate_device, DEFAULT_MAX_PATHS};
 pub use parse::{parse_config, ParseError};

@@ -181,6 +181,20 @@ impl Default for MockupOptions {
 
 impl MockupOptions {
     /// Starts a builder from the defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crystalnet::prelude::*;
+    ///
+    /// let opts = MockupOptions::builder()
+    ///     .seed(7)
+    ///     .workers(4)
+    ///     .quiet(SimDuration::from_secs(30))
+    ///     .build();
+    /// assert_eq!(opts.seed, 7);
+    /// assert_eq!(opts.workers, 4);
+    /// ```
     #[must_use]
     pub fn builder() -> MockupOptionsBuilder {
         MockupOptionsBuilder {
@@ -443,6 +457,20 @@ pub struct Emulation {
     /// replacement VXLAN tunnels without clashing with bring-up VNIs.
     pub(crate) vnis: VniAllocator,
     pub(crate) options: MockupOptions,
+    /// Running configurations applied after `Prepare` (via
+    /// [`Emulation::reload`] or `apply_change`); consulted before
+    /// `prep.configs` so `pull_config` and fault recovery always see the
+    /// *effective* config, not the original snapshot.
+    pub(crate) config_overrides: HashMap<DeviceId, DeviceConfig>,
+    /// Speaker scripts swapped in by `apply_change`; fault recovery
+    /// rebuilds a swapped speaker from these, not the prepared plan.
+    pub(crate) speaker_overrides: HashMap<DeviceId, Vec<(u32, crystalnet_routing::SpeakerScript)>>,
+    /// Memoized boundary classification, patched incrementally on device
+    /// removal instead of re-running Algorithm 1.
+    pub(crate) classification: crystalnet_boundary::Classification,
+    /// The *current* emulated set — `prep.emulated` minus devices removed
+    /// by `apply_change`.
+    pub(crate) emulated_now: BTreeSet<DeviceId>,
     next_signature: u16,
 }
 
@@ -660,6 +688,8 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
 
     let vm_count = vm_ids.len();
     let fault_plan = options.fault_plan.clone();
+    let classification = prep.classification();
+    let emulated_now = prep.emulated.clone();
     let mut emu = Emulation {
         topo,
         sim,
@@ -678,6 +708,10 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
         speaker_epochs: HashMap::new(),
         vnis,
         options,
+        config_overrides: HashMap::new(),
+        speaker_overrides: HashMap::new(),
+        classification,
+        emulated_now,
         next_signature: 1,
     };
     if !fault_plan.is_empty() {
@@ -696,7 +730,7 @@ pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
 /// through its `Arc` — and per-device state is folded back after the
 /// join. Combined with the executor's serial-equivalence protocol, the
 /// result is bit-identical to a serial run.
-fn converge(
+pub(crate) fn converge(
     sim: &mut ControlPlaneSim,
     topo: &Topology,
     sandboxes: &HashMap<DeviceId, Sandbox>,
@@ -845,6 +879,24 @@ impl Emulation {
     /// ([`RunReport::to_json`]) is bit-identical across repetitions and
     /// across `workers` values for the same seed; the empty report is
     /// returned when the mockup was built with `telemetry(false)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use crystalnet::prelude::*;
+    /// # use crystalnet::PlanOptions;
+    /// # use crystalnet_net::fixtures::fig7;
+    /// # let f = fig7();
+    /// # let prep = prepare(&f.topo, &[], BoundaryMode::WholeNetwork,
+    /// #     SpeakerSource::OriginatedOnly, &PlanOptions::default());
+    /// let emu = mockup(Rc::new(prep), MockupOptions::builder().build());
+    ///
+    /// let report = emu.pull_report();
+    /// assert!(report.enabled);
+    /// assert!(report.counters["routing.devices_booted"] > 0);
+    /// let json = report.to_json(); // the canonical artifact CI validates
+    /// # assert!(json.contains("\"spans\""));
+    /// ```
     #[must_use]
     pub fn pull_report(&self) -> RunReport {
         let Some(mem) = MemRecorder::from_recorder(&*self.sim.engine.world.recorder) else {
@@ -998,15 +1050,25 @@ impl Emulation {
     ///
     /// [`EmulationError::UnknownDevice`] if no prepared configuration
     /// exists for `dev` (speakers, unemulated ids), plus the
-    /// [`Self::guard`] reachability errors.
+    /// `guard` reachability errors.
     pub fn pull_config(&self, dev: DeviceId) -> Result<String, EmulationError> {
         self.guard(dev)?;
-        self.prep
-            .configs
-            .iter()
-            .find(|(d, _)| *d == dev)
-            .map(|(_, c)| crystalnet_config::render(c))
+        self.effective_config(dev)
+            .map(crystalnet_config::render)
             .ok_or_else(|| EmulationError::UnknownDevice(self.topo.device(dev).name.clone()))
+    }
+
+    /// The configuration the device is *currently* running: the last one
+    /// applied by [`Self::reload`] / `apply_change`, falling back to the
+    /// prepared snapshot. `None` for speakers and unemulated ids.
+    pub(crate) fn effective_config(&self, dev: DeviceId) -> Option<&DeviceConfig> {
+        self.config_overrides.get(&dev).or_else(|| {
+            self.prep
+                .configs
+                .iter()
+                .find(|(d, _)| *d == dev)
+                .map(|(_, c)| c)
+        })
     }
 
     /// `Disconnect`: takes a production link down in the emulation.
@@ -1094,7 +1156,7 @@ impl Emulation {
     /// # Errors
     ///
     /// [`EmulationError::UnknownDevice`] if the hostname does not
-    /// resolve, the [`Self::guard`] reachability errors, and
+    /// resolve, the `guard` reachability errors, and
     /// [`EmulationError::NoRoute`] if the device holds no FIB entry for
     /// `prefix`.
     pub fn explain_route(
@@ -1248,6 +1310,7 @@ impl Emulation {
         self.engines[sb.vm].start(sb.device);
         let at = self.now() + downtime;
         self.recovering_until.insert(dev, at);
+        self.config_overrides.insert(dev, config.clone());
         self.sim
             .mgmt(dev, MgmtCommand::ReplaceConfig(Box::new(config)), at);
         downtime
@@ -1301,19 +1364,27 @@ impl Emulation {
     /// incarnation epoch so peers resync), and brings their links back.
     pub(crate) fn restore_devices(&mut self, victims: &[DeviceId], restored_at: SimTime) {
         for &dev in victims {
-            if let Some((_, cfg)) = self.prep.configs.iter().find(|(d, _)| *d == dev) {
+            if let Some(cfg) = self.effective_config(dev).cloned() {
                 let profile = self
                     .options
                     .profile_overrides
                     .get(&dev)
                     .copied()
                     .unwrap_or_else(|| VendorProfile::for_vendor(self.topo.device(dev).vendor));
-                let os = BgpRouterOs::new(profile, cfg.clone(), self.topo.device(dev).loopback);
+                let os = BgpRouterOs::new(profile, cfg, self.topo.device(dev).loopback);
                 self.sim.replace_os(dev, Box::new(os));
             } else if let Some(mut os) = self.prep.speaker_plan.build_os(&self.topo, dev) {
                 // A restarted speaker must present a fresh session token,
                 // or peers treat its Open as a duplicate of the live
                 // session and never flush its stale routes.
+                // A swapped script survives the restart: the speaker must
+                // come back announcing what `apply_change` installed, not
+                // the original prepared plan.
+                if let Some(scripts) = self.speaker_overrides.get(&dev) {
+                    for (iface, script) in scripts {
+                        os.set_script(*iface, script.clone());
+                    }
+                }
                 let epoch = *self
                     .speaker_epochs
                     .entry(dev)

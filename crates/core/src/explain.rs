@@ -3,7 +3,7 @@
 //! The paper's operators debug by asking "why does this device forward
 //! this prefix that way?" — in production the answer is scattered across
 //! vendor `show` commands on many devices. Here every FIB entry carries
-//! an interned [`Provenance`] chain (who originated the route, which
+//! an interned `Provenance` chain (who originated the route, which
 //! routers re-announced it, under which simulator events) plus the
 //! best-path [`DecisionReason`], so the emulation can answer directly.
 //! [`crate::Emulation::explain_route`] resolves a hostname + prefix to a

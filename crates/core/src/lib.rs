@@ -12,7 +12,7 @@
 //!
 //! | Paper API | Here |
 //! |---|---|
-//! | `Prepare` | [`prepare`] → [`PrepareOutput`] |
+//! | `Prepare` | [`prepare()`] → [`PrepareOutput`] |
 //! | `Mockup` | [`mockup`] → [`Emulation`] |
 //! | `Clear` / `Destroy` | [`Emulation::clear`] / [`Emulation::destroy`] |
 //! | `Reload` | [`Emulation::reload`] |
@@ -21,6 +21,8 @@
 //! | `PullStates` / `PullConfig` / `PullPackets` | [`Emulation::pull_states`] / [`Emulation::pull_config`] / [`Emulation::pull_packets`] |
 //! | `List` / `Login` | [`Emulation::list`] / [`Emulation::login_and_run`] |
 
+#![warn(missing_docs)]
+
 pub mod cases;
 pub mod emulation;
 pub mod explain;
@@ -28,6 +30,7 @@ pub mod faults;
 pub mod metrics;
 pub mod plan;
 pub mod prepare;
+pub mod rehearse;
 pub mod scenarios;
 pub mod workflow;
 
@@ -41,6 +44,9 @@ pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultReport, HealthPolicy, Re
 pub use metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
 pub use plan::{plan_vms, sandbox_kind, PlanOptions, PlannedVm, VmPlan};
 pub use prepare::{prepare, BoundaryMode, PrepareOutput, SpeakerSource};
+pub use rehearse::{
+    AppliedChange, ConvergenceDelta, FibChange, FibChangeKind, RehearsalReport, RehearsalStep,
+};
 pub use scenarios::{run_all as run_all_scenarios, RootCause, ScenarioResult};
 pub use workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};
 
@@ -66,7 +72,11 @@ pub mod prelude {
     };
     pub use crate::metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
     pub use crate::prepare::{prepare, BoundaryMode, PrepareOutput, SpeakerSource};
+    pub use crate::rehearse::{
+        AppliedChange, ConvergenceDelta, FibChange, FibChangeKind, RehearsalReport, RehearsalStep,
+    };
     pub use crate::workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};
+    pub use crystalnet_config::{classify_diff, Change, ChangeImpact, ChangeSet, SpeakerRoute};
     pub use crystalnet_dataplane::ForwardDecision;
     pub use crystalnet_net::{
         ClosParams, ClosTopology, DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, Topology,

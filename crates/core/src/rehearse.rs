@@ -1,0 +1,628 @@
+//! Incremental operation rehearsal: config-diff-driven re-convergence.
+//!
+//! The Fig. 3 validation loop re-runs "apply change → inspect" many times
+//! against one mockup. Rebuilding the emulation for every step would pay
+//! the full route-ready cost each time (§8.2: minutes to hours at L-DC
+//! scale), so [`Emulation::apply_change`] instead:
+//!
+//! 1. classifies each change ([`classify_diff`]) — a no-op diff touches
+//!    nothing, a policy edit soft-refreshes the live session (RFC 2918
+//!    route refresh), only neighbor/interface/platform changes pay a
+//!    session reset;
+//! 2. computes the **dirty set** of devices the change can reach by
+//!    walking adjacency with speakers as barriers
+//!    ([`dirty_region`](crystalnet_net::dirty_region())) — static speakers
+//!    never react (§5), so a ripple legally stops there;
+//! 3. re-converges the existing sim on the same sharded executor while
+//!    untouched devices keep their interned RIB/FIB state; and
+//! 4. returns a typed [`ConvergenceDelta`]: per-device FIB
+//!    adds/removes/modifies with provenance digests, the dirty-set size,
+//!    and the virtual/wall cost of the step.
+//!
+//! The warm-start result is **bit-identical** to a cold full re-settle
+//! from the same seed (`crates/core/tests/incremental.rs` proves it per
+//! change kind, across worker counts): the event engine is deterministic
+//! and quiescent state carries no pending work, so resuming it is
+//! equivalent to replaying history.
+
+use crate::emulation::{converge, Emulation, EmulationError};
+use crate::metrics::JournalKind;
+use crystalnet_config::{
+    classify_diff, config_diff, Change, ChangeImpact, ChangeSet, DeviceConfig,
+};
+use crystalnet_dataplane::{FibEntry, NextHop};
+use crystalnet_net::{dirty_region, DeviceId, Ipv4Prefix, LinkId};
+use crystalnet_routing::{MgmtCommand, PathAttrs, SpeakerOs, SpeakerScript};
+use crystalnet_sim::{SimDuration, SimTime};
+use crystalnet_telemetry::FieldValue;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How one prefix's FIB entry changed across an [`Emulation::apply_change`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FibChangeKind {
+    /// The prefix was not installed before and is now.
+    Added,
+    /// The prefix was installed before and is gone.
+    Removed,
+    /// The prefix stayed installed but its ECMP set changed.
+    Modified,
+}
+
+impl FibChangeKind {
+    /// Stable lowercase label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FibChangeKind::Added => "added",
+            FibChangeKind::Removed => "removed",
+            FibChangeKind::Modified => "modified",
+        }
+    }
+}
+
+/// One FIB mutation observed on one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FibChange {
+    /// The affected prefix.
+    pub prefix: Ipv4Prefix,
+    /// Add / remove / modify.
+    pub kind: FibChangeKind,
+    /// The ECMP set *after* the change (empty for [`FibChangeKind::Removed`]).
+    pub next_hops: Vec<NextHop>,
+    /// Provenance digest of the route behind the entry (PR 4's causal
+    /// chain): the new route's digest for adds/modifies, the old route's
+    /// for removes. `None` when the OS keeps no provenance (speakers).
+    pub prov_digest: Option<u64>,
+}
+
+/// What `apply_change` did with one [`Change`] of the set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedChange {
+    /// The change kind label ([`Change::kind`]).
+    pub kind: &'static str,
+    /// The device the change targeted, when it targets one.
+    pub device: Option<DeviceId>,
+    /// For config updates: the diff classification that picked the
+    /// mechanism (no-op / soft refresh / session reset).
+    pub impact: Option<ChangeImpact>,
+}
+
+/// The typed result of one incremental re-convergence step.
+///
+/// Everything except [`ConvergenceDelta::wall`] is a deterministic
+/// world fact: identical across repetitions and `workers` values for the
+/// same seed and change history.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDelta {
+    /// What was applied, in change-set order.
+    pub applied: Vec<AppliedChange>,
+    /// The dirty set: devices the change could have reached, in id order.
+    pub dirty: Vec<DeviceId>,
+    /// Virtual time when the step reached route quiescence.
+    pub settled_at: SimTime,
+    /// Virtual time the step cost (settled minus the pre-step clock).
+    pub virtual_cost: SimDuration,
+    /// Simulation events executed by the step.
+    pub events_executed: u64,
+    /// Wall-clock cost of the step (the number `BENCH_incremental.json`
+    /// compares against a full re-settle).
+    pub wall: std::time::Duration,
+    /// Per-device FIB mutations, dirty devices only, prefix-sorted.
+    pub fib_changes: BTreeMap<DeviceId, Vec<FibChange>>,
+}
+
+impl ConvergenceDelta {
+    /// Total FIB mutations across all devices.
+    #[must_use]
+    pub fn total_fib_changes(&self) -> usize {
+        self.fib_changes.values().map(Vec::len).sum()
+    }
+
+    /// Whether the step touched nothing (empty or no-op change set).
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// One-line human summary for rehearsal logs.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} change(s) -> {} dirty device(s), {} FIB change(s), {:?} virtual",
+            self.applied.len(),
+            self.dirty.len(),
+            self.total_fib_changes(),
+            self.virtual_cost,
+        )
+    }
+}
+
+/// One named step of a multi-step rehearsal plan.
+#[derive(Debug, Clone)]
+pub struct RehearsalStep {
+    /// Operator-facing step name ("drain T1", "tighten import policy").
+    pub name: String,
+    /// The changes the step applies.
+    pub changes: ChangeSet,
+}
+
+impl RehearsalStep {
+    /// A named step.
+    #[must_use]
+    pub fn new(name: impl Into<String>, changes: ChangeSet) -> Self {
+        RehearsalStep {
+            name: name.into(),
+            changes,
+        }
+    }
+}
+
+/// The per-step results of [`Emulation::rehearse`].
+#[derive(Debug, Clone, Default)]
+pub struct RehearsalReport {
+    /// `(step name, delta)` in execution order.
+    pub steps: Vec<(String, ConvergenceDelta)>,
+}
+
+impl RehearsalReport {
+    /// Total FIB mutations across all steps.
+    #[must_use]
+    pub fn total_fib_changes(&self) -> usize {
+        self.steps.iter().map(|(_, d)| d.total_fib_changes()).sum()
+    }
+
+    /// Multi-line human summary, one line per step.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, delta) in &self.steps {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(&delta.summary());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A validated, ready-to-inject plan for one [`Change`].
+enum Planned {
+    Config {
+        dev: DeviceId,
+        cfg: Box<DeviceConfig>,
+        impact: ChangeImpact,
+    },
+    LinkDown(LinkId),
+    LinkUp(LinkId),
+    Remove(DeviceId),
+    SpeakerSwap {
+        dev: DeviceId,
+        scripts: Vec<(u32, SpeakerScript)>,
+    },
+}
+
+impl Emulation {
+    /// Applies a parsed change set to the *running* emulation and
+    /// re-converges only the devices the change can affect.
+    ///
+    /// Mechanisms by classification:
+    ///
+    /// * [`ChangeImpact::NoOp`] — nothing is injected; the change
+    ///   contributes nothing to the dirty set.
+    /// * [`ChangeImpact::SoftRefresh`] — the new config is soft-applied
+    ///   over the live session
+    ///   ([`MgmtCommand::UpdatePolicy`]): policies rebind, exports
+    ///   refresh, and peers replay their announcements (route refresh) so
+    ///   tightened import policy re-filters without a session reset.
+    /// * [`ChangeImpact::SessionReset`] — the device reloads
+    ///   ([`Emulation::reload`], two-layer mode) and pays real downtime.
+    ///
+    /// Link and topology changes map to their Table 2 operations;
+    /// [`Change::SpeakerRouteSwap`] rebuilds the speaker's static script
+    /// with a bumped incarnation epoch so peers flush and resync.
+    ///
+    /// Nothing is mutated until the whole set validates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use crystalnet::prelude::*;
+    /// # use crystalnet::PlanOptions;
+    /// # use crystalnet_net::fixtures::fig7;
+    /// # let f = fig7();
+    /// # let prep = prepare(&f.topo, &[], BoundaryMode::WholeNetwork,
+    /// #     SpeakerSource::OriginatedOnly, &PlanOptions::default());
+    /// let mut emu = mockup(Rc::new(prep), MockupOptions::builder().build());
+    ///
+    /// // Rehearse a link drain and inspect exactly what moved.
+    /// let lid = f.topo.links().next().map(|(lid, _)| lid).unwrap();
+    /// let delta = emu.apply_change(&ChangeSet::new().link_down(lid))?;
+    /// assert!(!delta.dirty.is_empty());
+    /// assert!(delta.total_fib_changes() > 0);
+    /// println!("{}", delta.summary());
+    /// # Ok::<(), EmulationError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::UnknownDevice`] / [`EmulationError::UnknownLink`]
+    /// for targets outside the emulation, the `guard`
+    /// reachability errors for unreachable devices, and
+    /// [`EmulationError::NotConverged`] if re-convergence misses the
+    /// deadline.
+    pub fn apply_change(
+        &mut self,
+        changes: &ChangeSet,
+    ) -> Result<ConvergenceDelta, EmulationError> {
+        let wall_start = std::time::Instant::now();
+        let start = self.now();
+        let mark = self.sim.engine.checkpoint();
+
+        // ---- Validate everything before mutating anything. ----
+        let mut planned = Vec::new();
+        let mut applied = Vec::new();
+        let mut seeds: BTreeSet<DeviceId> = BTreeSet::new();
+        for change in &changes.changes {
+            match change {
+                Change::ConfigUpdate { device, config } => {
+                    let dev = *device;
+                    self.guard(dev)?;
+                    let old = self.effective_config(dev).ok_or_else(|| {
+                        EmulationError::UnknownDevice(self.topo.device(dev).name.clone())
+                    })?;
+                    let impact = classify_diff(&config_diff(old, config));
+                    if impact != ChangeImpact::NoOp {
+                        seeds.insert(dev);
+                    }
+                    applied.push(AppliedChange {
+                        kind: change.kind(),
+                        device: Some(dev),
+                        impact: Some(impact),
+                    });
+                    planned.push(Planned::Config {
+                        dev,
+                        cfg: config.clone(),
+                        impact,
+                    });
+                }
+                Change::LinkDown(lid) | Change::LinkUp(lid) => {
+                    if (lid.0 as usize) >= self.topo.link_count() {
+                        return Err(EmulationError::UnknownLink(lid.0));
+                    }
+                    let (a, _, b, _, _) =
+                        crystalnet_routing::ControlPlaneSim::link_endpoints(&self.topo, *lid);
+                    if !self.sandboxes.contains_key(&a) || !self.sandboxes.contains_key(&b) {
+                        return Err(EmulationError::UnknownLink(lid.0));
+                    }
+                    seeds.insert(a);
+                    seeds.insert(b);
+                    applied.push(AppliedChange {
+                        kind: change.kind(),
+                        device: None,
+                        impact: None,
+                    });
+                    planned.push(if matches!(change, Change::LinkDown(_)) {
+                        Planned::LinkDown(*lid)
+                    } else {
+                        Planned::LinkUp(*lid)
+                    });
+                }
+                Change::DeviceRemove(dev) => {
+                    let dev = *dev;
+                    self.guard(dev)?;
+                    seeds.insert(dev);
+                    for n in self.topo.neighbor_devices(dev) {
+                        if self.sandboxes.contains_key(&n) {
+                            seeds.insert(n);
+                        }
+                    }
+                    applied.push(AppliedChange {
+                        kind: change.kind(),
+                        device: Some(dev),
+                        impact: None,
+                    });
+                    planned.push(Planned::Remove(dev));
+                }
+                Change::SpeakerRouteSwap { device, routes } => {
+                    let dev = *device;
+                    self.guard(dev)?;
+                    let plan_entry = self
+                        .prep
+                        .speaker_plan
+                        .scripts
+                        .iter()
+                        .find(|(d, _)| *d == dev)
+                        .ok_or_else(|| {
+                            EmulationError::UnknownDevice(self.topo.device(dev).name.clone())
+                        })?;
+                    let loopback = self.topo.device(dev).loopback;
+                    let script = SpeakerScript {
+                        routes: routes
+                            .iter()
+                            .map(|r| {
+                                (
+                                    r.prefix,
+                                    PathAttrs {
+                                        as_path: r.as_path.clone(),
+                                        med: r.med,
+                                        ..PathAttrs::originated(loopback)
+                                    }
+                                    .intern(),
+                                )
+                            })
+                            .collect(),
+                    };
+                    let scripts: Vec<(u32, SpeakerScript)> = plan_entry
+                        .1
+                        .iter()
+                        .map(|(iface, _)| (*iface, script.clone()))
+                        .collect();
+                    seeds.insert(dev);
+                    applied.push(AppliedChange {
+                        kind: change.kind(),
+                        device: Some(dev),
+                        impact: None,
+                    });
+                    planned.push(Planned::SpeakerSwap { dev, scripts });
+                }
+            }
+        }
+
+        // ---- Dirty set: adjacency walk with speakers as barriers. ----
+        let scope: BTreeSet<DeviceId> = self.sandboxes.keys().copied().collect();
+        let barriers: BTreeSet<DeviceId> = self.classification.speakers().into_iter().collect();
+        let seeds_vec: Vec<DeviceId> = seeds.iter().copied().collect();
+        let dirty = dirty_region(&self.topo, &scope, &seeds_vec, &barriers);
+
+        // ---- Snapshot the dirty set's FIBs before injecting. ----
+        let before = self.fib_snapshot(&dirty);
+
+        // ---- Inject. ----
+        let now = self.now();
+        let mut did_work = false;
+        for plan in planned {
+            match plan {
+                Planned::Config { dev, cfg, impact } => match impact {
+                    ChangeImpact::NoOp => {}
+                    ChangeImpact::SoftRefresh => {
+                        self.config_overrides.insert(dev, (*cfg).clone());
+                        self.sim.mgmt(dev, MgmtCommand::UpdatePolicy(cfg), now);
+                        did_work = true;
+                    }
+                    ChangeImpact::SessionReset => {
+                        self.reload(dev, *cfg, false);
+                        did_work = true;
+                    }
+                },
+                Planned::LinkDown(lid) => {
+                    self.disconnect(lid);
+                    did_work = true;
+                }
+                Planned::LinkUp(lid) => {
+                    self.connect(lid);
+                    did_work = true;
+                }
+                Planned::Remove(dev) => {
+                    self.remove_device(dev, now);
+                    did_work = true;
+                }
+                Planned::SpeakerSwap { dev, scripts } => {
+                    self.swap_speaker(dev, scripts, now);
+                    did_work = true;
+                }
+            }
+        }
+
+        // ---- Re-converge only if something was injected. ----
+        let settled_at = if did_work {
+            let deadline = start + self.options.deadline;
+            converge(
+                &mut self.sim,
+                &self.topo,
+                &self.sandboxes,
+                &self.options,
+                deadline,
+            )
+            .ok_or(EmulationError::NotConverged)?
+        } else {
+            start
+        };
+
+        // ---- Diff the dirty set's FIBs. ----
+        let after = self.fib_snapshot(&dirty);
+        let fib_changes = diff_snapshots(&before, &after);
+        let (virtual_cost, events_executed) = self.sim.engine.cost_since(&mark);
+
+        // The boundary memo must still agree with a fresh classification
+        // everywhere the change reached (cheap audit instead of
+        // re-running Algorithm 1 over the whole topology).
+        debug_assert!(
+            self.classification
+                .validate_region(&self.topo, &self.emulated_now, dirty.iter())
+                .is_none(),
+            "incremental boundary memo diverged from fresh classification"
+        );
+
+        let delta = ConvergenceDelta {
+            applied,
+            dirty: dirty.iter().copied().collect(),
+            settled_at,
+            virtual_cost,
+            events_executed,
+            wall: wall_start.elapsed(),
+            fib_changes,
+        };
+
+        let total = delta.total_fib_changes() as u64;
+        let rec = &mut *self.sim.engine.world.recorder;
+        if rec.enabled() {
+            rec.span("apply_change", None, start, settled_at);
+            rec.counter_add("core.apply_change.steps", delta.applied.len() as u64);
+            rec.counter_add("core.apply_change.dirty_devices", delta.dirty.len() as u64);
+            rec.counter_add("core.apply_change.fib_changes", total);
+            rec.event(
+                settled_at,
+                "apply_change",
+                vec![
+                    ("changes", FieldValue::U64(delta.applied.len() as u64)),
+                    ("dirty", FieldValue::U64(delta.dirty.len() as u64)),
+                    ("fib_changes", FieldValue::U64(total)),
+                ],
+            );
+        }
+        Ok(delta)
+    }
+
+    /// Runs a multi-step rehearsal plan — the Fig. 3 loop's "apply the
+    /// staged operation one step at a time, inspecting the blast radius
+    /// after each" — stopping at the first step that fails.
+    ///
+    /// # Errors
+    ///
+    /// The first failing step's [`EmulationError`]; earlier steps remain
+    /// applied (a rehearsal that dies mid-plan leaves the mockup in the
+    /// failed state for inspection, exactly like production would).
+    pub fn rehearse(&mut self, plan: &[RehearsalStep]) -> Result<RehearsalReport, EmulationError> {
+        let mut report = RehearsalReport::default();
+        for step in plan {
+            let delta = self.apply_change(&step.changes)?;
+            report.steps.push((step.name.clone(), delta));
+        }
+        Ok(report)
+    }
+
+    /// Decommissions one device mid-run: links drop, its pending events
+    /// are discarded, its sandbox stops, and the boundary memo is patched
+    /// in place.
+    fn remove_device(&mut self, dev: DeviceId, at: SimTime) {
+        for (lid, _, _) in self.topo.neighbors(dev).collect::<Vec<_>>() {
+            let ep = crystalnet_routing::ControlPlaneSim::link_endpoints(&self.topo, lid);
+            self.sim.link_down(ep, at);
+        }
+        self.sim.power_off(dev);
+        self.sim.remove_device(dev);
+        if let Some(sb) = self.sandboxes.remove(&dev) {
+            self.engines[sb.vm].stop(sb.device);
+            self.engines[sb.vm].stop(sb.phynet);
+        }
+        self.emulated_now.remove(&dev);
+        self.classification
+            .remove_device(&self.topo, &self.emulated_now, dev);
+        self.config_overrides.remove(&dev);
+        self.recovering_until.remove(&dev);
+        let rec = &mut *self.sim.engine.world.recorder;
+        if rec.enabled() {
+            rec.event(
+                at,
+                "device_removed",
+                vec![("device", FieldValue::U64(u64::from(dev.0)))],
+            );
+        }
+    }
+
+    /// Replaces a speaker's static announcement program: the old
+    /// incarnation powers off (peers see link-down and flush), a fresh
+    /// [`SpeakerOs`] with a bumped epoch boots, and peers resync against
+    /// the new script.
+    fn swap_speaker(&mut self, dev: DeviceId, scripts: Vec<(u32, SpeakerScript)>, at: SimTime) {
+        self.sim.power_off(dev);
+        let neighbor_links: Vec<_> = self.topo.neighbors(dev).map(|(lid, _, _)| lid).collect();
+        for &lid in &neighbor_links {
+            let ep = crystalnet_routing::ControlPlaneSim::link_endpoints(&self.topo, lid);
+            self.sim.link_down(ep, at);
+        }
+        let info = self.topo.device(dev);
+        let mut os = SpeakerOs::new(info.name.clone(), info.asn, info.loopback);
+        for (iface, script) in &scripts {
+            os.set_script(*iface, script.clone());
+        }
+        let epoch = *self
+            .speaker_epochs
+            .entry(dev)
+            .and_modify(|e| *e += 1)
+            .or_insert(1);
+        os.set_epoch(epoch);
+        self.journal_event(
+            at,
+            JournalKind::SpeakerRestarted {
+                device: dev.0,
+                epoch,
+            },
+        );
+        self.sim.replace_os(dev, Box::new(os));
+        self.sim.boot_device(dev, at);
+        for &lid in &neighbor_links {
+            let ep = crystalnet_routing::ControlPlaneSim::link_endpoints(&self.topo, lid);
+            self.sim.link_up(ep, at);
+        }
+        self.speaker_overrides.insert(dev, scripts);
+    }
+
+    /// FIB + provenance-digest snapshot for a set of devices. Devices
+    /// with no OS (removed) contribute an empty map.
+    fn fib_snapshot(
+        &self,
+        devs: &BTreeSet<DeviceId>,
+    ) -> BTreeMap<DeviceId, BTreeMap<Ipv4Prefix, (FibEntry, Option<u64>)>> {
+        let mut out = BTreeMap::new();
+        for &dev in devs {
+            let mut table = BTreeMap::new();
+            if let Some(os) = self.sim.os(dev) {
+                for (prefix, entry) in os.fib().iter() {
+                    let digest = os.route_detail(prefix).map(|rd| rd.prov.digest());
+                    table.insert(prefix, (entry.clone(), digest));
+                }
+            }
+            out.insert(dev, table);
+        }
+        out
+    }
+}
+
+/// Per-device diff of two FIB snapshots; devices with no mutations are
+/// omitted.
+fn diff_snapshots(
+    before: &BTreeMap<DeviceId, BTreeMap<Ipv4Prefix, (FibEntry, Option<u64>)>>,
+    after: &BTreeMap<DeviceId, BTreeMap<Ipv4Prefix, (FibEntry, Option<u64>)>>,
+) -> BTreeMap<DeviceId, Vec<FibChange>> {
+    let empty = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    for (&dev, old) in before {
+        let new = after.get(&dev).unwrap_or(&empty);
+        let mut changes = Vec::new();
+        for (prefix, (entry, digest)) in old {
+            match new.get(prefix) {
+                None => changes.push(FibChange {
+                    prefix: *prefix,
+                    kind: FibChangeKind::Removed,
+                    next_hops: Vec::new(),
+                    prov_digest: *digest,
+                }),
+                Some((new_entry, new_digest)) if new_entry != entry => {
+                    changes.push(FibChange {
+                        prefix: *prefix,
+                        kind: FibChangeKind::Modified,
+                        next_hops: new_entry.next_hops.clone(),
+                        prov_digest: *new_digest,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        for (prefix, (entry, digest)) in new {
+            if !old.contains_key(prefix) {
+                changes.push(FibChange {
+                    prefix: *prefix,
+                    kind: FibChangeKind::Added,
+                    next_hops: entry.next_hops.clone(),
+                    prov_digest: *digest,
+                });
+            }
+        }
+        changes.sort_by_key(|c| c.prefix);
+        if !changes.is_empty() {
+            out.insert(dev, changes);
+        }
+    }
+    out
+}

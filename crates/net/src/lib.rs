@@ -18,7 +18,9 @@ pub mod types;
 
 pub use addr::{AddrParseError, Ipv4Addr, Ipv4Cidr, Ipv4Prefix, MacAddr};
 pub use clos::{ClosParams, ClosTopology, LayerCounts, Pod};
-pub use partition::{best_spare, partition, partition_grouped, placement_affinity, Partition};
+pub use partition::{
+    best_spare, dirty_region, partition, partition_grouped, placement_affinity, Partition,
+};
 pub use region::{RegionParams, RegionTopology};
 pub use topology::{Device, Interface, Link, P2pAllocator, Topology, TopologyError};
 pub use types::{Asn, DeviceId, EmulationClass, Endpoint, LinkId, Role, Vendor};

@@ -294,6 +294,48 @@ pub fn best_spare(
         .map(|(i, _)| i)
 }
 
+/// Grows the *dirty region* of an incremental change: every device in
+/// `scope` reachable from `seeds` without traversing *through* a barrier
+/// device.
+///
+/// The walk models routing-update ripple: a perturbed device re-announces
+/// toward its neighbors, which re-announce onward, so reachability over
+/// the adjacency graph is a conservative superset of the devices whose
+/// RIB/FIB can change. `barriers` are devices that terminate the ripple —
+/// static speakers, which record what they hear but never react or
+/// reflect (§5.1) — they are *included* in the region when adjacent to
+/// it (their received-log changes) but never expanded through. Devices
+/// outside `scope` (not emulated, already removed) are skipped entirely.
+///
+/// Deterministic: the frontier is processed in id order and the result is
+/// an ordered set.
+#[must_use]
+pub fn dirty_region(
+    topo: &Topology,
+    scope: &std::collections::BTreeSet<DeviceId>,
+    seeds: &[DeviceId],
+    barriers: &std::collections::BTreeSet<DeviceId>,
+) -> std::collections::BTreeSet<DeviceId> {
+    use std::collections::{BTreeSet, VecDeque};
+    let mut region: BTreeSet<DeviceId> = BTreeSet::new();
+    let mut frontier: VecDeque<DeviceId> =
+        BTreeSet::from_iter(seeds.iter().copied().filter(|d| scope.contains(d)))
+            .into_iter()
+            .collect();
+    region.extend(frontier.iter().copied());
+    while let Some(dev) = frontier.pop_front() {
+        if barriers.contains(&dev) && !seeds.contains(&dev) {
+            continue; // speakers absorb the ripple
+        }
+        for next in topo.neighbor_devices(dev) {
+            if scope.contains(&next) && region.insert(next) {
+                frontier.push_back(next);
+            }
+        }
+    }
+    region
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +443,29 @@ mod tests {
         assert_eq!(best_spare(&topo, &displaced, &[&a, &b, &c]), Some(0));
         assert_eq!(best_spare(&topo, &displaced, &[&c, &b]), Some(1));
         assert_eq!(best_spare(&topo, &displaced, &[]), None);
+    }
+
+    #[test]
+    fn dirty_region_stops_at_barriers() {
+        // Line 0-1-2-3-4: scope everything, barrier at 2.
+        let topo = line_topo(5);
+        let scope: std::collections::BTreeSet<DeviceId> =
+            (0..5).map(|i| DeviceId(i as u32)).collect();
+        let barriers: std::collections::BTreeSet<DeviceId> = [DeviceId(2)].into();
+        // Seed at 0: ripple reaches the barrier but not past it.
+        let r = dirty_region(&topo, &scope, &[DeviceId(0)], &barriers);
+        let got: Vec<u32> = r.iter().map(|d| d.0).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        // Seed *at* the barrier (a speaker swap): it expands outward.
+        let r = dirty_region(&topo, &scope, &[DeviceId(2)], &barriers);
+        let got: Vec<u32> = r.iter().map(|d| d.0).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        // Seeds outside the scope are dropped; empty seeds, empty region.
+        let small: std::collections::BTreeSet<DeviceId> = [DeviceId(0), DeviceId(1)].into();
+        let r = dirty_region(&topo, &small, &[DeviceId(4)], &barriers);
+        assert!(r.is_empty());
+        let r = dirty_region(&topo, &scope, &[], &barriers);
+        assert!(r.is_empty());
     }
 
     #[test]

@@ -1016,6 +1016,27 @@ impl BgpRouterOs {
             BgpMsg::Notification { .. } => {
                 self.session_down(idx, actions);
             }
+            BgpMsg::RouteRefresh => {
+                // RFC 2918 shape: replay the full Adj-RIB-Out toward the
+                // requester. The replay goes through the normal MRAI batch
+                // and is attribute-identical for unchanged routes, so the
+                // receiver's dedup makes it idempotent. Changes already
+                // pending toward the peer are newer — keep them.
+                if self.peers[idx].state != SessionState::Established {
+                    return;
+                }
+                let peer = &mut self.peers[idx];
+                let replay: Vec<(Ipv4Prefix, RibAttrs)> = peer
+                    .advertised
+                    .iter()
+                    .map(|(p, r)| (*p, r.clone()))
+                    .collect();
+                actions.route_ops += replay.len();
+                for (prefix, rib) in replay {
+                    peer.pending.entry(prefix).or_insert(Some(rib));
+                }
+                self.arm_mrai(actions);
+            }
         }
     }
 
@@ -1112,11 +1133,82 @@ impl BgpRouterOs {
                 actions.route_ops += boot_actions.route_ops;
                 actions.response = Some(MgmtResponse::Ok);
             }
+            MgmtCommand::UpdatePolicy(cfg) => {
+                self.soft_refresh(*cfg, actions);
+            }
             MgmtCommand::DeviceShutdown => {
                 self.down = true;
                 actions.response = Some(MgmtResponse::Ok);
             }
         }
+    }
+
+    /// Applies a policy-level configuration change without tearing
+    /// sessions down (the `SoftRefresh` path of incremental rehearsal).
+    ///
+    /// Sessions, tokens, and Adj-RIB-In survive. Inbound policy is
+    /// re-applied by asking every established peer to replay its
+    /// announcements ([`BgpMsg::RouteRefresh`]) — the Adj-RIB-In stores
+    /// *post*-import-policy attributes, so both relaxing (denied routes
+    /// are absent) and tightening (stale entries must be re-filtered)
+    /// need the replay, which goes through the normal Update path under
+    /// the new policy. Outbound policy is re-applied locally by
+    /// re-exporting the whole Loc-RIB and diffing against each peer's
+    /// Adj-RIB-Out ([`BgpRouterOs::refresh_exports`]) — the decision
+    /// process alone would not re-export routes whose best path is
+    /// unchanged.
+    fn soft_refresh(&mut self, cfg: DeviceConfig, actions: &mut OsActions) {
+        self.config = cfg;
+        self.hostname = self.config.hostname.clone();
+        if let Some(bgp) = &self.config.bgp {
+            let new_networks: BTreeSet<Ipv4Prefix> = bgp.networks.iter().copied().collect();
+            let affected: Vec<Ipv4Prefix> = self
+                .networks
+                .symmetric_difference(&new_networks)
+                .copied()
+                .collect();
+            self.networks = new_networks;
+            self.dirty.extend(affected);
+            // Rebind per-peer policy references (session identity — addr,
+            // AS, iface — is unchanged by construction: session-affecting
+            // edits are classified `SessionReset` and never reach here).
+            for peer in &mut self.peers {
+                if let Some(n) = bgp.neighbors.iter().find(|n| n.addr == peer.addr) {
+                    peer.route_map_in = n.route_map_in.clone();
+                    peer.route_map_out = n.route_map_out.clone();
+                }
+            }
+        }
+        // Re-decide everything so aggregate/network edits take effect;
+        // unchanged prefixes hit the decision process's no-op path.
+        let installed: Vec<Ipv4Prefix> = self.loc_rib.keys().copied().collect();
+        self.dirty.extend(installed);
+        self.refresh_exports(actions);
+        for peer in &self.peers {
+            if peer.state == SessionState::Established {
+                actions
+                    .out
+                    .push((peer.iface, Frame::Bgp(BgpMsg::RouteRefresh)));
+            }
+        }
+        actions.response = Some(MgmtResponse::Ok);
+    }
+
+    /// Recomputes the export of every Loc-RIB route toward every
+    /// established peer and queues the differences (new announcements,
+    /// changed attributes, withdrawals of now-denied routes) into the
+    /// MRAI batch. Needed after an outbound-policy change: the decision
+    /// process only re-exports prefixes whose *best path* changed.
+    fn refresh_exports(&mut self, actions: &mut OsActions) {
+        let entries: Vec<(Ipv4Prefix, Arc<PathAttrs>, RouteSource, Arc<Provenance>)> = self
+            .loc_rib
+            .iter()
+            .map(|(p, e)| (*p, e.attrs.clone(), e.source, e.prov.clone()))
+            .collect();
+        for (prefix, attrs, source, prov) in entries {
+            self.enqueue_export(prefix, Some((attrs, source, prov)), actions);
+        }
+        self.arm_mrai(actions);
     }
 
     fn reset_control_plane(&mut self) {

@@ -841,6 +841,30 @@ impl ControlPlaneSim {
         self.engine.world.oses[dev.index()] = Some(os);
     }
 
+    /// Decommissions `dev` permanently: drops its OS instance and removes
+    /// every queued event addressed to it (in-flight frames, timers,
+    /// pending management commands), fixing up the causal-quiescence
+    /// accounting so convergence detection stays exact. The caller is
+    /// responsible for taking the device's links down first so neighbors
+    /// observe the loss; after removal the device can not be re-booted
+    /// (unlike [`Self::power_off`], which keeps the OS around).
+    pub fn remove_device(&mut self, dev: DeviceId) {
+        self.engine.world.booted[dev.index()] = false;
+        self.engine.world.oses[dev.index()] = None;
+        // Drain-and-requeue preserves event identity: ids are derived
+        // from `(time, key)`, both unchanged by the round trip.
+        let drained = self.engine.drain_pending();
+        for (at, ev) in drained {
+            if ev.target_device() == Some(dev) {
+                if ev.is_causal() {
+                    self.engine.world.causal_pending -= 1;
+                }
+            } else {
+                self.engine.schedule_event_at(at, ev);
+            }
+        }
+    }
+
     /// Whether `dev` booted and is still up.
     #[must_use]
     pub fn is_up(&self, dev: DeviceId) -> bool {
@@ -1072,6 +1096,14 @@ fn record_frame(rec: &mut dyn Recorder, frame: &Frame, sent: bool) {
             }
             BgpMsg::Keepalive => rec.counter_add(keepalives, 1),
             BgpMsg::Notification { .. } => rec.counter_add(notifications, 1),
+            BgpMsg::RouteRefresh => rec.counter_add(
+                if sent {
+                    "routing.bgp_refreshes_sent"
+                } else {
+                    "routing.bgp_refreshes_received"
+                },
+                1,
+            ),
         }
     }
 }

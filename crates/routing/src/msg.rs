@@ -46,6 +46,13 @@ pub enum BgpMsg {
     },
     /// Session keepalive.
     Keepalive,
+    /// Route-refresh request (RFC 2918 shape): "re-send me everything you
+    /// advertised on this session". Sent after a soft policy refresh —
+    /// the receiver's Adj-RIB-In holds only *post*-import-policy routes,
+    /// so relaxing an inbound policy needs the peer to replay its
+    /// announcements. Replays are attribute-identical for unchanged
+    /// routes and deduplicated on receipt, so the refresh is idempotent.
+    RouteRefresh,
     /// Fatal notification; the session closes.
     Notification {
         /// RFC 4271 error code.

@@ -80,6 +80,13 @@ pub enum MgmtCommand {
     },
     /// Replace the running configuration (the heavy path `Reload` uses).
     ReplaceConfig(Box<DeviceConfig>),
+    /// Soft-apply a policy-level configuration change: sessions and
+    /// Adj-RIB-In survive; the device re-runs import/export policy under
+    /// the new configuration and asks established peers to replay their
+    /// announcements (route refresh). Only valid for diffs classified
+    /// `SoftRefresh` — session-affecting changes must use
+    /// [`MgmtCommand::ReplaceConfig`].
+    UpdatePolicy(Box<DeviceConfig>),
     /// Power the device down — the §2 automation-tool bug shut down *a
     /// router* when it meant to shut down *a BGP session*.
     DeviceShutdown,

@@ -205,6 +205,12 @@ impl DeviceOs for SpeakerOs {
                 Frame::Bgp(BgpMsg::Notification { .. }) => {
                     self.established.insert(iface, None);
                 }
+                Frame::Bgp(BgpMsg::RouteRefresh) if self.session_up(iface) => {
+                    // Replaying the fixed script is the one "response" a
+                    // static speaker is allowed: it re-states what it
+                    // already said, so non-reactivity is preserved.
+                    self.announce(iface, &mut actions);
+                }
                 _ => {}
             },
             OsEvent::Timer(_) => {}

@@ -63,6 +63,17 @@ impl EventId {
     pub const ZERO: EventId = EventId { time_ns: 0, key: 0 };
 }
 
+/// A warm-start position snapshot: where the engine was when an
+/// incremental step began ([`Engine::checkpoint`] /
+/// [`Engine::cost_since`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// Virtual time at the checkpoint.
+    pub at: SimTime,
+    /// Events executed before the checkpoint.
+    pub events_executed: u64,
+}
+
 /// A schedulable event: fired once at its due time.
 pub trait EventFire<W>: Sized {
     /// Consumes the event, mutating the engine/world.
@@ -332,6 +343,28 @@ impl<W, E: EventFire<W>> Engine<W, E> {
     #[must_use]
     pub fn queue_high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// Snapshots the engine's position for warm-start accounting: an
+    /// incremental step resumes the *same* engine from its converged
+    /// state (clock, queue, world untouched) and later subtracts the
+    /// checkpoint to report only the step's own cost.
+    #[must_use]
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            at: self.clock,
+            events_executed: self.executed,
+        }
+    }
+
+    /// The virtual time elapsed and events executed since `mark` was
+    /// taken with [`Engine::checkpoint`].
+    #[must_use]
+    pub fn cost_since(&self, mark: &EngineCheckpoint) -> (SimDuration, u64) {
+        (
+            self.clock.since(mark.at),
+            self.executed - mark.events_executed,
+        )
     }
 
     /// Schedules a typed event at absolute time `at`.

@@ -1,4 +1,11 @@
 //! Facade crate: re-exports the CrystalNet reproduction workspace.
+
+/// The operator walkthrough ([`OPERATIONS.md`](https://github.com/crystalnet-rs/crystalnet)),
+/// included here so every snippet in it compiles and runs under
+/// `cargo test --doc`.
+#[doc = include_str!("../OPERATIONS.md")]
+pub mod operations {}
+
 pub use crystalnet as core;
 pub use crystalnet::prelude;
 pub use crystalnet_boundary as boundary;
