@@ -6,8 +6,13 @@
 //! baseline (converged instant, route-op totals, and every FIB) before
 //! its timing is accepted — a wrong answer fast is not a result.
 //!
-//! Wall-clock speedup requires hardware parallelism; the JSON records
-//! `hardware_threads` so single-core CI numbers are interpretable.
+//! Wall-clock speedup requires hardware parallelism: when a row was
+//! measured with fewer hardware threads than workers, its
+//! `speedup_vs_serial` is `null` and the row carries `"degraded": true`
+//! — an oversubscribed run measures scheduler thrash, not the executor,
+//! and a misleading "1.0x" from single-core CI must never look like a
+//! real result. Timings are the median of `CRYSTALNET_REPS` samples
+//! (floored at 2 so no single outlier can become a headline number).
 
 use crystalnet::prelude::MemRecorder;
 use crystalnet_net::{partition, ClosParams, ClosTopology};
@@ -112,7 +117,12 @@ fn assert_matches(base: &Outcome, got: &Outcome, topo: &ClosTopology, tag: &str)
 
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.total_cmp(b));
-    xs[xs.len() / 2]
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
 }
 
 fn main() {
@@ -120,7 +130,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3)
-        .max(1);
+        .max(2);
     let hw = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -156,14 +166,26 @@ fn main() {
             if workers == 1 {
                 serial_median = med;
             }
-            let speedup = serial_median / med;
+            // An oversubscribed run (more workers than hardware threads)
+            // measures scheduler thrash, not the executor: refuse to
+            // report a speedup for it.
+            let degraded = hw < workers;
+            let (speedup_str, speedup_json) = if degraded {
+                (
+                    "   n/a (degraded: oversubscribed)".to_string(),
+                    "null".to_string(),
+                )
+            } else {
+                let speedup = serial_median / med;
+                (format!("speedup {speedup:>5.2}x"), format!("{speedup:.4}"))
+            };
             println!(
-                "{label:<10} devices={devices:<4} workers={workers}  median {med:>8.3}s  speedup {speedup:>5.2}x"
+                "{label:<10} devices={devices:<4} workers={workers}  median {med:>8.3}s  {speedup_str}"
             );
             rows.push(format!(
                 "{{\"topology\": \"{label}\", \"devices\": {devices}, \"workers\": {workers}, \
-                 \"median_seconds\": {med:.6}, \"speedup_vs_serial\": {speedup:.4}, \
-                 \"converged_at_ns\": {}}}",
+                 \"median_seconds\": {med:.6}, \"speedup_vs_serial\": {speedup_json}, \
+                 \"degraded\": {degraded}, \"converged_at_ns\": {}}}",
                 baseline
                     .as_ref()
                     .and_then(|b| b.converged_at)

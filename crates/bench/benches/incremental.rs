@@ -9,6 +9,12 @@
 //! `full_seconds` = measured mockup wall + post-change settle wall: the
 //! cost an operator pays without warm-start. `CRYSTALNET_FULL=1` adds the
 //! L-DC band (at 0.25 pod scale unless also `CRYSTALNET_LDC_FULL=1`).
+//!
+//! `dirty_devices` is the scoped ripple *prediction*: the config-acl row
+//! must stay leaf-local and the link-down row pod-local, while the
+//! network-origination row legitimately floods the band. The FIB
+//! equivalence check diffs the full scope regardless, so a short
+//! prediction can never hide a mutation.
 
 use crystalnet::prelude::*;
 use crystalnet::PlanOptions;
@@ -77,7 +83,10 @@ fn main() {
             "{band:<6} devices={devices:<5} mockup {warm_mockup_secs:>7.3}s / {full_mockup_secs:>7.3}s"
         );
 
-        // -- Change 1: config update (announce a new network on a ToR) --
+        // -- Change 1: ACL-only edit on a ToR. Filtering packets cannot
+        // change what the device announces or selects, so the predicted
+        // dirty set must stay leaf-local (ToR + direct neighbors), not
+        // flood the band — this row is the pruning regression gauge.
         let tor = topo.pods[0].tors[0];
         let mut cfg = warm
             .prep
@@ -86,6 +95,47 @@ fn main() {
             .find(|(d, _)| *d == tor)
             .map(|(_, c)| c.clone())
             .expect("tor has a config");
+        cfg.acls.insert(
+            "ACL-BENCH".into(),
+            crystalnet_config::Acl {
+                entries: vec![crystalnet_config::AclEntry {
+                    seq: 10,
+                    action: crystalnet_config::Action::Deny,
+                    src: "10.66.0.0/24".parse().unwrap(),
+                    dst: "0.0.0.0/0".parse().unwrap(),
+                }],
+            },
+        );
+        let delta = warm
+            .apply_change(&ChangeSet::new().config_update(tor, cfg.clone()))
+            .expect("acl update applies");
+        assert!(
+            delta.dirty.len() < devices,
+            "{band}: ACL-only edit must not dirty the whole band"
+        );
+        let t = Instant::now();
+        full.reload(tor, cfg.clone(), false);
+        full.settle().expect("full path settles");
+        let full_secs = full_mockup_secs + t.elapsed().as_secs_f64();
+        assert_eq!(
+            fib_map(&warm),
+            fib_map(&full),
+            "{band}: config-acl FIB mismatch"
+        );
+        rows.push(Row {
+            band: band.to_string(),
+            devices,
+            change: "config-acl",
+            dirty: delta.dirty.len(),
+            fib_changes: delta.total_fib_changes(),
+            incremental_secs: delta.wall.as_secs_f64(),
+            full_secs,
+            incremental_virtual_ns: delta.virtual_cost.as_nanos(),
+        });
+
+        // -- Change 2: config update (announce a new network on the same
+        // ToR) — a new origination legitimately reaches every device, so
+        // this row's dirty set stays fabric-wide.
         cfg.bgp
             .as_mut()
             .expect("generated configs run BGP")
@@ -115,7 +165,10 @@ fn main() {
             incremental_virtual_ns: delta.virtual_cost.as_nanos(),
         });
 
-        // -- Change 2: link down (first pod-0 leaf uplink) --
+        // -- Change 3: link down (first pod-0 leaf uplink) — ECMP
+        // redundancy bounds the ripple to the pod plus the shared
+        // spine/border tier, so dirty stays below the device count on
+        // multi-pod bands.
         let leaf = topo.pods[0].leaves[0];
         let lid = topo
             .topo

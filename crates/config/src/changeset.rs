@@ -61,6 +61,35 @@ pub fn classify_diff(diff: &ConfigDiff) -> ChangeImpact {
     }
 }
 
+/// How far a configuration diff's effects can ripple through the fabric
+/// — the [`RippleScope`](crystalnet_net::RippleScope) its dirty-region
+/// seed should carry.
+///
+/// The rule is conservative: anything that can alter what the device
+/// *announces or selects* — originations, aggregates, routing policy
+/// (route maps and prefix lists feed best-path selection, and a changed
+/// selection is re-exported), neighbor/interface/platform changes —
+/// ripples without a structural bound and gets
+/// [`RippleScope::Fabric`](crystalnet_net::RippleScope::Fabric). Only
+/// diffs confined to dataplane filtering (ACLs, which never touch the
+/// RIB) or cosmetic text (hostname, credentials — no semantic entries
+/// at all) are local: peers replay unchanged announcements over
+/// surviving sessions, so the blast radius is the device and its
+/// immediate neighbors
+/// ([`RippleScope::Neighbors`](crystalnet_net::RippleScope::Neighbors)).
+#[must_use]
+pub fn classify_ripple(diff: &ConfigDiff) -> crystalnet_net::RippleScope {
+    let unbounded = diff
+        .semantic
+        .iter()
+        .any(|c| !matches!(c, SemanticChange::PolicyChanged(s) if s == "acl"));
+    if unbounded {
+        crystalnet_net::RippleScope::Fabric
+    } else {
+        crystalnet_net::RippleScope::Neighbors
+    }
+}
+
 /// One route in a speaker's replacement script, in config-level terms
 /// (the emulation layer turns this into full BGP path attributes).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

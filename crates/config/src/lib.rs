@@ -33,7 +33,9 @@ pub use ast::{
     RouteMatch,
     RouteSet, //
 };
-pub use changeset::{classify_diff, Change, ChangeImpact, ChangeSet, SpeakerRoute};
+pub use changeset::{
+    classify_diff, classify_ripple, Change, ChangeImpact, ChangeSet, SpeakerRoute,
+};
 pub use diff::{config_diff, ConfigDiff, LineChange, SemanticChange};
 pub use generate::{generate_all, generate_device, DEFAULT_MAX_PATHS};
 pub use parse::{parse_config, ParseError};

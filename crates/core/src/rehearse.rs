@@ -9,10 +9,17 @@
 //!    nothing, a policy edit soft-refreshes the live session (RFC 2918
 //!    route refresh), only neighbor/interface/platform changes pay a
 //!    session reset;
-//! 2. computes the **dirty set** of devices the change can reach by
-//!    walking adjacency with speakers as barriers
-//!    ([`dirty_region`](crystalnet_net::dirty_region())) — static speakers
-//!    never react (§5), so a ripple legally stops there;
+//! 2. predicts the **dirty set** of devices the change can reach by
+//!    walking adjacency with speakers as barriers and a per-seed
+//!    [`RippleScope`](crystalnet_net::RippleScope) bound
+//!    ([`dirty_region_scoped`](crystalnet_net::dirty_region_scoped())) —
+//!    static speakers never react (§5), so a ripple legally stops
+//!    there, and structurally bounded changes (an ACL-only refresh, a
+//!    single link drain) stay inside their pod instead of flooding the
+//!    fabric. The FIB diff is computed over the *full* emulated scope,
+//!    so the prediction is audited, not trusted: any mutation landing
+//!    outside it is counted in
+//!    `core.apply_change.fib_changes_outside_dirty`;
 //! 3. re-converges the existing sim on the same sharded executor while
 //!    untouched devices keep their interned RIB/FIB state; and
 //! 4. returns a typed [`ConvergenceDelta`]: per-device FIB
@@ -28,10 +35,10 @@
 use crate::emulation::{converge, Emulation, EmulationError};
 use crate::metrics::JournalKind;
 use crystalnet_config::{
-    classify_diff, config_diff, Change, ChangeImpact, ChangeSet, DeviceConfig,
+    classify_diff, classify_ripple, config_diff, Change, ChangeImpact, ChangeSet, DeviceConfig,
 };
 use crystalnet_dataplane::{FibEntry, NextHop};
-use crystalnet_net::{dirty_region, DeviceId, Ipv4Prefix, LinkId};
+use crystalnet_net::{dirty_region_scoped, DeviceId, Ipv4Prefix, LinkId, RippleScope};
 use crystalnet_routing::{MgmtCommand, PathAttrs, SpeakerOs, SpeakerScript};
 use crystalnet_sim::{SimDuration, SimTime};
 use crystalnet_telemetry::FieldValue;
@@ -96,7 +103,10 @@ pub struct AppliedChange {
 pub struct ConvergenceDelta {
     /// What was applied, in change-set order.
     pub applied: Vec<AppliedChange>,
-    /// The dirty set: devices the change could have reached, in id order.
+    /// The predicted dirty set: devices the change is structurally
+    /// expected to reach (scoped ripple walk), in id order. A reporting
+    /// aid, not a correctness bound — [`Self::fib_changes`] is diffed
+    /// over the full emulated scope regardless.
     pub dirty: Vec<DeviceId>,
     /// Virtual time when the step reached route quiescence.
     pub settled_at: SimTime,
@@ -107,7 +117,11 @@ pub struct ConvergenceDelta {
     /// Wall-clock cost of the step (the number `BENCH_incremental.json`
     /// compares against a full re-settle).
     pub wall: std::time::Duration,
-    /// Per-device FIB mutations, dirty devices only, prefix-sorted.
+    /// Per-device FIB mutations over the full emulated scope,
+    /// prefix-sorted. Authoritative: computed independently of the
+    /// predicted dirty set, so a too-narrow prediction can never hide a
+    /// mutation (misses are counted in
+    /// `core.apply_change.fib_changes_outside_dirty`).
     pub fib_changes: BTreeMap<DeviceId, Vec<FibChange>>,
 }
 
@@ -261,7 +275,7 @@ impl Emulation {
         // ---- Validate everything before mutating anything. ----
         let mut planned = Vec::new();
         let mut applied = Vec::new();
-        let mut seeds: BTreeSet<DeviceId> = BTreeSet::new();
+        let mut seeds: Vec<(DeviceId, RippleScope)> = Vec::new();
         for change in &changes.changes {
             match change {
                 Change::ConfigUpdate { device, config } => {
@@ -270,9 +284,10 @@ impl Emulation {
                     let old = self.effective_config(dev).ok_or_else(|| {
                         EmulationError::UnknownDevice(self.topo.device(dev).name.clone())
                     })?;
-                    let impact = classify_diff(&config_diff(old, config));
+                    let diff = config_diff(old, config);
+                    let impact = classify_diff(&diff);
                     if impact != ChangeImpact::NoOp {
-                        seeds.insert(dev);
+                        seeds.push((dev, classify_ripple(&diff)));
                     }
                     applied.push(AppliedChange {
                         kind: change.kind(),
@@ -294,8 +309,11 @@ impl Emulation {
                     if !self.sandboxes.contains_key(&a) || !self.sandboxes.contains_key(&b) {
                         return Err(EmulationError::UnknownLink(lid.0));
                     }
-                    seeds.insert(a);
-                    seeds.insert(b);
+                    // A link flap changes reachability, but Clos ECMP
+                    // redundancy keeps the blast radius inside the
+                    // affected pod(s) plus the shared spine/border tier.
+                    seeds.push((a, RippleScope::PodAndCore));
+                    seeds.push((b, RippleScope::PodAndCore));
                     applied.push(AppliedChange {
                         kind: change.kind(),
                         device: None,
@@ -310,10 +328,10 @@ impl Emulation {
                 Change::DeviceRemove(dev) => {
                     let dev = *dev;
                     self.guard(dev)?;
-                    seeds.insert(dev);
+                    seeds.push((dev, RippleScope::Fabric));
                     for n in self.topo.neighbor_devices(dev) {
                         if self.sandboxes.contains_key(&n) {
-                            seeds.insert(n);
+                            seeds.push((n, RippleScope::Fabric));
                         }
                     }
                     applied.push(AppliedChange {
@@ -357,7 +375,7 @@ impl Emulation {
                         .iter()
                         .map(|(iface, _)| (*iface, script.clone()))
                         .collect();
-                    seeds.insert(dev);
+                    seeds.push((dev, RippleScope::Fabric));
                     applied.push(AppliedChange {
                         kind: change.kind(),
                         device: Some(dev),
@@ -368,14 +386,15 @@ impl Emulation {
             }
         }
 
-        // ---- Dirty set: adjacency walk with speakers as barriers. ----
+        // ---- Dirty set: scoped adjacency walk, speakers as barriers. ----
         let scope: BTreeSet<DeviceId> = self.sandboxes.keys().copied().collect();
         let barriers: BTreeSet<DeviceId> = self.classification.speakers().into_iter().collect();
-        let seeds_vec: Vec<DeviceId> = seeds.iter().copied().collect();
-        let dirty = dirty_region(&self.topo, &scope, &seeds_vec, &barriers);
+        let dirty = dirty_region_scoped(&self.topo, &scope, &seeds, &barriers);
 
-        // ---- Snapshot the dirty set's FIBs before injecting. ----
-        let before = self.fib_snapshot(&dirty);
+        // ---- Snapshot FIBs before injecting. The snapshot covers the
+        // full emulated scope, not just the predicted dirty set, so the
+        // reported diff is authoritative even if the prediction is short.
+        let before = self.fib_snapshot(&scope);
 
         // ---- Inject. ----
         let now = self.now();
@@ -428,9 +447,10 @@ impl Emulation {
             start
         };
 
-        // ---- Diff the dirty set's FIBs. ----
-        let after = self.fib_snapshot(&dirty);
+        // ---- Diff the full scope's FIBs (authoritative). ----
+        let after = self.fib_snapshot(&scope);
         let fib_changes = diff_snapshots(&before, &after);
+        let outside_dirty = fib_changes.keys().filter(|d| !dirty.contains(d)).count() as u64;
         let (virtual_cost, events_executed) = self.sim.engine.cost_since(&mark);
 
         // The boundary memo must still agree with a fresh classification
@@ -460,6 +480,9 @@ impl Emulation {
             rec.counter_add("core.apply_change.steps", delta.applied.len() as u64);
             rec.counter_add("core.apply_change.dirty_devices", delta.dirty.len() as u64);
             rec.counter_add("core.apply_change.fib_changes", total);
+            // Prediction misses: devices whose FIB moved outside the
+            // predicted dirty set. Zero when the scope bound is honest.
+            rec.counter_add("core.apply_change.fib_changes_outside_dirty", outside_dirty);
             rec.event(
                 settled_at,
                 "apply_change",

@@ -6,10 +6,12 @@
 
 use crystalnet::prelude::*;
 use crystalnet::PlanOptions;
-use crystalnet_config::{PrefixList, PrefixListEntry, RouteMap, RouteMapEntry, RouteMatch};
+use crystalnet_config::{
+    Acl, AclEntry, PrefixList, PrefixListEntry, RouteMap, RouteMapEntry, RouteMatch,
+};
 use crystalnet_dataplane::Fib;
 use crystalnet_net::fixtures::fig7;
-use crystalnet_net::DeviceId as Dev;
+use crystalnet_net::{ClosParams, DeviceId as Dev};
 use crystalnet_routing::harness::build_full_bgp_sim;
 use crystalnet_routing::{PathAttrs, SpeakerScript, UniformWorkModel};
 use std::collections::BTreeMap;
@@ -388,6 +390,71 @@ fn dirty_set_stops_at_speaker_barriers() {
         );
     }
     assert!(!delta.dirty.contains(&f.tors[4]) && !delta.dirty.contains(&f.tors[5]));
+}
+
+#[test]
+fn acl_only_change_dirties_a_sliver_of_clos64() {
+    // Regression for the incremental bench reporting `dirty_devices ==
+    // devices` on every row: an ACL-only edit cannot change what a
+    // device announces or selects, so its predicted dirty set must stay
+    // leaf-local (the edited ToR plus its direct neighbors) instead of
+    // flooding all of clos-64.
+    let topo = ClosParams {
+        name: "clos-64".into(),
+        borders: 2,
+        spine_groups: 1,
+        spines_per_group: 2,
+        pods: 4,
+        leaves_per_pod: 2,
+        tors_per_pod: 13,
+        groups_per_pod: 1,
+        ext_peers_per_border: 1,
+        ext_prefixes_per_peer: 8,
+    }
+    .build();
+    let prep = prepare(
+        &topo.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    );
+    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(21).build());
+    let devices = emu.sandboxes.len();
+    let before = fib_map(&emu);
+
+    let tor = topo.pods[0].tors[0];
+    let mut edited = prepared_config(&emu, tor);
+    edited.acls.insert(
+        "ACL-MGMT".into(),
+        Acl {
+            entries: vec![AclEntry {
+                seq: 10,
+                action: crystalnet_config::Action::Deny,
+                src: "10.66.0.0/24".parse().unwrap(),
+                dst: "0.0.0.0/0".parse().unwrap(),
+            }],
+        },
+    );
+    let delta = emu
+        .apply_change(&ChangeSet::new().config_update(tor, edited))
+        .expect("acl edit applies");
+    assert_eq!(delta.applied[0].impact, Some(ChangeImpact::SoftRefresh));
+
+    let got: BTreeSet<Dev> = delta.dirty.iter().copied().collect();
+    let mut expected: BTreeSet<Dev> = topo.topo.neighbor_devices(tor).collect();
+    expected.insert(tor);
+    assert_eq!(got, expected, "ACL edit must stay one hop from the ToR");
+    assert!(
+        delta.dirty.len() < devices,
+        "leaf-local change dirtied the whole fabric: {} of {devices}",
+        delta.dirty.len()
+    );
+
+    // The full-scope FIB diff audits the prediction: packet filtering is
+    // dataplane-only, so no FIB anywhere may move.
+    assert!(delta.fib_changes.is_empty(), "ACL edit must not churn FIBs");
+    assert_eq!(fib_map(&emu), before);
 }
 
 #[test]

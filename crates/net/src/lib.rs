@@ -19,7 +19,8 @@ pub mod types;
 pub use addr::{AddrParseError, Ipv4Addr, Ipv4Cidr, Ipv4Prefix, MacAddr};
 pub use clos::{ClosParams, ClosTopology, LayerCounts, Pod};
 pub use partition::{
-    best_spare, dirty_region, partition, partition_grouped, placement_affinity, Partition,
+    best_spare, dirty_region, dirty_region_scoped, partition, partition_grouped,
+    placement_affinity, Partition, RippleScope,
 };
 pub use region::{RegionParams, RegionTopology};
 pub use topology::{Device, Interface, Link, P2pAllocator, Topology, TopologyError};

@@ -46,6 +46,40 @@ impl Partition {
     pub fn is_cut(&self, link: LinkId) -> bool {
         self.cut_links.binary_search(&link).is_ok()
     }
+
+    /// The k×k per-shard-pair lookahead matrix, row-major: entry
+    /// `[i * k + j]` is the minimum `link_delay_ns` over cut links with
+    /// one endpoint in shard `i` and the other in shard `j`, or
+    /// `u64::MAX` when no link crosses that pair (no direct influence
+    /// path). The diagonal is `0`. Links are undirected, so the matrix
+    /// is symmetric; the parallel executor closes it over transitive
+    /// paths itself.
+    ///
+    /// This replaces the old global min-cut scalar: shard pairs that do
+    /// not share an edge no longer bound each other's windows at all,
+    /// so unrelated pods of a Clos fabric stop serializing each other.
+    #[must_use]
+    pub fn lookahead_matrix_nanos(
+        &self,
+        topo: &Topology,
+        link_delay_ns: impl Fn(LinkId) -> u64,
+    ) -> Vec<u64> {
+        let k = self.shard_count();
+        let mut m = vec![u64::MAX; k * k];
+        for i in 0..k {
+            m[i * k + i] = 0;
+        }
+        for &lid in &self.cut_links {
+            let link = topo.link(lid);
+            let (a, b) = (self.shard(link.a.device), self.shard(link.b.device));
+            let d = link_delay_ns(lid);
+            let e = &mut m[a * k + b];
+            *e = (*e).min(d);
+            let e = &mut m[b * k + a];
+            *e = (*e).min(d);
+        }
+        m
+    }
 }
 
 /// Partitions `topo` into `shards` balanced shards minimizing cut links.
@@ -294,6 +328,33 @@ pub fn best_spare(
         .map(|(i, _)| i)
 }
 
+/// How far a change's routing-update ripple can travel before the
+/// fabric's path redundancy absorbs it.
+///
+/// A Clos fabric reaches every pod prefix over an ECMP set of core
+/// paths, so many perturbations are invisible outside the perturbed
+/// pod: a remote device's best-path *set* survives even though path
+/// attributes inside the pod churned. The scope encodes that structural
+/// argument per seed; topologies without pod labels (every
+/// `Device::pod` is `None`) degrade to the unpruned flood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RippleScope {
+    /// The seed and its immediate neighbors: the change replays or
+    /// re-filters existing announcements but cannot alter what anyone
+    /// selects (e.g. a policy-only soft refresh — sessions survive,
+    /// peers replay unchanged inputs).
+    Neighbors,
+    /// The seed's pod plus the pod-less core tier (spines, borders,
+    /// attached speakers): remote pods keep their ECMP next-hop sets
+    /// because redundant core paths to the affected prefixes remain
+    /// (e.g. a single intra-pod link drain).
+    PodAndCore,
+    /// Unbounded: reachability information itself changed — an
+    /// origination appeared or vanished, a device was lost, a speaker
+    /// script swapped — so every FIB may gain or lose an entry.
+    Fabric,
+}
+
 /// Grows the *dirty region* of an incremental change: every device in
 /// `scope` reachable from `seeds` without traversing *through* a barrier
 /// device.
@@ -307,8 +368,9 @@ pub fn best_spare(
 /// it (their received-log changes) but never expanded through. Devices
 /// outside `scope` (not emulated, already removed) are skipped entirely.
 ///
-/// Deterministic: the frontier is processed in id order and the result is
-/// an ordered set.
+/// Every seed floods ([`RippleScope::Fabric`]); use
+/// [`dirty_region_scoped`] when the change's blast radius is
+/// structurally bounded.
 #[must_use]
 pub fn dirty_region(
     topo: &Topology,
@@ -316,20 +378,82 @@ pub fn dirty_region(
     seeds: &[DeviceId],
     barriers: &std::collections::BTreeSet<DeviceId>,
 ) -> std::collections::BTreeSet<DeviceId> {
-    use std::collections::{BTreeSet, VecDeque};
-    let mut region: BTreeSet<DeviceId> = BTreeSet::new();
-    let mut frontier: VecDeque<DeviceId> =
-        BTreeSet::from_iter(seeds.iter().copied().filter(|d| scope.contains(d)))
-            .into_iter()
-            .collect();
-    region.extend(frontier.iter().copied());
-    while let Some(dev) = frontier.pop_front() {
-        if barriers.contains(&dev) && !seeds.contains(&dev) {
+    let seeds: Vec<(DeviceId, RippleScope)> =
+        seeds.iter().map(|&d| (d, RippleScope::Fabric)).collect();
+    dirty_region_scoped(topo, scope, &seeds, barriers)
+}
+
+/// [`dirty_region`] with a per-seed [`RippleScope`] bound.
+///
+/// [`RippleScope::Neighbors`] seeds contribute themselves and their
+/// in-scope neighbors. [`RippleScope::PodAndCore`] seeds BFS-expand, but
+/// the frontier never enters a device labeled with a pod that contains
+/// no `PodAndCore`/`Fabric` seed — the walk covers the seeds' own pods
+/// and the pod-less core tier. [`RippleScope::Fabric`] seeds flood.
+/// Barrier devices absorb in every mode (included when reached, never
+/// expanded through, unless they are themselves seeds).
+///
+/// Deterministic: the frontier is processed in id order and the result
+/// is an ordered set.
+#[must_use]
+pub fn dirty_region_scoped(
+    topo: &Topology,
+    scope: &std::collections::BTreeSet<DeviceId>,
+    seeds: &[(DeviceId, RippleScope)],
+    barriers: &std::collections::BTreeSet<DeviceId>,
+) -> std::collections::BTreeSet<DeviceId> {
+    use std::collections::{BTreeMap, BTreeSet, VecDeque};
+    // Widest scope per seed device wins when a device seeds twice.
+    let mut seed_scope: BTreeMap<DeviceId, RippleScope> = BTreeMap::new();
+    for &(d, s) in seeds {
+        if !scope.contains(&d) {
+            continue;
+        }
+        let e = seed_scope.entry(d).or_insert(s);
+        *e = (*e).max(s);
+    }
+    // Pods that expanding walks may enter.
+    let seed_pods: BTreeSet<u32> = seed_scope
+        .iter()
+        .filter(|(_, s)| **s >= RippleScope::PodAndCore)
+        .filter_map(|(d, _)| topo.device(*d).pod)
+        .collect();
+    // Only multi-hop pod-bounded walks are pod-constrained; a Neighbors
+    // seed reaches its one-hop neighbors regardless of pod labels.
+    let admissible = |dev: DeviceId, s: RippleScope| -> bool {
+        s != RippleScope::PodAndCore || topo.device(dev).pod.is_none_or(|p| seed_pods.contains(&p))
+    };
+
+    let mut region: BTreeSet<DeviceId> = seed_scope.keys().copied().collect();
+    let mut frontier: VecDeque<(DeviceId, RippleScope)> =
+        seed_scope.iter().map(|(&d, &s)| (d, s)).collect();
+    // Widest scope a device has been visited at; re-expansion only on
+    // upgrade (e.g. a Fabric walk reaching a device first seen by a
+    // pod-bounded walk).
+    let mut visited: BTreeMap<DeviceId, RippleScope> = seed_scope.clone();
+    while let Some((dev, s)) = frontier.pop_front() {
+        if barriers.contains(&dev) && !seed_scope.contains_key(&dev) {
             continue; // speakers absorb the ripple
         }
         for next in topo.neighbor_devices(dev) {
-            if scope.contains(&next) && region.insert(next) {
-                frontier.push_back(next);
+            if !scope.contains(&next) {
+                continue;
+            }
+            // Barriers are absorbed regardless of pod (their received
+            // log changes); anything else must pass the scope rule.
+            if !barriers.contains(&next) && !admissible(next, s) {
+                continue;
+            }
+            let widened = match visited.get(&next) {
+                Some(&prev) if prev >= s => false,
+                _ => {
+                    visited.insert(next, s);
+                    true
+                }
+            };
+            region.insert(next);
+            if widened && s > RippleScope::Neighbors {
+                frontier.push_back((next, s));
             }
         }
     }
@@ -475,5 +599,143 @@ mod tests {
         assert!(p.cut_links.is_empty());
         assert_eq!(p.shards[0].len(), 5);
         assert!(!p.is_cut(LinkId(0)));
+    }
+
+    #[test]
+    fn lookahead_matrix_reflects_cut_structure() {
+        // Line 0-1-2-3-4-5-6-7 in two shards: exactly one cut link.
+        let topo = line_topo(8);
+        let p = partition(&topo, 2);
+        assert_eq!(p.cut_links.len(), 1);
+        let m = p.lookahead_matrix_nanos(&topo, |l| 1_000 + u64::from(l.0));
+        let cut = p.cut_links[0];
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[0], 0);
+        assert_eq!(m[3], 0);
+        assert_eq!(m[1], 1_000 + u64::from(cut.0));
+        assert_eq!(m[1], m[2], "undirected links give a symmetric matrix");
+
+        // Three shards on a line: the end shards share no edge, so their
+        // pair entry is the no-path sentinel — they must not bound each
+        // other's windows directly.
+        let topo = line_topo(9);
+        let p = partition(&topo, 3);
+        let k = p.shard_count();
+        assert_eq!(k, 3);
+        let m = p.lookahead_matrix_nanos(&topo, |_| 5_000);
+        let (s0, s2) = (p.shard(DeviceId(0)), p.shard(DeviceId(8)));
+        assert_eq!(m[s0 * k + s2], u64::MAX);
+        assert_eq!(m[s2 * k + s0], u64::MAX);
+        let s1 = p.shard(DeviceId(4));
+        assert_eq!(m[s0 * k + s1], 5_000);
+        assert_eq!(m[s1 * k + s2], 5_000);
+    }
+
+    /// Two pods (tor+leaf each, pod-labeled) over two pod-less spines,
+    /// plus a pod-less speaker hanging off spine 4.
+    ///
+    /// ```text
+    ///   0=tor(p0) — 1=leaf(p0) — 4=spine — 6=speaker
+    ///                        \  /    |
+    ///                         \/     |
+    ///                         /\     |
+    ///   2=tor(p1) — 3=leaf(p1) — 5=spine
+    /// ```
+    fn pod_topo() -> Topology {
+        let mut topo = Topology::new();
+        let mut p2p = P2pAllocator::new("100.64.0.0/10".parse().unwrap());
+        let pods = [Some(0), Some(0), Some(1), Some(1), None, None, None];
+        let ids: Vec<DeviceId> = pods
+            .iter()
+            .enumerate()
+            .map(|(i, &pod)| {
+                topo.add_device(Device {
+                    name: format!("d{i}"),
+                    role: if pod.is_some() {
+                        Role::Tor
+                    } else {
+                        Role::Spine
+                    },
+                    vendor: Vendor::CtnrA,
+                    asn: Asn(65100 + i as u32),
+                    loopback: Ipv4Addr::new(172, 17, 0, i as u8),
+                    mgmt_addr: Ipv4Addr::new(192, 168, 1, i as u8),
+                    originated: vec![],
+                    ifaces: vec![],
+                    pod,
+                })
+                .unwrap()
+            })
+            .collect();
+        for (a, b) in [(0, 1), (2, 3), (1, 4), (1, 5), (3, 4), (3, 5), (4, 6)] {
+            topo.connect_p2p(ids[a], ids[b], &mut p2p).unwrap();
+        }
+        topo
+    }
+
+    #[test]
+    fn scoped_dirty_region_prunes_remote_pods() {
+        let topo = pod_topo();
+        let scope: std::collections::BTreeSet<DeviceId> =
+            (0..7).map(|i| DeviceId(i as u32)).collect();
+        let barriers: std::collections::BTreeSet<DeviceId> = [DeviceId(6)].into();
+
+        // Neighbors: a policy-only refresh on tor 0 touches the tor and
+        // its leaf, nothing else.
+        let r = dirty_region_scoped(
+            &topo,
+            &scope,
+            &[(DeviceId(0), RippleScope::Neighbors)],
+            &barriers,
+        );
+        let got: Vec<u32> = r.iter().map(|d| d.0).collect();
+        assert_eq!(got, vec![0, 1]);
+
+        // PodAndCore: a pod-0 perturbation covers pod 0 and the core
+        // tier (spines + adjacent speaker) but never enters pod 1.
+        let r = dirty_region_scoped(
+            &topo,
+            &scope,
+            &[(DeviceId(0), RippleScope::PodAndCore)],
+            &barriers,
+        );
+        let got: Vec<u32> = r.iter().map(|d| d.0).collect();
+        assert_eq!(got, vec![0, 1, 4, 5, 6]);
+
+        // Fabric floods — identical to the unscoped walk.
+        let r = dirty_region_scoped(
+            &topo,
+            &scope,
+            &[(DeviceId(0), RippleScope::Fabric)],
+            &barriers,
+        );
+        assert_eq!(r, dirty_region(&topo, &scope, &[DeviceId(0)], &barriers));
+        assert_eq!(r.len(), 7);
+
+        // The widest scope wins when a device seeds twice.
+        let r = dirty_region_scoped(
+            &topo,
+            &scope,
+            &[
+                (DeviceId(0), RippleScope::Neighbors),
+                (DeviceId(0), RippleScope::Fabric),
+            ],
+            &barriers,
+        );
+        assert_eq!(r.len(), 7);
+
+        // Unlabeled topologies cannot be pruned: PodAndCore degrades to
+        // the flood because every device is core-tier.
+        let line = line_topo(5);
+        let line_scope: std::collections::BTreeSet<DeviceId> =
+            (0..5).map(|i| DeviceId(i as u32)).collect();
+        let none = std::collections::BTreeSet::new();
+        let r = dirty_region_scoped(
+            &line,
+            &line_scope,
+            &[(DeviceId(2), RippleScope::PodAndCore)],
+            &none,
+        );
+        assert_eq!(r.len(), 5);
     }
 }

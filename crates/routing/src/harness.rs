@@ -14,7 +14,7 @@ use crate::msg::{BgpMsg, Frame};
 use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
 use crystalnet_dataplane::{decide, Fib, ForwardDecision, Ipv4Packet};
 use crystalnet_net::{DeviceId, LinkId, Partition, Topology};
-use crystalnet_sim::parallel::{run_shards_until_quiet, ParallelWorld};
+use crystalnet_sim::parallel::{run_shards_until_quiet_matrix, LookaheadMatrix, ParallelWorld};
 use crystalnet_sim::{Engine, EventFire, EventId, SimDuration, SimTime};
 use crystalnet_telemetry::{FieldValue, NoopRecorder, Recorder, TraceRecord};
 use std::collections::HashMap;
@@ -626,8 +626,9 @@ impl ControlPlaneSim {
 
     /// [`Self::run_until_quiet`] on worker threads: forks the world into
     /// per-shard replicas, steps them concurrently inside conservative
-    /// lookahead windows (bounded by the minimum cut-link latency), and
-    /// joins the shards back into this sim.
+    /// per-shard windows (each shard bounded by the per-shard-pair
+    /// lookahead matrix over its *actual* cut links, not a global
+    /// min-cut scalar), and joins the shards back into this sim.
     ///
     /// The result is **bit-identical** to the serial run — same FIBs, same
     /// route-ready instant, same counters — because harness event keys
@@ -644,7 +645,8 @@ impl ControlPlaneSim {
     /// model stays untouched); they are returned for the orchestrator to
     /// fold accumulated state (e.g. CPU-queue depths) back in.
     /// Cross-shard lookahead is probed from the *serial* model's
-    /// [`WorkModel::link_delay`] over the cut links, so per-link delays
+    /// [`WorkModel::link_delay`] over each cut link — the minimum per
+    /// ordered shard pair, ∞ where no link crosses — so per-link delays
     /// must be time-invariant lower bounds and identical across the
     /// serial and shard models.
     ///
@@ -668,15 +670,33 @@ impl ControlPlaneSim {
             return (None, shard_work);
         }
 
-        // Conservative lookahead: no frame crosses shards faster than the
-        // cheapest cut link. An uncut partition gets an hour-long window.
+        // Per-pair conservative lookahead: no frame crosses from shard i
+        // to shard j faster than their cheapest connecting cut link;
+        // pairs sharing no edge do not bound each other at all. The
+        // matrix is derived from the adjacency table (the same link set
+        // `Partition::lookahead_matrix_nanos` walks).
         let now = self.engine.now();
-        let lookahead = partition
-            .cut_links
-            .iter()
-            .map(|&l| self.engine.world.work.link_delay(l, now))
-            .min()
-            .unwrap_or(SimDuration::from_secs(3600));
+        let mut direct = vec![u64::MAX; k * k];
+        for i in 0..k {
+            direct[i * k + i] = 0;
+        }
+        {
+            let world = &mut self.engine.world;
+            for dev in 0..n {
+                let si = partition.shard_of[dev];
+                for adj in world.adjacency[dev].iter().flatten() {
+                    let sj = partition.shard_of[adj.remote_dev.index()];
+                    if si == sj {
+                        continue;
+                    }
+                    let link = adj.link;
+                    let d = world.work.link_delay(link, now).as_nanos().max(1);
+                    let e = &mut direct[si * k + sj];
+                    *e = (*e).min(d);
+                }
+            }
+        }
+        let lookahead = LookaheadMatrix::from_nanos(k, direct);
 
         // ---- Fork: one world replica per shard. ----
         let pending = self.engine.drain_pending();
@@ -733,7 +753,7 @@ impl ControlPlaneSim {
             }
         }
 
-        let outcome = run_shards_until_quiet(engines, lookahead, quiet, deadline);
+        let outcome = run_shards_until_quiet_matrix(engines, &lookahead, quiet, deadline);
 
         // ---- Join: merge shard state back into the serial world. ----
         let mut shard_models: Vec<Box<dyn WorkModel>> = Vec::with_capacity(k);
@@ -803,6 +823,28 @@ impl ControlPlaneSim {
                 "sim.parallel.lockstep_rounds".to_string(),
                 outcome.lockstep_rounds,
             );
+            rec.diagnostic_add(
+                "sim.parallel.horizon_advances".to_string(),
+                outcome.horizon_advances,
+            );
+            // Events-per-window histogram (power-of-two buckets) plus
+            // per-shard idle wall-time: the execution-shape facts needed
+            // to diagnose a scaling regression from `pull_report()`
+            // without bisection. Idle time is wall-clock, hence
+            // nondeterministic — diagnostics only, never the canonical
+            // report.
+            let hist = &outcome.window_hist;
+            rec.diagnostic_add("sim.parallel.window_events.count".to_string(), hist.count);
+            rec.diagnostic_add("sim.parallel.window_events.sum".to_string(), hist.sum);
+            rec.diagnostic_max("sim.parallel.window_events.max".to_string(), hist.max);
+            for (b, &n) in hist.buckets.iter().enumerate() {
+                if n > 0 {
+                    rec.diagnostic_add(format!("sim.parallel.window_events.bucket{b}"), n);
+                }
+            }
+            for (s, &ns) in outcome.idle_ns.iter().enumerate() {
+                rec.diagnostic_add(format!("sim.parallel.shard{s}.idle_ns"), ns);
+            }
         }
 
         (outcome.converged_at, shard_models)

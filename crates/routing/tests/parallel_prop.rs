@@ -1,0 +1,173 @@
+//! Property-based differential testing of the per-link-lookahead
+//! parallel executor.
+//!
+//! Each case builds a randomized small Clos fabric, scripts a randomized
+//! scenario (boot, optional mid-convergence link flap with a management
+//! probe, optional *far-future* flap that lands long past the quiet
+//! horizon and forces the coordinator's lock-step fallback), runs it
+//! serially, and asserts every parallel worker count (1/2/4/8) is
+//! bit-identical: same route-ready instant, same FIB on every device,
+//! same RIB sizes, same route-operation counters, same surviving queue.
+
+use crystalnet_net::{partition, ClosParams, LinkId, Topology};
+use crystalnet_routing::harness::build_full_bgp_sim;
+use crystalnet_routing::{ControlPlaneSim, MgmtCommand, UniformWorkModel, WorkModel};
+use crystalnet_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+const QUIET: SimDuration = SimDuration::from_secs(5);
+
+fn deadline() -> SimTime {
+    SimTime::ZERO + SimDuration::from_mins(120)
+}
+
+fn work() -> Box<UniformWorkModel> {
+    Box::new(UniformWorkModel {
+        boot: SimDuration::from_secs(1),
+        ..UniformWorkModel::default()
+    })
+}
+
+fn shard_models(k: usize) -> Vec<Box<dyn WorkModel>> {
+    (0..k).map(|_| work() as Box<dyn WorkModel>).collect()
+}
+
+/// A randomized tiny Clos: every dimension small enough to converge in
+/// well under a second, every combination structurally valid.
+fn arb_params() -> impl Strategy<Value = ClosParams> {
+    (
+        1u32..3,
+        1u32..3,
+        1u32..3,
+        1u32..4,
+        1u32..3,
+        1u32..3,
+        0u32..2,
+    )
+        .prop_map(
+            |(borders, spine_groups, spines_per_group, pods, leaves_per_pod, tors_per_pod, ext)| {
+                ClosParams {
+                    name: "prop-dc".into(),
+                    borders,
+                    spine_groups,
+                    spines_per_group,
+                    pods,
+                    leaves_per_pod,
+                    tors_per_pod,
+                    groups_per_pod: spine_groups,
+                    ext_peers_per_border: ext,
+                    ext_prefixes_per_peer: 1,
+                }
+            },
+        )
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    /// Flap `link % link_count` while converging, probe between edges.
+    early_flap: bool,
+    flap_link: u32,
+    /// Script a second flap minutes after convergence — far beyond the
+    /// quiet horizon, so only the lock-step fallback can reach it.
+    late_flap: bool,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (any::<bool>(), 0u32..64, any::<bool>()).prop_map(|(early_flap, flap_link, late_flap)| {
+        Scenario {
+            early_flap,
+            flap_link,
+            late_flap,
+        }
+    })
+}
+
+fn apply_scenario(sim: &mut ControlPlaneSim, topo: &Topology, sc: Scenario) {
+    sim.boot_all(SimTime::ZERO);
+    let links = topo.link_count() as u32;
+    if sc.early_flap && links > 0 {
+        let ep = ControlPlaneSim::link_endpoints(topo, LinkId(sc.flap_link % links));
+        sim.link_down(ep, SimTime::ZERO + SimDuration::from_millis(1500));
+        sim.link_up(ep, SimTime::ZERO + SimDuration::from_secs(3));
+        sim.mgmt(
+            ep.0,
+            MgmtCommand::ShowBgpSummary,
+            SimTime::ZERO + SimDuration::from_secs(2),
+        );
+    }
+    if sc.late_flap && links > 0 {
+        let ep = ControlPlaneSim::link_endpoints(topo, LinkId((sc.flap_link / 2) % links));
+        sim.link_down(ep, SimTime::ZERO + SimDuration::from_mins(4));
+        sim.link_up(ep, SimTime::ZERO + SimDuration::from_mins(5));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn parallel_matches_serial_on_random_fabrics(
+        params in arb_params(),
+        sc in arb_scenario(),
+    ) {
+        let dc = params.build();
+        let topo = &dc.topo;
+
+        let mut serial = build_full_bgp_sim(topo, work());
+        apply_scenario(&mut serial, topo, sc);
+        let t_serial = serial.run_until_quiet(QUIET, deadline());
+        prop_assert!(t_serial.is_some(), "serial run must converge");
+
+        for workers in [1usize, 2, 4, 8] {
+            let mut par = build_full_bgp_sim(topo, work());
+            apply_scenario(&mut par, topo, sc);
+            let p = partition(topo, workers);
+            let k = p.shard_count();
+            let (t_par, models) =
+                par.run_until_quiet_parallel(QUIET, deadline(), &p, shard_models(k));
+            prop_assert_eq!(models.len(), k);
+            prop_assert_eq!(
+                t_serial, t_par,
+                "route-ready instant diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                serial.engine.now().as_nanos(),
+                par.engine.now().as_nanos(),
+                "clock diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                serial.engine.events_pending(),
+                par.engine.events_pending(),
+                "surviving queue depth diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                serial.engine.world.route_ops_total,
+                par.engine.world.route_ops_total,
+                "route ops diverged at {} workers", workers
+            );
+            for (id, dev) in topo.devices() {
+                prop_assert_eq!(
+                    serial.is_up(id),
+                    par.is_up(id),
+                    "up state of {} diverged at {} workers", &dev.name, workers
+                );
+                match (serial.os(id), par.os(id)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(
+                            a.rib_size(), b.rib_size(),
+                            "RIB of {} diverged at {} workers", &dev.name, workers
+                        );
+                        prop_assert!(
+                            a.fib() == b.fib(),
+                            "FIB of {} diverged at {} workers", &dev.name, workers
+                        );
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "OS presence differs on {} at {} workers", &dev.name, workers
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -29,6 +29,9 @@ pub use cpu::{CpuServer, UtilizationTracker};
 pub use engine::{ClosureEvent, Engine, EngineCheckpoint, Event, EventFire, EventId};
 pub use heartbeat::{Backoff, HeartbeatSchedule};
 pub use metrics::{LatencySummary, Series};
-pub use parallel::{run_shards_until_quiet, ParallelOutcome, ParallelWorld};
+pub use parallel::{
+    run_shards_until_quiet, run_shards_until_quiet_matrix, LookaheadMatrix, ParallelOutcome,
+    ParallelWorld, WindowHist,
+};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

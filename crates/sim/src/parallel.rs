@@ -1,15 +1,50 @@
-//! Conservative windowed parallel execution over sharded engines.
+//! Conservative parallel execution over sharded engines, with per-pair
+//! lookahead and asynchronous window advancement.
 //!
 //! The serial [`Engine`] steps one event at a time in `(time, key, seq)`
 //! order. This module runs *several* engines — shards of one logical
-//! simulation — on worker threads, synchronizing only at virtual-time
-//! window barriers. The scheme is classic conservative (Chandy–Misra-style)
-//! lookahead: if every cross-shard interaction scheduled at time `t`
-//! arrives at its destination no earlier than `t + lookahead`, then every
-//! shard may safely execute all events in `[w, w + lookahead)` without
-//! hearing from its peers, where `w` is the *global* minimum pending-event
-//! time. Cross-shard events produced inside the window are exchanged at
-//! the barrier and enqueued before the next window is computed.
+//! simulation — on worker threads. The scheme is conservative
+//! (Chandy–Misra-style) lookahead, but unlike the classic global-barrier
+//! variant there is **no global window**: each shard advances to its own
+//! *safe horizon* derived from a k×k [`LookaheadMatrix`], and the
+//! coordinator grants a shard its next window as soon as *that shard's*
+//! dependencies allow — not after a barrier collect of all k shards.
+//!
+//! # Lookahead matrix
+//!
+//! `L[i][j]` is a lower bound (in virtual nanoseconds) on how long any
+//! effect takes to travel from shard `i` to shard `j` — for a network
+//! partition, the minimum latency over links crossing from `i` to `j`,
+//! and ∞ when no edge crosses. The matrix is closed under composition
+//! (Floyd–Warshall): if the cheapest influence path from `j` to `i` runs
+//! through `m`, the closure entry `dist[j][i]` reflects it. Every finite
+//! entry is clamped to ≥ 1 ns so progress is guaranteed.
+//!
+//! # Per-shard horizon rule
+//!
+//! Let `lb_j` be a lower bound on the next virtual time shard `j` can
+//! execute an event at — its reported queue head when idle, the head it
+//! was granted at when busy, always folded with the earliest in-flight
+//! envelope addressed to it. Shard `i` may run every event strictly
+//! before
+//!
+//! ```text
+//! horizon_i = min( lb_i + echo_i ,  min over j≠i ( lb_j + dist[j][i] ) )
+//! ```
+//!
+//! The second term is the classic bound: nothing any peer does can reach
+//! `i` earlier. The first term guards against *echo*: shard `i`'s own
+//! cross-shard effects reflecting back through an otherwise-idle peer.
+//! `echo_i = min over j≠i (dist[i][j] + dist[j][i])` is the fastest
+//! round trip, so no consequence of `i`'s own work (which starts no
+//! earlier than `lb_i`) can return before `lb_i + echo_i`. Without this
+//! term a shard facing only empty peers would race past its own replies.
+//!
+//! Because shards bounded only by their actual neighbors run far ahead,
+//! unrelated pods of a Clos fabric no longer serialize each other, and an
+//! idle shard with no work below its peers' horizons receives *no*
+//! messages at all — window traffic is proportional to useful work, not
+//! to `k × rounds`.
 //!
 //! # Determinism contract
 //!
@@ -19,30 +54,144 @@
 //! 1. **Total event order.** Same-time events must be totally ordered by
 //!    [`EventFire::key`] — keys must be globally unique per (time, event)
 //!    (events deliberately replicated onto several shards share a key and
-//!    count as one logical event). Cross-shard envelopes are sorted by
-//!    `(time, key)` before enqueueing, so the receiver replays them at
-//!    exactly the serial position regardless of which barrier round
-//!    delivered them.
+//!    count as one logical event). Cross-shard envelopes are merged
+//!    pre-sorted by `(time, key)`, so the receiver replays them at
+//!    exactly the serial position regardless of which grant delivered
+//!    them.
 //! 2. **Honest lookahead.** No event handler may cause an effect on
-//!    another shard earlier than `now + lookahead`. The caller computes
-//!    `lookahead` from the model (e.g. the minimum cut-link latency).
+//!    shard `j` earlier than `now + L[i][j]` when running on shard `i`.
+//!
+//! Under those obligations the horizon rule guarantees every envelope is
+//! delivered before its destination's clock reaches it: a grant to `i`
+//! ends at `end_i ≤ horizon_i ≤ lb_j + dist[j][i]`, and any envelope a
+//! peer later emits toward `i` is due no earlier than that. Induction
+//! over grants then gives bit-identical replay: each shard executes
+//! exactly the serial event sequence restricted to the actors it owns.
 //!
 //! The serial quiescence loop re-evaluates its stop predicate *between
-//! every two events*, so windows are additionally clipped at the quiet
-//! horizon (`last + quiet`) and at `deadline`: no event the serial loop
-//! would have left unfired is ever fired here. Past the quiet horizon
-//! (e.g. a scripted link flap long after convergence) the coordinator
-//! degrades to lock-step single-stepping of the globally minimal event
-//! until activity resumes — rare, transient, and exact.
+//! every two events*, so grants are additionally clipped at the quiet
+//! horizon (`last + quiet`) and at `deadline`; the clip uses the
+//! coordinator's possibly-stale view of `last`, which is conservative
+//! (stale `last` is only ever smaller, so no event the serial loop would
+//! have left unfired can fire here). Stop predicates and the lock-step
+//! fallback are evaluated only when every shard is idle and every
+//! envelope delivered — i.e. against an *exact* global state. Past the
+//! quiet horizon (e.g. a scripted link flap long after convergence) the
+//! coordinator degrades to lock-step single-stepping of the globally
+//! minimal event until activity resumes — rare, transient, and exact.
 //!
 //! Worker threads communicate over `crossbeam` channels: the coordinator
-//! broadcasts `Run { end }` commands carrying each shard's inbox, workers
-//! reply with a status (queue head, quiescence counters) plus their
-//! outbox of cross-shard envelopes.
+//! sends per-shard `Run` grants carrying pre-sorted inboxes, workers
+//! reply with a status (queue head, quiescence counters, events executed,
+//! idle wall-time) plus their outbox of cross-shard envelopes.
 
 use crate::engine::{Engine, EventFire};
 use crate::time::{SimDuration, SimTime};
 use crossbeam::channel::{self, Sender};
+use std::time::Instant;
+
+/// Sentinel for "no influence path" lookahead entries.
+pub const NO_PATH: u64 = u64::MAX;
+
+/// Per-shard-pair lookahead bounds, closed under path composition.
+///
+/// Entry `(i, j)` bounds from below the virtual latency of any effect
+/// shard `i` can cause on shard `j`. Construct with [`Self::from_nanos`]
+/// (a raw direct-edge matrix, [`NO_PATH`] where no edge crosses) or
+/// [`Self::uniform`] (the legacy single-scalar scheme).
+#[derive(Debug, Clone)]
+pub struct LookaheadMatrix {
+    k: usize,
+    /// All-pairs closure, row-major `dist[i * k + j]`, diagonal 0.
+    dist: Vec<u64>,
+    /// `echo[i]` = cheapest round trip `i → j → i` over distinct `j`.
+    echo: Vec<u64>,
+}
+
+impl LookaheadMatrix {
+    /// Builds the matrix from direct per-pair bounds in nanoseconds
+    /// (`direct[i * k + j]`, [`NO_PATH`] meaning "no crossing edge").
+    /// Off-diagonal finite entries are clamped to ≥ 1 ns, then closed
+    /// with Floyd–Warshall so transitive influence paths are honored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direct.len() != k * k`.
+    #[must_use]
+    pub fn from_nanos(k: usize, direct: Vec<u64>) -> Self {
+        assert_eq!(direct.len(), k * k, "matrix must be k×k");
+        let mut dist = direct;
+        for i in 0..k {
+            for j in 0..k {
+                let e = &mut dist[i * k + j];
+                if i == j {
+                    *e = 0;
+                } else if *e != NO_PATH {
+                    *e = (*e).max(1);
+                }
+            }
+        }
+        // Floyd–Warshall with saturating composition.
+        for m in 0..k {
+            for i in 0..k {
+                let im = dist[i * k + m];
+                if im == NO_PATH {
+                    continue;
+                }
+                for j in 0..k {
+                    let mj = dist[m * k + j];
+                    if mj == NO_PATH {
+                        continue;
+                    }
+                    let via = im.saturating_add(mj);
+                    let e = &mut dist[i * k + j];
+                    if via < *e {
+                        *e = via;
+                    }
+                }
+            }
+        }
+        let echo = (0..k)
+            .map(|i| {
+                (0..k)
+                    .filter(|&j| j != i)
+                    .map(|j| dist[i * k + j].saturating_add(dist[j * k + i]))
+                    .min()
+                    .unwrap_or(NO_PATH)
+            })
+            .collect();
+        Self { k, dist, echo }
+    }
+
+    /// The legacy uniform scheme: every distinct pair bounded by the one
+    /// scalar `lookahead` (clamped to ≥ 1 ns).
+    #[must_use]
+    pub fn uniform(k: usize, lookahead: SimDuration) -> Self {
+        let la = lookahead.as_nanos().max(1);
+        let direct = (0..k * k)
+            .map(|e| if e % (k + 1) == 0 { 0 } else { la })
+            .collect();
+        Self::from_nanos(k, direct)
+    }
+
+    /// Number of shards the matrix describes.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.k
+    }
+
+    /// Closed lower bound on influence latency `from → to` (ns).
+    #[must_use]
+    pub fn dist(&self, from: usize, to: usize) -> u64 {
+        self.dist[from * self.k + to]
+    }
+
+    /// Cheapest round-trip latency leaving and re-entering `shard` (ns).
+    #[must_use]
+    pub fn echo(&self, shard: usize) -> u64 {
+        self.echo[shard]
+    }
+}
 
 /// World-side hooks the parallel executor needs from a shard.
 ///
@@ -53,7 +202,7 @@ pub trait ParallelWorld: Send + Sized {
     /// The event type shards exchange.
     type Ev: EventFire<Self> + Send;
 
-    /// Drains the cross-shard envelopes emitted since the last barrier:
+    /// Drains the cross-shard envelopes emitted since the last report:
     /// `(destination shard, due time, event)`.
     fn take_outbox(&mut self) -> Vec<(usize, SimTime, Self::Ev)>;
 
@@ -72,6 +221,48 @@ pub trait ParallelWorld: Send + Sized {
     fn last_activity(&self) -> SimTime;
 }
 
+/// Events-per-grant distribution in power-of-two buckets: bucket 0
+/// counts empty grants, bucket `b > 0` counts grants that executed
+/// `[2^(b-1), 2^b)` events, the last bucket absorbs the tail.
+pub const WINDOW_HIST_BUCKETS: usize = 17;
+
+/// Compact histogram of events executed per window grant.
+#[derive(Debug, Clone, Default)]
+pub struct WindowHist {
+    /// Grants recorded.
+    pub count: u64,
+    /// Total events across recorded grants.
+    pub sum: u64,
+    /// Largest single grant.
+    pub max: u64,
+    /// Power-of-two buckets; see [`WINDOW_HIST_BUCKETS`].
+    pub buckets: [u64; WINDOW_HIST_BUCKETS],
+}
+
+impl WindowHist {
+    fn record(&mut self, events: u64) {
+        self.count += 1;
+        self.sum += events;
+        self.max = self.max.max(events);
+        let b = if events == 0 {
+            0
+        } else {
+            ((64 - events.leading_zeros()) as usize).min(WINDOW_HIST_BUCKETS - 1)
+        };
+        self.buckets[b] += 1;
+    }
+
+    /// Mean events per grant (0.0 when nothing was recorded).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
 /// Result of a parallel run: the verdict plus the shard engines for the
 /// caller to merge back into its serial representation.
 pub struct ParallelOutcome<W: ParallelWorld> {
@@ -83,17 +274,26 @@ pub struct ParallelOutcome<W: ParallelWorld> {
     /// The shard engines, in input order, with undelivered envelopes
     /// already re-enqueued on their destination shard.
     pub shards: Vec<Engine<W, W::Ev>>,
-    /// Conservative windows broadcast by the coordinator. Execution-shape
-    /// diagnostic: varies with the shard count.
+    /// Window grants issued (per-shard, not barrier rounds). Execution-
+    /// shape diagnostic: varies with the shard count.
     pub windows: u64,
     /// Lock-step single-event rounds past the quiet/deadline horizons.
     /// Execution-shape diagnostic.
     pub lockstep_rounds: u64,
+    /// Times a shard's computed safe horizon strictly advanced.
+    pub horizon_advances: u64,
+    /// Wall-clock nanoseconds each worker spent blocked waiting for a
+    /// grant, in shard order. Wall-clock, hence nondeterministic: route
+    /// to diagnostics, never the canonical report.
+    pub idle_ns: Vec<u64>,
+    /// Events executed per window grant.
+    pub window_hist: WindowHist,
 }
 
 /// Coordinator → worker commands.
 enum Cmd<E> {
-    /// Enqueue `inbox`, run all local events with `time < end`, report.
+    /// Enqueue `inbox` (pre-sorted by `(time, key)`), run all local
+    /// events with `time < end`, report.
     Run {
         end: SimTime,
         inbox: Vec<(SimTime, E)>,
@@ -105,19 +305,26 @@ enum Cmd<E> {
 }
 
 /// Worker → coordinator status, sent once at startup and after every
-/// window.
+/// command.
 struct Status<E> {
     shard: usize,
     next: Option<(SimTime, u64)>,
     causal: u64,
     last: SimTime,
     clock: SimTime,
+    /// Events executed by the command this status answers.
+    executed_delta: u64,
+    /// Cumulative wall-clock nanoseconds spent blocked on the grant
+    /// channel.
+    idle_ns: u64,
     outbox: Vec<(usize, SimTime, E)>,
 }
 
 fn status_of<W: ParallelWorld>(
     shard: usize,
     eng: &Engine<W, W::Ev>,
+    executed_delta: u64,
+    idle_ns: u64,
     outbox: Vec<(usize, SimTime, W::Ev)>,
 ) -> Status<W::Ev> {
     Status {
@@ -126,17 +333,57 @@ fn status_of<W: ParallelWorld>(
         causal: eng.world.causal_pending(),
         last: eng.world.last_activity(),
         clock: eng.now(),
+        executed_delta,
+        idle_ns,
         outbox,
     }
 }
 
-/// Enqueues cross-shard envelopes in deterministic `(time, key)` order.
-fn enqueue<W: ParallelWorld>(eng: &mut Engine<W, W::Ev>, mut inbox: Vec<(SimTime, W::Ev)>) {
-    inbox.sort_by_key(|(t, ev)| (*t, ev.key()));
+/// Enqueues a pre-sorted inbox of cross-shard envelopes.
+///
+/// The coordinator maintains in-flight envelopes sorted by `(time, key)`,
+/// so the worker enqueues without re-sorting (the engine itself orders
+/// same-time events by key).
+fn enqueue<W: ParallelWorld>(eng: &mut Engine<W, W::Ev>, inbox: Vec<(SimTime, W::Ev)>) {
+    debug_assert!(
+        inbox
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1.key()) <= (w[1].0, w[1].1.key())),
+        "inbox must arrive pre-sorted by (time, key)"
+    );
     for (t, ev) in inbox {
+        debug_assert!(
+            t >= eng.now(),
+            "late envelope: lookahead matrix was dishonest"
+        );
         eng.world.accept_remote(&ev);
         eng.schedule_event_at(t, ev);
     }
+}
+
+/// What a busy worker was last told to do (drives telemetry attribution
+/// when its status comes back).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BusyKind {
+    /// A real window grant.
+    Window,
+    /// An envelope delivery that fires nothing (`end` = global min).
+    Deliver,
+    /// A lock-step single event.
+    Step,
+}
+
+/// Runs sharded engines until global quiescence under the legacy uniform
+/// lookahead scalar — see [`run_shards_until_quiet_matrix`] for the
+/// per-pair variant this wraps.
+pub fn run_shards_until_quiet<W: ParallelWorld>(
+    shards: Vec<Engine<W, W::Ev>>,
+    lookahead: SimDuration,
+    quiet: SimDuration,
+    deadline: SimTime,
+) -> ParallelOutcome<W> {
+    let m = LookaheadMatrix::uniform(shards.len(), lookahead);
+    run_shards_until_quiet_matrix(shards, &m, quiet, deadline)
 }
 
 /// Runs sharded engines until global quiescence: no causal events remain
@@ -144,23 +391,23 @@ fn enqueue<W: ParallelWorld>(eng: &mut Engine<W, W::Ev>, mut inbox: Vec<(SimTime
 /// last activity. Returns `converged_at = None` if quiescence is not
 /// reached by `deadline`.
 ///
-/// `lookahead` is the conservative bound on cross-shard effect latency;
-/// it is clamped to at least 1 ns (a degenerate but correct serial-ish
-/// schedule).
+/// `matrix` carries the per-shard-pair lookahead bounds; see the module
+/// docs for the horizon rule. Workers are granted windows independently
+/// and asynchronously — there is no global barrier.
 ///
 /// # Panics
 ///
-/// Panics if `shards` is empty or a worker thread panics (e.g. an event
-/// handler panicked).
-pub fn run_shards_until_quiet<W: ParallelWorld>(
+/// Panics if `shards` is empty, `matrix.shard_count() != shards.len()`,
+/// or a worker thread panics (e.g. an event handler panicked).
+pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
     shards: Vec<Engine<W, W::Ev>>,
-    lookahead: SimDuration,
+    matrix: &LookaheadMatrix,
     quiet: SimDuration,
     deadline: SimTime,
 ) -> ParallelOutcome<W> {
     let k = shards.len();
     assert!(k > 0, "at least one shard required");
-    let lookahead = SimDuration::from_nanos(lookahead.as_nanos().max(1));
+    assert_eq!(matrix.shard_count(), k, "matrix must match shard count");
 
     std::thread::scope(|scope| {
         let (stx, srx) = channel::unbounded::<Status<W::Ev>>();
@@ -172,25 +419,31 @@ pub fn run_shards_until_quiet<W: ParallelWorld>(
             let stx = stx.clone();
             handles.push(scope.spawn(move || {
                 // Initial status so the coordinator sees the starting
-                // queue before the first window.
-                stx.send(status_of(i, &eng, Vec::new())).ok();
+                // queue before the first grant.
+                stx.send(status_of(i, &eng, 0, 0, Vec::new())).ok();
+                let mut idle_ns: u64 = 0;
                 loop {
-                    match rx.recv().expect("coordinator hung up") {
+                    let blocked = Instant::now();
+                    let cmd = rx.recv().expect("coordinator hung up");
+                    idle_ns += blocked.elapsed().as_nanos() as u64;
+                    match cmd {
                         Cmd::Run { end, inbox } => {
                             enqueue(&mut eng, inbox);
+                            let before = eng.events_executed();
                             while let Some(t) = eng.next_event_time() {
                                 if t >= end {
                                     break;
                                 }
                                 eng.step();
                             }
+                            let delta = eng.events_executed() - before;
                             let outbox = eng.world.take_outbox();
-                            stx.send(status_of(i, &eng, outbox)).ok();
+                            stx.send(status_of(i, &eng, delta, idle_ns, outbox)).ok();
                         }
                         Cmd::StepOne => {
                             eng.step();
                             let outbox = eng.world.take_outbox();
-                            stx.send(status_of(i, &eng, outbox)).ok();
+                            stx.send(status_of(i, &eng, 1, idle_ns, outbox)).ok();
                         }
                         Cmd::Finish { inbox } => {
                             enqueue(&mut eng, inbox);
@@ -202,113 +455,279 @@ pub fn run_shards_until_quiet<W: ParallelWorld>(
         }
         drop(stx);
 
+        // Latest report per shard; `busy[i]` is set while a command is
+        // outstanding, with the virtual-time lower bound recorded at
+        // grant time (no event the worker fires, and no envelope it
+        // emits, can precede it).
         let mut stats: Vec<Option<Status<W::Ev>>> = (0..k).map(|_| None).collect();
-        // Cross-shard envelopes awaiting delivery, per destination.
+        let mut busy: Vec<Option<(BusyKind, SimTime)>> = vec![None; k];
+        // Cross-shard envelopes awaiting delivery, per destination,
+        // sorted by (time, key).
         let mut inflight: Vec<Vec<(SimTime, W::Ev)>> = (0..k).map(|_| Vec::new()).collect();
-        let collect = |stats: &mut Vec<Option<Status<W::Ev>>>,
-                       inflight: &mut Vec<Vec<(SimTime, W::Ev)>>,
-                       expected: usize| {
-            for _ in 0..expected {
-                let mut st = srx.recv().expect("worker died");
-                for (dest, t, ev) in st.outbox.drain(..) {
-                    inflight[dest].push((t, ev));
-                }
-                let shard = st.shard;
-                stats[shard] = Some(st);
-            }
-        };
-        collect(&mut stats, &mut inflight, k);
-
-        let epsilon = SimDuration::from_nanos(1);
-        let converged_at;
         let mut windows: u64 = 0;
         let mut lockstep_rounds: u64 = 0;
+        let mut horizon_advances: u64 = 0;
+        let mut horizon_seen: Vec<u64> = vec![0; k];
+        let mut idle_ns: Vec<u64> = vec![0; k];
+        let mut window_hist = WindowHist::default();
+
+        // Folds one worker report into coordinator state.
+        let integrate = |st: Status<W::Ev>,
+                         stats: &mut Vec<Option<Status<W::Ev>>>,
+                         busy: &mut Vec<Option<(BusyKind, SimTime)>>,
+                         inflight: &mut Vec<Vec<(SimTime, W::Ev)>>,
+                         idle_ns: &mut Vec<u64>,
+                         window_hist: &mut WindowHist| {
+            let mut st = st;
+            let shard = st.shard;
+            let mut batches: Vec<Vec<(SimTime, W::Ev)>> = (0..k).map(|_| Vec::new()).collect();
+            for (dest, t, ev) in st.outbox.drain(..) {
+                batches[dest].push((t, ev));
+            }
+            for (dest, batch) in batches.into_iter().enumerate() {
+                let mut batch: Vec<((SimTime, u64), W::Ev)> = batch
+                    .into_iter()
+                    .map(|(t, ev)| ((t, ev.key()), ev))
+                    .collect();
+                batch.sort_by_key(|e| e.0);
+                // Re-keyed merge keeps (time, key) order without Ord on Ev.
+                let old = std::mem::take(&mut inflight[dest]);
+                let mut merged = Vec::with_capacity(old.len() + batch.len());
+                let mut a = old.into_iter().peekable();
+                let mut b = batch.into_iter().peekable();
+                while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+                    let ra = (x.0, x.1.key());
+                    if ra <= y.0 {
+                        merged.push(a.next().unwrap());
+                    } else {
+                        let (rank, ev) = b.next().unwrap();
+                        merged.push((rank.0, ev));
+                    }
+                }
+                merged.extend(a);
+                merged.extend(b.map(|(rank, ev)| (rank.0, ev)));
+                inflight[dest] = merged;
+            }
+            idle_ns[shard] = st.idle_ns;
+            if let Some((BusyKind::Window, _)) = busy[shard] {
+                window_hist.record(st.executed_delta);
+            }
+            busy[shard] = None;
+            stats[shard] = Some(st);
+        };
+
+        // The first status from every worker (its starting queue).
+        for _ in 0..k {
+            let st = srx.recv().expect("worker died");
+            integrate(
+                st,
+                &mut stats,
+                &mut busy,
+                &mut inflight,
+                &mut idle_ns,
+                &mut window_hist,
+            );
+        }
+
+        let epsilon = SimDuration::from_nanos(1);
+        let at = |ns: u64| SimTime::ZERO + SimDuration::from_nanos(ns);
+        let converged_at;
         loop {
-            // Global view: shard queues plus in-flight envelopes.
+            // Drain any further reports that arrived meanwhile.
+            while let Ok(st) = srx.try_recv() {
+                integrate(
+                    st,
+                    &mut stats,
+                    &mut busy,
+                    &mut inflight,
+                    &mut idle_ns,
+                    &mut window_hist,
+                );
+            }
+
+            // Per-shard lower bounds on the next executable event time:
+            // reported queue head when idle, the grant-time bound while
+            // busy, folded with the earliest in-flight envelope.
+            let mut lb_ns: Vec<u64> = vec![u64::MAX; k];
             let mut next: Option<(SimTime, u64)> = None;
             let mut causal: u64 = 0;
             let mut last = SimTime::ZERO;
-            for st in stats.iter().flatten() {
-                if let Some(rank) = st.next {
+            for i in 0..k {
+                let st = stats[i].as_ref().expect("status seen for every shard");
+                let mut lb = match busy[i] {
+                    Some((_, bound)) => bound.as_nanos(),
+                    None => st.next.map_or(u64::MAX, |(t, _)| t.as_nanos()),
+                };
+                if busy[i].is_none() {
+                    if let Some(rank) = st.next {
+                        next = Some(next.map_or(rank, |n| n.min(rank)));
+                    }
+                }
+                if let Some((t, ev)) = inflight[i].first() {
+                    lb = lb.min(t.as_nanos());
+                    let rank = (*t, ev.key());
                     next = Some(next.map_or(rank, |n| n.min(rank)));
                 }
+                for (_, ev) in &inflight[i] {
+                    causal += u64::from(W::is_causal(ev));
+                }
+                lb_ns[i] = lb;
                 causal += st.causal;
                 last = last.max(st.last);
             }
-            for (t, ev) in inflight.iter().flatten() {
-                let rank = (*t, ev.key());
-                next = Some(next.map_or(rank, |n| n.min(rank)));
-                causal += u64::from(W::is_causal(ev));
-            }
-            match next {
-                // Nothing left anywhere: quiesced (mirrors the serial
-                // loop's empty-queue arm).
-                None => {
-                    converged_at = Some(last);
-                    break;
-                }
-                // Only acausal work remains and it lies beyond the quiet
-                // horizon.
-                Some((t, _)) if causal == 0 && t > last + quiet => {
-                    converged_at = Some(last);
-                    break;
-                }
-                // Past the quiet horizon (scripted far-future events) or
-                // past the deadline, the serial loop re-arms its predicate
-                // between every two events, so no window is safe: fire
-                // exactly the globally minimal event, lock-step. A key
-                // replicated across shards is one logical event — step
-                // every holder.
-                Some((t, key)) if t > deadline || t > last + quiet => {
-                    if inflight.iter().any(|v| !v.is_empty()) {
-                        // Deliver envelopes first: the minimal event may
-                        // still be in flight. `end = t` fires nothing.
-                        for (i, tx) in txs.iter().enumerate() {
-                            tx.send(Cmd::Run {
-                                end: t,
-                                inbox: std::mem::take(&mut inflight[i]),
-                            })
-                            .expect("worker died");
-                        }
-                        collect(&mut stats, &mut inflight, k);
-                        continue;
-                    }
-                    let holders: Vec<usize> = stats
-                        .iter()
-                        .flatten()
-                        .filter(|st| st.next == Some((t, key)))
-                        .map(|st| st.shard)
-                        .collect();
-                    lockstep_rounds += 1;
-                    for &i in &holders {
-                        txs[i].send(Cmd::StepOne).expect("worker died");
-                    }
-                    collect(&mut stats, &mut inflight, holders.len());
-                    if t > deadline {
-                        // The serial loop fires the first over-deadline
-                        // event, then gives up; so do we.
-                        converged_at = None;
+            let all_idle = busy.iter().all(Option::is_none);
+
+            // Stop predicates and the lock-step fallback need the exact
+            // serial view: every shard idle, every envelope visible.
+            if all_idle {
+                match next {
+                    // Nothing left anywhere: quiesced (mirrors the serial
+                    // loop's empty-queue arm).
+                    None => {
+                        converged_at = Some(last);
                         break;
                     }
-                }
-                Some((t, _)) => {
-                    // Conservative window, clipped so no event the serial
-                    // loop would re-check its predicate *before* can fire:
-                    // the quiet horizon and the deadline are both
-                    // predicate edges.
-                    let end = (t + lookahead)
-                        .min(last + quiet + epsilon)
-                        .min(deadline + epsilon);
-                    windows += 1;
-                    for (i, tx) in txs.iter().enumerate() {
-                        tx.send(Cmd::Run {
-                            end,
-                            inbox: std::mem::take(&mut inflight[i]),
-                        })
-                        .expect("worker died");
+                    // Only acausal work remains and it lies beyond the
+                    // quiet horizon.
+                    Some((t, _)) if causal == 0 && t > last + quiet => {
+                        converged_at = Some(last);
+                        break;
                     }
-                    collect(&mut stats, &mut inflight, k);
+                    // Past the quiet horizon (scripted far-future events)
+                    // or past the deadline, the serial loop re-arms its
+                    // predicate between every two events, so no window is
+                    // safe: fire exactly the globally minimal event,
+                    // lock-step. A key replicated across shards is one
+                    // logical event — step every holder.
+                    Some((t, key)) if t > deadline || t > last + quiet => {
+                        if inflight.iter().any(|v| !v.is_empty()) {
+                            // Deliver envelopes first: the minimal event
+                            // may still be in flight. `end = t` fires
+                            // nothing (t is the global minimum).
+                            let mut sent = 0usize;
+                            for i in 0..k {
+                                if inflight[i].is_empty() {
+                                    continue;
+                                }
+                                busy[i] = Some((BusyKind::Deliver, t));
+                                txs[i]
+                                    .send(Cmd::Run {
+                                        end: t,
+                                        inbox: std::mem::take(&mut inflight[i]),
+                                    })
+                                    .expect("worker died");
+                                sent += 1;
+                            }
+                            for _ in 0..sent {
+                                let st = srx.recv().expect("worker died");
+                                integrate(
+                                    st,
+                                    &mut stats,
+                                    &mut busy,
+                                    &mut inflight,
+                                    &mut idle_ns,
+                                    &mut window_hist,
+                                );
+                            }
+                            continue;
+                        }
+                        let holders: Vec<usize> = stats
+                            .iter()
+                            .flatten()
+                            .filter(|st| st.next == Some((t, key)))
+                            .map(|st| st.shard)
+                            .collect();
+                        lockstep_rounds += 1;
+                        for &i in &holders {
+                            busy[i] = Some((BusyKind::Step, t));
+                            txs[i].send(Cmd::StepOne).expect("worker died");
+                        }
+                        for _ in 0..holders.len() {
+                            let st = srx.recv().expect("worker died");
+                            integrate(
+                                st,
+                                &mut stats,
+                                &mut busy,
+                                &mut inflight,
+                                &mut idle_ns,
+                                &mut window_hist,
+                            );
+                        }
+                        if t > deadline {
+                            // The serial loop fires the first over-deadline
+                            // event, then gives up; so do we.
+                            converged_at = None;
+                            break;
+                        }
+                        continue;
+                    }
+                    Some(_) => {}
                 }
+            }
+
+            // Window grants: every idle shard whose earliest work lies
+            // below its own safe horizon gets its next window now —
+            // independently of its peers. Shards with nothing actionable
+            // get no message at all.
+            let clip_ns = (last + quiet + epsilon)
+                .as_nanos()
+                .min((deadline + epsilon).as_nanos());
+            let mut granted = 0usize;
+            for i in 0..k {
+                if busy[i].is_some() {
+                    continue;
+                }
+                let eff_next = lb_ns[i];
+                if eff_next == u64::MAX {
+                    continue;
+                }
+                let mut horizon = lb_ns[i].saturating_add(matrix.echo(i));
+                for (j, &lb) in lb_ns.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let d = matrix.dist(j, i);
+                    if d == NO_PATH {
+                        continue;
+                    }
+                    horizon = horizon.min(lb.saturating_add(d));
+                }
+                if horizon > horizon_seen[i] {
+                    horizon_seen[i] = horizon;
+                    horizon_advances += 1;
+                }
+                let end_ns = horizon.min(clip_ns);
+                if eff_next >= end_ns {
+                    continue;
+                }
+                busy[i] = Some((BusyKind::Window, at(eff_next)));
+                windows += 1;
+                granted += 1;
+                txs[i]
+                    .send(Cmd::Run {
+                        end: at(end_ns),
+                        inbox: std::mem::take(&mut inflight[i]),
+                    })
+                    .expect("worker died");
+            }
+            if granted == 0 {
+                // Nothing actionable until a busy worker reports. The
+                // horizon rule guarantees the holder of the global
+                // minimum is always grantable when everyone is idle, so
+                // a stall here implies a busy peer exists.
+                assert!(
+                    !all_idle,
+                    "coordinator stalled with all shards idle — horizon rule violated"
+                );
+                let st = srx.recv().expect("worker died");
+                integrate(
+                    st,
+                    &mut stats,
+                    &mut busy,
+                    &mut inflight,
+                    &mut idle_ns,
+                    &mut window_hist,
+                );
             }
         }
 
@@ -334,6 +753,9 @@ pub fn run_shards_until_quiet<W: ParallelWorld>(
             shards,
             windows,
             lockstep_rounds,
+            horizon_advances,
+            idle_ns,
+            window_hist,
         }
     })
 }
@@ -347,6 +769,7 @@ mod tests {
     struct Relay {
         id: usize,
         hops_seen: Vec<u64>,
+        fire_times: Vec<SimTime>,
         outbox: Vec<(usize, SimTime, Ping)>,
         causal: u64,
         last: SimTime,
@@ -367,6 +790,7 @@ mod tests {
             e.world.causal -= 1;
             e.world.last = e.now();
             e.world.hops_seen.push(self.hops_left);
+            e.world.fire_times.push(e.now());
             if self.hops_left > 0 {
                 let dest = 1 - e.world.id;
                 let next = Ping {
@@ -401,6 +825,7 @@ mod tests {
         Engine::new(Relay {
             id,
             hops_seen: Vec::new(),
+            fire_times: Vec::new(),
             outbox: Vec::new(),
             causal: 0,
             last: SimTime::ZERO,
@@ -437,6 +862,11 @@ mod tests {
             assert!(s.world.hops_seen.windows(2).all(|w| w[0] > w[1]));
             assert_eq!(s.world.causal_pending(), 0);
         }
+        // Telemetry is populated and consistent.
+        assert!(out.windows > 0);
+        assert_eq!(out.window_hist.count, out.windows);
+        assert_eq!(out.window_hist.sum, 101);
+        assert_eq!(out.idle_ns.len(), 2);
     }
 
     #[test]
@@ -501,6 +931,7 @@ mod tests {
         assert_eq!(out.converged_at, Some(resume + HOP * 2));
         let total: usize = out.shards.iter().map(|s| s.world.hops_seen.len()).sum();
         assert_eq!(total, 6);
+        assert!(out.lockstep_rounds > 0);
     }
 
     #[test]
@@ -534,5 +965,100 @@ mod tests {
             SimTime::ZERO + SimDuration::from_secs(1),
         );
         assert_eq!(out.converged_at, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn echo_bound_keeps_replies_exact() {
+        // Shard 0 pings shard 1 (reply lands back at 30 µs) and also has
+        // an unrelated local event at 35 µs. Without the echo term in the
+        // horizon, shard 0 — facing an *empty* peer — would run to its
+        // quiet clip, fire the 35 µs event, and receive its own reply
+        // late (clamped to 35 µs). The echo bound must hold it back so
+        // the reply fires at exactly 30 µs, before the 35 µs event.
+        let mut a = relay(0);
+        let b = relay(1);
+        a.world.causal += 2;
+        a.schedule_event_at(
+            SimTime::ZERO + HOP,
+            Ping {
+                key: 1,
+                hops_left: 2,
+            },
+        );
+        a.schedule_event_at(
+            SimTime::ZERO + HOP * 7 / 2, // 35 µs
+            Ping {
+                key: 900,
+                hops_left: 0,
+            },
+        );
+        let out = run_shards_until_quiet(
+            vec![a, b],
+            HOP,
+            SimDuration::from_millis(1),
+            SimTime::ZERO + SimDuration::from_secs(1),
+        );
+        assert_eq!(out.converged_at, Some(SimTime::ZERO + HOP * 7 / 2));
+        assert_eq!(
+            out.shards[0].world.fire_times,
+            vec![
+                SimTime::ZERO + HOP,
+                SimTime::ZERO + HOP * 3,
+                SimTime::ZERO + HOP * 7 / 2,
+            ]
+        );
+        assert_eq!(
+            out.shards[1].world.fire_times,
+            vec![SimTime::ZERO + HOP * 2]
+        );
+    }
+
+    #[test]
+    fn matrix_closure_and_echo() {
+        // Line of three shards: 0 —10ns— 1 —100ns— 2, no direct 0↔2 edge.
+        let inf = NO_PATH;
+        let m = LookaheadMatrix::from_nanos(3, vec![0, 10, inf, 10, 0, 100, inf, 100, 0]);
+        assert_eq!(m.dist(0, 1), 10);
+        assert_eq!(m.dist(1, 2), 100);
+        // The closure honors the transitive influence path 0 → 1 → 2.
+        assert_eq!(m.dist(0, 2), 110);
+        assert_eq!(m.dist(2, 0), 110);
+        assert_eq!(m.echo(0), 20);
+        assert_eq!(m.echo(1), 20);
+        assert_eq!(m.echo(2), 200);
+    }
+
+    #[test]
+    fn matrix_isolated_shard_has_no_path() {
+        // Shard 2 shares no edge with anyone.
+        let inf = NO_PATH;
+        let m = LookaheadMatrix::from_nanos(3, vec![0, 5, inf, 5, 0, inf, inf, inf, 0]);
+        assert_eq!(m.dist(0, 2), NO_PATH);
+        assert_eq!(m.dist(2, 1), NO_PATH);
+        assert_eq!(m.echo(2), NO_PATH);
+        assert_eq!(m.echo(0), 10);
+    }
+
+    #[test]
+    fn uniform_matrix_matches_scalar_scheme() {
+        let m = LookaheadMatrix::uniform(3, SimDuration::from_micros(10));
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert_eq!(m.dist(i, j), 10_000);
+                }
+            }
+            assert_eq!(m.echo(i), 20_000);
+        }
+        // Zero lookahead clamps to the 1 ns degenerate-but-correct floor.
+        let m = LookaheadMatrix::uniform(2, SimDuration::ZERO);
+        assert_eq!(m.dist(0, 1), 1);
+    }
+
+    #[test]
+    fn zero_length_inputs_rejected() {
+        let m = LookaheadMatrix::uniform(1, SimDuration::from_micros(1));
+        assert_eq!(m.shard_count(), 1);
+        assert_eq!(m.echo(0), NO_PATH);
     }
 }

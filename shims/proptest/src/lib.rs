@@ -180,6 +180,8 @@ tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 tuple_strategy!(A, B, C, D, E, G);
+tuple_strategy!(A, B, C, D, E, G, H);
+tuple_strategy!(A, B, C, D, E, G, H, I);
 
 // ---------------------------------------------------------------------
 // `any::<T>()`
@@ -538,6 +540,16 @@ macro_rules! prop_assert_eq {
             "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
             stringify!($left),
             stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
             l,
             r
         );
