@@ -1,0 +1,240 @@
+//! Fork-rehearsal bench: the session path (fork the warm baseline,
+//! apply the change on the child) vs the cold path (fresh mockup, apply
+//! the change the Table 2 way, full settle) across Table 3 scale bands.
+//!
+//! Prints a table and writes `BENCH_fork.json` at the workspace root.
+//! Before any timing is accepted, the fork result is checked
+//! FIB-identical to the cold-path emulation for the same change — a
+//! fast fork that lands on different routes is not a result.
+//!
+//! Timings are the median of `CRYSTALNET_REPS` samples (default 3,
+//! min 2). `full_seconds` = measured mockup wall + post-change settle
+//! wall, the cost an operator pays per what-if without a warm baseline;
+//! `fork_rehearse_seconds` = fork wall + warm apply wall, the cost per
+//! what-if with one. Both paths run single-worker, so the ratio is not
+//! bounded by hardware threads; `hardware_threads` is recorded anyway
+//! so rows from oversubscribed CI runners can be told apart.
+
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
+use crystalnet_dataplane::Fib;
+use crystalnet_net::{ClosParams, ClosTopology, DeviceId, LinkId};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn bands() -> Vec<(&'static str, ClosTopology)> {
+    let mut v = vec![
+        ("s-dc", ClosParams::s_dc().build()),
+        ("m-dc", ClosParams::m_dc().build()),
+    ];
+    if std::env::var("CRYSTALNET_FULL").is_ok_and(|x| x == "1") {
+        v.push(("l-dc", ClosParams::l_dc().scaled_pods(0.25).build()));
+    }
+    v
+}
+
+fn prep_for(topo: &ClosTopology) -> Arc<PrepareOutput> {
+    Arc::new(prepare(
+        &topo.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    ))
+}
+
+fn fib_map(emu: &Emulation) -> BTreeMap<DeviceId, Fib> {
+    let mut devs: Vec<DeviceId> = emu.sandboxes.keys().copied().collect();
+    devs.sort_unstable_by_key(|d| d.0);
+    devs.into_iter()
+        .filter_map(|d| emu.sim.os(d).map(|os| (d, os.fib().clone())))
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// One rehearsable change plus how the cold reference applies it.
+enum Change {
+    ConfigUpdate(DeviceId, Box<crystalnet_config::DeviceConfig>),
+    LinkDown(LinkId),
+}
+
+impl Change {
+    fn change_set(&self) -> ChangeSet {
+        match self {
+            Change::ConfigUpdate(dev, cfg) => ChangeSet::new().config_update(*dev, (**cfg).clone()),
+            Change::LinkDown(lid) => ChangeSet::new().link_down(*lid),
+        }
+    }
+
+    /// Plays the change on a cold emulation via the pre-existing Table 2
+    /// surface (Reload / Disconnect) and settles it.
+    fn apply_cold(&self, emu: &mut Emulation) {
+        match self {
+            Change::ConfigUpdate(dev, cfg) => {
+                emu.reload(*dev, (**cfg).clone(), false);
+            }
+            Change::LinkDown(lid) => emu.disconnect(*lid),
+        }
+        emu.settle().expect("cold path settles");
+    }
+}
+
+struct Row {
+    band: String,
+    devices: usize,
+    change: &'static str,
+    fib_changes: usize,
+    fork_secs: f64,
+    fork_rehearse_secs: f64,
+    full_secs: f64,
+}
+
+fn main() {
+    let samples: usize = std::env::var("CRYSTALNET_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(2);
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("fork_rehearsal: {samples} samples/row, {hw} hardware thread(s)");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (band, topo) in bands() {
+        let devices = topo.topo.device_count();
+        let prep = prep_for(&topo);
+
+        // The warm baseline every fork branches from, built once.
+        let t = Instant::now();
+        let warm = mockup(Arc::clone(&prep), MockupOptions::builder().seed(42).build());
+        let mockup_secs = t.elapsed().as_secs_f64();
+        println!("{band:<6} devices={devices:<5} baseline mockup {mockup_secs:>7.3}s");
+
+        // Change 1: announce a new network on a pod-0 ToR — a new
+        // origination floods the band, the heavyweight rehearsal.
+        let tor = topo.pods[0].tors[0];
+        let mut cfg = warm
+            .prep
+            .configs
+            .iter()
+            .find(|(d, _)| *d == tor)
+            .map(|(_, c)| c.clone())
+            .expect("tor has a config");
+        cfg.bgp
+            .as_mut()
+            .expect("generated configs run BGP")
+            .networks
+            .push("10.200.0.0/24".parse().unwrap());
+        // Change 2: drop the first pod-0 leaf uplink — ECMP keeps the
+        // ripple pod-local, the lightweight rehearsal.
+        let leaf = topo.pods[0].leaves[0];
+        let lid = topo
+            .topo
+            .links()
+            .find(|(_, l)| l.a.device == leaf || l.b.device == leaf)
+            .map(|(lid, _)| lid)
+            .expect("leaf has links");
+
+        for (name, change) in [
+            ("config-update", Change::ConfigUpdate(tor, Box::new(cfg.clone()))),
+            ("link-down", Change::LinkDown(lid)),
+        ] {
+            let set = change.change_set();
+            let mut fork_times = Vec::with_capacity(samples);
+            let mut rehearse_times = Vec::with_capacity(samples);
+            let mut full_times = Vec::with_capacity(samples);
+            let mut fib_changes = 0;
+
+            for rep in 0..samples {
+                // Warm path: fork the baseline, rehearse on the child,
+                // drop it (rollback) — the per-what-if session cost.
+                let t = Instant::now();
+                let mut fork = warm.fork();
+                let fork_secs = t.elapsed().as_secs_f64();
+                let delta = fork.apply(&set).expect("change applies on fork");
+                let rehearse_secs = t.elapsed().as_secs_f64();
+                fib_changes = delta.total_fib_changes();
+
+                // Cold path: fresh mockup plus Table 2 apply + settle.
+                let t = Instant::now();
+                let mut cold = mockup(Arc::clone(&prep), MockupOptions::builder().seed(42).build());
+                change.apply_cold(&mut cold);
+                let full_secs = t.elapsed().as_secs_f64();
+
+                // Equivalence gate before the timing counts: the fork
+                // must land on the cold path's FIBs exactly.
+                if rep == 0 {
+                    assert_eq!(
+                        fib_map(fork.emulation()),
+                        fib_map(&cold),
+                        "{band}/{name}: fork result diverged from cold settle"
+                    );
+                }
+
+                fork_times.push(fork_secs);
+                rehearse_times.push(rehearse_secs);
+                full_times.push(full_secs);
+            }
+
+            rows.push(Row {
+                band: band.to_string(),
+                devices,
+                change: name,
+                fib_changes,
+                fork_secs: median(fork_times),
+                fork_rehearse_secs: median(rehearse_times),
+                full_secs: median(full_times),
+            });
+        }
+    }
+
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        let speedup = r.full_secs / r.fork_rehearse_secs.max(1e-9);
+        println!(
+            "{:<6} {:<14} fib_changes={:<6} fork {:>8.4}s  fork+rehearse {:>8.3}s  \
+             mockup+settle {:>8.3}s  speedup {:>7.1}x",
+            r.band,
+            r.change,
+            r.fib_changes,
+            r.fork_secs,
+            r.fork_rehearse_secs,
+            r.full_secs,
+            speedup
+        );
+        json_rows.push(format!(
+            "{{\"band\": \"{}\", \"devices\": {}, \"change\": \"{}\", \"fib_changes\": {}, \
+             \"fork_seconds\": {:.6}, \"fork_rehearse_seconds\": {:.6}, \
+             \"full_seconds\": {:.6}, \"speedup\": {:.2}}}",
+            r.band,
+            r.devices,
+            r.change,
+            r.fib_changes,
+            r.fork_secs,
+            r.fork_rehearse_secs,
+            r.full_secs,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"fork_rehearsal\",\n  \"full_definition\": \
+         \"mockup wall + post-change settle wall\",\n  \"fork_rehearse_definition\": \
+         \"fork wall + warm apply wall\",\n  \"samples\": {samples},\n  \
+         \"hardware_threads\": {hw},\n  \"results\": [\n    {}\n  ]\n}}\n",
+        json_rows.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fork.json");
+    std::fs::write(path, json).expect("write BENCH_fork.json");
+    println!("wrote {path}");
+}

@@ -16,6 +16,11 @@
 //! equivalence check diffs the full scope regardless, so a short
 //! prediction can never hide a mutation.
 
+// The deprecated in-place `apply_change` is exactly what this file
+// pins down (the fork path must stay bit-identical to it), so the
+// legacy calls are intentional.
+#![allow(deprecated)]
+
 use crystalnet::prelude::*;
 use crystalnet::PlanOptions;
 use crystalnet_dataplane::Fib;
@@ -48,7 +53,7 @@ fn build(topo: &ClosTopology, seed: u64) -> (Emulation, f64) {
         &PlanOptions::default(),
     );
     let start = Instant::now();
-    let emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
+    let emu = mockup(Arc::new(prep), MockupOptions::builder().seed(seed).build());
     (emu, start.elapsed().as_secs_f64())
 }
 

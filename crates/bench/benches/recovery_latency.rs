@@ -76,7 +76,7 @@ fn build(topo: &ClosTopology, target_vms: u32) -> Emulation {
             ..PlanOptions::default()
         },
     );
-    mockup(Rc::new(prep), MockupOptions::builder().seed(SEED).build())
+    mockup(Arc::new(prep), MockupOptions::builder().seed(SEED).build())
 }
 
 struct Sample {

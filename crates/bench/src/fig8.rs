@@ -5,7 +5,7 @@
 use crate::config::{reps, DcConfig};
 use crystalnet::{mockup, prepare, BoundaryMode, Emulation, MockupOptions, SpeakerSource};
 use crystalnet_sim::{LatencySummary, SimDuration};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Latency samples of one configuration across repetitions.
 pub struct Fig8Row {
@@ -37,12 +37,11 @@ pub fn run_once(cfg: &DcConfig, seed: u64) -> Emulation {
         &cfg.plan_options(),
     );
     mockup(
-        Rc::new(prep),
-        MockupOptions {
-            seed,
-            quiet: SimDuration::from_secs(45),
-            ..MockupOptions::default()
-        },
+        Arc::new(prep),
+        MockupOptions::builder()
+            .seed(seed)
+            .quiet(SimDuration::from_secs(45))
+            .build(),
     )
 }
 

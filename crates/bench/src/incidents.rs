@@ -14,7 +14,7 @@ use crystalnet::{
 };
 use crystalnet_config::AggregateConfig;
 use crystalnet_net::fixtures::fig1;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Runs the incident suite and prints the Table 1 coverage matrix.
 pub fn print_table1(seed: u64) -> Vec<ScenarioResult> {
@@ -88,7 +88,7 @@ pub fn run_fig1(seed: u64, flows: u32) -> Fig1Result {
             });
         }
     }
-    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
+    let mut emu = mockup(Arc::new(prep), MockupOptions::builder().seed(seed).build());
 
     // Pull R8's route for P3 via the management plane.
     let winning_path_len = match emu

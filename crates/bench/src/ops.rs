@@ -13,7 +13,7 @@ use crystalnet::{
 use crystalnet_net::ClosParams;
 use crystalnet_sim::SimDuration;
 use crystalnet_vnet::BridgeImpl;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A §8.3 reload measurement for one device class.
 pub struct ReloadRow {
@@ -44,7 +44,7 @@ pub fn reload_comparison(seed: u64) -> Vec<ReloadRow> {
             ..PlanOptions::default()
         },
     );
-    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
+    let mut emu = mockup(Arc::new(prep), MockupOptions::builder().seed(seed).build());
 
     let targets = [
         ("ToR", dc.pods[0].tors[0]),
@@ -122,7 +122,7 @@ pub fn recovery_by_density(seed: u64) -> Vec<RecoveryRow> {
                 ..PlanOptions::default()
             },
         );
-        let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
+        let mut emu = mockup(Arc::new(prep), MockupOptions::builder().seed(seed).build());
         let vm_idx = (0..emu.prep.vm_plan.vms.len())
             .max_by_key(|&i| emu.prep.vm_plan.vms[i].devices.len())
             .expect("plan has VMs");
@@ -172,7 +172,7 @@ pub fn bridge_ablation(cfg: &DcConfig, seed: u64) -> Vec<AblationRow> {
             );
             let vms = prep.vm_plan.vm_count();
             let emu = mockup(
-                Rc::new(prep),
+                Arc::new(prep),
                 MockupOptions::builder().seed(seed).bridge(bridge).build(),
             );
             AblationRow {
@@ -206,7 +206,7 @@ pub fn grouping_ablation(seed: u64) -> Vec<AblationRow> {
                 },
             );
             let vms = prep.vm_plan.vm_count();
-            let emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
+            let emu = mockup(Arc::new(prep), MockupOptions::builder().seed(seed).build());
             AblationRow {
                 variant: if grouping {
                     "vendor-grouped".into()

@@ -22,7 +22,7 @@ use crystalnet_net::{DeviceId, RegionParams, RegionTopology, Role};
 use crystalnet_routing::{DeviceOs, Frame, MgmtCommand, OsEvent, VendorProfile};
 use crystalnet_sim::SimTime;
 use crystalnet_telemetry::RunReport;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The report of the Case-1 rehearsal.
 #[derive(Debug)]
@@ -52,7 +52,7 @@ fn case1_emulation(options: &MockupOptions, region: &RegionTopology) -> Emulatio
         SpeakerSource::OriginatedOnly,
         &PlanOptions::default(),
     );
-    mockup(Rc::new(prep), options.clone())
+    mockup(Arc::new(prep), options.clone())
 }
 
 /// A cross-DC reachability check: a ToR in DC0 can reach a ToR subnet in
@@ -259,7 +259,7 @@ fn pipeline(options: &MockupOptions, build: VendorProfile) -> (Vec<String>, RunR
     }
     let mut options = options.clone();
     options.profile_overrides.insert(dut, build);
-    let mut emu = mockup(Rc::new(prep), options);
+    let mut emu = mockup(Arc::new(prep), options);
 
     let mut bugs = Vec::new();
 

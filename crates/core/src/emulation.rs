@@ -52,7 +52,6 @@ use crystalnet_vnet::{
     VniAllocator, //
 };
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
 /// A typed failure from the [`Emulation`] control/monitor surface.
@@ -405,6 +404,10 @@ impl WorkModel for VmWorkModel {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// One device's sandbox wiring on its VM.
@@ -440,8 +443,10 @@ pub struct Emulation {
     pub metrics: MockupMetrics,
     /// Captured packet traces.
     pub traces: TraceStore,
-    /// The prepare artifact this emulation was built from.
-    pub prep: Rc<PrepareOutput>,
+    /// The prepare artifact this emulation was built from. Shared by
+    /// `Arc` so forks reference the same immutable artifact and the
+    /// whole emulation stays `Send` (forks can run on worker threads).
+    pub prep: Arc<PrepareOutput>,
     /// Structured record of every fault handled and recovery performed.
     pub journal: RecoveryJournal,
     /// Per-VM liveness as the health monitor sees it (`true` = declared
@@ -482,7 +487,7 @@ pub struct Emulation {
 /// a deliberate loud failure, since every §8 experiment depends on
 /// convergence.
 #[must_use]
-pub fn mockup(prep: Rc<PrepareOutput>, options: MockupOptions) -> Emulation {
+pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
     let topo = prep.topo.clone();
     let plan = &prep.vm_plan;
 
@@ -889,7 +894,7 @@ impl Emulation {
     /// # let f = fig7();
     /// # let prep = prepare(&f.topo, &[], BoundaryMode::WholeNetwork,
     /// #     SpeakerSource::OriginatedOnly, &PlanOptions::default());
-    /// let emu = mockup(Rc::new(prep), MockupOptions::builder().build());
+    /// let emu = mockup(Arc::new(prep), MockupOptions::builder().build());
     ///
     /// let report = emu.pull_report();
     /// assert!(report.enabled);
@@ -1544,6 +1549,72 @@ impl Emulation {
     #[must_use]
     pub fn cpu_bucket(&self) -> SimDuration {
         CloudParams::default().cpu_bucket
+    }
+}
+
+impl Emulation {
+    /// Deep-copies the running emulation: the full copy-on-write fork
+    /// substrate behind [`Emulation::fork`](crate::session).
+    ///
+    /// Ownership rules, layer by layer:
+    ///
+    /// * **Control plane** — every OS is duplicated via
+    ///   [`crystalnet_routing::DeviceOs::clone_boxed`]; interned
+    ///   `Arc<PathAttrs>`/`Arc<Provenance>` route state is shared
+    ///   structurally (the global interner is process-wide, so parent
+    ///   and child intern into the same pool). The engine's clock,
+    ///   scheduling sequence, and pending-event residue are replicated
+    ///   exactly, which is what keeps a fork's subsequent convergence
+    ///   bit-identical to the same steps applied in place.
+    /// * **Cloud** — deep-copied behind a *fresh* `Arc<Mutex<_>>`: CPU
+    ///   server positions and the provisioning RNG resume from the fork
+    ///   point, but child work accounting can never reach the parent.
+    /// * **Telemetry** — the recorder is deep-copied
+    ///   ([`crystalnet_telemetry::Recorder::snapshot`]), so a committed
+    ///   fork's report reads "baseline + fork activity".
+    /// * **Immutable spine** — `prep` is shared by `Arc`.
+    pub(crate) fn fork_emulation(&self) -> Emulation {
+        let cloud = Arc::new(Mutex::new(
+            self.cloud.lock().expect("cloud lock poisoned").clone(),
+        ));
+        let work: Box<dyn WorkModel> = {
+            let model = self
+                .sim
+                .engine
+                .world
+                .work_ref()
+                .as_any()
+                .downcast_ref::<VmWorkModel>()
+                .expect("mockup sims drive a VmWorkModel");
+            let mut forked = model.clone();
+            forked.cloud = cloud.clone();
+            Box::new(forked)
+        };
+        let recorder = self.sim.engine.world.recorder.snapshot();
+        Emulation {
+            topo: self.topo.clone(),
+            sim: self.sim.fork_with(work, recorder),
+            cloud,
+            vm_ids: self.vm_ids.clone(),
+            engines: self.engines.clone(),
+            sandboxes: self.sandboxes.clone(),
+            vlinks: self.vlinks.clone(),
+            mgmt: self.mgmt.clone(),
+            metrics: self.metrics,
+            traces: self.traces.clone(),
+            prep: Arc::clone(&self.prep),
+            journal: self.journal.clone(),
+            vm_down: self.vm_down.clone(),
+            recovering_until: self.recovering_until.clone(),
+            speaker_epochs: self.speaker_epochs.clone(),
+            vnis: self.vnis.clone(),
+            options: self.options.clone(),
+            config_overrides: self.config_overrides.clone(),
+            speaker_overrides: self.speaker_overrides.clone(),
+            classification: self.classification.clone(),
+            emulated_now: self.emulated_now.clone(),
+            next_signature: self.next_signature,
+        }
     }
 }
 

@@ -32,6 +32,7 @@ pub mod plan;
 pub mod prepare;
 pub mod rehearse;
 pub mod scenarios;
+pub mod session;
 pub mod workflow;
 
 pub use cases::{run_case1, run_case1_with, run_case2, run_case2_with, Case1Report, Case2Report};
@@ -48,6 +49,7 @@ pub use rehearse::{
     AppliedChange, ConvergenceDelta, FibChange, FibChangeKind, RehearsalReport, RehearsalStep,
 };
 pub use scenarios::{run_all as run_all_scenarios, RootCause, ScenarioResult};
+pub use session::{EmulationFork, Snapshot};
 pub use workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};
 
 /// One-stop imports for driving an emulation.
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use crate::rehearse::{
         AppliedChange, ConvergenceDelta, FibChange, FibChangeKind, RehearsalReport, RehearsalStep,
     };
+    pub use crate::session::{EmulationFork, Snapshot};
     pub use crate::workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};
     pub use crystalnet_config::{classify_diff, Change, ChangeImpact, ChangeSet, SpeakerRoute};
     pub use crystalnet_dataplane::ForwardDecision;
@@ -87,5 +90,8 @@ pub mod prelude {
         trace_chrome_json, trace_jsonl, EventRecord, FieldValue, HistogramSummary, MemRecorder,
         NoopRecorder, Recorder, RunReport, SpanRecord, TraceRecord, TraceSink,
     };
-    pub use std::rc::Rc;
+    // The prepare artifact rides an `Arc` so forked emulations are
+    // `Send` (PR 7 moved the spine off `Rc`); re-exported because every
+    // `mockup` call site wraps its `PrepareOutput` in one.
+    pub use std::sync::Arc;
 }

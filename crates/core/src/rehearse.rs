@@ -11,7 +11,7 @@
 //!    session reset;
 //! 2. predicts the **dirty set** of devices the change can reach by
 //!    walking adjacency with speakers as barriers and a per-seed
-//!    [`RippleScope`](crystalnet_net::RippleScope) bound
+//!    [`RippleScope`] bound
 //!    ([`dirty_region_scoped`](crystalnet_net::dirty_region_scoped())) —
 //!    static speakers never react (§5), so a ripple legally stops
 //!    there, and structurally bounded changes (an ACL-only refresh, a
@@ -237,7 +237,12 @@ impl Emulation {
     ///
     /// Nothing is mutated until the whole set validates.
     ///
-    /// # Examples
+    /// # Migration
+    ///
+    /// Deprecated in favour of the session API: mutating the baseline in
+    /// place cannot be rolled back, so a failed or unwanted rehearsal
+    /// poisons the warm emulation. Fork instead — the child is free to
+    /// fail, and dropping it *is* the rollback:
     ///
     /// ```
     /// # use crystalnet::prelude::*;
@@ -246,14 +251,15 @@ impl Emulation {
     /// # let f = fig7();
     /// # let prep = prepare(&f.topo, &[], BoundaryMode::WholeNetwork,
     /// #     SpeakerSource::OriginatedOnly, &PlanOptions::default());
-    /// let mut emu = mockup(Rc::new(prep), MockupOptions::builder().build());
+    /// let mut emu = mockup(Arc::new(prep), MockupOptions::builder().build());
     ///
-    /// // Rehearse a link drain and inspect exactly what moved.
+    /// // Rehearse a link drain on a fork and inspect exactly what moved.
     /// let lid = f.topo.links().next().map(|(lid, _)| lid).unwrap();
-    /// let delta = emu.apply_change(&ChangeSet::new().link_down(lid))?;
+    /// let mut fork = emu.fork();
+    /// let delta = fork.apply(&ChangeSet::new().link_down(lid))?;
     /// assert!(!delta.dirty.is_empty());
     /// assert!(delta.total_fib_changes() > 0);
-    /// println!("{}", delta.summary());
+    /// fork.commit(&mut emu); // or drop `fork` to roll back
     /// # Ok::<(), EmulationError>(())
     /// ```
     ///
@@ -264,7 +270,24 @@ impl Emulation {
     /// reachability errors for unreachable devices, and
     /// [`EmulationError::NotConverged`] if re-convergence misses the
     /// deadline.
+    #[deprecated(
+        since = "0.7.0",
+        note = "mutating the baseline in place cannot be rolled back; \
+                use `Emulation::fork()` + `EmulationFork::apply` and then \
+                `commit` (or drop the fork to roll back)"
+    )]
     pub fn apply_change(
+        &mut self,
+        changes: &ChangeSet,
+    ) -> Result<ConvergenceDelta, EmulationError> {
+        self.apply_change_inner(changes)
+    }
+
+    /// The in-place change application behind both the deprecated
+    /// [`Emulation::apply_change`] and the session API (a fork applies
+    /// changes to its *child* through this, then swaps the child in on
+    /// commit).
+    pub(crate) fn apply_change_inner(
         &mut self,
         changes: &ChangeSet,
     ) -> Result<ConvergenceDelta, EmulationError> {
@@ -500,16 +523,33 @@ impl Emulation {
     /// staged operation one step at a time, inspecting the blast radius
     /// after each" — stopping at the first step that fails.
     ///
+    /// Implemented as a thin fork-per-step wrapper over the session API:
+    /// each step runs on a fresh [`fork`](Emulation::fork) and is
+    /// committed back on success. Forking replicates the engine position
+    /// and every OS exactly, so the per-step deltas — and the final FIBs
+    /// — are bit-identical to the old in-place path (the warm≡cold
+    /// differential tests pin this).
+    ///
     /// # Errors
     ///
     /// The first failing step's [`EmulationError`]; earlier steps remain
-    /// applied (a rehearsal that dies mid-plan leaves the mockup in the
-    /// failed state for inspection, exactly like production would).
+    /// applied, and the failing step's fork is committed too (a
+    /// rehearsal that dies mid-plan leaves the mockup in the failed
+    /// state for inspection, exactly like production would).
     pub fn rehearse(&mut self, plan: &[RehearsalStep]) -> Result<RehearsalReport, EmulationError> {
         let mut report = RehearsalReport::default();
         for step in plan {
-            let delta = self.apply_change(&step.changes)?;
-            report.steps.push((step.name.clone(), delta));
+            let mut fork = self.fork();
+            match fork.apply(&step.changes) {
+                Ok(delta) => {
+                    report.steps.push((step.name.clone(), delta));
+                    fork.commit(self);
+                }
+                Err(e) => {
+                    fork.commit(self);
+                    return Err(e);
+                }
+            }
         }
         Ok(report)
     }
@@ -583,7 +623,7 @@ impl Emulation {
 
     /// FIB + provenance-digest snapshot for a set of devices. Devices
     /// with no OS (removed) contribute an empty map.
-    fn fib_snapshot(
+    pub(crate) fn fib_snapshot(
         &self,
         devs: &BTreeSet<DeviceId>,
     ) -> BTreeMap<DeviceId, BTreeMap<Ipv4Prefix, (FibEntry, Option<u64>)>> {
@@ -604,7 +644,7 @@ impl Emulation {
 
 /// Per-device diff of two FIB snapshots; devices with no mutations are
 /// omitted.
-fn diff_snapshots(
+pub(crate) fn diff_snapshots(
     before: &BTreeMap<DeviceId, BTreeMap<Ipv4Prefix, (FibEntry, Option<u64>)>>,
     after: &BTreeMap<DeviceId, BTreeMap<Ipv4Prefix, (FibEntry, Option<u64>)>>,
 ) -> BTreeMap<DeviceId, Vec<FibChange>> {

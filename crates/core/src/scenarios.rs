@@ -22,7 +22,7 @@ use crystalnet_net::fixtures::{fig1, fig7};
 use crystalnet_net::{Asn, Device, Ipv4Prefix, P2pAllocator, Role, Topology, Vendor};
 use crystalnet_routing::{MgmtCommand, MgmtResponse, VendorProfile};
 use serde::{Deserialize, Serialize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Root-cause classes of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -78,7 +78,7 @@ fn emulate(topo: &Topology, options: MockupOptions) -> Emulation {
         SpeakerSource::OriginatedOnly,
         &PlanOptions::default(),
     );
-    mockup(Rc::new(prep), options)
+    mockup(Arc::new(prep), options)
 }
 
 /// Runs every scenario with the given seed.
@@ -170,7 +170,7 @@ pub fn aggregation_imbalance(seed: u64) -> ScenarioResult {
             });
         }
     }
-    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
+    let mut emu = mockup(Arc::new(prep), MockupOptions::builder().seed(seed).build());
 
     // Telemetry: 64 flows from R8 toward P3; count which middle router
     // carries them.
@@ -244,7 +244,7 @@ pub fn fib_overflow_blackhole(seed: u64) -> ScenarioResult {
             cfg.fib_capacity = Some(60);
         }
     }
-    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(seed).build());
+    let mut emu = mockup(Arc::new(prep), MockupOptions::builder().seed(seed).build());
 
     // Probe every announced block from the router.
     let mut blackholed = 0;

@@ -19,7 +19,7 @@ fn s_dc(seed: u64, plan: FaultPlan) -> (ClosTopology, Emulation) {
         },
     );
     let emu = mockup(
-        Rc::new(prep),
+        Arc::new(prep),
         MockupOptions::builder().seed(seed).fault_plan(plan).build(),
     );
     (dc, emu)

@@ -4,6 +4,11 @@
 //! counts; plus dirty-set semantics (no-op diffs touch nothing, speakers
 //! bound the ripple) and the interaction with fault quarantine.
 
+// The deprecated in-place `apply_change` is exactly what this file
+// pins down (the fork path must stay bit-identical to it), so the
+// legacy calls are intentional.
+#![allow(deprecated)]
+
 use crystalnet::prelude::*;
 use crystalnet::PlanOptions;
 use crystalnet_config::{
@@ -28,7 +33,7 @@ fn fig7_emu(seed: u64, workers: usize) -> Emulation {
         &PlanOptions::default(),
     );
     mockup(
-        Rc::new(prep),
+        Arc::new(prep),
         MockupOptions::builder().seed(seed).workers(workers).build(),
     )
 }
@@ -225,7 +230,7 @@ fn policy_edit_matches_cold_boot_across_workers() {
             }
         }
         let cold = mockup(
-            Rc::new(prep),
+            Arc::new(prep),
             MockupOptions::builder().seed(7).workers(workers).build(),
         );
         assert_eq!(
@@ -293,7 +298,7 @@ fn speaker_route_swap_matches_cold_boot_across_workers() {
     let mut per_worker: Vec<BTreeMap<Dev, Fib>> = Vec::new();
     for workers in [1usize, 4] {
         let mut emu = mockup(
-            Rc::new(fig7b_prep()),
+            Arc::new(fig7b_prep()),
             MockupOptions::builder().seed(3).workers(workers).build(),
         );
         assert!(
@@ -347,7 +352,7 @@ fn speaker_route_swap_matches_cold_boot_across_workers() {
             }
         }
         let cold = mockup(
-            Rc::new(prep),
+            Arc::new(prep),
             MockupOptions::builder().seed(3).workers(workers).build(),
         );
         assert_eq!(
@@ -364,7 +369,7 @@ fn speaker_route_swap_matches_cold_boot_across_workers() {
 fn dirty_set_stops_at_speaker_barriers() {
     let f = fig7();
     let mut emu = mockup(
-        Rc::new(fig7b_prep()),
+        Arc::new(fig7b_prep()),
         MockupOptions::builder().seed(5).build(),
     );
     let t1 = f.tors[0];
@@ -419,7 +424,7 @@ fn acl_only_change_dirties_a_sliver_of_clos64() {
         SpeakerSource::OriginatedOnly,
         &PlanOptions::default(),
     );
-    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().seed(21).build());
+    let mut emu = mockup(Arc::new(prep), MockupOptions::builder().seed(21).build());
     let devices = emu.sandboxes.len();
     let before = fib_map(&emu);
 
@@ -481,7 +486,7 @@ fn device_removal_works_while_a_quarantine_is_active() {
     );
     let victim = prep.vm_plan.vms[0].devices[0];
     let mut emu = mockup(
-        Rc::new(prep),
+        Arc::new(prep),
         MockupOptions::builder().seed(9).fault_plan(plan).build(),
     );
     emu.settle().expect("post-quarantine convergence");
@@ -513,7 +518,7 @@ fn device_removal_works_while_a_quarantine_is_active() {
             ..PlanOptions::default()
         },
     );
-    let mut cold = mockup(Rc::new(prep2), MockupOptions::builder().seed(9).build());
+    let mut cold = mockup(Arc::new(prep2), MockupOptions::builder().seed(9).build());
     cold.apply_change(&ChangeSet::new().device_remove(victim))
         .expect("fault-free removal applies");
     assert_eq!(

@@ -7,7 +7,7 @@ use crystalnet_dataplane::ForwardDecision;
 use crystalnet_net::ClosParams;
 use crystalnet_routing::{MgmtCommand, MgmtResponse};
 use crystalnet_sim::SimDuration;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn s_dc_emulation_opts(
     seed: u64,
@@ -26,7 +26,7 @@ fn s_dc_emulation_opts(
         },
     );
     let emu = mockup(
-        Rc::new(prep),
+        Arc::new(prep),
         MockupOptions::builder().seed(seed).workers(workers).build(),
     );
     (dc, emu)

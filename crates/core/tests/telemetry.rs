@@ -24,7 +24,7 @@ fn s_dc(seed: u64, workers: usize, telemetry: bool) -> (ClosTopology, Emulation)
         FaultKind::VmCrash { vm: 1 }, //
     );
     let emu = mockup(
-        Rc::new(prep),
+        Arc::new(prep),
         MockupOptions::builder()
             .seed(seed)
             .workers(workers)

@@ -23,7 +23,7 @@ fn fig7_emu(seed: u64, workers: usize, trace_capacity: usize) -> Emulation {
         &PlanOptions::default(),
     );
     mockup(
-        Rc::new(prep),
+        Arc::new(prep),
         MockupOptions::builder()
             .seed(seed)
             .workers(workers)
@@ -248,7 +248,7 @@ fn boundary_audit_passes_and_explains_speaker_routes() {
         SpeakerSource::Snapshot(&prod),
         &PlanOptions::default(),
     );
-    let emu = mockup(Rc::new(prep), MockupOptions::builder().seed(1).build());
+    let emu = mockup(Arc::new(prep), MockupOptions::builder().seed(1).build());
 
     // Lemma 5.1, checked at runtime over every converged route's
     // provenance chain.

@@ -83,7 +83,7 @@ struct LocEntry {
 /// (both interned, so cloning the pair is two refcount bumps).
 type RibAttrs = (Arc<PathAttrs>, Arc<Provenance>);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Peer {
     addr: Ipv4Addr,
     remote_as: Asn,
@@ -112,6 +112,7 @@ impl Peer {
 }
 
 /// A BGP router OS instance (one emulated firmware image).
+#[derive(Clone)]
 pub struct BgpRouterOs {
     profile: VendorProfile,
     config: DeviceConfig,
@@ -1245,6 +1246,10 @@ impl BgpRouterOs {
 }
 
 impl DeviceOs for BgpRouterOs {
+    fn clone_boxed(&self) -> Box<dyn DeviceOs> {
+        Box::new(self.clone())
+    }
+
     fn handle(&mut self, _now: SimTime, event: OsEvent) -> OsActions {
         if self.down {
             return OsActions::default();

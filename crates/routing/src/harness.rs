@@ -42,6 +42,10 @@ pub trait WorkModel: Send {
     /// Downcasting hook so orchestration layers can reach their concrete
     /// model (e.g. to install per-device cost tables after construction).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Shared-reference downcasting hook; lets a fork read the live
+    /// model (to deep-copy it) without exclusive access to the world.
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// Fixed-cost work model for protocol-level tests.
@@ -80,6 +84,10 @@ impl WorkModel for UniformWorkModel {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -112,7 +120,7 @@ struct ShardRoute {
 /// The causal parent travels *inside* the event (not in engine
 /// bookkeeping): the parallel executor drains, ships, and re-schedules
 /// events across shard queues, and the cause link must survive that trip.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HarnessEvent {
     key: u64,
     /// Stable id of the event whose firing scheduled this one; `None` for
@@ -121,7 +129,7 @@ pub struct HarnessEvent {
     kind: HarnessEventKind,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum HarnessEventKind {
     /// Boot requested: ask the work model for the boot completion time.
     BootStart(DeviceId),
@@ -366,6 +374,11 @@ impl ControlPlaneWorld {
         &mut *self.work
     }
 
+    /// Shared access to the work model (fork hook).
+    pub fn work_ref(&self) -> &dyn WorkModel {
+        &*self.work
+    }
+
     /// The next tie-break key for an event emitted by `dev`.
     fn device_key(&mut self, dev: DeviceId) -> u64 {
         let seq = &mut self.dev_key_seq[dev.index()];
@@ -459,6 +472,57 @@ impl ControlPlaneSim {
                 shard_route: None,
                 recorder: Box::new(NoopRecorder),
             }),
+        }
+    }
+
+    /// Deep-copies the whole simulation — every OS (via
+    /// [`DeviceOs::clone_boxed`]), the wiring, the key counters, and the
+    /// engine's clock/queue/sequence position — over a caller-supplied
+    /// work model and recorder.
+    ///
+    /// This is the control-plane half of an emulation fork. The copy is
+    /// *positionally exact*: queued events keep their `(time, key, seq)`
+    /// ranks and per-device key counters resume where the parent's
+    /// stand, so identical inputs produce bit-identical behavior on
+    /// parent and child. Interned route state (`Arc<PathAttrs>`,
+    /// `Arc<Provenance>`) is shared structurally rather than duplicated.
+    ///
+    /// The caller supplies `work` and `recorder` because both typically
+    /// need their own treatment on fork: the work model must stop
+    /// sharing mutable CPU accounting with the parent, and the recorder
+    /// is deep-copied via [`Recorder::snapshot`]. Parallel-shard wiring
+    /// (`shard_route`) is never inherited — a fork starts in serial
+    /// mode, mid-parallel-run forks are not supported.
+    #[must_use]
+    pub fn fork_with(&self, work: Box<dyn WorkModel>, recorder: Box<dyn Recorder>) -> Self {
+        let w = &self.engine.world;
+        debug_assert!(
+            w.shard_route.is_none(),
+            "fork_with on a shard of a parallel run"
+        );
+        let world = ControlPlaneWorld {
+            oses: w
+                .oses
+                .iter()
+                .map(|slot| slot.as_ref().map(|os| os.clone_boxed()))
+                .collect(),
+            booted: w.booted.clone(),
+            adjacency: w.adjacency.clone(),
+            link_up: w.link_up.clone(),
+            work,
+            last_route_activity: w.last_route_activity,
+            route_ops_total: w.route_ops_total,
+            route_ops_by_dev: w.route_ops_by_dev.clone(),
+            crashes: w.crashes.clone(),
+            mgmt_responses: w.mgmt_responses.clone(),
+            causal_pending: w.causal_pending,
+            dev_key_seq: w.dev_key_seq.clone(),
+            control_key_seq: w.control_key_seq,
+            shard_route: None,
+            recorder,
+        };
+        ControlPlaneSim {
+            engine: self.engine.replicate_with(world),
         }
     }
 

@@ -212,6 +212,14 @@ pub trait DeviceOs: Send {
     fn routes_with_detail(&self) -> Vec<(Ipv4Prefix, RouteDetail)> {
         Vec::new()
     }
+
+    /// Deep-copies this OS instance, boxed — the per-device half of an
+    /// emulation fork. RIB/FIB attribute and provenance entries are
+    /// interned `Arc`s, so the copy shares unchanged route state
+    /// structurally (two refcount bumps per entry) instead of
+    /// duplicating it; everything mutable (session state, timers, FIB
+    /// indexes) is owned by the copy.
+    fn clone_boxed(&self) -> Box<dyn DeviceOs>;
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ struct NeighborState {
 }
 
 /// An OSPF router OS instance.
+#[derive(Clone)]
 pub struct OspfRouterOs {
     hostname: String,
     router_id: Ipv4Addr,
@@ -327,6 +328,10 @@ impl OspfRouterOs {
 }
 
 impl DeviceOs for OspfRouterOs {
+    fn clone_boxed(&self) -> Box<dyn DeviceOs> {
+        Box::new(self.clone())
+    }
+
     fn handle(&mut self, _now: SimTime, event: OsEvent) -> OsActions {
         if self.down {
             return OsActions::default();

@@ -26,6 +26,7 @@ pub struct SpeakerScript {
 }
 
 /// A static BGP speaker standing in for one external device.
+#[derive(Clone)]
 pub struct SpeakerOs {
     hostname: String,
     asn: Asn,
@@ -139,6 +140,10 @@ impl SpeakerOs {
 }
 
 impl DeviceOs for SpeakerOs {
+    fn clone_boxed(&self) -> Box<dyn DeviceOs> {
+        Box::new(self.clone())
+    }
+
     fn handle(&mut self, _now: SimTime, event: OsEvent) -> OsActions {
         if self.down {
             return OsActions::default();

@@ -116,6 +116,7 @@ impl<W> EventFire<W> for ClosureEvent<W> {
     }
 }
 
+#[derive(Clone)]
 struct Scheduled<E> {
     time: SimTime,
     key: u64,
@@ -155,6 +156,7 @@ const BUCKET_WIDTH_NANOS: u64 = 64_000;
 const RING_LEN: usize = 1024;
 
 /// Calendar queue: current-bucket heap + future ring + far-future heap.
+#[derive(Clone)]
 struct CalendarQueue<E> {
     /// Events in buckets `<= cur_bucket`, fully ordered.
     current: BinaryHeap<Reverse<Scheduled<E>>>,
@@ -489,6 +491,35 @@ impl<W, E: EventFire<W>> Engine<W, E> {
             "advance_clock_to would skip pending events"
         );
         self.clock = self.clock.max(t);
+    }
+}
+
+impl<W, E> Engine<W, E> {
+    /// Replicates this engine's *position* — clock, scheduling sequence,
+    /// executed count, queue high-water mark, and a deep copy of every
+    /// pending event — over a freshly supplied world.
+    ///
+    /// This is the queue-snapshot half of an emulation fork: because the
+    /// sequence counter and every queued event's `(time, key, seq)` rank
+    /// are preserved exactly, the replica fires the identical event order
+    /// the original would, so a fork that replays the same inputs stays
+    /// bit-identical to its parent. The replica is not mid-fire
+    /// (`firing` is cleared); forking from inside an event handler is not
+    /// supported.
+    #[must_use]
+    pub fn replicate_with<W2>(&self, world: W2) -> Engine<W2, E>
+    where
+        E: Clone,
+    {
+        Engine {
+            clock: self.clock,
+            seq: self.seq,
+            executed: self.executed,
+            high_water: self.high_water,
+            firing: None,
+            queue: self.queue.clone(),
+            world,
+        }
     }
 }
 

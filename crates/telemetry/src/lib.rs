@@ -403,7 +403,7 @@ pub fn trace_chrome_json(records: &[TraceRecord]) -> String {
 /// would — any record in the global newest-`capacity` set is necessarily
 /// within its own shard's newest `capacity`. Dropped counts therefore
 /// merge deterministically too (`emitted − retained`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceSink {
     capacity: usize,
     records: VecDeque<TraceRecord>,
@@ -577,6 +577,15 @@ pub trait Recorder: Send {
     /// Creates an empty recorder of the same kind for a shard worker.
     fn fork(&self) -> Box<dyn Recorder>;
 
+    /// Deep-copies this recorder, history included — the telemetry fork
+    /// point of an emulation fork. Unlike [`Recorder::fork`] (which
+    /// starts a shard's recorder *empty* so the join can `absorb` it
+    /// additively), a snapshot carries everything recorded so far: a
+    /// forked emulation's report reads as "baseline plus the fork's own
+    /// activity", byte-identical to a run that had performed the fork's
+    /// steps directly.
+    fn snapshot(&self) -> Box<dyn Recorder>;
+
     /// Merges a forked recorder back: counters add, gauges max, histograms
     /// append. Shard merge order must not affect the canonical report.
     fn absorb(&mut self, _child: Box<dyn Recorder>) {}
@@ -598,6 +607,10 @@ impl Recorder for NoopRecorder {
         Box::new(NoopRecorder)
     }
 
+    fn snapshot(&self) -> Box<dyn Recorder> {
+        Box::new(NoopRecorder)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -609,7 +622,7 @@ impl Recorder for NoopRecorder {
 
 /// In-memory recorder. All keyed storage is `BTreeMap`-backed so export
 /// order is a function of the keys alone, never of insertion order.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MemRecorder {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
@@ -815,6 +828,10 @@ impl Recorder for MemRecorder {
             Some(sink) => MemRecorder::with_trace_capacity(sink.capacity()),
             None => MemRecorder::new(),
         })
+    }
+
+    fn snapshot(&self) -> Box<dyn Recorder> {
+        Box::new(self.clone())
     }
 
     fn absorb(&mut self, child: Box<dyn Recorder>) {

@@ -75,7 +75,7 @@ impl VmId {
 }
 
 /// One emulation VM.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Vm {
     /// Handle.
     pub id: VmId,
@@ -123,6 +123,11 @@ impl Default for CloudParams {
 }
 
 /// The simulated cloud: a fleet of VMs.
+///
+/// `Clone` deep-copies the fleet (CPU servers, RNG position, RAM
+/// accounting included), which is what lets an emulation fork carry its
+/// own cloud: child work accounting can never leak into the parent's.
+#[derive(Clone)]
 pub struct Cloud {
     params: CloudParams,
     rng: SimRng,

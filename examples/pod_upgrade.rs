@@ -56,7 +56,7 @@ fn main() {
         check_prop_5_3(&dc.topo, &class).map(|()| "safe")
     );
 
-    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().build());
+    let mut emu = mockup(Arc::new(prep), MockupOptions::builder().build());
     println!("mockup: {}", emu.metrics.mockup);
 
     // The update: move one ToR's server subnet to a new prefix. First

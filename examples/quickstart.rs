@@ -36,7 +36,7 @@ fn main() {
     );
 
     // 3. Mockup: bring the emulation to route-ready.
-    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().build());
+    let mut emu = mockup(Arc::new(prep), MockupOptions::builder().build());
     println!(
         "mockup: network-ready {}, route-ready {}, total {} ({} route ops)",
         emu.metrics.network_ready,
@@ -77,7 +77,33 @@ fn main() {
         Err(e) => println!("explain failed: {e}"),
     }
 
-    // 7. Pull the run report: spans, counters, and the recovery journal,
+    // 7. Rehearse without commitment: fork the warm baseline, drain a
+    //    leaf uplink on the child, inspect the blast radius — then drop
+    //    the fork. Drop is the rollback; the baseline never changed.
+    let uplink = dc
+        .topo
+        .links()
+        .find(|(_, l)| l.a.device == dc.pods[0].leaves[0] || l.b.device == dc.pods[0].leaves[0])
+        .map(|(lid, _)| lid)
+        .expect("leaf has links");
+    let mut fork = emu.fork();
+    println!("fork: {}", fork.base().summary());
+    let delta = fork
+        .apply(&ChangeSet::new().link_down(uplink))
+        .expect("drain rehearses on the fork");
+    println!(
+        "rehearsed drain: {} dirty device(s), {} FIB change(s) on {} device(s)",
+        delta.dirty.len(),
+        delta.total_fib_changes(),
+        fork.diff_against_parent().len()
+    );
+    drop(fork);
+    println!(
+        "fork dropped — baseline untouched ({} FIB entries)",
+        emu.snapshot().fib_entries
+    );
+
+    // 8. Pull the run report: spans, counters, and the recovery journal,
     //    all in deterministic virtual time. The JSON artifact is what CI
     //    validates; the summary is the operator-facing table.
     let report = emu.pull_report();
@@ -86,7 +112,7 @@ fn main() {
     std::fs::write(json_path, report.to_json()).expect("write run report");
     println!("run report written to {json_path}");
 
-    // 8. Export the causal trace — control-plane records merged with the
+    // 9. Export the causal trace — control-plane records merged with the
     //    probe's packet hops — as a Chrome trace-event document; open it
     //    in Perfetto or chrome://tracing.
     let trace_path = "target/quickstart_trace.json";
@@ -96,7 +122,7 @@ fn main() {
         emu.pull_trace().len()
     );
 
-    // 9. Clear and destroy, reporting the dollars burned.
+    // 10. Clear and destroy, reporting the dollars burned.
     let clear = emu.clear();
     println!("clear latency: {clear}");
     let cost = emu.destroy();

@@ -35,7 +35,7 @@ fn main() {
             });
         }
     }
-    let mut emu = mockup(Rc::new(prep), MockupOptions::builder().build());
+    let mut emu = mockup(Arc::new(prep), MockupOptions::builder().build());
 
     // R8's view of P3, as an operator would pull it.
     if let Ok(MgmtResponse::Routes(rows)) = emu.login_and_run("r8", MgmtCommand::ShowRoutes) {

@@ -6,7 +6,7 @@ use crystalnet::prelude::*;
 use crystalnet::PlanOptions;
 use crystalnet_vnet::{ContainerKind, ContainerState, LinkSpan};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn emu() -> (crystalnet_net::ClosTopology, crystalnet::Emulation) {
     let dc = ClosParams::s_dc().build();
@@ -17,7 +17,7 @@ fn emu() -> (crystalnet_net::ClosTopology, crystalnet::Emulation) {
         SpeakerSource::OriginatedOnly,
         &PlanOptions::default(),
     );
-    (dc, mockup(Rc::new(prep), MockupOptions::builder().build()))
+    (dc, mockup(Arc::new(prep), MockupOptions::builder().build()))
 }
 
 #[test]

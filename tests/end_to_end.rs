@@ -101,7 +101,7 @@ fn pod_emulation_fib_matches_production_snapshot() {
         SpeakerSource::Snapshot(&production),
         &PlanOptions::default(),
     );
-    let emu = mockup(Rc::new(prep), MockupOptions::builder().build());
+    let emu = mockup(Arc::new(prep), MockupOptions::builder().build());
 
     for &d in &must_have {
         let emu_fib = emu.sim.fib(d).expect("emulated");
