@@ -195,9 +195,11 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"convergence_scaling\",\n  \"quiet_seconds\": {},\n  \
+        "{{\n  \"bench\": \"convergence_scaling\",\n  \"bench_meta\": {},\n  \
+         \"quiet_seconds\": {},\n  \
          \"samples\": {samples},\n  \"hardware_threads\": {hw},\n  \"results\": [\n    {}\n  ],\n  \
          \"counters\": [\n    {}\n  ]\n}}\n",
+        crystalnet_bench::meta::bench_meta_json(*WORKERS.last().unwrap()),
         QUIET.as_nanos() / 1_000_000_000,
         rows.join(",\n    "),
         counter_rows.join(",\n    ")

@@ -146,7 +146,10 @@ fn main() {
             .expect("leaf has links");
 
         for (name, change) in [
-            ("config-update", Change::ConfigUpdate(tor, Box::new(cfg.clone()))),
+            (
+                "config-update",
+                Change::ConfigUpdate(tor, Box::new(cfg.clone())),
+            ),
             ("link-down", Change::LinkDown(lid)),
         ] {
             let set = change.change_set();
@@ -228,10 +231,11 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"fork_rehearsal\",\n  \"full_definition\": \
+        "{{\n  \"bench\": \"fork_rehearsal\",\n  \"bench_meta\": {},\n  \"full_definition\": \
          \"mockup wall + post-change settle wall\",\n  \"fork_rehearse_definition\": \
          \"fork wall + warm apply wall\",\n  \"samples\": {samples},\n  \
          \"hardware_threads\": {hw},\n  \"results\": [\n    {}\n  ]\n}}\n",
+        crystalnet_bench::meta::bench_meta_json(1),
         json_rows.join(",\n    ")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fork.json");

@@ -1,6 +1,7 @@
-//! Incremental-rehearsal bench: `apply_change` warm re-convergence vs
-//! the full-settle path (rebuild the mockup, apply the change the old
-//! way, settle) across Table 3 scale bands.
+//! Incremental-rehearsal bench: warm re-convergence through the
+//! fork/commit session API vs the full-settle path (rebuild the
+//! mockup, apply the change the old way, settle) across Table 3 scale
+//! bands.
 //!
 //! Prints a table and writes `BENCH_incremental.json` at the workspace
 //! root. Every incremental run is checked FIB-identical to the full-path
@@ -15,11 +16,6 @@
 //! network-origination row legitimately floods the band. The FIB
 //! equivalence check diffs the full scope regardless, so a short
 //! prediction can never hide a mutation.
-
-// The deprecated in-place `apply_change` is exactly what this file
-// pins down (the fork path must stay bit-identical to it), so the
-// legacy calls are intentional.
-#![allow(deprecated)]
 
 use crystalnet::prelude::*;
 use crystalnet::PlanOptions;
@@ -55,6 +51,16 @@ fn build(topo: &ClosTopology, seed: u64) -> (Emulation, f64) {
     let start = Instant::now();
     let emu = mockup(Arc::new(prep), MockupOptions::builder().seed(seed).build());
     (emu, start.elapsed().as_secs_f64())
+}
+
+/// Applies `set` on the warm emulation through the session API — fork,
+/// rehearse on the child, commit the child back — the supported
+/// incremental path (the in-place `apply_change` wrapper is deprecated).
+fn apply_warm(warm: &mut Emulation, set: &ChangeSet) -> ConvergenceDelta {
+    let mut fork = warm.fork();
+    let delta = fork.apply(set).expect("change applies on fork");
+    fork.commit(warm);
+    delta
 }
 
 fn fib_map(emu: &Emulation) -> BTreeMap<DeviceId, Fib> {
@@ -111,9 +117,7 @@ fn main() {
                 }],
             },
         );
-        let delta = warm
-            .apply_change(&ChangeSet::new().config_update(tor, cfg.clone()))
-            .expect("acl update applies");
+        let delta = apply_warm(&mut warm, &ChangeSet::new().config_update(tor, cfg.clone()));
         assert!(
             delta.dirty.len() < devices,
             "{band}: ACL-only edit must not dirty the whole band"
@@ -147,9 +151,7 @@ fn main() {
             .networks
             .push("10.200.0.0/24".parse().unwrap());
 
-        let delta = warm
-            .apply_change(&ChangeSet::new().config_update(tor, cfg.clone()))
-            .expect("config update applies");
+        let delta = apply_warm(&mut warm, &ChangeSet::new().config_update(tor, cfg.clone()));
         let t = Instant::now();
         full.reload(tor, cfg, false);
         full.settle().expect("full path settles");
@@ -181,9 +183,7 @@ fn main() {
             .find(|(_, l)| l.a.device == leaf || l.b.device == leaf)
             .map(|(lid, _)| lid)
             .expect("leaf has links");
-        let delta = warm
-            .apply_change(&ChangeSet::new().link_down(lid))
-            .expect("link down applies");
+        let delta = apply_warm(&mut warm, &ChangeSet::new().link_down(lid));
         let t = Instant::now();
         full.disconnect(lid);
         full.settle().expect("full path settles");
@@ -229,8 +229,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"incremental\",\n  \"full_definition\": \
+        "{{\n  \"bench\": \"incremental\",\n  \"bench_meta\": {},\n  \"full_definition\": \
          \"mockup wall + post-change settle wall\",\n  \"results\": [\n    {}\n  ]\n}}\n",
+        crystalnet_bench::meta::bench_meta_json(1),
         json_rows.join(",\n    ")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");

@@ -171,8 +171,9 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"recovery_latency\",\n  \"seed\": {SEED},\n  \
+        "{{\n  \"bench\": \"recovery_latency\",\n  \"bench_meta\": {},\n  \"seed\": {SEED},\n  \
          \"samples\": {samples},\n  \"results\": [\n    {}\n  ]\n}}\n",
+        crystalnet_bench::meta::bench_meta_json(1),
         rows.join(",\n    ")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");

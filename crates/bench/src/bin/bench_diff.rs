@@ -1,0 +1,407 @@
+//! `bench_diff`: regression diffing between two sets of `BENCH_*.json`
+//! artifacts (a checked-in *baseline* directory and a freshly measured
+//! *current* one).
+//!
+//! ```text
+//! bench_diff <baseline-dir> <current-dir> [--threshold PCT] [--out PATH]
+//! ```
+//!
+//! Row identity is structural: the bench name plus every string field
+//! of the row plus the discrete shape fields (`workers`, `devices`,
+//! `vms`) — so reordering rows or adding new ones never misattributes
+//! a timing. Metrics are every numeric row field ending in `_seconds`.
+//! A metric regresses when `current > baseline × (1 + threshold/100)`
+//! (default 20%).
+//!
+//! Tolerance comes from the shared `bench_meta` block and per-row
+//! flags: rows marked `degraded` on either side (oversubscribed run),
+//! files whose two `bench_meta.hardware_threads` differ (different
+//! machines), or mismatched `schema_version`s downgrade regressions to
+//! warnings — those wall clocks are not comparable, and failing CI on
+//! them would train people to ignore the gate. A baseline row missing
+//! from current is always a hard failure: silently dropping coverage
+//! must not pass.
+//!
+//! Exit status: 0 when no hard regressions, 1 when any, 2 on usage or
+//! I/O errors. `--out` additionally writes the report to a file (the
+//! CI artifact).
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// The artifact set a full bench run produces at the workspace root.
+const BENCH_FILES: [&str; 4] = [
+    "BENCH_convergence.json",
+    "BENCH_recovery.json",
+    "BENCH_incremental.json",
+    "BENCH_fork.json",
+];
+
+/// Discrete per-row shape fields that are identity, not measurement.
+const IDENTITY_NUMERIC: [&str; 3] = ["workers", "devices", "vms"];
+
+fn as_num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Uint(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// The stable identity of one result row: bench name + every string
+/// field + the discrete shape fields, in the row's own key order.
+fn row_key(bench: &str, row: &Value) -> String {
+    let mut key = bench.to_string();
+    if let Value::Object(entries) = row {
+        for (k, v) in entries {
+            match v {
+                Value::Str(s) => {
+                    let _ = write!(key, " {k}={s}");
+                }
+                _ if IDENTITY_NUMERIC.contains(&k.as_str()) => {
+                    if let Some(n) = as_num(v) {
+                        let _ = write!(key, " {k}={n}");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    key
+}
+
+fn is_degraded(row: &Value) -> bool {
+    row.get("degraded") == Some(&Value::Bool(true))
+}
+
+/// Indexes a report's `results` rows by [`row_key`]. Duplicate keys
+/// keep the first row (and the caller's counts still cover the rest).
+fn rows_by_key<'a>(bench: &str, report: &'a Value) -> BTreeMap<String, &'a Value> {
+    let mut map = BTreeMap::new();
+    if let Some(rows) = report.get("results").and_then(Value::as_array) {
+        for row in rows {
+            map.entry(row_key(bench, row)).or_insert(row);
+        }
+    }
+    map
+}
+
+/// Accumulated outcome of one diff run.
+#[derive(Default)]
+struct Diff {
+    /// Hard failures: real slowdowns and lost coverage.
+    regressions: Vec<String>,
+    /// Downgraded or advisory findings (degraded rows, meta mismatches).
+    warnings: Vec<String>,
+    /// Speedups beyond the threshold, reported for trend reading.
+    improvements: Vec<String>,
+    /// Metrics compared (a zero here means the diff saw no data).
+    compared: usize,
+}
+
+/// Why a file's regressions are only advisory, if they are.
+fn file_downgrade_reason(name: &str, base: &Value, cur: &Value, diff: &mut Diff) -> Option<String> {
+    let (bm, cm) = (base.get("bench_meta"), cur.get("bench_meta"));
+    let (Some(bm), Some(cm)) = (bm, cm) else {
+        diff.warnings
+            .push(format!("{name}: bench_meta missing on one side"));
+        return None;
+    };
+    let field = |m: &Value, k: &str| m.get(k).and_then(serde_json::Value::as_u64);
+    if field(bm, "schema_version") != field(cm, "schema_version") {
+        return Some("schema_version mismatch".into());
+    }
+    if field(bm, "hardware_threads") != field(cm, "hardware_threads") {
+        return Some("hardware_threads mismatch (different machines)".into());
+    }
+    if is_degraded(bm) || is_degraded(cm) {
+        return Some("bench_meta.degraded run".into());
+    }
+    None
+}
+
+/// Diffs one baseline/current report pair into `diff`.
+fn diff_reports(name: &str, base: &Value, cur: &Value, threshold_pct: f64, diff: &mut Diff) {
+    let downgrade = file_downgrade_reason(name, base, cur, diff);
+    if let Some(reason) = &downgrade {
+        diff.warnings.push(format!(
+            "{name}: {reason} — regressions in this file are advisory"
+        ));
+    }
+    let base_rows = rows_by_key(name, base);
+    let cur_rows = rows_by_key(name, cur);
+    for key in cur_rows.keys() {
+        if !base_rows.contains_key(key) {
+            diff.warnings.push(format!("new row (no baseline): {key}"));
+        }
+    }
+    for (key, brow) in &base_rows {
+        let Some(crow) = cur_rows.get(key) else {
+            // Lost coverage is never advisory: a deleted row would
+            // otherwise hide exactly the regression it used to catch.
+            diff.regressions
+                .push(format!("row missing from current: {key}"));
+            continue;
+        };
+        let advisory = downgrade.is_some() || is_degraded(brow) || is_degraded(crow);
+        let Value::Object(entries) = *brow else {
+            continue;
+        };
+        for (mkey, bval) in entries {
+            if !mkey.ends_with("_seconds") {
+                continue;
+            }
+            let (Some(b), Some(c)) = (as_num(bval), crow.get(mkey).and_then(as_num)) else {
+                continue;
+            };
+            diff.compared += 1;
+            let ratio = c / b.max(1e-12);
+            let pct = (ratio - 1.0) * 100.0;
+            if pct > threshold_pct {
+                let msg = format!("{key} :: {mkey}: {b:.6}s -> {c:.6}s (+{pct:.1}%)");
+                if advisory {
+                    diff.warnings.push(format!("{msg} [degraded — advisory]"));
+                } else {
+                    diff.regressions.push(msg);
+                }
+            } else if pct < -threshold_pct {
+                diff.improvements
+                    .push(format!("{key} :: {mkey}: {b:.6}s -> {c:.6}s ({pct:.1}%)"));
+            }
+        }
+    }
+}
+
+/// Renders the human/CI report.
+fn render(diff: &Diff, threshold_pct: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench_diff: {} metric(s) compared, threshold {threshold_pct}%",
+        diff.compared
+    );
+    for (title, items) in [
+        ("REGRESSIONS", &diff.regressions),
+        ("warnings", &diff.warnings),
+        ("improvements", &diff.improvements),
+    ] {
+        let _ = writeln!(out, "{title}: {}", items.len());
+        for item in items {
+            let _ = writeln!(out, "  {item}");
+        }
+    }
+    out
+}
+
+fn run(baseline: &Path, current: &Path, threshold_pct: f64) -> Result<Diff, String> {
+    let mut diff = Diff::default();
+    let mut seen_any = false;
+    for name in BENCH_FILES {
+        let (bpath, cpath) = (baseline.join(name), current.join(name));
+        match (bpath.exists(), cpath.exists()) {
+            (false, false) => continue,
+            (true, false) => {
+                diff.regressions
+                    .push(format!("{name}: present in baseline, missing from current"));
+                continue;
+            }
+            (false, true) => {
+                diff.warnings
+                    .push(format!("{name}: new artifact (no baseline)"));
+                continue;
+            }
+            (true, true) => {}
+        }
+        let read = |p: &Path| -> Result<Value, String> {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", p.display()))
+        };
+        diff_reports(
+            name,
+            &read(&bpath)?,
+            &read(&cpath)?,
+            threshold_pct,
+            &mut diff,
+        );
+        seen_any = true;
+    }
+    if !seen_any && diff.regressions.is_empty() {
+        return Err(format!(
+            "no {} artifacts found under either directory",
+            "BENCH_*.json"
+        ));
+    }
+    Ok(diff)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut threshold_pct = 20.0;
+    let mut out_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threshold_pct = v,
+                None => {
+                    eprintln!("--threshold needs a numeric percentage");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out_path = it.next(),
+            _ => positional.push(arg),
+        }
+    }
+    let [baseline, current] = positional.as_slice() else {
+        eprintln!("usage: bench_diff <baseline-dir> <current-dir> [--threshold PCT] [--out PATH]");
+        return ExitCode::from(2);
+    };
+    let diff = match run(Path::new(baseline), Path::new(current), threshold_pct) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = render(&diff, threshold_pct);
+    print!("{report}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("bench_diff: write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if diff.regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(median: f64, degraded_row: bool, meta_degraded: bool, hw: u64) -> Value {
+        serde_json::from_str(&format!(
+            "{{\"bench\": \"convergence_scaling\", \
+              \"bench_meta\": {{\"schema_version\": 1, \"hardware_threads\": {hw}, \
+              \"workers\": 8, \"degraded\": {meta_degraded}}}, \
+              \"results\": [ \
+                {{\"topology\": \"clos-64\", \"devices\": 64, \"workers\": 1, \
+                  \"median_seconds\": {median:.6}, \"degraded\": {degraded_row}}}, \
+                {{\"topology\": \"clos-64\", \"devices\": 64, \"workers\": 4, \
+                  \"median_seconds\": 0.5, \"degraded\": false}} ]}}"
+        ))
+        .expect("fixture parses")
+    }
+
+    fn diff_of(base: &Value, cur: &Value, threshold: f64) -> Diff {
+        let mut d = Diff::default();
+        diff_reports("BENCH_convergence.json", base, cur, threshold, &mut d);
+        d
+    }
+
+    #[test]
+    fn identical_sets_have_zero_regressions() {
+        let r = report(2.0, false, false, 8);
+        let d = diff_of(&r, &r, 20.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+        assert!(d.improvements.is_empty());
+        assert_eq!(d.compared, 2);
+    }
+
+    #[test]
+    fn injected_slowdown_is_a_regression() {
+        let d = diff_of(
+            &report(2.0, false, false, 8),
+            &report(4.0, false, false, 8),
+            20.0,
+        );
+        assert_eq!(d.regressions.len(), 1, "{:?}", d.regressions);
+        assert!(d.regressions[0].contains("median_seconds"));
+        assert!(d.regressions[0].contains("+100.0%"));
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let base = report(2.0, false, false, 8);
+        let cur = report(2.3, false, false, 8); // +15%
+        assert!(diff_of(&base, &cur, 20.0).regressions.is_empty());
+        assert_eq!(diff_of(&base, &cur, 10.0).regressions.len(), 1);
+    }
+
+    #[test]
+    fn degraded_row_downgrades_to_warning() {
+        let d = diff_of(
+            &report(2.0, true, false, 8),
+            &report(4.0, true, false, 8),
+            20.0,
+        );
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+        assert!(d.warnings.iter().any(|w| w.contains("advisory")));
+    }
+
+    #[test]
+    fn hardware_mismatch_downgrades_whole_file() {
+        let d = diff_of(
+            &report(2.0, false, false, 8),
+            &report(4.0, false, false, 2),
+            20.0,
+        );
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+        assert!(d.warnings.iter().any(|w| w.contains("hardware_threads")));
+    }
+
+    #[test]
+    fn missing_row_is_a_hard_failure_even_when_degraded() {
+        let base = report(2.0, false, true, 8);
+        let mut cur = report(2.0, false, true, 8);
+        if let Value::Object(entries) = &mut cur {
+            for (k, v) in entries.iter_mut() {
+                if k == "results" {
+                    if let Value::Array(rows) = v {
+                        rows.pop();
+                    }
+                }
+            }
+        }
+        let d = diff_of(&base, &cur, 20.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("row missing"));
+    }
+
+    #[test]
+    fn improvements_are_reported_not_failed() {
+        let d = diff_of(
+            &report(4.0, false, false, 8),
+            &report(2.0, false, false, 8),
+            20.0,
+        );
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.improvements.len(), 1);
+    }
+
+    #[test]
+    fn row_identity_survives_reordering() {
+        let base = report(2.0, false, false, 8);
+        let mut cur = report(2.0, false, false, 8);
+        if let Value::Object(entries) = &mut cur {
+            for (k, v) in entries.iter_mut() {
+                if k == "results" {
+                    if let Value::Array(rows) = v {
+                        rows.reverse();
+                    }
+                }
+            }
+        }
+        let d = diff_of(&base, &cur, 20.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+        assert_eq!(d.compared, 2);
+    }
+}

@@ -16,5 +16,6 @@ pub mod config;
 pub mod fig8;
 pub mod fig9;
 pub mod incidents;
+pub mod meta;
 pub mod ops;
 pub mod tables;

@@ -25,8 +25,10 @@ use crate::prepare::PrepareOutput;
 use bytes::Bytes;
 use crystalnet_config::DeviceConfig;
 use crystalnet_dataplane::{
+    FibEntry,
     ForwardDecision,
     Ipv4Packet,
+    NextHop,
     Signature,
     TraceEvent,
     TraceStore, //
@@ -35,8 +37,10 @@ use crystalnet_net::{partition_grouped, DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, 
 use crystalnet_routing::harness::{WorkKind, WorkModel};
 use crystalnet_routing::{BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, VendorProfile};
 use crystalnet_sim::{EventId, SimDuration, SimRng, SimTime};
+use crystalnet_telemetry::profile::keys as profile_keys;
 use crystalnet_telemetry::{
-    trace_chrome_json, trace_jsonl, FieldValue, MemRecorder, RunReport, SpanRecord, TraceRecord,
+    trace_chrome_json, trace_jsonl, CowStats, DeviceMem, DeviceMemTotals, FieldValue, InternerMem,
+    MemRecorder, MemorySection, QueueMem, Recorder, RunReport, SpanRecord, TraceRecord,
 };
 use crystalnet_vnet::{
     BridgeImpl,
@@ -53,6 +57,7 @@ use crystalnet_vnet::{
 };
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A typed failure from the [`Emulation`] control/monitor surface.
 ///
@@ -159,6 +164,13 @@ pub struct MockupOptions {
     /// rest of telemetry on; drops are counted in the run report under
     /// `telemetry.trace_dropped`.
     pub trace_capacity: usize,
+    /// Whether to collect the wall-clock run profile: hierarchical
+    /// span timings, the parallel executor's grant timeline and
+    /// critical-path `scaling_diagnosis`, and memory accounting —
+    /// surfaced through `RunReport::to_json_full()`. Off by default:
+    /// wall timing is nondeterministic and the canonical report must
+    /// stay byte-stable. Implies `telemetry`.
+    pub profiling: bool,
 }
 
 impl Default for MockupOptions {
@@ -174,6 +186,7 @@ impl Default for MockupOptions {
             health: HealthPolicy::default(),
             telemetry: true,
             trace_capacity: 65_536,
+            profiling: false,
         }
     }
 }
@@ -285,6 +298,14 @@ impl MockupOptionsBuilder {
     #[must_use]
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.options.trace_capacity = capacity;
+        self
+    }
+
+    /// Whether to collect the wall-clock run profile (off by default;
+    /// see [`MockupOptions::profiling`]).
+    #[must_use]
+    pub fn profiling(mut self, profiling: bool) -> Self {
+        self.options.profiling = profiling;
         self
     }
 
@@ -488,6 +509,7 @@ pub struct Emulation {
 /// convergence.
 #[must_use]
 pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
+    let t_mockup = options.profiling.then(Instant::now);
     let topo = prep.topo.clone();
     let plan = &prep.vm_plan;
 
@@ -608,9 +630,12 @@ pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
         boot_seq: HashMap::new(),
     };
     let mut sim = ControlPlaneSim::new(&topo, Box::new(work));
-    if options.telemetry {
-        sim.engine.world.recorder =
-            Box::new(MemRecorder::with_trace_capacity(options.trace_capacity));
+    if options.telemetry || options.profiling {
+        let mut rec = MemRecorder::with_trace_capacity(options.trace_capacity);
+        if options.profiling {
+            rec = rec.with_profiling();
+        }
+        sim.engine.world.recorder = Box::new(rec);
         sim.sync_tracing();
     }
 
@@ -652,6 +677,7 @@ pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
     install_costs(&mut sim, device_cost);
 
     sim.boot_all(network_ready_at);
+    let t_converge = options.profiling.then(Instant::now);
     let route_ready_at = converge(
         &mut sim,
         &topo,
@@ -660,6 +686,12 @@ pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
         network_ready_at + options.deadline,
     )
     .expect("emulation failed to converge before the deadline");
+    if let Some(t0) = t_converge {
+        sim.engine.world.recorder.profile_add(
+            profile_keys::MOCKUP_CONVERGE,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
     let route_ops = sim.engine.world.route_ops_total;
 
     // Phase spans + orchestrator events, emitted serially so their order
@@ -684,6 +716,13 @@ pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
             "route_ready",
             vec![("route_ops", FieldValue::U64(route_ops))],
         );
+    }
+
+    if let Some(t0) = t_mockup {
+        sim.engine
+            .world
+            .recorder
+            .profile_add(profile_keys::MOCKUP, t0.elapsed().as_nanos() as u64);
     }
 
     // Mark sandboxes running.
@@ -952,7 +991,72 @@ impl Emulation {
         report
             .diagnostics
             .insert("routing.intern_misses".to_string(), misses);
+        if mem.profiling_enabled() {
+            report.memory = Some(self.memory_section(None));
+        }
         report
+    }
+
+    /// Builds the memory-accounting section of a profiled report.
+    ///
+    /// Byte figures are entry counts multiplied by struct-size
+    /// estimates, not allocator measurements — deterministic for a seed
+    /// on a given platform, which is what a regression baseline needs.
+    pub(crate) fn memory_section(&self, fork_cow: Option<CowStats>) -> MemorySection {
+        use std::mem::size_of;
+        // RIB entries hold a prefix plus an interned-attrs handle and
+        // per-peer bookkeeping; interned attrs records amortize an AS
+        // path and hash-table slot. Both are flat per-entry estimates.
+        const RIB_ENTRY_BYTES: u64 = 48;
+        const ATTRS_BYTES: u64 = 96;
+        const QUEUE_EVENT_BYTES: u64 = 128;
+
+        let mut totals = DeviceMemTotals::default();
+        let mut per_dev: Vec<DeviceMem> = Vec::new();
+        let mut devs: Vec<DeviceId> = self.sandboxes.keys().copied().collect();
+        devs.sort_by_key(|d| d.0);
+        for dev in devs {
+            let Some(os) = self.sim.os(dev) else { continue };
+            let rib_entries = os.rib_size() as u64;
+            let fib = os.fib();
+            let prefixes = fib.len() as u64;
+            let routes = fib.route_entry_count() as u64;
+            let fib_bytes = prefixes * size_of::<(Ipv4Prefix, FibEntry)>() as u64
+                + routes * size_of::<NextHop>() as u64;
+            let rib_bytes = rib_entries * RIB_ENTRY_BYTES;
+            totals.devices += 1;
+            totals.rib_entries += rib_entries;
+            totals.rib_bytes += rib_bytes;
+            totals.fib_prefixes += prefixes;
+            totals.fib_route_entries += routes;
+            totals.fib_bytes += fib_bytes;
+            per_dev.push(DeviceMem {
+                device: dev.0,
+                rib_bytes,
+                fib_bytes,
+            });
+        }
+        per_dev.sort_by_key(|d| (std::cmp::Reverse(d.rib_bytes + d.fib_bytes), d.device));
+        per_dev.truncate(8);
+
+        let (hits, _misses) = crystalnet_routing::intern_stats();
+        let entries = crystalnet_routing::PathAttrs::interned_count() as u64;
+        let pending = self.sim.engine.events_pending() as u64;
+        MemorySection {
+            devices: totals,
+            top_devices: per_dev,
+            interner: InternerMem {
+                entries,
+                table_bytes: entries * ATTRS_BYTES,
+                hits,
+                hit_bytes_saved: hits * ATTRS_BYTES,
+            },
+            event_queue: QueueMem {
+                pending_events: pending,
+                residue_bytes: pending * QUEUE_EVENT_BYTES,
+            },
+            fork_cow,
+        }
     }
 
     /// The live [`VmWorkModel`] inside the sim, if one is installed.
@@ -975,6 +1079,7 @@ impl Emulation {
     pub fn settle(&mut self) -> Result<SimTime, EmulationError> {
         let start = self.now();
         let deadline = start + self.options.deadline;
+        let t_settle = self.options.profiling.then(Instant::now);
         let settled = converge(
             &mut self.sim,
             &self.topo,
@@ -984,6 +1089,9 @@ impl Emulation {
         )
         .ok_or(EmulationError::NotConverged)?;
         let rec = &mut *self.sim.engine.world.recorder;
+        if let Some(t0) = t_settle {
+            rec.profile_add(profile_keys::SETTLE, t0.elapsed().as_nanos() as u64);
+        }
         if rec.enabled() {
             rec.span("settle", None, start, settled);
         }
@@ -1574,6 +1682,7 @@ impl Emulation {
     ///   fork's report reads "baseline + fork activity".
     /// * **Immutable spine** — `prep` is shared by `Arc`.
     pub(crate) fn fork_emulation(&self) -> Emulation {
+        let t_fork = self.options.profiling.then(Instant::now);
         let cloud = Arc::new(Mutex::new(
             self.cloud.lock().expect("cloud lock poisoned").clone(),
         ));
@@ -1591,7 +1700,7 @@ impl Emulation {
             Box::new(forked)
         };
         let recorder = self.sim.engine.world.recorder.snapshot();
-        Emulation {
+        let mut child = Emulation {
             topo: self.topo.clone(),
             sim: self.sim.fork_with(work, recorder),
             cloud,
@@ -1614,7 +1723,16 @@ impl Emulation {
             classification: self.classification.clone(),
             emulated_now: self.emulated_now.clone(),
             next_signature: self.next_signature,
+        };
+        if let Some(t0) = t_fork {
+            child
+                .sim
+                .engine
+                .world
+                .recorder
+                .profile_add(profile_keys::FORK, t0.elapsed().as_nanos() as u64);
         }
+        child
     }
 }
 

@@ -498,6 +498,12 @@ impl Emulation {
 
         let total = delta.total_fib_changes() as u64;
         let rec = &mut *self.sim.engine.world.recorder;
+        if rec.profiling_enabled() {
+            rec.profile_add(
+                crystalnet_telemetry::profile::keys::APPLY,
+                wall_start.elapsed().as_nanos() as u64,
+            );
+        }
         if rec.enabled() {
             rec.span("apply_change", None, start, settled_at);
             rec.counter_add("core.apply_change.steps", delta.applied.len() as u64);

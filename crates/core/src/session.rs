@@ -40,6 +40,7 @@ use crystalnet_config::ChangeSet;
 use crystalnet_dataplane::FibEntry;
 use crystalnet_net::{DeviceId, Ipv4Prefix};
 use crystalnet_sim::SimTime;
+use crystalnet_telemetry::CowStats;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Internal alias for the per-device FIB + provenance-digest tables a
@@ -234,6 +235,40 @@ impl EmulationFork {
     /// session does not wrap (packet injection, `login_and_run`, …).
     pub fn emulation_mut(&mut self) -> &mut Emulation {
         &mut self.child
+    }
+
+    /// Estimates the fork's copy-on-write sharing: bytes shared with
+    /// the parent (the `Arc<PrepareOutput>` spine, the process-wide
+    /// interned path-attribute pool) versus bytes deep-copied for the
+    /// child (RIB/FIB tables, event-queue residue). Entry counts ×
+    /// struct-size estimates, not allocator measurements — computed on
+    /// demand, so an unused fork costs nothing extra.
+    #[must_use]
+    pub fn cow_stats(&self) -> CowStats {
+        let mem = self.child.memory_section(None);
+        // The immutable prepare spine: configs, topology tables, VM
+        // plan. Flat per-record estimates, like the memory section's.
+        let prep = &self.child.prep;
+        let prep_bytes = prep.configs.len() as u64 * 256
+            + prep.topo.device_count() as u64 * 128
+            + prep.topo.link_count() as u64 * 64;
+        CowStats {
+            shared_bytes: prep_bytes + mem.interner.table_bytes,
+            copied_bytes: mem.devices.rib_bytes
+                + mem.devices.fib_bytes
+                + mem.event_queue.residue_bytes,
+        }
+    }
+
+    /// [`Emulation::pull_report`] on the forked child, with the memory
+    /// section's `fork_cow` block filled in (profiling runs only).
+    #[must_use]
+    pub fn pull_report(&self) -> crystalnet_telemetry::RunReport {
+        let mut report = self.child.pull_report();
+        if let Some(memory) = report.memory.as_mut() {
+            memory.fork_cow = Some(self.cow_stats());
+        }
+        report
     }
 
     /// Commits the session: the parent *becomes* the child, adopting

@@ -1,13 +1,11 @@
-//! Incremental re-convergence tests: the differential guarantee that
-//! `apply_change`'s warm-start result is bit-identical to a full
-//! re-settle from the same seed, for every change kind and across worker
-//! counts; plus dirty-set semantics (no-op diffs touch nothing, speakers
-//! bound the ripple) and the interaction with fault quarantine.
-
-// The deprecated in-place `apply_change` is exactly what this file
-// pins down (the fork path must stay bit-identical to it), so the
-// legacy calls are intentional.
-#![allow(deprecated)]
+//! Incremental re-convergence tests: the differential guarantee that a
+//! warm-start session apply (fork, rehearse, commit) is bit-identical
+//! to a full re-settle from the same seed, for every change kind and
+//! across worker counts; plus dirty-set semantics (no-op diffs touch
+//! nothing, speakers bound the ripple) and the interaction with fault
+//! quarantine. Exactly one test still calls the deprecated in-place
+//! `apply_change` wrapper, pinning it to the session path until it is
+//! removed.
 
 use crystalnet::prelude::*;
 use crystalnet::PlanOptions;
@@ -69,6 +67,15 @@ fn fig7b_prep() -> PrepareOutput {
         SpeakerSource::Snapshot(&prod),
         &PlanOptions::default(),
     )
+}
+
+/// Applies `set` through the supported session path — fork, rehearse
+/// on the child, commit the child back into `emu`.
+fn apply_session(emu: &mut Emulation, set: &ChangeSet) -> Result<ConvergenceDelta, EmulationError> {
+    let mut fork = emu.fork();
+    let delta = fork.apply(set)?;
+    fork.commit(emu);
+    Ok(delta)
 }
 
 /// Every emulated device's full FIB, keyed by id.
@@ -144,7 +151,7 @@ fn noop_and_empty_changesets_touch_nothing() {
     let before = fib_map(&emu);
     let at = emu.now();
 
-    let delta = emu.apply_change(&ChangeSet::new()).expect("empty set ok");
+    let delta = apply_session(&mut emu, &ChangeSet::new()).expect("empty set ok");
     assert!(delta.is_noop());
     assert!(delta.dirty.is_empty() && delta.fib_changes.is_empty());
     assert_eq!(delta.settled_at, at);
@@ -154,8 +161,7 @@ fn noop_and_empty_changesets_touch_nothing() {
     // injected, no session resets, no FIB churn.
     let f = fig7();
     let same = prepared_config(&emu, f.spines[0]);
-    let delta = emu
-        .apply_change(&ChangeSet::new().config_update(f.spines[0], same))
+    let delta = apply_session(&mut emu, &ChangeSet::new().config_update(f.spines[0], same))
         .expect("no-op config ok");
     assert_eq!(delta.applied.len(), 1);
     assert_eq!(delta.applied[0].impact, Some(ChangeImpact::NoOp));
@@ -186,9 +192,11 @@ fn policy_edit_matches_cold_boot_across_workers() {
         // Step 1: attach the deny policy — touching `neighbors` is a
         // session reset (who the device talks to changed shape).
         let deny_t1 = deny_on_import(&base, t1_net);
-        let d1 = emu
-            .apply_change(&ChangeSet::new().config_update(spine, deny_t1.clone()))
-            .expect("session-reset change applies");
+        let d1 = apply_session(
+            &mut emu,
+            &ChangeSet::new().config_update(spine, deny_t1.clone()),
+        )
+        .expect("session-reset change applies");
         assert_eq!(d1.applied[0].impact, Some(ChangeImpact::SessionReset));
         assert!(!d1.dirty.is_empty());
         assert!(
@@ -200,9 +208,11 @@ fn policy_edit_matches_cold_boot_across_workers() {
         // soft-refreshed over the live sessions (no reset): t1's prefix
         // must come back via route-refresh replay, t2's must go.
         let deny_t2 = deny_on_import(&deny_t1, t2_net);
-        let d2 = emu
-            .apply_change(&ChangeSet::new().config_update(spine, deny_t2.clone()))
-            .expect("soft-refresh change applies");
+        let d2 = apply_session(
+            &mut emu,
+            &ChangeSet::new().config_update(spine, deny_t2.clone()),
+        )
+        .expect("soft-refresh change applies");
         assert_eq!(d2.applied[0].impact, Some(ChangeImpact::SoftRefresh));
         let spine_changes = d2.fib_changes.get(&spine).expect("spine FIB changed");
         assert!(spine_changes
@@ -264,9 +274,8 @@ fn link_down_matches_full_resettle_across_workers() {
     let mut per_worker: Vec<BTreeMap<Dev, Fib>> = Vec::new();
     for workers in [1usize, 4] {
         let mut emu = fig7_emu(11, workers);
-        let delta = emu
-            .apply_change(&ChangeSet::new().link_down(lid))
-            .expect("link-down applies");
+        let delta =
+            apply_session(&mut emu, &ChangeSet::new().link_down(lid)).expect("link-down applies");
         assert!(delta.dirty.contains(&f.spines[0]) && delta.dirty.contains(&f.leaves[0]));
         assert!(
             delta.total_fib_changes() > 0,
@@ -306,16 +315,18 @@ fn speaker_route_swap_matches_cold_boot_across_workers() {
             "l5 is a speaker sandbox in the 7b boundary"
         );
 
-        let delta = emu
-            .apply_change(&ChangeSet::new().speaker_route_swap(
+        let delta = apply_session(
+            &mut emu,
+            &ChangeSet::new().speaker_route_swap(
                 speaker,
                 vec![SpeakerRoute {
                     prefix: swapped,
                     as_path: as_path.clone(),
                     med: 0,
                 }],
-            ))
-            .expect("speaker swap applies");
+            ),
+        )
+        .expect("speaker swap applies");
         assert!(delta.dirty.contains(&speaker));
         assert!(
             delta.total_fib_changes() > 0,
@@ -382,8 +393,7 @@ fn dirty_set_stops_at_speaker_barriers() {
         .networks
         .push("10.42.0.0/24".parse().unwrap());
 
-    let delta = emu
-        .apply_change(&ChangeSet::new().config_update(t1, edited))
+    let delta = apply_session(&mut emu, &ChangeSet::new().config_update(t1, edited))
         .expect("network edit applies");
     // Speakers are *included* when reached (their adjacency matters) but
     // never expanded through: nothing outside the emulated scope appears.
@@ -441,8 +451,7 @@ fn acl_only_change_dirties_a_sliver_of_clos64() {
             }],
         },
     );
-    let delta = emu
-        .apply_change(&ChangeSet::new().config_update(tor, edited))
+    let delta = apply_session(&mut emu, &ChangeSet::new().config_update(tor, edited))
         .expect("acl edit applies");
     assert_eq!(delta.applied[0].impact, Some(ChangeImpact::SoftRefresh));
 
@@ -492,8 +501,7 @@ fn device_removal_works_while_a_quarantine_is_active() {
     emu.settle().expect("post-quarantine convergence");
     assert_ne!(emu.sandboxes[&victim].vm, 0, "victim must be on the spare");
 
-    let delta = emu
-        .apply_change(&ChangeSet::new().device_remove(victim))
+    let delta = apply_session(&mut emu, &ChangeSet::new().device_remove(victim))
         .expect("removal applies on a quarantined placement");
     assert!(delta.dirty.contains(&victim));
     assert!(!emu.sandboxes.contains_key(&victim));
@@ -519,12 +527,49 @@ fn device_removal_works_while_a_quarantine_is_active() {
         },
     );
     let mut cold = mockup(Arc::new(prep2), MockupOptions::builder().seed(9).build());
-    cold.apply_change(&ChangeSet::new().device_remove(victim))
+    apply_session(&mut cold, &ChangeSet::new().device_remove(victim))
         .expect("fault-free removal applies");
     assert_eq!(
         fib_map(&emu),
         fib_map(&cold),
         "quarantine history must not change the post-removal fixed point"
+    );
+}
+
+/// The deprecated in-place `apply_change` wrapper must keep delegating
+/// to the session path bit-for-bit until it is removed. This is the
+/// one test still allowed to call it — every other caller has moved to
+/// fork/apply/commit.
+#[test]
+#[allow(deprecated)]
+fn deprecated_apply_change_wrapper_matches_session_path() {
+    let f = fig7();
+    let lid = f
+        .topo
+        .links()
+        .find(|(_, l)| {
+            let pair = [l.a.device, l.b.device];
+            pair.contains(&f.spines[0]) && pair.contains(&f.leaves[0])
+        })
+        .map(|(lid, _)| lid)
+        .expect("fig7 has an s1-l1 link");
+
+    let mut legacy = fig7_emu(17, 1);
+    let mut session = fig7_emu(17, 1);
+    let d_legacy = legacy
+        .apply_change(&ChangeSet::new().link_down(lid))
+        .expect("wrapper applies");
+    let d_session =
+        apply_session(&mut session, &ChangeSet::new().link_down(lid)).expect("session applies");
+
+    assert_eq!(d_legacy.dirty, d_session.dirty);
+    assert_eq!(d_legacy.fib_changes, d_session.fib_changes);
+    assert_eq!(d_legacy.settled_at, d_session.settled_at);
+    assert_eq!(d_legacy.events_executed, d_session.events_executed);
+    assert_eq!(
+        fib_map(&legacy),
+        fib_map(&session),
+        "wrapper and session path must land on identical FIBs"
     );
 }
 

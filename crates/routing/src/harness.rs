@@ -14,10 +14,18 @@ use crate::msg::{BgpMsg, Frame};
 use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
 use crystalnet_dataplane::{decide, Fib, ForwardDecision, Ipv4Packet};
 use crystalnet_net::{DeviceId, LinkId, Partition, Topology};
-use crystalnet_sim::parallel::{run_shards_until_quiet_matrix, LookaheadMatrix, ParallelWorld};
+use crystalnet_sim::parallel::{
+    run_shards_until_quiet_matrix_profiled, GrantRecord, Limiter, LookaheadMatrix, ParallelProfile,
+    ParallelWorld,
+};
 use crystalnet_sim::{Engine, EventFire, EventId, SimDuration, SimTime};
-use crystalnet_telemetry::{FieldValue, NoopRecorder, Recorder, TraceRecord};
+use crystalnet_telemetry::profile::keys;
+use crystalnet_telemetry::{
+    BlameBreakdown, CriticalLink, FieldValue, NoopRecorder, Recorder, ScalingDiagnosis, ShardLoad,
+    TraceRecord,
+};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Work classes a device performs (costed by the [`WorkModel`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -668,24 +676,37 @@ impl ControlPlaneSim {
     /// Returns the route-ready instant (the completion time of the last
     /// route-changing work) on convergence; `None` on deadline overrun.
     pub fn run_until_quiet(&mut self, quiet: SimDuration, deadline: SimTime) -> Option<SimTime> {
-        loop {
+        let profiled = self
+            .engine
+            .world
+            .recorder
+            .profiling_enabled()
+            .then(Instant::now);
+        let out = loop {
             if self.engine.now() > deadline {
-                return None;
+                break None;
             }
             let last = self.engine.world.last_route_activity;
             match self.engine.next_event_time() {
                 // Nothing left to happen: converged.
-                None => return Some(last),
+                None => break Some(last),
                 // Only pure timers remain and the next one lies beyond
                 // the quiet horizon: every causal chain has played out.
                 Some(t) if self.engine.world.causal_pending == 0 && t > last + quiet => {
-                    return Some(last)
+                    break Some(last)
                 }
                 Some(_) => {
                     self.engine.step();
                 }
             }
+        };
+        if let Some(t0) = profiled {
+            self.engine
+                .world
+                .recorder
+                .profile_add(keys::ENGINE_RUN, t0.elapsed().as_nanos() as u64);
         }
+        out
     }
 
     /// [`Self::run_until_quiet`] on worker threads: forks the world into
@@ -733,6 +754,8 @@ impl ControlPlaneSim {
             // The serial loop bails before touching the queue; so do we.
             return (None, shard_work);
         }
+        let profiling = self.engine.world.recorder.profiling_enabled();
+        let t_all = profiling.then(Instant::now);
 
         // Per-pair conservative lookahead: no frame crosses from shard i
         // to shard j faster than their cheapest connecting cut link;
@@ -763,6 +786,7 @@ impl ControlPlaneSim {
         let lookahead = LookaheadMatrix::from_nanos(k, direct);
 
         // ---- Fork: one world replica per shard. ----
+        let t_fork = profiling.then(Instant::now);
         let pending = self.engine.drain_pending();
         let world = &mut self.engine.world;
         let mut engines: Vec<ControlPlaneEngine> = shard_work
@@ -817,31 +841,40 @@ impl ControlPlaneSim {
             }
         }
 
-        let outcome = run_shards_until_quiet_matrix(engines, &lookahead, quiet, deadline);
+        if let Some(t0) = t_fork {
+            self.engine
+                .world
+                .recorder
+                .profile_add(keys::PARALLEL_FORK, t0.elapsed().as_nanos() as u64);
+        }
+
+        let t_run = profiling.then(Instant::now);
+        let mut outcome =
+            run_shards_until_quiet_matrix_profiled(engines, &lookahead, quiet, deadline, profiling);
+        if let Some(t0) = t_run {
+            self.engine
+                .world
+                .recorder
+                .profile_add(keys::PARALLEL_RUN, t0.elapsed().as_nanos() as u64);
+        }
 
         // ---- Join: merge shard state back into the serial world. ----
+        let t_join = profiling.then(Instant::now);
         let mut shard_models: Vec<Box<dyn WorkModel>> = Vec::with_capacity(k);
         let mut crashes: Vec<(SimTime, DeviceId)> = Vec::new();
         let mut responses: Vec<(DeviceId, MgmtResponse)> = Vec::new();
         let mut remaining: Vec<(SimTime, HarnessEvent)> = Vec::new();
+        let mut shard_executed: Vec<u64> = Vec::with_capacity(k);
+        let mut shard_queue_high: Vec<u64> = Vec::with_capacity(k);
         for (s, mut eng) in outcome.shards.into_iter().enumerate() {
-            let executed = eng.events_executed();
-            let queue_high = eng.queue_high_water();
+            shard_executed.push(eng.events_executed());
+            shard_queue_high.push(eng.queue_high_water() as u64);
             let drained = eng.drain_pending();
             let mut sw = eng.world;
             let world = &mut self.engine.world;
             // Canonical shard metrics merge order-independently; the
             // per-shard execution-shape facts go in as diagnostics.
             world.recorder.absorb(sw.recorder);
-            if world.recorder.enabled() {
-                world
-                    .recorder
-                    .diagnostic_add(format!("sim.parallel.shard{s}.events_executed"), executed);
-                world.recorder.diagnostic_max(
-                    format!("sim.parallel.shard{s}.queue_high_water"),
-                    queue_high as u64,
-                );
-            }
             for &dev in &partition.shards[s] {
                 let i = dev.index();
                 world.oses[i] = sw.oses[i].take();
@@ -892,11 +925,11 @@ impl ControlPlaneSim {
                 outcome.horizon_advances,
             );
             // Events-per-window histogram (power-of-two buckets) plus
-            // per-shard idle wall-time: the execution-shape facts needed
-            // to diagnose a scaling regression from `pull_report()`
-            // without bisection. Idle time is wall-clock, hence
-            // nondeterministic — diagnostics only, never the canonical
-            // report.
+            // per-shard execution-shape arrays: the facts needed to
+            // diagnose a scaling regression from `pull_report()` without
+            // bisection. Idle time is wall-clock, hence nondeterministic
+            // — diagnostics only, never the canonical report. The arrays
+            // describe the most recent parallel run in this report.
             let hist = &outcome.window_hist;
             rec.diagnostic_add("sim.parallel.window_events.count".to_string(), hist.count);
             rec.diagnostic_add("sim.parallel.window_events.sum".to_string(), hist.sum);
@@ -906,9 +939,41 @@ impl ControlPlaneSim {
                     rec.diagnostic_add(format!("sim.parallel.window_events.bucket{b}"), n);
                 }
             }
-            for (s, &ns) in outcome.idle_ns.iter().enumerate() {
-                rec.diagnostic_add(format!("sim.parallel.shard{s}.idle_ns"), ns);
-            }
+            rec.diagnostic_array(
+                "sim.parallel.shard.events_executed".to_string(),
+                shard_executed.clone(),
+            );
+            rec.diagnostic_array(
+                "sim.parallel.shard.queue_high_water".to_string(),
+                shard_queue_high,
+            );
+            rec.diagnostic_array(
+                "sim.parallel.shard.idle_ns".to_string(),
+                outcome.idle_ns.clone(),
+            );
+        }
+        if let Some(profile) = outcome.profile.take() {
+            let rec = &mut *self.engine.world.recorder;
+            rec.profile_add(keys::PARALLEL_COMPUTE, profile.busy_ns.iter().sum());
+            rec.profile_add(keys::PARALLEL_MERGE, profile.merge_ns);
+            rec.profile_add(keys::PARALLEL_IDLE, outcome.idle_ns.iter().sum());
+            rec.scaling_diagnosis(diagnose_scaling(
+                &profile,
+                &outcome.idle_ns,
+                &shard_executed,
+            ));
+        }
+        if let Some(t0) = t_join {
+            self.engine
+                .world
+                .recorder
+                .profile_add(keys::PARALLEL_JOIN, t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(t0) = t_all {
+            self.engine
+                .world
+                .recorder
+                .profile_add(keys::PARALLEL, t0.elapsed().as_nanos() as u64);
         }
 
         (outcome.converged_at, shard_models)
@@ -1029,6 +1094,118 @@ impl ControlPlaneSim {
             }
         }
         (path, last)
+    }
+}
+
+/// Stable export label for a grant's limiter.
+fn limiter_label(l: Limiter) -> String {
+    match l {
+        Limiter::Echo => "echo".to_string(),
+        Limiter::Peer(j) => format!("peer:{j}"),
+        Limiter::QuietClip => "quiet-clip".to_string(),
+        Limiter::DeadlineClip => "deadline-clip".to_string(),
+        Limiter::Lockstep => "lockstep".to_string(),
+        Limiter::Deliver => "deliver".to_string(),
+    }
+}
+
+/// Grant-kind label (`window`, `deliver`, `step`) for exports.
+fn grant_kind(l: Limiter) -> &'static str {
+    match l {
+        Limiter::Lockstep => "step",
+        Limiter::Deliver => "deliver",
+        _ => "window",
+    }
+}
+
+/// Reconstructs the chain of grants that bounded run completion and
+/// classifies each straggler interval.
+///
+/// Walking back from the last grant to finish, the predecessor of a
+/// grant is the latest grant that completed before it was issued — the
+/// command whose reply the coordinator had to fold in before this one
+/// could go out. Time *inside* a grant is blamed on its limiter
+/// (a peer bound ⇒ lookahead-starved, otherwise work-bound); the gap
+/// between a predecessor's completion and the successor's issue is
+/// coordinator-side merging ⇒ merge-bound. All wall-clock, hence
+/// nondeterministic: full-report diagnostics only.
+fn diagnose_scaling(
+    profile: &ParallelProfile,
+    idle_ns: &[u64],
+    shard_executed: &[u64],
+) -> ScalingDiagnosis {
+    let grants = &profile.grants;
+    // Walk the chain back from the last completion.
+    let mut chain: Vec<&GrantRecord> = Vec::new();
+    let mut cur = grants.iter().max_by_key(|g| g.done_ns);
+    while let Some(g) = cur {
+        chain.push(g);
+        cur = grants
+            .iter()
+            .filter(|p| p.done_ns <= g.issue_ns)
+            .max_by_key(|p| p.done_ns);
+    }
+    chain.reverse();
+
+    // Blame totals over the whole chain (even the links the export cap
+    // drops), so the breakdown always accounts for the full path.
+    let mut blame = BlameBreakdown::default();
+    let mut prev_done: Option<u64> = None;
+    let mut links: Vec<CriticalLink> = Vec::with_capacity(chain.len());
+    for g in &chain {
+        let exec = g.done_ns.saturating_sub(g.issue_ns);
+        let gap = prev_done.map_or(0, |d| g.issue_ns.saturating_sub(d));
+        blame.merge_bound_ns += gap;
+        let starved = matches!(g.limiter, Limiter::Peer(_));
+        if starved {
+            blame.lookahead_starved_ns += exec;
+        } else {
+            blame.work_bound_ns += exec;
+        }
+        let label = if starved {
+            "lookahead-starved"
+        } else if gap > exec {
+            "merge-bound"
+        } else {
+            "work-bound"
+        };
+        links.push(CriticalLink {
+            shard: g.shard as u32,
+            kind: grant_kind(g.limiter).to_string(),
+            limiter: limiter_label(g.limiter),
+            start_ns: g.issue_ns,
+            end_ns: g.done_ns,
+            executed: g.executed,
+            blame: label.to_string(),
+        });
+        prev_done = Some(g.done_ns);
+    }
+    // Keep the links nearest completion when the chain is long.
+    if links.len() > ScalingDiagnosis::CRITICAL_PATH_CAP {
+        links.drain(..links.len() - ScalingDiagnosis::CRITICAL_PATH_CAP);
+    }
+
+    let k = profile.busy_ns.len();
+    let per_shard = (0..k)
+        .map(|s| ShardLoad {
+            shard: s as u32,
+            grants: grants.iter().filter(|g| g.shard == s).count() as u64,
+            executed: shard_executed.get(s).copied().unwrap_or(0),
+            busy_ns: profile.busy_ns[s],
+            idle_ns: idle_ns.get(s).copied().unwrap_or(0),
+        })
+        .collect();
+
+    ScalingDiagnosis {
+        shards: k as u32,
+        run_wall_ns: profile.run_wall_ns,
+        compute_ns: profile.busy_ns.iter().sum(),
+        merge_ns: profile.merge_ns,
+        idle_ns: idle_ns.iter().sum(),
+        grants: grants.len() as u64,
+        blame,
+        critical_path: links,
+        per_shard,
     }
 }
 

@@ -227,7 +227,7 @@ pub trait ParallelWorld: Send + Sized {
 pub const WINDOW_HIST_BUCKETS: usize = 17;
 
 /// Compact histogram of events executed per window grant.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WindowHist {
     /// Grants recorded.
     pub count: u64,
@@ -240,9 +240,11 @@ pub struct WindowHist {
 }
 
 impl WindowHist {
-    fn record(&mut self, events: u64) {
+    /// Records one grant that executed `events` events. `sum`
+    /// saturates rather than wraps on pathological totals.
+    pub fn record(&mut self, events: u64) {
         self.count += 1;
-        self.sum += events;
+        self.sum = self.sum.saturating_add(events);
         self.max = self.max.max(events);
         let b = if events == 0 {
             0
@@ -250,6 +252,17 @@ impl WindowHist {
             ((64 - events.leading_zeros()) as usize).min(WINDOW_HIST_BUCKETS - 1)
         };
         self.buckets[b] += 1;
+    }
+
+    /// Folds another histogram into this one. Associative and
+    /// commutative, so shard-local histograms merge in any order.
+    pub fn absorb(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (b, v) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += v;
+        }
     }
 
     /// Mean events per grant (0.0 when nothing was recorded).
@@ -261,6 +274,58 @@ impl WindowHist {
             self.sum as f64 / self.count as f64
         }
     }
+}
+
+/// The binding term of the horizon rule when a command was issued —
+/// *why* the grant's window ended where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// The shard's own echo bound `lb_i + echo_i` was the minimum.
+    Echo,
+    /// Peer `j`'s bound `lb_j + dist[j][i]` was the minimum — the
+    /// shard is starved for lookahead from that peer.
+    Peer(usize),
+    /// The window was clipped at the quiet horizon `last + quiet`.
+    QuietClip,
+    /// The window was clipped at `deadline`.
+    DeadlineClip,
+    /// A lock-step single-event round past the quiet horizon.
+    Lockstep,
+    /// An envelope-delivery grant that fires nothing.
+    Deliver,
+}
+
+/// One coordinator command with wall-clock bounds, captured only on
+/// profiling runs. Timestamps are nanoseconds since coordinator start;
+/// wall-clock, hence nondeterministic — route to diagnostics, never
+/// the canonical report.
+#[derive(Debug, Clone)]
+pub struct GrantRecord {
+    /// Destination shard.
+    pub shard: usize,
+    /// Why the window ended where it did.
+    pub limiter: Limiter,
+    /// When the coordinator sent the command.
+    pub issue_ns: u64,
+    /// When the coordinator folded the reply back in.
+    pub done_ns: u64,
+    /// Events the command executed.
+    pub executed: u64,
+}
+
+/// Wall-clock profile of one parallel run (profiling runs only).
+#[derive(Debug, Clone, Default)]
+pub struct ParallelProfile {
+    /// Every command issued, in completion order.
+    pub grants: Vec<GrantRecord>,
+    /// Coordinator wall-clock spent merging worker replies (outbox
+    /// sort/merge plus status bookkeeping).
+    pub merge_ns: u64,
+    /// Cumulative wall-clock each worker spent executing commands, in
+    /// shard order.
+    pub busy_ns: Vec<u64>,
+    /// Wall-clock from coordinator start to verdict.
+    pub run_wall_ns: u64,
 }
 
 /// Result of a parallel run: the verdict plus the shard engines for the
@@ -288,6 +353,9 @@ pub struct ParallelOutcome<W: ParallelWorld> {
     pub idle_ns: Vec<u64>,
     /// Events executed per window grant.
     pub window_hist: WindowHist,
+    /// Grant timeline and coordinator timings; `Some` only when the
+    /// run was started with profiling enabled.
+    pub profile: Option<ParallelProfile>,
 }
 
 /// Coordinator → worker commands.
@@ -317,6 +385,8 @@ struct Status<E> {
     /// Cumulative wall-clock nanoseconds spent blocked on the grant
     /// channel.
     idle_ns: u64,
+    /// Cumulative wall-clock nanoseconds spent executing commands.
+    busy_ns: u64,
     outbox: Vec<(usize, SimTime, E)>,
 }
 
@@ -325,6 +395,7 @@ fn status_of<W: ParallelWorld>(
     eng: &Engine<W, W::Ev>,
     executed_delta: u64,
     idle_ns: u64,
+    busy_ns: u64,
     outbox: Vec<(usize, SimTime, W::Ev)>,
 ) -> Status<W::Ev> {
     Status {
@@ -335,6 +406,7 @@ fn status_of<W: ParallelWorld>(
         clock: eng.now(),
         executed_delta,
         idle_ns,
+        busy_ns,
         outbox,
     }
 }
@@ -386,6 +458,135 @@ pub fn run_shards_until_quiet<W: ParallelWorld>(
     run_shards_until_quiet_matrix(shards, &m, quiet, deadline)
 }
 
+/// Coordinator bookkeeping, folded into a struct so the integrate step
+/// (worker reply → coordinator state) updates it as one unit and the
+/// profiling capture can ride along without widening every call site.
+struct Coord<W: ParallelWorld> {
+    k: usize,
+    /// Latest report per shard.
+    stats: Vec<Option<Status<W::Ev>>>,
+    /// Set while a command is outstanding, with the virtual-time lower
+    /// bound recorded at grant time (no event the worker fires, and no
+    /// envelope it emits, can precede it).
+    busy: Vec<Option<(BusyKind, SimTime)>>,
+    /// Cross-shard envelopes awaiting delivery, per destination,
+    /// sorted by `(time, key)`.
+    inflight: Vec<Vec<(SimTime, W::Ev)>>,
+    idle_ns: Vec<u64>,
+    busy_ns: Vec<u64>,
+    window_hist: WindowHist,
+    /// Limiter + issue timestamp of the outstanding command; recorded
+    /// only when profiling.
+    pending: Vec<Option<(Limiter, u64)>>,
+    grants: Vec<GrantRecord>,
+    merge_ns: u64,
+    profile: bool,
+    started: Instant,
+}
+
+impl<W: ParallelWorld> Coord<W> {
+    fn new(k: usize, profile: bool) -> Self {
+        Self {
+            k,
+            stats: (0..k).map(|_| None).collect(),
+            busy: vec![None; k],
+            inflight: (0..k).map(|_| Vec::new()).collect(),
+            idle_ns: vec![0; k],
+            busy_ns: vec![0; k],
+            window_hist: WindowHist::default(),
+            pending: vec![None; k],
+            grants: Vec::new(),
+            merge_ns: 0,
+            profile,
+            started: Instant::now(),
+        }
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Marks `shard` busy on a just-sent command; captures the grant's
+    /// limiter and issue time when profiling.
+    fn issue(&mut self, shard: usize, kind: BusyKind, bound: SimTime, limiter: Limiter) {
+        self.busy[shard] = Some((kind, bound));
+        if self.profile {
+            self.pending[shard] = Some((limiter, self.elapsed_ns()));
+        }
+    }
+
+    /// Folds one worker report into coordinator state.
+    fn integrate(&mut self, st: Status<W::Ev>) {
+        let merge_started = if self.profile {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let mut st = st;
+        let shard = st.shard;
+        let mut batches: Vec<Vec<(SimTime, W::Ev)>> = (0..self.k).map(|_| Vec::new()).collect();
+        for (dest, t, ev) in st.outbox.drain(..) {
+            batches[dest].push((t, ev));
+        }
+        for (dest, batch) in batches.into_iter().enumerate() {
+            let mut batch: Vec<((SimTime, u64), W::Ev)> = batch
+                .into_iter()
+                .map(|(t, ev)| ((t, ev.key()), ev))
+                .collect();
+            batch.sort_by_key(|e| e.0);
+            // Re-keyed merge keeps (time, key) order without Ord on Ev.
+            let old = std::mem::take(&mut self.inflight[dest]);
+            let mut merged = Vec::with_capacity(old.len() + batch.len());
+            let mut a = old.into_iter().peekable();
+            let mut b = batch.into_iter().peekable();
+            while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+                let ra = (x.0, x.1.key());
+                if ra <= y.0 {
+                    merged.push(a.next().unwrap());
+                } else {
+                    let (rank, ev) = b.next().unwrap();
+                    merged.push((rank.0, ev));
+                }
+            }
+            merged.extend(a);
+            merged.extend(b.map(|(rank, ev)| (rank.0, ev)));
+            self.inflight[dest] = merged;
+        }
+        self.idle_ns[shard] = st.idle_ns;
+        self.busy_ns[shard] = st.busy_ns;
+        if let Some((BusyKind::Window, _)) = self.busy[shard] {
+            self.window_hist.record(st.executed_delta);
+        }
+        if let Some((limiter, issue_ns)) = self.pending[shard].take() {
+            self.grants.push(GrantRecord {
+                shard,
+                limiter,
+                issue_ns,
+                done_ns: self.elapsed_ns(),
+                executed: st.executed_delta,
+            });
+        }
+        self.busy[shard] = None;
+        self.stats[shard] = Some(st);
+        if let Some(t0) = merge_started {
+            self.merge_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Extracts the profile section (consumes the captured grants).
+    fn take_profile(&mut self) -> Option<ParallelProfile> {
+        if !self.profile {
+            return None;
+        }
+        Some(ParallelProfile {
+            grants: std::mem::take(&mut self.grants),
+            merge_ns: self.merge_ns,
+            busy_ns: self.busy_ns.clone(),
+            run_wall_ns: self.elapsed_ns(),
+        })
+    }
+}
+
 /// Runs sharded engines until global quiescence: no causal events remain
 /// and the next pending event (anywhere) lies more than `quiet` past the
 /// last activity. Returns `converged_at = None` if quiescence is not
@@ -405,6 +606,29 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
     quiet: SimDuration,
     deadline: SimTime,
 ) -> ParallelOutcome<W> {
+    run_shards_until_quiet_matrix_profiled(shards, matrix, quiet, deadline, false)
+}
+
+/// [`run_shards_until_quiet_matrix`] with an explicit profiling switch.
+///
+/// When `profile` is true the coordinator additionally captures the
+/// full grant timeline ([`GrantRecord`] per command, with the horizon
+/// term that bounded each window), per-worker busy time, and its own
+/// merge time, returned as [`ParallelOutcome::profile`]. Profiling
+/// touches only wall-clock bookkeeping — the virtual event execution
+/// is bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty, `matrix.shard_count() != shards.len()`,
+/// or a worker thread panics (e.g. an event handler panicked).
+pub fn run_shards_until_quiet_matrix_profiled<W: ParallelWorld>(
+    shards: Vec<Engine<W, W::Ev>>,
+    matrix: &LookaheadMatrix,
+    quiet: SimDuration,
+    deadline: SimTime,
+    profile: bool,
+) -> ParallelOutcome<W> {
     let k = shards.len();
     assert!(k > 0, "at least one shard required");
     assert_eq!(matrix.shard_count(), k, "matrix must match shard count");
@@ -420,14 +644,16 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
             handles.push(scope.spawn(move || {
                 // Initial status so the coordinator sees the starting
                 // queue before the first grant.
-                stx.send(status_of(i, &eng, 0, 0, Vec::new())).ok();
+                stx.send(status_of(i, &eng, 0, 0, 0, Vec::new())).ok();
                 let mut idle_ns: u64 = 0;
+                let mut busy_ns: u64 = 0;
                 loop {
                     let blocked = Instant::now();
                     let cmd = rx.recv().expect("coordinator hung up");
                     idle_ns += blocked.elapsed().as_nanos() as u64;
                     match cmd {
                         Cmd::Run { end, inbox } => {
+                            let started = Instant::now();
                             enqueue(&mut eng, inbox);
                             let before = eng.events_executed();
                             while let Some(t) = eng.next_event_time() {
@@ -438,12 +664,17 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
                             }
                             let delta = eng.events_executed() - before;
                             let outbox = eng.world.take_outbox();
-                            stx.send(status_of(i, &eng, delta, idle_ns, outbox)).ok();
+                            busy_ns += started.elapsed().as_nanos() as u64;
+                            stx.send(status_of(i, &eng, delta, idle_ns, busy_ns, outbox))
+                                .ok();
                         }
                         Cmd::StepOne => {
+                            let started = Instant::now();
                             eng.step();
                             let outbox = eng.world.take_outbox();
-                            stx.send(status_of(i, &eng, 1, idle_ns, outbox)).ok();
+                            busy_ns += started.elapsed().as_nanos() as u64;
+                            stx.send(status_of(i, &eng, 1, idle_ns, busy_ns, outbox))
+                                .ok();
                         }
                         Cmd::Finish { inbox } => {
                             enqueue(&mut eng, inbox);
@@ -455,78 +686,16 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
         }
         drop(stx);
 
-        // Latest report per shard; `busy[i]` is set while a command is
-        // outstanding, with the virtual-time lower bound recorded at
-        // grant time (no event the worker fires, and no envelope it
-        // emits, can precede it).
-        let mut stats: Vec<Option<Status<W::Ev>>> = (0..k).map(|_| None).collect();
-        let mut busy: Vec<Option<(BusyKind, SimTime)>> = vec![None; k];
-        // Cross-shard envelopes awaiting delivery, per destination,
-        // sorted by (time, key).
-        let mut inflight: Vec<Vec<(SimTime, W::Ev)>> = (0..k).map(|_| Vec::new()).collect();
+        let mut co = Coord::<W>::new(k, profile);
         let mut windows: u64 = 0;
         let mut lockstep_rounds: u64 = 0;
         let mut horizon_advances: u64 = 0;
         let mut horizon_seen: Vec<u64> = vec![0; k];
-        let mut idle_ns: Vec<u64> = vec![0; k];
-        let mut window_hist = WindowHist::default();
-
-        // Folds one worker report into coordinator state.
-        let integrate = |st: Status<W::Ev>,
-                         stats: &mut Vec<Option<Status<W::Ev>>>,
-                         busy: &mut Vec<Option<(BusyKind, SimTime)>>,
-                         inflight: &mut Vec<Vec<(SimTime, W::Ev)>>,
-                         idle_ns: &mut Vec<u64>,
-                         window_hist: &mut WindowHist| {
-            let mut st = st;
-            let shard = st.shard;
-            let mut batches: Vec<Vec<(SimTime, W::Ev)>> = (0..k).map(|_| Vec::new()).collect();
-            for (dest, t, ev) in st.outbox.drain(..) {
-                batches[dest].push((t, ev));
-            }
-            for (dest, batch) in batches.into_iter().enumerate() {
-                let mut batch: Vec<((SimTime, u64), W::Ev)> = batch
-                    .into_iter()
-                    .map(|(t, ev)| ((t, ev.key()), ev))
-                    .collect();
-                batch.sort_by_key(|e| e.0);
-                // Re-keyed merge keeps (time, key) order without Ord on Ev.
-                let old = std::mem::take(&mut inflight[dest]);
-                let mut merged = Vec::with_capacity(old.len() + batch.len());
-                let mut a = old.into_iter().peekable();
-                let mut b = batch.into_iter().peekable();
-                while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
-                    let ra = (x.0, x.1.key());
-                    if ra <= y.0 {
-                        merged.push(a.next().unwrap());
-                    } else {
-                        let (rank, ev) = b.next().unwrap();
-                        merged.push((rank.0, ev));
-                    }
-                }
-                merged.extend(a);
-                merged.extend(b.map(|(rank, ev)| (rank.0, ev)));
-                inflight[dest] = merged;
-            }
-            idle_ns[shard] = st.idle_ns;
-            if let Some((BusyKind::Window, _)) = busy[shard] {
-                window_hist.record(st.executed_delta);
-            }
-            busy[shard] = None;
-            stats[shard] = Some(st);
-        };
 
         // The first status from every worker (its starting queue).
         for _ in 0..k {
             let st = srx.recv().expect("worker died");
-            integrate(
-                st,
-                &mut stats,
-                &mut busy,
-                &mut inflight,
-                &mut idle_ns,
-                &mut window_hist,
-            );
+            co.integrate(st);
         }
 
         let epsilon = SimDuration::from_nanos(1);
@@ -535,14 +704,7 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
         loop {
             // Drain any further reports that arrived meanwhile.
             while let Ok(st) = srx.try_recv() {
-                integrate(
-                    st,
-                    &mut stats,
-                    &mut busy,
-                    &mut inflight,
-                    &mut idle_ns,
-                    &mut window_hist,
-                );
+                co.integrate(st);
             }
 
             // Per-shard lower bounds on the next executable event time:
@@ -552,30 +714,30 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
             let mut next: Option<(SimTime, u64)> = None;
             let mut causal: u64 = 0;
             let mut last = SimTime::ZERO;
-            for i in 0..k {
-                let st = stats[i].as_ref().expect("status seen for every shard");
-                let mut lb = match busy[i] {
+            for (i, lb_slot) in lb_ns.iter_mut().enumerate().take(k) {
+                let st = co.stats[i].as_ref().expect("status seen for every shard");
+                let mut lb = match co.busy[i] {
                     Some((_, bound)) => bound.as_nanos(),
                     None => st.next.map_or(u64::MAX, |(t, _)| t.as_nanos()),
                 };
-                if busy[i].is_none() {
+                if co.busy[i].is_none() {
                     if let Some(rank) = st.next {
                         next = Some(next.map_or(rank, |n| n.min(rank)));
                     }
                 }
-                if let Some((t, ev)) = inflight[i].first() {
+                if let Some((t, ev)) = co.inflight[i].first() {
                     lb = lb.min(t.as_nanos());
                     let rank = (*t, ev.key());
                     next = Some(next.map_or(rank, |n| n.min(rank)));
                 }
-                for (_, ev) in &inflight[i] {
+                for (_, ev) in &co.inflight[i] {
                     causal += u64::from(W::is_causal(ev));
                 }
-                lb_ns[i] = lb;
+                *lb_slot = lb;
                 causal += st.causal;
                 last = last.max(st.last);
             }
-            let all_idle = busy.iter().all(Option::is_none);
+            let all_idle = co.busy.iter().all(Option::is_none);
 
             // Stop predicates and the lock-step fallback need the exact
             // serial view: every shard idle, every envelope visible.
@@ -600,38 +762,28 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
                     // lock-step. A key replicated across shards is one
                     // logical event — step every holder.
                     Some((t, key)) if t > deadline || t > last + quiet => {
-                        if inflight.iter().any(|v| !v.is_empty()) {
+                        if co.inflight.iter().any(|v| !v.is_empty()) {
                             // Deliver envelopes first: the minimal event
                             // may still be in flight. `end = t` fires
                             // nothing (t is the global minimum).
                             let mut sent = 0usize;
-                            for i in 0..k {
-                                if inflight[i].is_empty() {
+                            for (i, tx) in txs.iter().enumerate().take(k) {
+                                if co.inflight[i].is_empty() {
                                     continue;
                                 }
-                                busy[i] = Some((BusyKind::Deliver, t));
-                                txs[i]
-                                    .send(Cmd::Run {
-                                        end: t,
-                                        inbox: std::mem::take(&mut inflight[i]),
-                                    })
-                                    .expect("worker died");
+                                co.issue(i, BusyKind::Deliver, t, Limiter::Deliver);
+                                let inbox = std::mem::take(&mut co.inflight[i]);
+                                tx.send(Cmd::Run { end: t, inbox }).expect("worker died");
                                 sent += 1;
                             }
                             for _ in 0..sent {
                                 let st = srx.recv().expect("worker died");
-                                integrate(
-                                    st,
-                                    &mut stats,
-                                    &mut busy,
-                                    &mut inflight,
-                                    &mut idle_ns,
-                                    &mut window_hist,
-                                );
+                                co.integrate(st);
                             }
                             continue;
                         }
-                        let holders: Vec<usize> = stats
+                        let holders: Vec<usize> = co
+                            .stats
                             .iter()
                             .flatten()
                             .filter(|st| st.next == Some((t, key)))
@@ -639,19 +791,12 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
                             .collect();
                         lockstep_rounds += 1;
                         for &i in &holders {
-                            busy[i] = Some((BusyKind::Step, t));
+                            co.issue(i, BusyKind::Step, t, Limiter::Lockstep);
                             txs[i].send(Cmd::StepOne).expect("worker died");
                         }
                         for _ in 0..holders.len() {
                             let st = srx.recv().expect("worker died");
-                            integrate(
-                                st,
-                                &mut stats,
-                                &mut busy,
-                                &mut inflight,
-                                &mut idle_ns,
-                                &mut window_hist,
-                            );
+                            co.integrate(st);
                         }
                         if t > deadline {
                             // The serial loop fires the first over-deadline
@@ -669,12 +814,12 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
             // below its own safe horizon gets its next window now —
             // independently of its peers. Shards with nothing actionable
             // get no message at all.
-            let clip_ns = (last + quiet + epsilon)
-                .as_nanos()
-                .min((deadline + epsilon).as_nanos());
+            let quiet_ns = (last + quiet + epsilon).as_nanos();
+            let deadline_ns = (deadline + epsilon).as_nanos();
+            let clip_ns = quiet_ns.min(deadline_ns);
             let mut granted = 0usize;
             for i in 0..k {
-                if busy[i].is_some() {
+                if co.busy[i].is_some() {
                     continue;
                 }
                 let eff_next = lb_ns[i];
@@ -682,6 +827,7 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
                     continue;
                 }
                 let mut horizon = lb_ns[i].saturating_add(matrix.echo(i));
+                let mut limiter = Limiter::Echo;
                 for (j, &lb) in lb_ns.iter().enumerate() {
                     if j == i {
                         continue;
@@ -690,23 +836,35 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
                     if d == NO_PATH {
                         continue;
                     }
-                    horizon = horizon.min(lb.saturating_add(d));
+                    let bound = lb.saturating_add(d);
+                    if bound < horizon {
+                        horizon = bound;
+                        limiter = Limiter::Peer(j);
+                    }
                 }
                 if horizon > horizon_seen[i] {
                     horizon_seen[i] = horizon;
                     horizon_advances += 1;
                 }
                 let end_ns = horizon.min(clip_ns);
+                if clip_ns < horizon {
+                    limiter = if deadline_ns < quiet_ns {
+                        Limiter::DeadlineClip
+                    } else {
+                        Limiter::QuietClip
+                    };
+                }
                 if eff_next >= end_ns {
                     continue;
                 }
-                busy[i] = Some((BusyKind::Window, at(eff_next)));
+                co.issue(i, BusyKind::Window, at(eff_next), limiter);
                 windows += 1;
                 granted += 1;
+                let inbox = std::mem::take(&mut co.inflight[i]);
                 txs[i]
                     .send(Cmd::Run {
                         end: at(end_ns),
-                        inbox: std::mem::take(&mut inflight[i]),
+                        inbox,
                     })
                     .expect("worker died");
             }
@@ -720,18 +878,12 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
                     "coordinator stalled with all shards idle — horizon rule violated"
                 );
                 let st = srx.recv().expect("worker died");
-                integrate(
-                    st,
-                    &mut stats,
-                    &mut busy,
-                    &mut inflight,
-                    &mut idle_ns,
-                    &mut window_hist,
-                );
+                co.integrate(st);
             }
         }
 
-        let clock = stats
+        let clock = co
+            .stats
             .iter()
             .flatten()
             .map(|st| st.clock)
@@ -739,7 +891,7 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
             .unwrap_or(SimTime::ZERO);
         for (i, tx) in txs.iter().enumerate() {
             tx.send(Cmd::Finish {
-                inbox: std::mem::take(&mut inflight[i]),
+                inbox: std::mem::take(&mut co.inflight[i]),
             })
             .expect("worker died");
         }
@@ -747,6 +899,7 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect();
+        let profile = co.take_profile();
         ParallelOutcome {
             converged_at,
             clock,
@@ -754,8 +907,9 @@ pub fn run_shards_until_quiet_matrix<W: ParallelWorld>(
             windows,
             lockstep_rounds,
             horizon_advances,
-            idle_ns,
-            window_hist,
+            idle_ns: co.idle_ns,
+            window_hist: co.window_hist,
+            profile,
         }
     })
 }
@@ -1060,5 +1214,115 @@ mod tests {
         let m = LookaheadMatrix::uniform(1, SimDuration::from_micros(1));
         assert_eq!(m.shard_count(), 1);
         assert_eq!(m.echo(0), NO_PATH);
+    }
+
+    #[test]
+    fn window_hist_empty() {
+        let h = WindowHist::default();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0);
+        assert_eq!(h.max, 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn window_hist_single_bucket() {
+        // Bucket b > 0 covers [2^(b-1), 2^b): 2 and 3 both land in
+        // bucket 2, empty grants in bucket 0, single events in bucket 1.
+        let mut h = WindowHist::default();
+        h.record(2);
+        h.record(3);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!((h.count, h.sum, h.max), (2, 5, 3));
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.mean(), 6.0 / 4.0);
+    }
+
+    #[test]
+    fn window_hist_overflow_bucket() {
+        // Anything ≥ 2^15 collapses into the final absorbing bucket.
+        let mut h = WindowHist::default();
+        h.record(1 << 15);
+        h.record(1 << 40);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[WINDOW_HIST_BUCKETS - 1], 3);
+        assert_eq!(h.max, u64::MAX);
+        // The last representable non-overflow value stays out of it.
+        h.record((1 << 15) - 1);
+        assert_eq!(h.buckets[WINDOW_HIST_BUCKETS - 1], 3);
+        assert_eq!(h.buckets[WINDOW_HIST_BUCKETS - 2], 1);
+    }
+
+    #[test]
+    fn window_hist_merge_associative() {
+        let hist_of = |events: &[u64]| {
+            let mut h = WindowHist::default();
+            for &e in events {
+                h.record(e);
+            }
+            h
+        };
+        let a = hist_of(&[0, 1, 7]);
+        let b = hist_of(&[2, 1 << 20]);
+        let c = hist_of(&[3, 3, u64::MAX]);
+
+        let mut ab_c = a.clone();
+        ab_c.absorb(&b);
+        ab_c.absorb(&c);
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut a_bc = a.clone();
+        a_bc.absorb(&bc);
+        assert_eq!(ab_c, a_bc);
+        // Merging shard-local histograms equals recording every grant
+        // into one histogram.
+        assert_eq!(ab_c, hist_of(&[0, 1, 7, 2, 1 << 20, 3, 3, u64::MAX]));
+        // Identity element.
+        let mut with_empty = ab_c.clone();
+        with_empty.absorb(&WindowHist::default());
+        assert_eq!(with_empty, ab_c);
+    }
+
+    #[test]
+    fn profiled_run_captures_grant_timeline() {
+        let mk = || {
+            let mut a = relay(0);
+            let b = relay(1);
+            a.world.causal += 1;
+            a.schedule_event_at(
+                SimTime::ZERO + HOP,
+                Ping {
+                    key: 1,
+                    hops_left: 100,
+                },
+            );
+            vec![a, b]
+        };
+        let m = LookaheadMatrix::uniform(2, HOP);
+        let quiet = SimDuration::from_millis(1);
+        let deadline = SimTime::ZERO + SimDuration::from_secs(10);
+
+        let off = run_shards_until_quiet_matrix_profiled(mk(), &m, quiet, deadline, false);
+        assert!(off.profile.is_none());
+
+        let out = run_shards_until_quiet_matrix_profiled(mk(), &m, quiet, deadline, true);
+        // Profiling must not change virtual execution.
+        assert_eq!(out.converged_at, off.converged_at);
+        assert_eq!(out.clock, off.clock);
+        let p = out.profile.expect("profiling on");
+        assert!(!p.grants.is_empty());
+        assert_eq!(p.busy_ns.len(), 2);
+        for g in &p.grants {
+            assert!(g.done_ns >= g.issue_ns, "grant closed before it opened");
+            assert!(g.shard < 2);
+        }
+        // Every executed event is attributed to exactly one grant.
+        let executed: u64 = p.grants.iter().map(|g| g.executed).sum();
+        assert_eq!(executed, 101);
+        assert!(p.run_wall_ns >= p.grants.iter().map(|g| g.done_ns).max().unwrap());
     }
 }

@@ -43,6 +43,14 @@ use serde::{Serialize, Value};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
+pub mod profile;
+
+pub use profile::{
+    json_key_structure, BlameBreakdown, BlameKind, CowStats, CriticalLink, DeviceMem,
+    DeviceMemTotals, InternerMem, MemorySection, Profile, ProfileEntry, QueueMem, ScalingDiagnosis,
+    ShardLoad,
+};
+
 /// A typed field value attached to an event or report metadata.
 ///
 /// Events carry structured key/value pairs instead of preformatted strings
@@ -552,6 +560,26 @@ pub trait Recorder: Send {
     /// Raises a diagnostic gauge to at least `v`.
     fn diagnostic_max(&mut self, _name: String, _v: u64) {}
 
+    /// Sets an array-valued diagnostic (e.g. one value per shard). Last
+    /// write wins; like scalar diagnostics, arrays never reach the
+    /// canonical export.
+    fn diagnostic_array(&mut self, _name: String, _values: Vec<u64>) {}
+
+    /// Whether wall-clock profiling is on. Instrumentation sites gate
+    /// every `Instant::now()` pair behind this so a profiling-off run
+    /// pays nothing but the branch.
+    fn profiling_enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `wall_ns` of wall-clock time under a [`profile::keys`] key.
+    /// Only meaningful when [`Recorder::profiling_enabled`] is true.
+    fn profile_add(&mut self, _key: &'static str, _wall_ns: u64) {}
+
+    /// Stores the parallel executor's scaling diagnosis for this run.
+    /// Last write wins (each converge replaces the previous diagnosis).
+    fn scaling_diagnosis(&mut self, _d: ScalingDiagnosis) {}
+
     /// Records a completed span. Only call from serial orchestrator code.
     fn span(&mut self, _name: &'static str, _device: Option<u32>, _start: SimTime, _end: SimTime) {}
 
@@ -631,9 +659,13 @@ pub struct MemRecorder {
     histograms: BTreeMap<&'static str, Vec<f64>>,
     diag_counters: BTreeMap<String, u64>,
     diag_gauges: BTreeMap<String, u64>,
+    diag_arrays: BTreeMap<String, Vec<u64>>,
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
     trace: Option<TraceSink>,
+    profiling: bool,
+    profile: BTreeMap<&'static str, (u64, u64)>,
+    scaling: Option<ScalingDiagnosis>,
 }
 
 impl MemRecorder {
@@ -651,6 +683,14 @@ impl MemRecorder {
             trace: (capacity > 0).then(|| TraceSink::new(capacity)),
             ..MemRecorder::default()
         }
+    }
+
+    /// Turns wall-clock profiling on (builder-style). Profiled runs emit
+    /// a [`Profile`] and [`ScalingDiagnosis`] section in the full export.
+    #[must_use]
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
+        self
     }
 
     /// The causal-trace sink, if tracing is on.
@@ -748,6 +788,16 @@ impl MemRecorder {
             events: self.events.clone(),
             journal: Vec::new(),
             diagnostics,
+            diagnostic_arrays: self.diag_arrays.clone(),
+            profile: self
+                .profiling
+                .then(|| Profile::from_recorded(&self.profile)),
+            scaling: self.profiling.then(|| {
+                self.scaling
+                    .clone()
+                    .unwrap_or_else(ScalingDiagnosis::serial)
+            }),
+            memory: None,
         }
     }
 }
@@ -798,6 +848,24 @@ impl Recorder for MemRecorder {
         *g = (*g).max(v);
     }
 
+    fn diagnostic_array(&mut self, name: String, values: Vec<u64>) {
+        self.diag_arrays.insert(name, values);
+    }
+
+    fn profiling_enabled(&self) -> bool {
+        self.profiling
+    }
+
+    fn profile_add(&mut self, key: &'static str, wall_ns: u64) {
+        let e = self.profile.entry(key).or_insert((0, 0));
+        e.0 += wall_ns;
+        e.1 += 1;
+    }
+
+    fn scaling_diagnosis(&mut self, d: ScalingDiagnosis) {
+        self.scaling = Some(d);
+    }
+
     fn span(&mut self, name: &'static str, device: Option<u32>, start: SimTime, end: SimTime) {
         self.spans.push(SpanRecord {
             name: name.to_string(),
@@ -824,10 +892,12 @@ impl Recorder for MemRecorder {
     fn fork(&self) -> Box<dyn Recorder> {
         // Shard sinks share the parent's bound so the post-merge
         // newest-`capacity` set matches a serial run's (see [`TraceSink`]).
-        Box::new(match &self.trace {
+        let mut child = match &self.trace {
             Some(sink) => MemRecorder::with_trace_capacity(sink.capacity()),
             None => MemRecorder::new(),
-        })
+        };
+        child.profiling = self.profiling;
+        Box::new(child)
     }
 
     fn snapshot(&self) -> Box<dyn Recorder> {
@@ -868,6 +938,17 @@ impl Recorder for MemRecorder {
         for (name, v) in child.diag_gauges {
             let g = self.diag_gauges.entry(name).or_insert(0);
             *g = (*g).max(v);
+        }
+        for (name, values) in child.diag_arrays {
+            self.diag_arrays.insert(name, values);
+        }
+        for (key, (wall, count)) in child.profile {
+            let e = self.profile.entry(key).or_insert((0, 0));
+            e.0 += wall;
+            e.1 += count;
+        }
+        if let Some(scaling) = child.scaling {
+            self.scaling = Some(scaling);
         }
         self.spans.extend(child.spans);
         self.events.extend(child.events);
@@ -914,6 +995,19 @@ pub struct RunReport {
     pub journal: Vec<EventRecord>,
     /// Execution-dependent metrics — excluded from the canonical export.
     pub diagnostics: BTreeMap<String, u64>,
+    /// Array-valued execution-dependent metrics (e.g. one value per
+    /// shard), merged into the `diagnostics` object of the full export.
+    pub diagnostic_arrays: BTreeMap<String, Vec<u64>>,
+    /// Wall-clock profile; `Some` when the run had profiling enabled.
+    /// Exported only by [`RunReport::to_json_full`].
+    pub profile: Option<Profile>,
+    /// Parallel-executor scaling diagnosis; `Some` when profiling was
+    /// enabled (a serial run reports [`ScalingDiagnosis::serial`]).
+    /// Exported only by [`RunReport::to_json_full`].
+    pub scaling: Option<ScalingDiagnosis>,
+    /// Memory accounting; `Some` when profiling was enabled. Exported
+    /// only by [`RunReport::to_json_full`].
+    pub memory: Option<MemorySection>,
 }
 
 impl RunReport {
@@ -1015,26 +1109,65 @@ impl RunReport {
     }
 
     /// Full JSON export: the canonical sections plus the
-    /// execution-dependent `diagnostics` section. Not stable across worker
-    /// counts — for humans and perf investigations, never for diffing.
+    /// execution-dependent `diagnostics` section (scalar and array-valued
+    /// keys interleaved in one sorted object) and — when profiling was on
+    /// — the `profile`, `scaling_diagnosis`, and `memory` sections. Not
+    /// stable across worker counts — for humans and perf investigations,
+    /// never for diffing.
     #[must_use]
     pub fn to_json_full(&self) -> String {
         let Value::Object(mut obj) = self.canonical_value() else {
             unreachable!("canonical report is always an object");
         };
+        let mut diag: BTreeMap<String, Value> = self
+            .diagnostics
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Uint(*v)))
+            .collect();
+        for (k, values) in &self.diagnostic_arrays {
+            diag.insert(
+                k.clone(),
+                Value::Array(values.iter().map(|&v| Value::Uint(v)).collect()),
+            );
+        }
         obj.push((
             "diagnostics".to_string(),
-            Value::Object(
-                self.diagnostics
-                    .iter()
-                    .map(|(k, v)| (k.clone(), Value::Uint(*v)))
-                    .collect(),
-            ),
+            Value::Object(diag.into_iter().collect()),
         ));
+        if let Some(profile) = &self.profile {
+            obj.push(("profile".to_string(), profile.to_value()));
+        }
+        if let Some(scaling) = &self.scaling {
+            obj.push(("scaling_diagnosis".to_string(), scaling.to_value()));
+        }
+        if let Some(memory) = &self.memory {
+            obj.push(("memory".to_string(), memory.to_value()));
+        }
         let mut s = serde_json::to_string_pretty(&Value::Object(obj))
             .expect("report serialization is infallible");
         s.push('\n');
         s
+    }
+
+    /// Expands array-valued per-shard diagnostics back into the flat
+    /// per-shard keys older tooling consumed: an array entry
+    /// `sim.parallel.shard.idle_ns = [a, b]` yields
+    /// `sim.parallel.shard0.idle_ns = a` and
+    /// `sim.parallel.shard1.idle_ns = b`. The data is identical to what
+    /// the pre-array reports carried; only the representation moved.
+    #[must_use]
+    pub fn legacy_shard_diagnostics(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (key, values) in &self.diagnostic_arrays {
+            let Some(pos) = key.find(".shard.") else {
+                continue;
+            };
+            let (prefix, field) = (&key[..pos], &key[pos + ".shard.".len()..]);
+            for (shard, &v) in values.iter().enumerate() {
+                out.insert(format!("{prefix}.shard{shard}.{field}"), v);
+            }
+        }
+        out
     }
 
     /// Compact JSON of just the canonical counter section — what the
@@ -1107,6 +1240,35 @@ impl RunReport {
             for (name, v) in &self.diagnostics {
                 let _ = writeln!(out, "    {name:<40} {v}");
             }
+            for (name, values) in &self.diagnostic_arrays {
+                let _ = writeln!(out, "    {name:<40} {values:?}");
+            }
+        }
+        if let Some(profile) = &self.profile {
+            out.push_str("  profile (wall-clock, non-canonical):\n");
+            for (name, e) in &profile.entries {
+                if e.count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "    {name:<40} {:>10.3}ms self {:>10.3}ms  n={}",
+                        e.wall_ns as f64 / 1e6,
+                        e.self_ns as f64 / 1e6,
+                        e.count
+                    );
+                }
+            }
+        }
+        if let Some(scaling) = &self.scaling {
+            let _ = writeln!(
+                out,
+                "  scaling: {} shard(s), {} grant(s), blame \
+                 lookahead {:.3}ms / work {:.3}ms / merge {:.3}ms",
+                scaling.shards,
+                scaling.grants,
+                scaling.blame.lookahead_starved_ns as f64 / 1e6,
+                scaling.blame.work_bound_ns as f64 / 1e6,
+                scaling.blame.merge_bound_ns as f64 / 1e6,
+            );
         }
         out
     }
@@ -1216,6 +1378,84 @@ mod tests {
         assert!(!report.to_json().contains("sim.parallel.windows"));
         assert!(report.to_json_full().contains("sim.parallel.windows"));
         assert!(report.to_json().contains("visible"));
+    }
+
+    #[test]
+    fn profile_and_scaling_excluded_from_canonical_json() {
+        let mut r = MemRecorder::new().with_profiling();
+        assert!(r.profiling_enabled());
+        r.counter_add("visible", 1);
+        r.profile_add(profile::keys::MOCKUP, 1234);
+        r.scaling_diagnosis(ScalingDiagnosis {
+            shards: 2,
+            grants: 5,
+            ..ScalingDiagnosis::default()
+        });
+        let report = r.report();
+        let canonical = report.to_json();
+        assert!(!canonical.contains("profile"));
+        assert!(!canonical.contains("scaling_diagnosis"));
+        let full = report.to_json_full();
+        assert!(full.contains("\"profile\""));
+        assert!(full.contains("\"scaling_diagnosis\""));
+        assert!(full.contains(profile::keys::MOCKUP));
+        assert_eq!(
+            report.profile.as_ref().unwrap().wall_ns("core.mockup"),
+            1234
+        );
+        assert_eq!(report.scaling.as_ref().unwrap().shards, 2);
+    }
+
+    #[test]
+    fn profiling_off_recorder_reports_no_profile_sections() {
+        let mut r = MemRecorder::new();
+        assert!(!r.profiling_enabled());
+        r.counter_add("visible", 1);
+        let report = r.report();
+        assert!(report.profile.is_none() && report.scaling.is_none());
+        assert!(!report.to_json_full().contains("scaling_diagnosis"));
+    }
+
+    #[test]
+    fn serial_profiled_report_defaults_to_a_serial_diagnosis() {
+        let r = MemRecorder::new().with_profiling();
+        let report = r.report();
+        let scaling = report.scaling.as_ref().expect("diagnosis present");
+        assert_eq!(scaling.shards, 1);
+        assert!(scaling.critical_path.is_empty());
+        // Every registry key is present even though none was recorded.
+        let profile = report.profile.as_ref().expect("profile present");
+        assert_eq!(profile.entries.len(), profile::keys::ALL.len());
+    }
+
+    #[test]
+    fn diagnostic_arrays_export_in_full_json_only() {
+        let mut r = MemRecorder::new();
+        r.diagnostic_array("sim.parallel.shard.idle_ns".to_string(), vec![5, 9]);
+        r.diagnostic_add("sim.parallel.windows".to_string(), 3);
+        let report = r.report();
+        assert!(!report.to_json().contains("shard.idle_ns"));
+        let full = report.to_json_full();
+        assert!(full.contains("\"sim.parallel.shard.idle_ns\": [\n"));
+        // Arrays and scalars share one sorted diagnostics object.
+        let legacy = report.legacy_shard_diagnostics();
+        assert_eq!(legacy["sim.parallel.shard0.idle_ns"], 5);
+        assert_eq!(legacy["sim.parallel.shard1.idle_ns"], 9);
+        assert_eq!(legacy.len(), 2);
+    }
+
+    #[test]
+    fn shard_fork_inherits_profiling_and_absorb_merges_profile() {
+        let mut root = MemRecorder::new().with_profiling();
+        let mut shard = root.fork();
+        assert!(shard.profiling_enabled());
+        shard.profile_add(profile::keys::PARALLEL_COMPUTE, 40);
+        root.profile_add(profile::keys::PARALLEL_COMPUTE, 2);
+        root.absorb(shard);
+        let report = root.report();
+        let p = report.profile.as_ref().unwrap();
+        assert_eq!(p.entries["sim.parallel.compute"].wall_ns, 42);
+        assert_eq!(p.entries["sim.parallel.compute"].count, 2);
     }
 
     #[test]
