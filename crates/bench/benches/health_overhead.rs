@@ -1,0 +1,178 @@
+//! Health-plane overhead bench: what the continuous probe mesh costs.
+//!
+//! For each Table 3 scale band the bench runs the same workload twice —
+//! mockup plus 30 virtual seconds of watching the converged fabric —
+//! once with the health plane off (the baseline: exactly the pre-probe
+//! engine) and once with a 1s-period probe mesh on. Prints a table and
+//! writes `BENCH_health.json` at the workspace root.
+//!
+//! Before any timing is accepted, the probes-on run's FIBs are checked
+//! bit-identical to the probes-off run's — the probe mesh observes the
+//! control plane and must never perturb it. A fast probe round that
+//! leaked into convergence is not a result.
+//!
+//! Timings are the median of `CRYSTALNET_REPS` samples (default 3,
+//! min 2). Both paths run single-worker so the overhead ratio is pure
+//! event-loop cost; `hardware_threads` is recorded so rows from
+//! oversubscribed CI runners can be told apart.
+
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
+use crystalnet_dataplane::Fib;
+use crystalnet_net::{ClosParams, ClosTopology, DeviceId};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn bands() -> Vec<(&'static str, ClosTopology)> {
+    let mut v = vec![
+        ("s-dc", ClosParams::s_dc().build()),
+        ("m-dc", ClosParams::m_dc().build()),
+    ];
+    if std::env::var("CRYSTALNET_FULL").is_ok_and(|x| x == "1") {
+        v.push(("l-dc", ClosParams::l_dc().scaled_pods(0.25).build()));
+    }
+    v
+}
+
+fn prep_for(topo: &ClosTopology) -> Arc<PrepareOutput> {
+    Arc::new(prepare(
+        &topo.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    ))
+}
+
+fn fib_map(emu: &Emulation) -> BTreeMap<DeviceId, Fib> {
+    let mut devs: Vec<DeviceId> = emu.sandboxes.keys().copied().collect();
+    devs.sort_unstable_by_key(|d| d.0);
+    devs.into_iter()
+        .filter_map(|d| emu.sim.os(d).map(|os| (d, os.fib().clone())))
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Virtual time spent watching the converged fabric after mockup.
+const WATCH: SimDuration = SimDuration::from_secs(30);
+
+fn run_once(prep: &Arc<PrepareOutput>, health: bool) -> (f64, Emulation) {
+    let mut b = MockupOptions::builder().seed(42).workers(1);
+    if health {
+        b = b.health(SimDuration::from_secs(1));
+    }
+    let t = Instant::now();
+    let mut emu = mockup(Arc::clone(prep), b.build());
+    emu.advance(WATCH);
+    (t.elapsed().as_secs_f64(), emu)
+}
+
+struct Row {
+    band: String,
+    devices: usize,
+    baseline_secs: f64,
+    probes_secs: f64,
+    probes_sent: u64,
+    incidents: u64,
+}
+
+fn main() {
+    let samples: usize = std::env::var("CRYSTALNET_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(2);
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("health_overhead: {samples} samples/row, {hw} hardware thread(s), {WATCH:?} watched");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (band, topo) in bands() {
+        let devices = topo.topo.device_count();
+        let prep = prep_for(&topo);
+
+        let mut baseline_times = Vec::with_capacity(samples);
+        let mut probes_times = Vec::with_capacity(samples);
+        let mut probes_sent = 0;
+        let mut incidents = 0;
+        for rep in 0..samples {
+            let (off_secs, off) = run_once(&prep, false);
+            let (on_secs, on) = run_once(&prep, true);
+
+            // Equivalence gate before the timing counts: the probe mesh
+            // must leave every FIB exactly as the probes-off run left it.
+            if rep == 0 {
+                assert_eq!(
+                    fib_map(&on),
+                    fib_map(&off),
+                    "{band}: the probe mesh perturbed the control plane"
+                );
+            }
+            let health = on.pull_health();
+            probes_sent = health.probes_sent;
+            incidents = health.incident_count;
+
+            baseline_times.push(off_secs);
+            probes_times.push(on_secs);
+        }
+
+        rows.push(Row {
+            band: band.to_string(),
+            devices,
+            baseline_secs: median(baseline_times),
+            probes_secs: median(probes_times),
+            probes_sent,
+            incidents,
+        });
+    }
+
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        let overhead_pct = (r.probes_secs / r.baseline_secs.max(1e-9) - 1.0) * 100.0;
+        println!(
+            "{:<6} devices={:<5} baseline {:>8.3}s  probes-on {:>8.3}s  overhead {:>6.1}%  \
+             probes_sent={:<7} incidents={}",
+            r.band,
+            r.devices,
+            r.baseline_secs,
+            r.probes_secs,
+            overhead_pct,
+            r.probes_sent,
+            r.incidents
+        );
+        json_rows.push(format!(
+            "{{\"band\": \"{}\", \"devices\": {}, \"baseline_seconds\": {:.6}, \
+             \"probes_seconds\": {:.6}, \"overhead_pct\": {:.2}, \"probes_sent\": {}, \
+             \"incidents\": {}}}",
+            r.band,
+            r.devices,
+            r.baseline_secs,
+            r.probes_secs,
+            overhead_pct,
+            r.probes_sent,
+            r.incidents
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"health_overhead\",\n  \"bench_meta\": {},\n  \
+         \"baseline_definition\": \"mockup wall + 30 virtual seconds watched, health off\",\n  \
+         \"probes_definition\": \"same with a 1s-period probe mesh on\",\n  \
+         \"samples\": {samples},\n  \"hardware_threads\": {hw},\n  \"results\": [\n    {}\n  ]\n}}\n",
+        crystalnet_bench::meta::bench_meta_json(1),
+        json_rows.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_health.json");
+    std::fs::write(path, json).expect("write BENCH_health.json");
+    println!("wrote {path}");
+}

@@ -33,11 +33,12 @@ use std::path::Path;
 use std::process::ExitCode;
 
 /// The artifact set a full bench run produces at the workspace root.
-const BENCH_FILES: [&str; 4] = [
+const BENCH_FILES: [&str; 5] = [
     "BENCH_convergence.json",
     "BENCH_recovery.json",
     "BENCH_incremental.json",
     "BENCH_fork.json",
+    "BENCH_health.json",
 ];
 
 /// Discrete per-row shape fields that are identity, not measurement.

@@ -35,7 +35,9 @@ use crystalnet_dataplane::{
 };
 use crystalnet_net::{partition_grouped, DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, Topology};
 use crystalnet_routing::harness::{WorkKind, WorkModel};
-use crystalnet_routing::{BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, VendorProfile};
+use crystalnet_routing::{
+    BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, ProbeConfig, VendorProfile,
+};
 use crystalnet_sim::{EventId, SimDuration, SimRng, SimTime};
 use crystalnet_telemetry::profile::keys as profile_keys;
 use crystalnet_telemetry::{
@@ -94,6 +96,11 @@ pub enum EmulationError {
         /// The prefix that has no installed route.
         prefix: Ipv4Prefix,
     },
+    /// A [`MockupOptions`] knob was given a value that cannot work
+    /// (zero probe period, zero trace capacity). Raised eagerly by
+    /// [`MockupOptionsBuilder::try_build`] so misconfiguration fails at
+    /// build time instead of silently misbehaving mid-run.
+    InvalidOption(String),
 }
 
 impl std::fmt::Display for EmulationError {
@@ -115,6 +122,9 @@ impl std::fmt::Display for EmulationError {
             }
             EmulationError::NoRoute { device, prefix } => {
                 write!(f, "device {device:?} has no route to {prefix}")
+            }
+            EmulationError::InvalidOption(what) => {
+                write!(f, "invalid mockup option: {what}")
             }
         }
     }
@@ -154,15 +164,22 @@ pub struct MockupOptions {
     /// Health-monitor policy: heartbeat interval, miss threshold, and the
     /// bounded reboot-retry backoff.
     pub health: HealthPolicy,
+    /// Continuous health plane: a deterministic probe mesh running in
+    /// virtual time with gray-failure watchdogs and an incident
+    /// timeline (see [`crate::health`]). `None` (the default) keeps
+    /// every probe code path dormant — runs are byte-identical to a
+    /// build without the feature.
+    pub health_probes: Option<ProbeConfig>,
     /// Whether to collect the run report (spans, counters, journal) —
     /// `pull_report()` returns an empty report when off. Recording is
     /// deterministic and does not perturb the run; disable it only to
     /// shave the last few percent off large batch sweeps.
     pub telemetry: bool,
     /// Maximum causal-trace records retained (a ring buffer keeping the
-    /// newest). `0` disables trace collection entirely while leaving the
-    /// rest of telemetry on; drops are counted in the run report under
-    /// `telemetry.trace_dropped`.
+    /// newest); drops are counted in the run report under
+    /// `telemetry.trace_dropped`. Must be nonzero (enforced by
+    /// [`MockupOptionsBuilder::try_build`]); to run without telemetry
+    /// at all, clear [`MockupOptions::telemetry`] instead.
     pub trace_capacity: usize,
     /// Whether to collect the wall-clock run profile: hierarchical
     /// span timings, the parallel executor's grant timeline and
@@ -184,6 +201,7 @@ impl Default for MockupOptions {
             workers: 1,
             fault_plan: FaultPlan::default(),
             health: HealthPolicy::default(),
+            health_probes: None,
             telemetry: true,
             trace_capacity: 65_536,
             profiling: false,
@@ -282,8 +300,27 @@ impl MockupOptionsBuilder {
 
     /// Full health-monitor policy (heartbeat, miss threshold, retry).
     #[must_use]
-    pub fn health(mut self, health: HealthPolicy) -> Self {
+    pub fn health_policy(mut self, health: HealthPolicy) -> Self {
         self.options.health = health;
+        self
+    }
+
+    /// Turns the continuous health plane on with `period` between probe
+    /// rounds and every other [`ProbeConfig`] knob at its default. Use
+    /// [`Self::health_config`] for full control. The period must be
+    /// nonzero — [`Self::try_build`] rejects zero with
+    /// [`EmulationError::InvalidOption`].
+    #[must_use]
+    pub fn health(mut self, period: SimDuration) -> Self {
+        self.options.health_probes = Some(ProbeConfig::with_period(period));
+        self
+    }
+
+    /// Turns the continuous health plane on with a full [`ProbeConfig`]
+    /// (sampling width, SLO window, churn threshold, probe seed).
+    #[must_use]
+    pub fn health_config(mut self, cfg: ProbeConfig) -> Self {
+        self.options.health_probes = Some(cfg);
         self
     }
 
@@ -294,7 +331,10 @@ impl MockupOptionsBuilder {
         self
     }
 
-    /// Caps retained causal-trace records (`0` disables tracing).
+    /// Caps retained causal-trace records. Must be nonzero —
+    /// [`Self::try_build`] rejects `0` with
+    /// [`EmulationError::InvalidOption`]; to run without any telemetry
+    /// use [`Self::telemetry`]`(false)` instead.
     #[must_use]
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.options.trace_capacity = capacity;
@@ -309,10 +349,44 @@ impl MockupOptionsBuilder {
         self
     }
 
+    /// Finishes the build, validating every knob eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmulationError::InvalidOption`] when a knob holds a
+    /// value that cannot work: a zero health-probe period (the probe
+    /// tick would never advance virtual time) or a zero trace capacity
+    /// (telemetry on but nowhere to put trace records).
+    pub fn try_build(self) -> Result<MockupOptions, EmulationError> {
+        if let Some(cfg) = &self.options.health_probes {
+            if cfg.period == SimDuration::ZERO {
+                return Err(EmulationError::InvalidOption(
+                    "health probe period must be nonzero".to_string(),
+                ));
+            }
+            if cfg.ttl == 0 {
+                return Err(EmulationError::InvalidOption(
+                    "health probe ttl must be nonzero".to_string(),
+                ));
+            }
+        }
+        if self.options.trace_capacity == 0 {
+            return Err(EmulationError::InvalidOption(
+                "trace_capacity must be nonzero; disable telemetry instead".to_string(),
+            ));
+        }
+        Ok(self.options)
+    }
+
     /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid knob combination — see [`Self::try_build`]
+    /// for the fallible variant with a typed error.
     #[must_use]
     pub fn build(self) -> MockupOptions {
-        self.options
+        self.try_build().expect("invalid mockup options")
     }
 }
 
@@ -497,6 +571,9 @@ pub struct Emulation {
     /// The *current* emulated set — `prep.emulated` minus devices removed
     /// by `apply_change`.
     pub(crate) emulated_now: BTreeSet<DeviceId>,
+    /// Change applications in virtual-time order, kept for incident
+    /// correlation (`(applied_at, summary)` per `apply_change`).
+    pub(crate) change_log: Vec<(SimTime, String)>,
     next_signature: u16,
 }
 
@@ -677,6 +754,27 @@ pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
     install_costs(&mut sim, device_cost);
 
     sim.boot_all(network_ready_at);
+
+    // Continuous health plane: the probe mesh spans the emulated BGP
+    // routers (speakers announce, they do not carry traffic) and starts
+    // one period after network-ready, so early rounds observe the boot
+    // transient — deterministically, since probe events are non-causal
+    // and never perturb convergence.
+    if let Some(cfg) = &options.health_probes {
+        let mut cfg = cfg.clone();
+        if cfg.seed == 0 {
+            cfg.seed = options.seed;
+        }
+        let mut population: Vec<(DeviceId, Ipv4Addr)> = prep
+            .configs
+            .iter()
+            .map(|(dev, _)| (*dev, topo.device(*dev).loopback))
+            .collect();
+        population.sort_by_key(|(d, _)| d.0);
+        let first_tick = network_ready_at + cfg.period;
+        sim.enable_health(cfg, population, first_tick);
+    }
+
     let t_converge = options.profiling.then(Instant::now);
     let route_ready_at = converge(
         &mut sim,
@@ -756,6 +854,7 @@ pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
         speaker_overrides: HashMap::new(),
         classification,
         emulated_now,
+        change_log: Vec::new(),
         next_signature: 1,
     };
     if !fault_plan.is_empty() {
@@ -1096,6 +1195,75 @@ impl Emulation {
             rec.span("settle", None, start, settled);
         }
         Ok(settled)
+    }
+
+    /// Advances virtual time by `dur`, running every event due in the
+    /// window — including health-plane probe rounds, which `settle`
+    /// would skip on an already-quiet network (probe events are
+    /// non-causal, so quiescence detection stops before them).
+    ///
+    /// This is the "watch the network for a while" primitive: inject a
+    /// gray failure, `advance` a few probe periods, then read
+    /// [`Self::incidents`].
+    pub fn advance(&mut self, dur: SimDuration) {
+        let until = self.now() + dur;
+        self.sim.run_until(until);
+    }
+
+    /// The health plane's gauges as a canonical [`HealthReport`]
+    /// (see [`crate::health`]). When the health plane is off
+    /// ([`MockupOptionsBuilder::health`] not called), returns
+    /// [`HealthReport::disabled`].
+    #[must_use]
+    pub fn pull_health(&self) -> crate::health::HealthReport {
+        match self.sim.health() {
+            Some(state) => {
+                crate::health::HealthReport::from_state(state, |d| self.topo.device(d).name.clone())
+            }
+            None => crate::health::HealthReport::disabled(),
+        }
+    }
+
+    /// The incident timeline with causes correlated: every watchdog
+    /// firing (blackhole, forwarding loop, SLO breach, FIB-churn
+    /// anomaly) in virtual-time order, each attributed to the nearest
+    /// preceding fault, recovery action, or applied change within
+    /// [`crate::health::CORRELATION_WINDOW`].
+    #[must_use]
+    pub fn incidents(&self) -> Vec<crate::health::CorrelatedIncident> {
+        let incidents = self
+            .sim
+            .health()
+            .map(|h| h.incidents.as_slice())
+            .unwrap_or(&[]);
+        crate::health::correlate(incidents, &self.journal, &self.change_log, |d| {
+            self.topo.device(d).name.clone()
+        })
+    }
+
+    /// [`Self::incidents`] as JSONL — one canonical object per line,
+    /// artifact-friendly.
+    #[must_use]
+    pub fn incidents_jsonl(&self) -> String {
+        crate::health::incidents_jsonl(&self.incidents())
+    }
+
+    /// Silently kills (or restores) a device's dataplane forwarding
+    /// while its control plane keeps running — the canonical gray
+    /// failure. BGP sessions stay up and the FIB keeps converging;
+    /// only health-plane probes observe the difference. Also available
+    /// as [`crate::faults::FaultKind::SilentBlackhole`] in a fault
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// [`EmulationError::UnknownDevice`] if `dev` is not emulated.
+    pub fn set_forwarding(&mut self, dev: DeviceId, enabled: bool) -> Result<(), EmulationError> {
+        if !self.sandboxes.contains_key(&dev) {
+            return Err(EmulationError::UnknownDevice(format!("device #{}", dev.0)));
+        }
+        self.sim.set_forwarding(dev, enabled);
+        Ok(())
     }
 
     /// `List`: all emulated devices with hostnames and liveness.
@@ -1722,6 +1890,7 @@ impl Emulation {
             speaker_overrides: self.speaker_overrides.clone(),
             classification: self.classification.clone(),
             emulated_now: self.emulated_now.clone(),
+            change_log: self.change_log.clone(),
             next_signature: self.next_signature,
         };
         if let Some(t0) = t_fork {

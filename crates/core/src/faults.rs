@@ -65,6 +65,16 @@ pub enum FaultKind {
         /// Consecutive heartbeats that go missing.
         misses: u32,
     },
+    /// A device's dataplane silently stops forwarding while its control
+    /// plane keeps running: BGP sessions stay up, the FIB stays
+    /// "correct", heartbeats keep flowing — the gray failure that final
+    /// state checks cannot see. Persistent until
+    /// [`crate::Emulation::set_forwarding`] restores it. Only the
+    /// health plane's probes observe it.
+    SilentBlackhole {
+        /// The device whose forwarding dies.
+        device: DeviceId,
+    },
 }
 
 impl std::fmt::Display for FaultKind {
@@ -89,6 +99,9 @@ impl std::fmt::Display for FaultKind {
             ),
             FaultKind::DelayedHeartbeat { vm, misses } => {
                 write!(f, "vm {vm} heartbeat delayed ({misses} misses)")
+            }
+            FaultKind::SilentBlackhole { device } => {
+                write!(f, "device #{} silent blackhole", device.0)
             }
         }
     }
@@ -290,6 +303,14 @@ impl Emulation {
                         return Err(EmulationError::UnknownLink(link.0));
                     }
                 }
+                FaultKind::SilentBlackhole { device } => {
+                    if !self.sandboxes.contains_key(&device) {
+                        return Err(EmulationError::UnknownDevice(format!(
+                            "device#{}",
+                            device.0
+                        )));
+                    }
+                }
             }
         }
 
@@ -353,6 +374,12 @@ impl Emulation {
                         },
                     );
                 }
+            }
+            FaultKind::SilentBlackhole { device } => {
+                // No session reset, no heartbeat miss, no journal beyond
+                // the injection record above: the whole point is that
+                // nothing but a live probe notices.
+                self.sim.set_forwarding(device, false);
             }
             FaultKind::DelayedHeartbeat { vm, misses } => {
                 let detected = self.journal_misses(t, vm, misses);

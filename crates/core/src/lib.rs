@@ -27,6 +27,7 @@ pub mod cases;
 pub mod emulation;
 pub mod explain;
 pub mod faults;
+pub mod health;
 pub mod metrics;
 pub mod plan;
 pub mod prepare;
@@ -42,6 +43,10 @@ pub use emulation::{
 };
 pub use explain::{ExplainHop, RouteExplanation};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultReport, HealthPolicy, RetryPolicy};
+pub use health::{
+    correlate, incidents_jsonl, CorrelatedIncident, HealthReport, IncidentCause, PairHealth,
+    CORRELATION_WINDOW,
+};
 pub use metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
 pub use plan::{plan_vms, sandbox_kind, PlanOptions, PlannedVm, VmPlan};
 pub use prepare::{prepare, BoundaryMode, PrepareOutput, SpeakerSource};
@@ -72,6 +77,7 @@ pub mod prelude {
     pub use crate::faults::{
         FaultEvent, FaultKind, FaultPlan, FaultReport, HealthPolicy, RetryPolicy,
     };
+    pub use crate::health::{CorrelatedIncident, HealthReport, IncidentCause, PairHealth};
     pub use crate::metrics::{JournalEvent, JournalKind, MockupMetrics, RecoveryJournal};
     pub use crate::prepare::{prepare, BoundaryMode, PrepareOutput, SpeakerSource};
     pub use crate::rehearse::{
@@ -84,7 +90,10 @@ pub mod prelude {
     pub use crystalnet_net::{
         ClosParams, ClosTopology, DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, Topology,
     };
-    pub use crystalnet_routing::{MgmtCommand, MgmtResponse, VendorProfile};
+    pub use crystalnet_routing::{
+        GrayFailureWitness, Incident, IncidentKind, MgmtCommand, MgmtResponse, ProbeConfig,
+        ProbeOutcome, VendorProfile,
+    };
     pub use crystalnet_sim::{SimDuration, SimTime};
     pub use crystalnet_telemetry::{
         trace_chrome_json, trace_jsonl, EventRecord, FieldValue, HistogramSummary, MemRecorder,

@@ -123,6 +123,15 @@ pub struct ConvergenceDelta {
     /// mutation (misses are counted in
     /// `core.apply_change.fib_changes_outside_dirty`).
     pub fib_changes: BTreeMap<DeviceId, Vec<FibChange>>,
+    /// Health-plane probes launched while the step converged (zero when
+    /// the health plane is off). With the probe mesh on, a rehearsed
+    /// change reports *its own* SLO impact: how much traffic the
+    /// transient would have hurt.
+    pub probes_sent: u64,
+    /// Health-plane probes lost during the step's transient.
+    pub probes_lost: u64,
+    /// Watchdog incidents fired during the step.
+    pub incidents: u64,
 }
 
 impl ConvergenceDelta {
@@ -141,13 +150,20 @@ impl ConvergenceDelta {
     /// One-line human summary for rehearsal logs.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} change(s) -> {} dirty device(s), {} FIB change(s), {:?} virtual",
             self.applied.len(),
             self.dirty.len(),
             self.total_fib_changes(),
             self.virtual_cost,
-        )
+        );
+        if self.probes_sent > 0 {
+            s.push_str(&format!(
+                "; SLO impact: {}/{} probe(s) lost, {} incident(s)",
+                self.probes_lost, self.probes_sent, self.incidents,
+            ));
+        }
+        s
     }
 }
 
@@ -294,6 +310,13 @@ impl Emulation {
         let wall_start = std::time::Instant::now();
         let start = self.now();
         let mark = self.sim.engine.checkpoint();
+        // Health-plane totals before the step: the diff after settle is
+        // the step's own SLO impact (zeros when the plane is off).
+        let health_before = self
+            .sim
+            .health()
+            .map(|h| (h.probes_sent, h.probes_lost, h.incidents.len() as u64))
+            .unwrap_or_default();
 
         // ---- Validate everything before mutating anything. ----
         let mut planned = Vec::new();
@@ -486,6 +509,11 @@ impl Emulation {
             "incremental boundary memo diverged from fresh classification"
         );
 
+        let health_after = self
+            .sim
+            .health()
+            .map(|h| (h.probes_sent, h.probes_lost, h.incidents.len() as u64))
+            .unwrap_or_default();
         let delta = ConvergenceDelta {
             applied,
             dirty: dirty.iter().copied().collect(),
@@ -494,7 +522,18 @@ impl Emulation {
             events_executed,
             wall: wall_start.elapsed(),
             fib_changes,
+            probes_sent: health_after.0 - health_before.0,
+            probes_lost: health_after.1 - health_before.1,
+            incidents: health_after.2 - health_before.2,
         };
+
+        // Incident correlation reads this log: the change lands at its
+        // application instant, described by its change kinds.
+        if !delta.applied.is_empty() {
+            let kinds: Vec<&'static str> = delta.applied.iter().map(|a| a.kind).collect();
+            self.change_log
+                .push((start, format!("change applied: {}", kinds.join(", "))));
+        }
 
         let total = delta.total_fib_changes() as u64;
         let rec = &mut *self.sim.engine.world.recorder;

@@ -105,11 +105,12 @@ fn capped_trace_is_still_deterministic_and_counts_drops() {
     assert!(dropped > 0, "a 500-record cap must drop on fig7");
     assert_eq!(emitted, retained + dropped);
 
-    // Capacity 0 disables collection without touching the rest of
-    // telemetry.
-    let off = fig7_emu(9, 1, 0);
-    assert!(off.pull_trace().is_empty());
-    assert!(off.pull_report().enabled);
+    // Capacity 0 is rejected eagerly instead of silently disabling
+    // collection: `try_build` reports a typed error.
+    assert!(matches!(
+        MockupOptions::builder().trace_capacity(0).try_build(),
+        Err(EmulationError::InvalidOption(_))
+    ));
 }
 
 #[test]

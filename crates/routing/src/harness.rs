@@ -10,10 +10,13 @@
 //! matching the paper's route-ready definition, "the moment when all
 //! routes are installed and stabilized in all switches" (§8.1).
 
+use crate::health::{
+    GrayFailureWitness, HealthState, Incident, IncidentKind, ProbeConfig, ProbeOutcome,
+};
 use crate::msg::{BgpMsg, Frame};
 use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
 use crystalnet_dataplane::{decide, Fib, ForwardDecision, Ipv4Packet};
-use crystalnet_net::{DeviceId, LinkId, Partition, Topology};
+use crystalnet_net::{DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, Partition, Topology};
 use crystalnet_sim::parallel::{
     run_shards_until_quiet_matrix_profiled, GrantRecord, Limiter, LookaheadMatrix, ParallelProfile,
     ParallelWorld,
@@ -24,7 +27,7 @@ use crystalnet_telemetry::{
     BlameBreakdown, CriticalLink, FieldValue, NoopRecorder, Recorder, ScalingDiagnosis, ShardLoad,
     TraceRecord,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
 /// Work classes a device performs (costed by the [`WorkModel`]).
@@ -164,6 +167,52 @@ enum HarnessEventKind {
         frame: Frame,
         link: LinkId,
     },
+    /// A probe-mesh round begins (broadcast: every shard replays the
+    /// identical tick and launches probes for the sources it owns).
+    ProbeTick { round: u64 },
+    /// A probe packet arrives at `dev` for a forwarding decision.
+    ProbeHop {
+        src: DeviceId,
+        src_addr: Ipv4Addr,
+        dst: DeviceId,
+        dst_addr: Ipv4Addr,
+        dev: DeviceId,
+        ingress: Option<u32>,
+        ttl: u8,
+        probe_seq: u64,
+        /// Accumulated forward-path latency (ns) — also the conservative
+        /// return-trip bound the report is scheduled under.
+        path_ns: u64,
+    },
+    /// A probe's fate travels back to its source's gauges.
+    ProbeReport {
+        src: DeviceId,
+        dst: DeviceId,
+        probe_seq: u64,
+        outcome: ProbeOutcome,
+        path_ns: u64,
+    },
+}
+
+/// Probe event keys live in ranges no other event can reach: device keys
+/// are `(dev + 1) << 32 | seq` (far below `2^61` at any real device
+/// count), control keys are a small counter, and the synthetic
+/// packet-hop ids of `pull_trace` set bit 63. Ticks take
+/// `[3 << 61, 4 << 61)`, hop/report flows `[1 << 62, 3 << 61)` — both
+/// content-derived, so `(time, key)` stays a total order with no
+/// coordination between shards.
+const PROBE_TICK_KEY: u64 = 0b11 << 61;
+const PROBE_FLOW_KEY: u64 = 1 << 62;
+
+/// Key of hop `hop` of probe `probe_seq` (9 bits of hop per probe: TTLs
+/// are 8-bit, plus one slot for the report).
+fn probe_hop_key(probe_seq: u64, hop: u32) -> u64 {
+    PROBE_FLOW_KEY | (probe_seq << 9) | u64::from(hop & 0xff)
+}
+
+/// Key of probe `probe_seq`'s report (the 257th slot of its flow range).
+fn probe_report_key(probe_seq: u64) -> u64 {
+    PROBE_FLOW_KEY | (probe_seq << 9) | 256
 }
 
 impl HarnessEvent {
@@ -176,11 +225,14 @@ impl HarnessEvent {
             | HarnessEventKind::Mgmt(d, _)
             | HarnessEventKind::Timer(d, _) => Some(*d),
             HarnessEventKind::Deliver { dev, .. } => Some(*dev),
-            HarnessEventKind::LinkState { .. } => None,
+            HarnessEventKind::ProbeHop { dev, .. } => Some(*dev),
+            HarnessEventKind::ProbeReport { src, .. } => Some(*src),
+            HarnessEventKind::LinkState { .. } | HarnessEventKind::ProbeTick { .. } => None,
         }
     }
 
-    /// Copies a broadcast (link-state) event for another shard's queue.
+    /// Copies a broadcast (link-state / probe-tick) event for another
+    /// shard's queue.
     fn replicate(&self) -> Option<HarnessEvent> {
         match self.kind {
             HarnessEventKind::LinkState {
@@ -202,15 +254,29 @@ impl HarnessEvent {
                     ib,
                 },
             }),
+            HarnessEventKind::ProbeTick { round } => Some(HarnessEvent {
+                key: self.key,
+                cause: self.cause,
+                kind: HarnessEventKind::ProbeTick { round },
+            }),
             _ => None,
         }
     }
 
     /// Whether this event counts against `causal_pending` while queued.
-    /// Everything but pure timers does: boots, link changes, management
-    /// injections, and frame deliveries can all trigger route activity.
+    /// Everything but pure timers and the health plane does: boots, link
+    /// changes, management injections, and frame deliveries can all
+    /// trigger route activity. Probe events are observers by
+    /// construction — keeping them non-causal is what makes probing a
+    /// network not change when it is declared converged.
     fn is_causal(&self) -> bool {
-        !matches!(self.kind, HarnessEventKind::Timer(..))
+        !matches!(
+            self.kind,
+            HarnessEventKind::Timer(..)
+                | HarnessEventKind::ProbeTick { .. }
+                | HarnessEventKind::ProbeHop { .. }
+                | HarnessEventKind::ProbeReport { .. }
+        )
     }
 }
 
@@ -322,6 +388,27 @@ impl EventFire<ControlPlaneWorld> for HarnessEvent {
                     dispatch(e, dev, OsEvent::Frame { iface, frame });
                 }
             }
+            HarnessEventKind::ProbeTick { round } => probe_tick(e, round),
+            HarnessEventKind::ProbeHop {
+                src,
+                src_addr,
+                dst,
+                dst_addr,
+                dev,
+                ingress,
+                ttl,
+                probe_seq,
+                path_ns,
+            } => probe_hop(
+                e, src, src_addr, dst, dst_addr, dev, ingress, ttl, probe_seq, path_ns,
+            ),
+            HarnessEventKind::ProbeReport {
+                src,
+                dst,
+                probe_seq,
+                outcome,
+                path_ns,
+            } => probe_report(e, src, dst, probe_seq, outcome, path_ns),
         }
     }
 }
@@ -369,6 +456,13 @@ pub struct ControlPlaneWorld {
     control_key_seq: u32,
     /// Set while this world is a shard of a parallel run.
     shard_route: Option<ShardRoute>,
+    /// Health plane (probe mesh + watchdogs); `None` keeps every probe
+    /// code path dormant at zero cost.
+    health: Option<HealthState>,
+    /// Devices whose *dataplane* forwarding is silently dead while their
+    /// control plane keeps running (gray-failure injection). Only probe
+    /// forwarding consults this — sessions stay up, FIBs stay "correct".
+    fwd_disabled: BTreeSet<DeviceId>,
     /// Observability sink. Defaults to the zero-cost [`NoopRecorder`];
     /// orchestration layers install a `MemRecorder` to collect a run
     /// report. Shards fork it and the join merges them back, so canonical
@@ -478,6 +572,8 @@ impl ControlPlaneSim {
                 dev_key_seq: vec![0; n],
                 control_key_seq: 0,
                 shard_route: None,
+                health: None,
+                fwd_disabled: BTreeSet::new(),
                 recorder: Box::new(NoopRecorder),
             }),
         }
@@ -527,6 +623,8 @@ impl ControlPlaneSim {
             dev_key_seq: w.dev_key_seq.clone(),
             control_key_seq: w.control_key_seq,
             shard_route: None,
+            health: w.health.clone(),
+            fwd_disabled: w.fwd_disabled.clone(),
             recorder,
         };
         ControlPlaneSim {
@@ -812,6 +910,13 @@ impl ControlPlaneSim {
                         shard_of: partition.shard_of.clone(),
                         outbox: Vec::new(),
                     }),
+                    // Pair gauges travel with their src-owning shard so
+                    // rolling SLO windows continue across the fork.
+                    health: world
+                        .health
+                        .as_ref()
+                        .map(|h| h.fork_for_shard(|d| partition.shard_of[d.index()] == s)),
+                    fwd_disabled: world.fwd_disabled.clone(),
                     recorder: world.recorder.fork(),
                 })
             })
@@ -888,6 +993,11 @@ impl ControlPlaneSim {
             world.last_route_activity = world.last_route_activity.max(sw.last_route_activity);
             // Every shard replayed the same link-state history.
             world.link_up = sw.link_up;
+            if let Some(sh) = sw.health.take() {
+                if let Some(h) = world.health.as_mut() {
+                    h.absorb_shard(sh);
+                }
+            }
             crashes.extend(sw.crashes);
             responses.extend(sw.mgmt_responses);
             // Broadcast events survive in every shard queue; keep one copy.
@@ -900,6 +1010,11 @@ impl ControlPlaneSim {
         }
         crashes.sort_by_key(|&(t, d)| (t, d.0));
         self.engine.world.crashes.extend(crashes);
+        // Shard incident streams interleave; restore the canonical
+        // (time, seq, kind) order the serial run produces.
+        if let Some(h) = self.engine.world.health.as_mut() {
+            h.sort_incidents();
+        }
         responses.sort_by_key(|r| (r.0).0);
         self.engine.world.mgmt_responses.extend(responses);
 
@@ -1095,6 +1210,53 @@ impl ControlPlaneSim {
         }
         (path, last)
     }
+
+    /// Turns the health plane on: installs the probe-mesh state over
+    /// `population` (the probe-able devices with their loopback
+    /// addresses) and schedules the first probe round at
+    /// `first_tick_at`. Ticks then self-perpetuate every `cfg.period`
+    /// until the simulation ends; they are non-causal, so convergence
+    /// detection is unaffected.
+    pub fn enable_health(
+        &mut self,
+        cfg: ProbeConfig,
+        population: Vec<(DeviceId, Ipv4Addr)>,
+        first_tick_at: SimTime,
+    ) {
+        self.engine.world.health = Some(HealthState::new(cfg, population));
+        self.engine.schedule_event_at(
+            first_tick_at,
+            HarnessEvent {
+                key: PROBE_TICK_KEY,
+                cause: None,
+                kind: HarnessEventKind::ProbeTick { round: 0 },
+            },
+        );
+    }
+
+    /// The health plane's current state, when enabled.
+    #[must_use]
+    pub fn health(&self) -> Option<&HealthState> {
+        self.engine.world.health.as_ref()
+    }
+
+    /// Silently kills (or restores) `dev`'s dataplane forwarding while
+    /// its control plane keeps running — the canonical gray failure.
+    /// Sessions stay up and the FIB keeps "converging"; only a live
+    /// probe can observe the difference.
+    pub fn set_forwarding(&mut self, dev: DeviceId, enabled: bool) {
+        if enabled {
+            self.engine.world.fwd_disabled.remove(&dev);
+        } else {
+            self.engine.world.fwd_disabled.insert(dev);
+        }
+    }
+
+    /// Whether `dev`'s forwarding was silently disabled.
+    #[must_use]
+    pub fn forwarding_disabled(&self, dev: DeviceId) -> bool {
+        self.engine.world.fwd_disabled.contains(&dev)
+    }
 }
 
 /// Stable export label for a grant's limiter.
@@ -1260,6 +1422,9 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
         e.world.route_ops_total += actions.route_ops as u64;
         *e.world.route_ops_by_dev.entry(dev).or_insert(0) += actions.route_ops as u64;
         e.world.last_route_activity = e.world.last_route_activity.max(t);
+        if let Some(h) = e.world.health.as_mut() {
+            *h.ops_since_tick.entry(dev).or_insert(0) += actions.route_ops as u64;
+        }
         if e.world.recorder.enabled() {
             let rec = &mut *e.world.recorder;
             rec.device_counter_add("routing.route_churn", dev.0, actions.route_ops as u64);
@@ -1339,6 +1504,432 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
         e.world.causal_pending += 1;
         e.schedule_event_at(arrive, ev);
     }
+}
+
+/// Schedules a probe event onto the shard that owns `target`, using the
+/// same outbox mechanism as cross-shard frame deliveries. Probe events
+/// are non-causal, so no `causal_pending` accounting is needed on either
+/// side.
+fn schedule_probe(e: &mut ControlPlaneEngine, at: SimTime, target: DeviceId, ev: HarnessEvent) {
+    if let Some(route) = &mut e.world.shard_route {
+        let dest = route.shard_of[target.index()];
+        if dest != route.self_shard {
+            route.outbox.push((dest, at, ev));
+            return;
+        }
+    }
+    e.schedule_event_at(at, ev);
+}
+
+/// One probe-mesh round: run the churn watchdog over the route-operation
+/// residue, launch this round's sampled probes from locally owned
+/// sources, and schedule the next tick.
+///
+/// In parallel mode every shard fires the identical (replicated) tick:
+/// pair sampling is a pure function of `(seed, round)` over the
+/// replicated population, so all shards agree on the plan and each
+/// launches exactly the probes whose source it owns — the union is the
+/// serial behavior. Each shard also schedules its own copy of the next
+/// tick (same time, same key); the join keeps shard 0's copy, exactly
+/// like link-state broadcasts.
+fn probe_tick(e: &mut ControlPlaneEngine, round: u64) {
+    let now = e.now();
+    let Some(h) = e.world.health.as_ref() else {
+        return;
+    };
+    let period = h.cfg.period;
+    let ppr = h.cfg.pairs_per_round as u64;
+    let ttl = h.cfg.ttl;
+    let threshold = h.cfg.churn_threshold;
+    let plan: Vec<(DeviceId, Ipv4Addr, DeviceId, Ipv4Addr)> = h
+        .sample_pairs(round)
+        .into_iter()
+        .map(|(si, di)| {
+            let (sd, sa) = h.population[si];
+            let (dd, da) = h.population[di];
+            (sd, sa, dd, da)
+        })
+        .collect();
+
+    // Churn watchdog: route operations per device since the previous
+    // tick. The first tick only primes the baseline — boot-time
+    // convergence churn is expected, not an anomaly.
+    let churn: Vec<(DeviceId, u64)> = {
+        let h = e.world.health.as_mut().expect("checked above");
+        let residue = std::mem::take(&mut h.ops_since_tick);
+        let primed = h.churn_primed;
+        h.churn_primed = true;
+        if primed {
+            let mut hot: Vec<(DeviceId, u64)> = residue
+                .into_iter()
+                .filter(|&(_, ops)| ops > threshold)
+                .collect();
+            hot.sort_by_key(|&(d, _)| d.0);
+            hot
+        } else {
+            Vec::new()
+        }
+    };
+    for (dev, ops) in churn {
+        record_incident(
+            e,
+            Incident {
+                at: now,
+                src: dev,
+                dst: dev,
+                seq: (1 << 63) | (round << 22) | u64::from(dev.0),
+                kind: IncidentKind::FibChurnAnomaly {
+                    device: dev,
+                    ops,
+                    threshold,
+                },
+            },
+        );
+    }
+
+    let cause = e.current_event();
+    for (i, (src, src_addr, dst, dst_addr)) in plan.into_iter().enumerate() {
+        // Only the world holding the source's OS launches: in a shard
+        // world that is the owner, serially it is everyone. Removed or
+        // never-emulated sources simply do not probe.
+        if e.world.oses[src.index()].is_none() {
+            continue;
+        }
+        let probe_seq = round * ppr + i as u64;
+        e.world.health.as_mut().expect("checked above").probes_sent += 1;
+        if e.world.recorder.enabled() {
+            e.world.recorder.counter_add("health.probes_sent", 1);
+        }
+        e.schedule_event_at(
+            now,
+            HarnessEvent {
+                key: probe_hop_key(probe_seq, 0),
+                cause,
+                kind: HarnessEventKind::ProbeHop {
+                    src,
+                    src_addr,
+                    dst,
+                    dst_addr,
+                    dev: src,
+                    ingress: None,
+                    ttl,
+                    probe_seq,
+                    path_ns: 0,
+                },
+            },
+        );
+    }
+
+    e.schedule_event_at(
+        now + period,
+        HarnessEvent {
+            key: PROBE_TICK_KEY | (round + 1),
+            cause: None,
+            kind: HarnessEventKind::ProbeTick { round: round + 1 },
+        },
+    );
+}
+
+/// What one probe hop resolved to (computed under a scoped world borrow,
+/// acted on afterwards).
+enum HopStep {
+    Lost(ProbeOutcome, Option<IncidentKind>),
+    Delivered,
+    Forward {
+        next_dev: DeviceId,
+        next_iface: u32,
+        link: LinkId,
+    },
+}
+
+/// One probe packet at one device: re-uses the dataplane's
+/// [`decide`] over the device's live FIB — the same forwarding logic
+/// `trace_packet` walks — but hop by hop in virtual time, so transient
+/// state (a link that is down *right now*, a FIB entry not yet
+/// withdrawn) is what the probe actually experiences.
+#[allow(clippy::too_many_arguments)]
+fn probe_hop(
+    e: &mut ControlPlaneEngine,
+    src: DeviceId,
+    src_addr: Ipv4Addr,
+    dst: DeviceId,
+    dst_addr: Ipv4Addr,
+    dev: DeviceId,
+    ingress: Option<u32>,
+    ttl: u8,
+    probe_seq: u64,
+    path_ns: u64,
+) {
+    let now = e.now();
+    let Some(cfg_ttl) = e.world.health.as_ref().map(|h| h.cfg.ttl) else {
+        return;
+    };
+    let hop_index = u32::from(cfg_ttl.saturating_sub(ttl));
+
+    let step = {
+        let world = &mut e.world;
+        let idx = dev.index();
+        match world.oses[idx].as_deref() {
+            None => HopStep::Lost(ProbeOutcome::DeviceDown, None),
+            Some(os) if !world.booted[idx] || os.is_down() => {
+                HopStep::Lost(ProbeOutcome::DeviceDown, None)
+            }
+            Some(os) => {
+                // The witness a gray failure produces: the FIB entry the
+                // device *would have used*, with its provenance digest.
+                let matched = os.fib().lookup(dst_addr).map(|(p, _)| p);
+                let witness = |prefix: Ipv4Prefix| {
+                    IncidentKind::Blackhole(GrayFailureWitness {
+                        device: dev,
+                        hop: hop_index,
+                        prefix: Some(prefix),
+                        prov_digest: os.route_detail(prefix).map(|d| d.prov.digest()),
+                    })
+                };
+                if world.fwd_disabled.contains(&dev) {
+                    // Forwarding silently dead: sessions stay up, the FIB
+                    // stays "correct" — only a live probe can see this.
+                    match matched {
+                        Some(prefix) => {
+                            HopStep::Lost(ProbeOutcome::Blackhole, Some(witness(prefix)))
+                        }
+                        None => HopStep::Lost(ProbeOutcome::NoRoute, None),
+                    }
+                } else {
+                    let pkt = Ipv4Packet {
+                        src: src_addr,
+                        dst: dst_addr,
+                        protocol: crystalnet_dataplane::ipproto::UDP,
+                        ttl,
+                        identification: probe_seq as u16,
+                        payload: bytes::Bytes::new(),
+                    };
+                    let locals = os.local_addrs();
+                    let decision = decide(os.fib(), &locals, &pkt, |s, d| {
+                        os.filter_permits(ingress, s, d)
+                    });
+                    match decision {
+                        ForwardDecision::Deliver => HopStep::Delivered,
+                        ForwardDecision::DropTtlExpired => HopStep::Lost(
+                            ProbeOutcome::TtlExpired,
+                            Some(IncidentKind::ForwardingLoop {
+                                device: dev,
+                                hop: hop_index,
+                            }),
+                        ),
+                        ForwardDecision::DropNoRoute => HopStep::Lost(ProbeOutcome::NoRoute, None),
+                        ForwardDecision::DropAcl => HopStep::Lost(ProbeOutcome::AclDrop, None),
+                        ForwardDecision::Forward(hop) => {
+                            if hop.iface == crate::bgp::LOCAL_IFACE {
+                                HopStep::Delivered
+                            } else {
+                                match world.adjacency[idx].get(hop.iface as usize) {
+                                    Some(Some(adj)) => {
+                                        if world.link_up.get(&adj.link).copied().unwrap_or(false) {
+                                            HopStep::Forward {
+                                                next_dev: adj.remote_dev,
+                                                next_iface: adj.remote_iface,
+                                                link: adj.link,
+                                            }
+                                        } else {
+                                            // The FIB still points at a dead
+                                            // link: stale state, gray failure.
+                                            match matched {
+                                                Some(prefix) => HopStep::Lost(
+                                                    ProbeOutcome::Blackhole,
+                                                    Some(witness(prefix)),
+                                                ),
+                                                None => HopStep::Lost(ProbeOutcome::NoRoute, None),
+                                            }
+                                        }
+                                    }
+                                    _ => HopStep::Lost(ProbeOutcome::NoRoute, None),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    match step {
+        HopStep::Forward {
+            next_dev,
+            next_iface,
+            link,
+        } => {
+            let delay = e.world.work.link_delay(link, now);
+            let arrive = now + delay;
+            let cause = e.current_event();
+            schedule_probe(
+                e,
+                arrive,
+                next_dev,
+                HarnessEvent {
+                    key: probe_hop_key(probe_seq, hop_index + 1),
+                    cause,
+                    kind: HarnessEventKind::ProbeHop {
+                        src,
+                        src_addr,
+                        dst,
+                        dst_addr,
+                        dev: next_dev,
+                        ingress: Some(next_iface),
+                        ttl: ttl - 1,
+                        probe_seq,
+                        path_ns: path_ns + delay.as_nanos(),
+                    },
+                },
+            );
+        }
+        HopStep::Delivered | HopStep::Lost(..) => {
+            let outcome = match &step {
+                HopStep::Delivered => ProbeOutcome::Delivered,
+                HopStep::Lost(o, _) => *o,
+                HopStep::Forward { .. } => unreachable!(),
+            };
+            if let HopStep::Lost(_, Some(kind)) = step {
+                record_incident(
+                    e,
+                    Incident {
+                        at: now,
+                        src,
+                        dst,
+                        seq: probe_seq,
+                        kind,
+                    },
+                );
+            }
+            // The report returns to the source's shard. Scheduling it
+            // `path_ns` out is lookahead-honest: the forward path's
+            // accumulated link delays bound the shard-pair distance the
+            // matrix derived from the same (time-invariant) link delays.
+            let cause = e.current_event();
+            schedule_probe(
+                e,
+                now + SimDuration::from_nanos(path_ns),
+                src,
+                HarnessEvent {
+                    key: probe_report_key(probe_seq),
+                    cause,
+                    kind: HarnessEventKind::ProbeReport {
+                        src,
+                        dst,
+                        probe_seq,
+                        outcome,
+                        path_ns,
+                    },
+                },
+            );
+        }
+    }
+}
+
+/// A probe's fate lands on its source's gauges: per-pair counts and the
+/// rolling SLO window, plus the breach watchdog on the transition.
+fn probe_report(
+    e: &mut ControlPlaneEngine,
+    src: DeviceId,
+    dst: DeviceId,
+    probe_seq: u64,
+    outcome: ProbeOutcome,
+    path_ns: u64,
+) {
+    let now = e.now();
+    let Some(h) = e.world.health.as_mut() else {
+        return;
+    };
+    let cfg = h.cfg.clone();
+    let delivered = outcome.delivered();
+    let stats = h.pairs.entry((src, dst)).or_default();
+    let fired = stats.record(delivered, path_ns, &cfg);
+    let window_lost = stats.window_lost();
+    if delivered {
+        h.probes_delivered += 1;
+    } else {
+        h.probes_lost += 1;
+    }
+    if e.world.recorder.enabled() {
+        e.world.recorder.counter_add(
+            if delivered {
+                "health.probes_delivered"
+            } else {
+                "health.probes_lost"
+            },
+            1,
+        );
+    }
+    if fired {
+        record_incident(
+            e,
+            Incident {
+                at: now,
+                src,
+                dst,
+                seq: probe_seq,
+                kind: IncidentKind::SloBreach {
+                    window_lost,
+                    window: cfg.slo_window as u64,
+                },
+            },
+        );
+    }
+}
+
+/// Lands one watchdog firing: onto the canonical incident timeline, the
+/// `health.incidents` counter, and (when tracing) the trace sink — which
+/// is what carries incidents into the JSONL/Chrome exports for free.
+fn record_incident(e: &mut ControlPlaneEngine, inc: Incident) {
+    if e.world.recorder.enabled() {
+        e.world.recorder.counter_add("health.incidents", 1);
+    }
+    if e.world.recorder.trace_enabled() {
+        let site = match &inc.kind {
+            IncidentKind::Blackhole(w) => w.device,
+            IncidentKind::ForwardingLoop { device, .. }
+            | IncidentKind::FibChurnAnomaly { device, .. } => *device,
+            IncidentKind::SloBreach { .. } => inc.src,
+        };
+        let mut fields = vec![
+            ("kind", FieldValue::Str(inc.kind.label().to_string())),
+            ("src", FieldValue::U64(u64::from(inc.src.0))),
+            ("dst", FieldValue::U64(u64::from(inc.dst.0))),
+            ("seq", FieldValue::U64(inc.seq)),
+        ];
+        match &inc.kind {
+            IncidentKind::Blackhole(w) => {
+                fields.push(("hop", FieldValue::U64(u64::from(w.hop))));
+                if let Some(p) = w.prefix {
+                    fields.push(("prefix", FieldValue::Str(p.to_string())));
+                }
+                if let Some(d) = w.prov_digest {
+                    fields.push(("prov", FieldValue::U64(d)));
+                }
+            }
+            IncidentKind::ForwardingLoop { hop, .. } => {
+                fields.push(("hop", FieldValue::U64(u64::from(*hop))));
+            }
+            IncidentKind::SloBreach {
+                window_lost,
+                window,
+            } => {
+                fields.push(("window_lost", FieldValue::U64(*window_lost)));
+                fields.push(("window", FieldValue::U64(*window)));
+            }
+            IncidentKind::FibChurnAnomaly { ops, threshold, .. } => {
+                fields.push(("ops", FieldValue::U64(*ops)));
+                fields.push(("threshold", FieldValue::U64(*threshold)));
+            }
+        }
+        trace_here(e, "incident", Some(site), fields);
+    }
+    e.world
+        .health
+        .as_mut()
+        .expect("incidents only fire with the health plane enabled")
+        .incidents
+        .push(inc);
 }
 
 /// Classifies a frame into the canonical counter set. `sent` selects the

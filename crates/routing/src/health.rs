@@ -1,0 +1,500 @@
+//! The deterministic in-run health plane: a Pingmesh-style probe mesh
+//! scheduled as first-class engine events, per-pair SLO gauges with
+//! rolling windows, and streaming gray-failure watchdogs.
+//!
+//! Everything here runs *inside* virtual time and is a pure function of
+//! `(seed, round)` — which pairs probe in a round, which ECMP member a
+//! probe hashes onto, when a hop arrives — so the probe matrix, the SLO
+//! gauges, and the incident timeline are byte-identical across
+//! repetitions and `workers` values. Probe events are **non-causal**
+//! (like timers): they never count against route quiescence, so probing
+//! a network does not change when it is declared converged, and a
+//! probes-off run is byte-identical to a build without the health plane.
+//!
+//! The watchdog catalogue (each firing lands an [`Incident`]):
+//!
+//! * **Blackhole** — the device's FIB holds a route for the probe's
+//!   destination, but the probe dies there anyway (forwarding silently
+//!   disabled, or the chosen next hop points at a dead link). Emits a
+//!   [`GrayFailureWitness`] carrying the stale FIB entry's provenance
+//!   digest and the hop where the packet vanished — the evidence a
+//!   final-FIB differential cannot produce, because the FIB is
+//!   *correct*.
+//! * **ForwardingLoop** — TTL exhausted before delivery.
+//! * **SloBreach** — a pair's rolling loss window crossed the
+//!   configured threshold (fires on the transition, re-arms when the
+//!   window recovers).
+//! * **FibChurnAnomaly** — a device performed more route operations
+//!   between two probe ticks than the configured threshold.
+
+use crystalnet_net::{DeviceId, Ipv4Addr, Ipv4Prefix};
+use crystalnet_sim::rng::SimRng;
+use crystalnet_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Probe-mesh configuration (the `MockupOptions::builder().health(...)`
+/// knob lands here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Interval between probe rounds (must be positive).
+    pub period: SimDuration,
+    /// Ordered pairs sampled per round (sampling is with replacement
+    /// over the device population, seeded per round).
+    pub pairs_per_round: usize,
+    /// Rolling SLO window length, in probes per pair.
+    pub slo_window: usize,
+    /// Loss percentage over a full window at which the pair breaches.
+    pub slo_loss_pct: u8,
+    /// Probe TTL (loop detection fires on exhaustion).
+    pub ttl: u8,
+    /// Route operations per device per round above which the churn
+    /// watchdog fires.
+    pub churn_threshold: u64,
+    /// Probe-stream seed. `0` means "derive from the run seed" (the
+    /// orchestrator substitutes its seed before enabling).
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            period: SimDuration::from_secs(5),
+            pairs_per_round: 8,
+            slo_window: 12,
+            slo_loss_pct: 25,
+            ttl: 64,
+            churn_threshold: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+impl ProbeConfig {
+    /// A config probing every `period` with the other knobs at their
+    /// defaults.
+    #[must_use]
+    pub fn with_period(period: SimDuration) -> Self {
+        ProbeConfig {
+            period,
+            ..ProbeConfig::default()
+        }
+    }
+}
+
+/// Reachability/latency/loss gauges for one ordered `(src, dst)` pair,
+/// plus the rolling SLO window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PairStats {
+    /// Probes launched from `src` toward `dst`.
+    pub sent: u64,
+    /// Probes that reached `dst`.
+    pub delivered: u64,
+    /// Probes that died en route (any cause).
+    pub lost: u64,
+    /// Sum of delivered probes' one-way latencies (ns).
+    pub latency_ns_sum: u64,
+    /// Worst delivered one-way latency (ns).
+    pub latency_ns_max: u64,
+    /// Outcomes of the last [`ProbeConfig::slo_window`] probes
+    /// (`true` = delivered), newest at the back.
+    pub window: VecDeque<bool>,
+    /// Whether the pair is currently in SLO breach (set on the firing
+    /// transition, cleared when the window recovers).
+    pub breached: bool,
+}
+
+impl PairStats {
+    /// Losses inside the current window.
+    #[must_use]
+    pub fn window_lost(&self) -> u64 {
+        self.window.iter().filter(|d| !**d).count() as u64
+    }
+
+    /// Integer loss percentage over the lifetime of the pair.
+    #[must_use]
+    pub fn loss_pct(&self) -> u64 {
+        (self.lost * 100).checked_div(self.sent).unwrap_or(0)
+    }
+
+    /// Records one probe outcome and reports whether the pair just
+    /// *transitioned* into SLO breach (the watchdog fires exactly once
+    /// per excursion).
+    pub fn record(&mut self, delivered: bool, latency_ns: u64, cfg: &ProbeConfig) -> bool {
+        self.sent += 1;
+        if delivered {
+            self.delivered += 1;
+            self.latency_ns_sum += latency_ns;
+            self.latency_ns_max = self.latency_ns_max.max(latency_ns);
+        } else {
+            self.lost += 1;
+        }
+        self.window.push_back(delivered);
+        while self.window.len() > cfg.slo_window {
+            self.window.pop_front();
+        }
+        if self.window.len() < cfg.slo_window {
+            return false;
+        }
+        let breach = self.window_lost() * 100 > (cfg.slo_loss_pct as u64) * (cfg.slo_window as u64);
+        let fired = breach && !self.breached;
+        self.breached = breach;
+        fired
+    }
+}
+
+/// Why a probe stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Reached its destination.
+    Delivered,
+    /// Died at a device whose FIB *had* a route (gray failure).
+    Blackhole,
+    /// TTL exhausted before delivery.
+    TtlExpired,
+    /// A device on the path had no route for the destination.
+    NoRoute,
+    /// A device on the path was down or not yet booted.
+    DeviceDown,
+    /// Dropped by an ACL.
+    AclDrop,
+}
+
+impl ProbeOutcome {
+    /// Stable export label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeOutcome::Delivered => "delivered",
+            ProbeOutcome::Blackhole => "blackhole",
+            ProbeOutcome::TtlExpired => "ttl_expired",
+            ProbeOutcome::NoRoute => "no_route",
+            ProbeOutcome::DeviceDown => "device_down",
+            ProbeOutcome::AclDrop => "acl_drop",
+        }
+    }
+
+    /// Whether the probe reached its destination.
+    #[must_use]
+    pub fn delivered(self) -> bool {
+        matches!(self, ProbeOutcome::Delivered)
+    }
+}
+
+/// The evidence behind a blackhole incident: where the packet vanished
+/// and the provenance digest of the FIB entry that *should* have carried
+/// it — the stale state a final-FIB differential cannot flag, because
+/// the entry is present and well-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayFailureWitness {
+    /// The device where the probe died.
+    pub device: DeviceId,
+    /// Hop index at which it died (0 = the source itself).
+    pub hop: u32,
+    /// The FIB prefix the device matched for the destination.
+    pub prefix: Option<Ipv4Prefix>,
+    /// Provenance digest of the matched FIB entry (PR 4's causal-chain
+    /// digest), when the OS keeps provenance.
+    pub prov_digest: Option<u64>,
+}
+
+/// What kind of watchdog fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A probe died at a device whose FIB had a route.
+    Blackhole(GrayFailureWitness),
+    /// A probe's TTL expired at `device`.
+    ForwardingLoop {
+        /// Where the TTL ran out.
+        device: DeviceId,
+        /// Hop index at exhaustion.
+        hop: u32,
+    },
+    /// A pair's rolling loss window crossed the threshold.
+    SloBreach {
+        /// Losses inside the window when the breach fired.
+        window_lost: u64,
+        /// Window length (probes).
+        window: u64,
+    },
+    /// A device churned more routes between ticks than the threshold.
+    FibChurnAnomaly {
+        /// The churning device.
+        device: DeviceId,
+        /// Route operations observed since the previous tick.
+        ops: u64,
+        /// The configured threshold.
+        threshold: u64,
+    },
+}
+
+impl IncidentKind {
+    /// Stable export label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            IncidentKind::Blackhole(_) => "blackhole",
+            IncidentKind::ForwardingLoop { .. } => "forwarding_loop",
+            IncidentKind::SloBreach { .. } => "slo_breach",
+            IncidentKind::FibChurnAnomaly { .. } => "fib_churn_anomaly",
+        }
+    }
+
+    /// Rank for the deterministic incident sort (ties broken by kind).
+    fn rank(&self) -> u8 {
+        match self {
+            IncidentKind::Blackhole(_) => 0,
+            IncidentKind::ForwardingLoop { .. } => 1,
+            IncidentKind::SloBreach { .. } => 2,
+            IncidentKind::FibChurnAnomaly { .. } => 3,
+        }
+    }
+}
+
+/// One watchdog firing on the incident timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// Virtual time of the firing.
+    pub at: SimTime,
+    /// Probe source (for churn incidents, the churning device).
+    pub src: DeviceId,
+    /// Probe destination (for churn incidents, the churning device).
+    pub dst: DeviceId,
+    /// Globally unique ordinal: the probe sequence for probe-derived
+    /// incidents, a `(1 << 63)`-tagged `(round, device)` composite for
+    /// churn incidents. Total-orders same-instant incidents.
+    pub seq: u64,
+    /// What fired.
+    pub kind: IncidentKind,
+}
+
+impl Incident {
+    /// The deterministic timeline sort key.
+    #[must_use]
+    pub fn sort_key(&self) -> (u64, u64, u8) {
+        (self.at.as_nanos(), self.seq, self.kind.rank())
+    }
+}
+
+/// Live probe-mesh state inside a [`ControlPlaneWorld`]
+/// (`crate::harness::ControlPlaneWorld`): gauges, the incident log, and
+/// the churn-watchdog accounting. Cloned wholesale on fork; split and
+/// re-merged around a parallel run (pair stats travel with the shard
+/// that owns the pair's source, so rolling windows stay continuous).
+#[derive(Debug, Clone)]
+pub struct HealthState {
+    /// The active configuration (seed already resolved).
+    pub cfg: ProbeConfig,
+    /// Probe targets: every device with an OS at enable time, with its
+    /// loopback address, sorted by device id. Replicated on every shard
+    /// so pair sampling is a shard-independent pure function.
+    pub population: Vec<(DeviceId, Ipv4Addr)>,
+    /// Per-pair gauges, keyed `(src, dst)`.
+    pub pairs: BTreeMap<(DeviceId, DeviceId), PairStats>,
+    /// The incident timeline, in deterministic order.
+    pub incidents: Vec<Incident>,
+    /// Total probes launched.
+    pub probes_sent: u64,
+    /// Total probes delivered.
+    pub probes_delivered: u64,
+    /// Total probes lost.
+    pub probes_lost: u64,
+    /// Route operations per device since the last probe tick (the churn
+    /// watchdog's accounting; reset every tick).
+    pub ops_since_tick: BTreeMap<DeviceId, u64>,
+    /// Whether a tick has fired yet: the first tick only primes the
+    /// churn baseline (boot-time convergence churn is not an anomaly).
+    pub churn_primed: bool,
+    /// Per-round sampling seed base, derived once from
+    /// [`ProbeConfig::seed`] at enable time.
+    pub derived_seed: u64,
+}
+
+impl HealthState {
+    /// Fresh state over `population` (sorted by device id internally).
+    #[must_use]
+    pub fn new(cfg: ProbeConfig, mut population: Vec<(DeviceId, Ipv4Addr)>) -> Self {
+        population.sort_by_key(|(d, _)| d.0);
+        let derived_seed = SimRng::for_component(cfg.seed, "health-probe").next_u64();
+        HealthState {
+            cfg,
+            population,
+            pairs: BTreeMap::new(),
+            incidents: Vec::new(),
+            probes_sent: 0,
+            probes_delivered: 0,
+            probes_lost: 0,
+            ops_since_tick: BTreeMap::new(),
+            churn_primed: false,
+            derived_seed,
+        }
+    }
+
+    /// The pairs round `round` probes: a pure function of
+    /// `(derived_seed, round)`, independent of shard layout and of every
+    /// other round. Self-pairs are skipped by construction.
+    #[must_use]
+    pub fn sample_pairs(&self, round: u64) -> Vec<(usize, usize)> {
+        let n = self.population.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut rng =
+            SimRng::from_seed(self.derived_seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        (0..self.cfg.pairs_per_round)
+            .map(|_| {
+                let src = rng.below(n as u64) as usize;
+                let mut dst = rng.below(n as u64 - 1) as usize;
+                if dst >= src {
+                    dst += 1;
+                }
+                (src, dst)
+            })
+            .collect()
+    }
+
+    /// Splits off the state a parallel shard carries: full config and
+    /// population (sampling must replay identically everywhere), the
+    /// live pair stats whose *source* the shard owns (rolling windows
+    /// must stay continuous across the fork boundary), the churn
+    /// residue for owned devices, and zeroed totals/incidents (merged
+    /// back additively at the join).
+    #[must_use]
+    pub fn fork_for_shard(&self, owns: impl Fn(DeviceId) -> bool) -> HealthState {
+        HealthState {
+            cfg: self.cfg.clone(),
+            population: self.population.clone(),
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|((src, _), _)| owns(*src))
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            incidents: Vec::new(),
+            probes_sent: 0,
+            probes_delivered: 0,
+            probes_lost: 0,
+            ops_since_tick: self
+                .ops_since_tick
+                .iter()
+                .filter(|(d, _)| owns(**d))
+                .map(|(d, n)| (*d, *n))
+                .collect(),
+            churn_primed: self.churn_primed,
+            derived_seed: self.derived_seed,
+        }
+    }
+
+    /// Folds a shard's state back in after a parallel run: pair stats
+    /// replace the serial entries (the shard carried the live
+    /// continuation), totals add, incidents accumulate for a single
+    /// deterministic sort by the caller.
+    pub fn absorb_shard(&mut self, shard: HealthState) {
+        for (k, v) in shard.pairs {
+            self.pairs.insert(k, v);
+        }
+        for (d, n) in shard.ops_since_tick {
+            self.ops_since_tick.insert(d, n);
+        }
+        self.probes_sent += shard.probes_sent;
+        self.probes_delivered += shard.probes_delivered;
+        self.probes_lost += shard.probes_lost;
+        self.churn_primed |= shard.churn_primed;
+        self.incidents.extend(shard.incidents);
+    }
+
+    /// Restores the deterministic timeline order after shard incident
+    /// lists were concatenated.
+    pub fn sort_incidents(&mut self) {
+        self.incidents.sort_by_key(Incident::sort_key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(n: u32) -> Vec<(DeviceId, Ipv4Addr)> {
+        (0..n)
+            .map(|i| (DeviceId(i), Ipv4Addr(0x0a00_0000 + i)))
+            .collect()
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_skips_self_pairs() {
+        let h = HealthState::new(
+            ProbeConfig {
+                pairs_per_round: 64,
+                seed: 7,
+                ..ProbeConfig::default()
+            },
+            pop(9),
+        );
+        let a = h.sample_pairs(3);
+        let b = h.sample_pairs(3);
+        assert_eq!(a, b, "same round must sample the same pairs");
+        assert!(a.iter().all(|(s, d)| s != d), "no self-probes");
+        assert!(a.iter().all(|(s, d)| *s < 9 && *d < 9));
+        assert_ne!(h.sample_pairs(4), a, "rounds sample independently");
+    }
+
+    #[test]
+    fn sampling_handles_degenerate_populations() {
+        let h = HealthState::new(ProbeConfig::default(), pop(1));
+        assert!(h.sample_pairs(0).is_empty());
+        let h = HealthState::new(ProbeConfig::default(), pop(0));
+        assert!(h.sample_pairs(0).is_empty());
+    }
+
+    #[test]
+    fn window_breach_fires_on_transition_and_rearms() {
+        let cfg = ProbeConfig {
+            slo_window: 4,
+            slo_loss_pct: 25,
+            ..ProbeConfig::default()
+        };
+        let mut p = PairStats::default();
+        // Fill the window with deliveries: no breach.
+        for _ in 0..4 {
+            assert!(!p.record(true, 1_000, &cfg));
+        }
+        // Two losses in a window of 4 = 50% > 25%: fires exactly once.
+        assert!(!p.record(false, 0, &cfg), "1/4 lost is 25%, not > 25%");
+        assert!(p.record(false, 0, &cfg), "2/4 lost crosses the threshold");
+        assert!(!p.record(false, 0, &cfg), "still breached: no re-fire");
+        // Recover the window, then breach again: re-fires.
+        for _ in 0..4 {
+            assert!(!p.record(true, 1_000, &cfg));
+        }
+        assert!(!p.breached, "window recovered");
+        p.record(false, 0, &cfg);
+        assert!(p.record(false, 0, &cfg), "a fresh excursion re-fires");
+        assert_eq!(p.sent, 13);
+        assert_eq!(p.lost, 5);
+        assert_eq!(p.latency_ns_max, 1_000);
+    }
+
+    #[test]
+    fn shard_split_keeps_windows_continuous() {
+        let cfg = ProbeConfig {
+            slo_window: 3,
+            ..ProbeConfig::default()
+        };
+        let mut h = HealthState::new(cfg.clone(), pop(4));
+        let key = (DeviceId(1), DeviceId(2));
+        h.pairs.entry(key).or_default().record(true, 10, &cfg);
+        h.ops_since_tick.insert(DeviceId(1), 5);
+        h.ops_since_tick.insert(DeviceId(3), 7);
+
+        let mut shard = h.fork_for_shard(|d| d.0 < 2);
+        assert_eq!(shard.pairs[&key].window.len(), 1, "window travels");
+        assert_eq!(shard.ops_since_tick.get(&DeviceId(1)), Some(&5));
+        assert_eq!(shard.ops_since_tick.get(&DeviceId(3)), None);
+
+        shard.pairs.get_mut(&key).unwrap().record(false, 0, &cfg);
+        shard.probes_sent = 1;
+        h.absorb_shard(shard);
+        assert_eq!(h.pairs[&key].window.len(), 2, "continuation replaces");
+        assert_eq!(h.probes_sent, 1);
+    }
+}

@@ -15,6 +15,7 @@
 pub mod attrs;
 pub mod bgp;
 pub mod harness;
+pub mod health;
 pub mod msg;
 pub mod os;
 pub mod ospf;
@@ -25,6 +26,9 @@ pub mod vendor;
 pub use attrs::{intern_stats, Origin, PathAttrs, Route};
 pub use bgp::{BgpRouterOs, SessionState, LOCAL_IFACE};
 pub use harness::{ControlPlaneSim, ControlPlaneWorld, UniformWorkModel, WorkKind, WorkModel};
+pub use health::{
+    GrayFailureWitness, HealthState, Incident, IncidentKind, PairStats, ProbeConfig, ProbeOutcome,
+};
 pub use msg::{BgpMsg, Frame, OspfMsg};
 pub use os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
 pub use ospf::{elect_dr_bdr, OspfRouterOs, RouterLsa};

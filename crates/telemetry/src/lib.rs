@@ -44,12 +44,13 @@ use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
 pub mod profile;
+pub mod testutil;
 
 pub use profile::{
-    json_key_structure, BlameBreakdown, BlameKind, CowStats, CriticalLink, DeviceMem,
-    DeviceMemTotals, InternerMem, MemorySection, Profile, ProfileEntry, QueueMem, ScalingDiagnosis,
-    ShardLoad,
+    BlameBreakdown, BlameKind, CowStats, CriticalLink, DeviceMem, DeviceMemTotals, InternerMem,
+    MemorySection, Profile, ProfileEntry, QueueMem, ScalingDiagnosis, ShardLoad,
 };
+pub use testutil::{assert_same_key_structure, json_deep_structure, json_key_structure};
 
 /// A typed field value attached to an event or report metadata.
 ///
@@ -1270,6 +1271,33 @@ impl RunReport {
                 scaling.blame.merge_bound_ns as f64 / 1e6,
             );
         }
+        if let Some(memory) = &self.memory {
+            let d = &memory.devices;
+            let _ = writeln!(
+                out,
+                "  memory: {} device(s), rib {:.1} KiB ({} entries), \
+                 fib {:.1} KiB ({} prefixes), interner {:.1} KiB, \
+                 queue residue {:.1} KiB ({} events)",
+                d.devices,
+                d.rib_bytes as f64 / 1024.0,
+                d.rib_entries,
+                d.fib_bytes as f64 / 1024.0,
+                d.fib_prefixes,
+                memory.interner.table_bytes as f64 / 1024.0,
+                memory.event_queue.residue_bytes as f64 / 1024.0,
+                memory.event_queue.pending_events,
+            );
+            if let Some(cow) = &memory.fork_cow {
+                let _ = writeln!(
+                    out,
+                    "  fork_cow: shared {:.1} KiB / copied {:.1} KiB \
+                     ({:.0}% shared)",
+                    cow.shared_bytes as f64 / 1024.0,
+                    cow.copied_bytes as f64 / 1024.0,
+                    cow.sharing_ratio() * 100.0,
+                );
+            }
+        }
         out
     }
 }
@@ -1589,5 +1617,57 @@ mod tests {
         assert!(s.contains("routing.bgp_updates_sent"));
         assert!(s.contains("mockup"));
         assert!(RunReport::disabled().summary().contains("disabled"));
+    }
+
+    #[test]
+    fn summary_surfaces_memory_and_fork_cow() {
+        let mut r = MemRecorder::new();
+        r.counter_add("routing.bgp_updates_sent", 12);
+        let mut report = r.report();
+        report.memory = Some(MemorySection {
+            devices: DeviceMemTotals {
+                devices: 3,
+                rib_entries: 20,
+                rib_bytes: 2048,
+                fib_prefixes: 10,
+                fib_route_entries: 12,
+                fib_bytes: 1024,
+            },
+            top_devices: Vec::new(),
+            interner: InternerMem {
+                entries: 4,
+                table_bytes: 512,
+                hits: 9,
+                hit_bytes_saved: 99,
+            },
+            event_queue: QueueMem {
+                pending_events: 7,
+                residue_bytes: 3584,
+            },
+            fork_cow: Some(CowStats {
+                shared_bytes: 3072,
+                copied_bytes: 1024,
+            }),
+        });
+        // Snapshot of the two lines the memory section renders to: the
+        // format is part of the operator-facing contract.
+        let s = report.summary();
+        assert!(
+            s.contains(
+                "  memory: 3 device(s), rib 2.0 KiB (20 entries), \
+                 fib 1.0 KiB (10 prefixes), interner 0.5 KiB, \
+                 queue residue 3.5 KiB (7 events)"
+            ),
+            "memory line changed:\n{s}"
+        );
+        assert!(
+            s.contains("  fork_cow: shared 3.0 KiB / copied 1.0 KiB (75% shared)"),
+            "fork_cow line changed:\n{s}"
+        );
+        // A root emulation (no fork) omits only the fork_cow line.
+        report.memory.as_mut().unwrap().fork_cow = None;
+        let s = report.summary();
+        assert!(s.contains("  memory: 3 device(s)"));
+        assert!(!s.contains("fork_cow"));
     }
 }

@@ -580,25 +580,7 @@ impl Serialize for MemorySection {
     }
 }
 
-/// Renders the key *structure* of a JSON value: object keys recursively,
-/// arrays collapsed to `[]`, scalars to `_`. Two exports with the same
-/// structure string have identical key sets at every nesting level even
-/// when their values (and array lengths) differ — the comparison the
-/// profile and scaling sections guarantee across worker counts.
-#[must_use]
-pub fn json_key_structure(v: &Value) -> String {
-    match v {
-        Value::Object(fields) => {
-            let inner: Vec<String> = fields
-                .iter()
-                .map(|(k, v)| format!("{k}:{}", json_key_structure(v)))
-                .collect();
-            format!("{{{}}}", inner.join(","))
-        }
-        Value::Array(_) => "[]".to_string(),
-        _ => "_".to_string(),
-    }
-}
+pub use crate::testutil::json_key_structure;
 
 #[cfg(test)]
 mod tests {
