@@ -1,0 +1,262 @@
+//! Traffic-plane load bench: what deterministic flow generation costs,
+//! and proof the congestion watchdogs fire under a real fault.
+//!
+//! For each Table 3 scale band the bench runs the same workload twice —
+//! mockup plus 30 virtual seconds under an injected ToR-uplink flap —
+//! once with the traffic plane off (the baseline: exactly the
+//! pre-traffic engine) and once with a 1s-period flow load whose link
+//! capacity is starved so the redistributed load over-subscribes.
+//! Prints a table and writes `BENCH_traffic.json` at the workspace
+//! root.
+//!
+//! Two gates run before any timing is accepted:
+//!
+//! 1. **FIB equivalence** — the traffic-on run's FIBs must be
+//!    bit-identical to the traffic-off run's. Flows observe the
+//!    dataplane and must never perturb the control plane.
+//! 2. **Congestion witness** — the traffic-on run must produce at least
+//!    one congestion incident (link over-subscription, ECMP
+//!    polarisation, or flow SLO breach) *correlated to the injected
+//!    fault*. A load model too light to trip its own watchdogs under a
+//!    starved link is not exercising the subsystem.
+//!
+//! Timings are the median of `CRYSTALNET_REPS` samples (default 3,
+//! min 2). Both paths run single-worker so the overhead ratio is pure
+//! event-loop cost.
+
+use crystalnet::prelude::*;
+use crystalnet::PlanOptions;
+use crystalnet_dataplane::Fib;
+use crystalnet_net::{ClosParams, ClosTopology, DeviceId};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn bands() -> Vec<(&'static str, ClosTopology)> {
+    let mut v = vec![
+        ("s-dc", ClosParams::s_dc().build()),
+        ("m-dc", ClosParams::m_dc().build()),
+    ];
+    if std::env::var("CRYSTALNET_FULL").is_ok_and(|x| x == "1") {
+        v.push(("l-dc", ClosParams::l_dc().scaled_pods(0.25).build()));
+    }
+    v
+}
+
+fn prep_for(topo: &ClosTopology) -> Arc<PrepareOutput> {
+    Arc::new(prepare(
+        &topo.topo,
+        &[],
+        BoundaryMode::WholeNetwork,
+        SpeakerSource::OriginatedOnly,
+        &PlanOptions::default(),
+    ))
+}
+
+fn fib_map(emu: &Emulation) -> BTreeMap<DeviceId, Fib> {
+    let mut devs: Vec<DeviceId> = emu.sandboxes.keys().copied().collect();
+    devs.sort_unstable_by_key(|d| d.0);
+    devs.into_iter()
+        .filter_map(|d| emu.sim.os(d).map(|os| (d, os.fib().clone())))
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Virtual time spent watching the converged fabric after mockup.
+const WATCH: SimDuration = SimDuration::from_secs(30);
+
+/// A 1s-period flow load over starved links: 64 kbit/s → 8000 bytes of
+/// capacity per period, so a single 20 kB response flow
+/// over-subscribes whatever link carries it.
+fn load_cfg() -> TrafficConfig {
+    TrafficConfig {
+        link_capacity_bps: 64_000,
+        ..TrafficConfig::with_period(SimDuration::from_secs(1))
+    }
+}
+
+/// The injected fault both runs share: a ToR uplink flaps down at +3s
+/// and back up at +13s, concentrating the pod's flows on the surviving
+/// uplinks while the transient lasts.
+fn flap_plan(topo: &ClosTopology) -> FaultPlan {
+    let tor = topo.pods[0].tors[0];
+    let (lid, _, _) = topo
+        .topo
+        .neighbors(tor)
+        .next()
+        .expect("a ToR has an uplink");
+    FaultPlan::default().then(
+        SimDuration::from_secs(3),
+        FaultKind::LinkFlapBurst {
+            link: lid,
+            flaps: 1,
+            period: SimDuration::from_secs(10),
+        },
+    )
+}
+
+fn run_once(prep: &Arc<PrepareOutput>, topo: &ClosTopology, traffic: bool) -> (f64, Emulation) {
+    let mut b = MockupOptions::builder()
+        .seed(42)
+        .workers(1)
+        .fault_plan(flap_plan(topo));
+    if traffic {
+        b = b.traffic_config(load_cfg());
+    }
+    let t = Instant::now();
+    let mut emu = mockup(Arc::clone(prep), b.build());
+    emu.advance(WATCH);
+    (t.elapsed().as_secs_f64(), emu)
+}
+
+fn is_congestion(kind: &IncidentKind) -> bool {
+    matches!(
+        kind,
+        IncidentKind::LinkOversubscribed { .. }
+            | IncidentKind::EcmpPolarisation { .. }
+            | IncidentKind::FlowSloBreach { .. }
+    )
+}
+
+struct Row {
+    band: String,
+    devices: usize,
+    baseline_secs: f64,
+    traffic_secs: f64,
+    flows_sent: u64,
+    flows_delivered: u64,
+    flows_rerouted: u64,
+    bytes_offered: u64,
+    congestion_incidents: u64,
+    correlated_incidents: u64,
+}
+
+fn main() {
+    let samples: usize = std::env::var("CRYSTALNET_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(2);
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("traffic_load: {samples} samples/row, {hw} hardware thread(s), {WATCH:?} watched");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (band, topo) in bands() {
+        let devices = topo.topo.device_count();
+        let prep = prep_for(&topo);
+
+        let mut baseline_times = Vec::with_capacity(samples);
+        let mut traffic_times = Vec::with_capacity(samples);
+        let mut last: Option<(TrafficReport, u64, u64)> = None;
+        for rep in 0..samples {
+            let (off_secs, off) = run_once(&prep, &topo, false);
+            let (on_secs, on) = run_once(&prep, &topo, true);
+
+            // Gate 1 before the timing counts: flows must leave every
+            // FIB exactly as the traffic-off run left it.
+            if rep == 0 {
+                assert_eq!(
+                    fib_map(&on),
+                    fib_map(&off),
+                    "{band}: the traffic plane perturbed the control plane"
+                );
+            }
+            let congestion: Vec<_> = on
+                .incidents()
+                .into_iter()
+                .filter(|ci| is_congestion(&ci.incident.kind))
+                .collect();
+            let correlated = congestion
+                .iter()
+                .filter(|ci| matches!(&ci.cause, Some(IncidentCause::Fault { .. })))
+                .count() as u64;
+            // Gate 2: the starved fabric must trip its own watchdogs,
+            // and the timeline must tie at least one firing to the flap.
+            assert!(
+                !congestion.is_empty(),
+                "{band}: no congestion incident under a starved link"
+            );
+            assert!(
+                correlated > 0,
+                "{band}: no congestion incident correlated to the injected fault"
+            );
+            last = Some((on.pull_traffic(), congestion.len() as u64, correlated));
+
+            baseline_times.push(off_secs);
+            traffic_times.push(on_secs);
+        }
+
+        let (traffic, congestion_incidents, correlated_incidents) =
+            last.expect("at least two reps ran");
+        rows.push(Row {
+            band: band.to_string(),
+            devices,
+            baseline_secs: median(baseline_times),
+            traffic_secs: median(traffic_times),
+            flows_sent: traffic.flows_sent,
+            flows_delivered: traffic.flows_delivered,
+            flows_rerouted: traffic.flows_rerouted,
+            bytes_offered: traffic.bytes_offered,
+            congestion_incidents,
+            correlated_incidents,
+        });
+    }
+
+    let mut json_rows = Vec::new();
+    for r in &rows {
+        let overhead_pct = (r.traffic_secs / r.baseline_secs.max(1e-9) - 1.0) * 100.0;
+        println!(
+            "{:<6} devices={:<5} baseline {:>8.3}s  traffic-on {:>8.3}s  overhead {:>6.1}%  \
+             flows={}/{} rerouted={} congestion={} correlated={}",
+            r.band,
+            r.devices,
+            r.baseline_secs,
+            r.traffic_secs,
+            overhead_pct,
+            r.flows_delivered,
+            r.flows_sent,
+            r.flows_rerouted,
+            r.congestion_incidents,
+            r.correlated_incidents
+        );
+        json_rows.push(format!(
+            "{{\"band\": \"{}\", \"devices\": {}, \"baseline_seconds\": {:.6}, \
+             \"traffic_seconds\": {:.6}, \"overhead_pct\": {:.2}, \"flows_sent\": {}, \
+             \"flows_delivered\": {}, \"flows_rerouted\": {}, \"bytes_offered\": {}, \
+             \"congestion_incidents\": {}, \"correlated_incidents\": {}}}",
+            r.band,
+            r.devices,
+            r.baseline_secs,
+            r.traffic_secs,
+            overhead_pct,
+            r.flows_sent,
+            r.flows_delivered,
+            r.flows_rerouted,
+            r.bytes_offered,
+            r.congestion_incidents,
+            r.correlated_incidents
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"traffic_load\",\n  \"bench_meta\": {},\n  \
+         \"baseline_definition\": \"mockup wall + 30 virtual seconds watched under a ToR-uplink flap, traffic off\",\n  \
+         \"traffic_definition\": \"same with a 1s-period flow load over 64 kbit/s links\",\n  \
+         \"samples\": {samples},\n  \"hardware_threads\": {hw},\n  \"results\": [\n    {}\n  ]\n}}\n",
+        crystalnet_bench::meta::bench_meta_json(1),
+        json_rows.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_traffic.json");
+    std::fs::write(path, json).expect("write BENCH_traffic.json");
+    println!("wrote {path}");
+}

@@ -39,6 +39,13 @@ pub struct Case1Report {
     pub vms_used: usize,
     /// Run report of the final migration emulation.
     pub report: RunReport,
+    /// Traffic-plane gauges of the final run
+    /// ([`disabled`](crate::traffic::TrafficReport::disabled) unless the
+    /// rehearsal ran under load — see [`run_case1_under_load`]).
+    pub traffic: crate::traffic::TrafficReport,
+    /// Correlated incidents observed during the final run (health and
+    /// congestion watchdogs; empty when both planes are off).
+    pub incidents: usize,
 }
 
 /// Builds the Case-1 emulation: both DCs fully emulated plus regional
@@ -84,6 +91,23 @@ fn cross_dc_ok(
 #[must_use]
 pub fn run_case1(seed: u64) -> Case1Report {
     run_case1_with(&MockupOptions::builder().seed(seed).build())
+}
+
+/// Runs the Case-1 migration rehearsal *under load*: the probe mesh and
+/// the traffic plane both run while the staged plan executes, so the
+/// report shows what the migration transient did to user flows (lost,
+/// rerouted) and whether any congestion watchdog fired — the paper's
+/// end goal, not just FIB equivalence. Deterministic for a given seed
+/// like every other run.
+#[must_use]
+pub fn run_case1_under_load(seed: u64) -> Case1Report {
+    run_case1_with(
+        &MockupOptions::builder()
+            .seed(seed)
+            .health(crystalnet_sim::SimDuration::from_secs(5))
+            .traffic(crystalnet_sim::SimDuration::from_secs(5))
+            .build(),
+    )
 }
 
 /// Runs the Case-1 migration rehearsal under caller-supplied mockup
@@ -193,6 +217,8 @@ pub fn run_case1_with(options: &MockupOptions) -> Case1Report {
         .all(|(_, o)| *o == StepOutcome::Passed);
     let vms_used = emu.prep.vm_plan.vm_count();
 
+    let traffic = emu.pull_traffic();
+    let incidents = emu.incidents().len();
     Case1Report {
         rehearsal: rehearsal.steps,
         bugs_caught,
@@ -200,6 +226,8 @@ pub fn run_case1_with(options: &MockupOptions) -> Case1Report {
         no_disruption,
         vms_used,
         report: emu.pull_report(),
+        traffic,
+        incidents,
     }
 }
 

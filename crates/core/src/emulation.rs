@@ -36,7 +36,8 @@ use crystalnet_dataplane::{
 use crystalnet_net::{partition_grouped, DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, Topology};
 use crystalnet_routing::harness::{WorkKind, WorkModel};
 use crystalnet_routing::{
-    BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, ProbeConfig, VendorProfile,
+    BgpRouterOs, ControlPlaneSim, MgmtCommand, MgmtResponse, ProbeConfig, TrafficConfig,
+    VendorProfile,
 };
 use crystalnet_sim::{EventId, SimDuration, SimRng, SimTime};
 use crystalnet_telemetry::profile::keys as profile_keys;
@@ -170,6 +171,12 @@ pub struct MockupOptions {
     /// every probe code path dormant — runs are byte-identical to a
     /// build without the feature.
     pub health_probes: Option<ProbeConfig>,
+    /// Deterministic traffic plane: seeded flow generation over the
+    /// converged dataplane with per-link utilisation gauges and
+    /// congestion watchdogs (see [`crate::traffic`]). `None` (the
+    /// default) keeps every traffic code path dormant — runs are
+    /// byte-identical to a build without the feature.
+    pub traffic: Option<TrafficConfig>,
     /// Whether to collect the run report (spans, counters, journal) —
     /// `pull_report()` returns an empty report when off. Recording is
     /// deterministic and does not perturb the run; disable it only to
@@ -202,6 +209,7 @@ impl Default for MockupOptions {
             fault_plan: FaultPlan::default(),
             health: HealthPolicy::default(),
             health_probes: None,
+            traffic: None,
             telemetry: true,
             trace_capacity: 65_536,
             profiling: false,
@@ -324,6 +332,26 @@ impl MockupOptionsBuilder {
         self
     }
 
+    /// Turns the traffic plane on with `period` between flow-generation
+    /// rounds and every other [`TrafficConfig`] knob at its default. Use
+    /// [`Self::traffic_config`] for full control. The period must be
+    /// nonzero — [`Self::try_build`] rejects zero with
+    /// [`EmulationError::InvalidOption`].
+    #[must_use]
+    pub fn traffic(mut self, period: SimDuration) -> Self {
+        self.options.traffic = Some(TrafficConfig::with_period(period));
+        self
+    }
+
+    /// Turns the traffic plane on with a full [`TrafficConfig`] (flows
+    /// per round, request/response sizes, link capacity, congestion
+    /// thresholds, traffic seed).
+    #[must_use]
+    pub fn traffic_config(mut self, cfg: TrafficConfig) -> Self {
+        self.options.traffic = Some(cfg);
+        self
+    }
+
     /// Whether to collect the run report (on by default).
     #[must_use]
     pub fn telemetry(mut self, telemetry: bool) -> Self {
@@ -367,6 +395,28 @@ impl MockupOptionsBuilder {
             if cfg.ttl == 0 {
                 return Err(EmulationError::InvalidOption(
                     "health probe ttl must be nonzero".to_string(),
+                ));
+            }
+        }
+        if let Some(cfg) = &self.options.traffic {
+            if cfg.period == SimDuration::ZERO {
+                return Err(EmulationError::InvalidOption(
+                    "traffic period must be nonzero".to_string(),
+                ));
+            }
+            if cfg.ttl == 0 {
+                return Err(EmulationError::InvalidOption(
+                    "traffic flow ttl must be nonzero".to_string(),
+                ));
+            }
+            if cfg.flows_per_round == 0 {
+                return Err(EmulationError::InvalidOption(
+                    "traffic flows_per_round must be nonzero".to_string(),
+                ));
+            }
+            if cfg.link_capacity_bps == 0 {
+                return Err(EmulationError::InvalidOption(
+                    "traffic link_capacity_bps must be nonzero".to_string(),
                 ));
             }
         }
@@ -773,6 +823,25 @@ pub fn mockup(prep: Arc<PrepareOutput>, options: MockupOptions) -> Emulation {
         population.sort_by_key(|(d, _)| d.0);
         let first_tick = network_ready_at + cfg.period;
         sim.enable_health(cfg, population, first_tick);
+    }
+
+    // Traffic plane: seeded flow generation over the same router
+    // population. Like the probe mesh, flow events are non-causal and
+    // never perturb convergence; the first round fires one period after
+    // network-ready so flows exercise the boot transient too.
+    if let Some(cfg) = &options.traffic {
+        let mut cfg = cfg.clone();
+        if cfg.seed == 0 {
+            cfg.seed = options.seed;
+        }
+        let mut population: Vec<(DeviceId, Ipv4Addr)> = prep
+            .configs
+            .iter()
+            .map(|(dev, _)| (*dev, topo.device(*dev).loopback))
+            .collect();
+        population.sort_by_key(|(d, _)| d.0);
+        let first_tick = network_ready_at + cfg.period;
+        sim.enable_traffic(cfg, population, first_tick);
     }
 
     let t_converge = options.profiling.then(Instant::now);
@@ -1224,21 +1293,49 @@ impl Emulation {
         }
     }
 
+    /// The traffic plane's gauges as a canonical
+    /// [`TrafficReport`](crate::traffic::TrafficReport) (see
+    /// [`crate::traffic`]). When the traffic plane is off
+    /// ([`MockupOptionsBuilder::traffic`] not called), returns
+    /// [`TrafficReport::disabled`](crate::traffic::TrafficReport::disabled).
+    #[must_use]
+    pub fn pull_traffic(&self) -> crate::traffic::TrafficReport {
+        match self.sim.traffic() {
+            Some(state) => crate::traffic::TrafficReport::from_state(state, |d| {
+                self.topo.device(d).name.clone()
+            }),
+            None => crate::traffic::TrafficReport::disabled(),
+        }
+    }
+
     /// The incident timeline with causes correlated: every watchdog
     /// firing (blackhole, forwarding loop, SLO breach, FIB-churn
-    /// anomaly) in virtual-time order, each attributed to the nearest
-    /// preceding fault, recovery action, or applied change within
+    /// anomaly, and — when the traffic plane runs — link
+    /// over-subscription, ECMP polarisation, flow SLO breach) in
+    /// virtual-time order, each attributed to the nearest preceding
+    /// fault, recovery action, or applied change within
     /// [`crate::health::CORRELATION_WINDOW`].
     #[must_use]
     pub fn incidents(&self) -> Vec<crate::health::CorrelatedIncident> {
-        let incidents = self
+        let health = self
             .sim
             .health()
             .map(|h| h.incidents.as_slice())
             .unwrap_or(&[]);
-        crate::health::correlate(incidents, &self.journal, &self.change_log, |d| {
-            self.topo.device(d).name.clone()
-        })
+        let traffic = self
+            .sim
+            .traffic()
+            .map(|t| t.incidents.as_slice())
+            .unwrap_or(&[]);
+        let resolve = |d| self.topo.device(d).name.clone();
+        if traffic.is_empty() {
+            // Traffic off (or quiet): identical path — and bytes — to a
+            // health-only build.
+            return crate::health::correlate(health, &self.journal, &self.change_log, resolve);
+        }
+        let mut merged: Vec<_> = health.iter().chain(traffic).cloned().collect();
+        merged.sort_by_key(crystalnet_routing::Incident::sort_key);
+        crate::health::correlate(&merged, &self.journal, &self.change_log, resolve)
     }
 
     /// [`Self::incidents`] as JSONL — one canonical object per line,

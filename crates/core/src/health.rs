@@ -250,6 +250,15 @@ pub struct CorrelatedIncident {
     pub cause: Option<IncidentCause>,
 }
 
+/// Version of the incident JSONL envelope emitted by
+/// [`incidents_jsonl`]. The envelope (the eight keys every line carries:
+/// `at_ns`, `kind`, `src`, `src_host`, `dst`, `dst_host`, `seq`,
+/// `cause`) is stable within a version; *new kinds* may appear without a
+/// bump because consumers dispatch on `kind` and unknown labels are
+/// skippable. A bump means an existing key changed meaning or shape —
+/// live-watch pipelines should pin this constant, not sniff fields.
+pub const INCIDENT_SCHEMA_VERSION: u32 = 1;
+
 /// How far back correlation looks for a plausible cause. Fault
 /// propagation through BGP withdrawal cascades takes tens of seconds of
 /// virtual time on large fabrics; two minutes bounds the search without
@@ -395,6 +404,35 @@ impl CorrelatedIncident {
                 obj.push(("device".to_string(), Value::Uint(u64::from(device.0))));
                 obj.push(("ops".to_string(), Value::Uint(*ops)));
                 obj.push(("threshold".to_string(), Value::Uint(*threshold)));
+            }
+            IncidentKind::LinkOversubscribed {
+                link,
+                device,
+                bytes,
+                capacity_bytes,
+            } => {
+                obj.push(("link".to_string(), Value::Uint(u64::from(link.0))));
+                obj.push(("device".to_string(), Value::Uint(u64::from(device.0))));
+                obj.push(("bytes".to_string(), Value::Uint(*bytes)));
+                obj.push(("capacity_bytes".to_string(), Value::Uint(*capacity_bytes)));
+            }
+            IncidentKind::EcmpPolarisation {
+                device,
+                iface,
+                share_pct,
+                members,
+            } => {
+                obj.push(("device".to_string(), Value::Uint(u64::from(device.0))));
+                obj.push(("iface".to_string(), Value::Uint(u64::from(*iface))));
+                obj.push(("share_pct".to_string(), Value::Uint(*share_pct)));
+                obj.push(("members".to_string(), Value::Uint(*members)));
+            }
+            IncidentKind::FlowSloBreach {
+                window_lost,
+                window,
+            } => {
+                obj.push(("window_lost".to_string(), Value::Uint(*window_lost)));
+                obj.push(("window".to_string(), Value::Uint(*window)));
             }
         }
         obj.push((

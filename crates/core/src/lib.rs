@@ -34,9 +34,13 @@ pub mod prepare;
 pub mod rehearse;
 pub mod scenarios;
 pub mod session;
+pub mod traffic;
 pub mod workflow;
 
-pub use cases::{run_case1, run_case1_with, run_case2, run_case2_with, Case1Report, Case2Report};
+pub use cases::{
+    run_case1, run_case1_under_load, run_case1_with, run_case2, run_case2_with, Case1Report,
+    Case2Report,
+};
 pub use emulation::{
     mockup, DeviceState, Emulation, EmulationError, MockupOptions, MockupOptionsBuilder, Sandbox,
     VmWorkModel,
@@ -55,6 +59,7 @@ pub use rehearse::{
 };
 pub use scenarios::{run_all as run_all_scenarios, RootCause, ScenarioResult};
 pub use session::{EmulationFork, Snapshot};
+pub use traffic::{LinkUtilisation, PairTraffic, TrafficReport};
 pub use workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};
 
 /// One-stop imports for driving an emulation.
@@ -84,6 +89,7 @@ pub mod prelude {
         AppliedChange, ConvergenceDelta, FibChange, FibChangeKind, RehearsalReport, RehearsalStep,
     };
     pub use crate::session::{EmulationFork, Snapshot};
+    pub use crate::traffic::{LinkUtilisation, PairTraffic, TrafficReport};
     pub use crate::workflow::{StepOutcome, UpdateStep, ValidationLoop, ValidationReport};
     pub use crystalnet_config::{classify_diff, Change, ChangeImpact, ChangeSet, SpeakerRoute};
     pub use crystalnet_dataplane::ForwardDecision;
@@ -92,7 +98,7 @@ pub mod prelude {
     };
     pub use crystalnet_routing::{
         GrayFailureWitness, Incident, IncidentKind, MgmtCommand, MgmtResponse, ProbeConfig,
-        ProbeOutcome, VendorProfile,
+        ProbeOutcome, TrafficConfig, VendorProfile,
     };
     pub use crystalnet_sim::{SimDuration, SimTime};
     pub use crystalnet_telemetry::{

@@ -130,8 +130,18 @@ pub struct ConvergenceDelta {
     pub probes_sent: u64,
     /// Health-plane probes lost during the step's transient.
     pub probes_lost: u64,
-    /// Watchdog incidents fired during the step.
+    /// Watchdog incidents fired during the step (health and congestion
+    /// watchdogs combined).
     pub incidents: u64,
+    /// Traffic-plane flows launched while the step converged (zero when
+    /// the traffic plane is off). With traffic on, a rehearsed change
+    /// reports what the transient did to *user load*, not just probes.
+    pub flows_sent: u64,
+    /// Flows lost during the step's transient.
+    pub flows_lost: u64,
+    /// Flows that completed during the step but crossed a device whose
+    /// route had changed mid-flight — traffic rerouted by the change.
+    pub flows_rerouted: u64,
 }
 
 impl ConvergenceDelta {
@@ -161,6 +171,12 @@ impl ConvergenceDelta {
             s.push_str(&format!(
                 "; SLO impact: {}/{} probe(s) lost, {} incident(s)",
                 self.probes_lost, self.probes_sent, self.incidents,
+            ));
+        }
+        if self.flows_sent > 0 {
+            s.push_str(&format!(
+                "; traffic impact: {}/{} flow(s) lost, {} rerouted",
+                self.flows_lost, self.flows_sent, self.flows_rerouted,
             ));
         }
         s
@@ -316,6 +332,20 @@ impl Emulation {
             .sim
             .health()
             .map(|h| (h.probes_sent, h.probes_lost, h.incidents.len() as u64))
+            .unwrap_or_default();
+        // Same trick for the traffic plane: the step's own flow losses
+        // and reroutes are the totals' diff across the settle.
+        let traffic_before = self
+            .sim
+            .traffic()
+            .map(|t| {
+                (
+                    t.flows_sent,
+                    t.flows_lost,
+                    t.flows_rerouted,
+                    t.incidents.len() as u64,
+                )
+            })
             .unwrap_or_default();
 
         // ---- Validate everything before mutating anything. ----
@@ -514,6 +544,18 @@ impl Emulation {
             .health()
             .map(|h| (h.probes_sent, h.probes_lost, h.incidents.len() as u64))
             .unwrap_or_default();
+        let traffic_after = self
+            .sim
+            .traffic()
+            .map(|t| {
+                (
+                    t.flows_sent,
+                    t.flows_lost,
+                    t.flows_rerouted,
+                    t.incidents.len() as u64,
+                )
+            })
+            .unwrap_or_default();
         let delta = ConvergenceDelta {
             applied,
             dirty: dirty.iter().copied().collect(),
@@ -524,7 +566,10 @@ impl Emulation {
             fib_changes,
             probes_sent: health_after.0 - health_before.0,
             probes_lost: health_after.1 - health_before.1,
-            incidents: health_after.2 - health_before.2,
+            incidents: (health_after.2 - health_before.2) + (traffic_after.3 - traffic_before.3),
+            flows_sent: traffic_after.0 - traffic_before.0,
+            flows_lost: traffic_after.1 - traffic_before.1,
+            flows_rerouted: traffic_after.2 - traffic_before.2,
         };
 
         // Incident correlation reads this log: the change lands at its

@@ -10,6 +10,8 @@
 //! ARP with aging, telemetry capture with path reconstruction, and the
 //! ECMP/aggregation-aware FIB comparator.
 
+#![warn(missing_docs)]
+
 pub mod arp;
 pub mod compare;
 pub mod fib;

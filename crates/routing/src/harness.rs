@@ -15,6 +15,7 @@ use crate::health::{
 };
 use crate::msg::{BgpMsg, Frame};
 use crate::os::{DeviceOs, MgmtCommand, MgmtResponse, OsActions, OsEvent, TimerKind};
+use crate::traffic::{entry_sig, TrafficConfig, TrafficState};
 use crystalnet_dataplane::{decide, Fib, ForwardDecision, Ipv4Packet};
 use crystalnet_net::{DeviceId, Ipv4Addr, Ipv4Prefix, LinkId, Partition, Topology};
 use crystalnet_sim::parallel::{
@@ -192,17 +193,56 @@ enum HarnessEventKind {
         outcome: ProbeOutcome,
         path_ns: u64,
     },
+    /// A traffic round begins (broadcast: every shard replays the
+    /// identical tick, runs the congestion watchdogs over its owned
+    /// residue, and launches flows for the sources it owns).
+    TrafficTick { round: u64 },
+    /// A flow's leading packet arrives at `dev` for a forwarding
+    /// decision (the flow-level abstraction: one walk stands in for the
+    /// whole flow, `bytes` is charged per traversed link).
+    FlowHop {
+        src: DeviceId,
+        src_addr: Ipv4Addr,
+        dst: DeviceId,
+        dst_addr: Ipv4Addr,
+        dev: DeviceId,
+        ingress: Option<u32>,
+        ttl: u8,
+        flow_seq: u64,
+        bytes: u64,
+        /// Whether any device on the path so far had *changed* its
+        /// route for the destination since last observed.
+        rerouted: bool,
+        /// Accumulated forward-path latency (ns) — also the
+        /// conservative return bound the report is scheduled under.
+        path_ns: u64,
+    },
+    /// A flow's fate travels back to its source's gauges.
+    FlowReport {
+        src: DeviceId,
+        dst: DeviceId,
+        flow_seq: u64,
+        outcome: ProbeOutcome,
+        bytes: u64,
+        rerouted: bool,
+        path_ns: u64,
+    },
 }
 
-/// Probe event keys live in ranges no other event can reach: device keys
-/// are `(dev + 1) << 32 | seq` (far below `2^61` at any real device
-/// count), control keys are a small counter, and the synthetic
-/// packet-hop ids of `pull_trace` set bit 63. Ticks take
-/// `[3 << 61, 4 << 61)`, hop/report flows `[1 << 62, 3 << 61)` — both
-/// content-derived, so `(time, key)` stays a total order with no
-/// coordination between shards.
+/// Probe and traffic event keys live in ranges no other event can
+/// reach: device keys are `(dev + 1) << 32 | seq` (far below `2^61` at
+/// any real device count), control keys are a small counter, and the
+/// synthetic packet-hop ids of `pull_trace` set bit 63. Probe ticks
+/// take `[3 << 61, 4 << 61)`, probe hop/report flows
+/// `[1 << 62, 3 << 61)`, traffic ticks `[1 << 61, 3 << 60)`, and flow
+/// hops/reports `[3 << 60, 1 << 62)` — all content-derived, so
+/// `(time, key)` stays a total order with no coordination between
+/// shards. (At one instant the order is therefore: traffic tick, flow
+/// hops/reports, probe hops/reports, probe tick.)
 const PROBE_TICK_KEY: u64 = 0b11 << 61;
 const PROBE_FLOW_KEY: u64 = 1 << 62;
+const TRAFFIC_TICK_KEY: u64 = 1 << 61;
+const TRAFFIC_FLOW_KEY: u64 = 0b11 << 60;
 
 /// Key of hop `hop` of probe `probe_seq` (9 bits of hop per probe: TTLs
 /// are 8-bit, plus one slot for the report).
@@ -213,6 +253,17 @@ fn probe_hop_key(probe_seq: u64, hop: u32) -> u64 {
 /// Key of probe `probe_seq`'s report (the 257th slot of its flow range).
 fn probe_report_key(probe_seq: u64) -> u64 {
     PROBE_FLOW_KEY | (probe_seq << 9) | 256
+}
+
+/// Key of hop `hop` of flow `flow_seq` (same 9-bit hop discipline as
+/// probes).
+fn flow_hop_key(flow_seq: u64, hop: u32) -> u64 {
+    TRAFFIC_FLOW_KEY | (flow_seq << 9) | u64::from(hop & 0xff)
+}
+
+/// Key of flow `flow_seq`'s report (the 257th slot of its range).
+fn flow_report_key(flow_seq: u64) -> u64 {
+    TRAFFIC_FLOW_KEY | (flow_seq << 9) | 256
 }
 
 impl HarnessEvent {
@@ -227,12 +278,16 @@ impl HarnessEvent {
             HarnessEventKind::Deliver { dev, .. } => Some(*dev),
             HarnessEventKind::ProbeHop { dev, .. } => Some(*dev),
             HarnessEventKind::ProbeReport { src, .. } => Some(*src),
-            HarnessEventKind::LinkState { .. } | HarnessEventKind::ProbeTick { .. } => None,
+            HarnessEventKind::FlowHop { dev, .. } => Some(*dev),
+            HarnessEventKind::FlowReport { src, .. } => Some(*src),
+            HarnessEventKind::LinkState { .. }
+            | HarnessEventKind::ProbeTick { .. }
+            | HarnessEventKind::TrafficTick { .. } => None,
         }
     }
 
-    /// Copies a broadcast (link-state / probe-tick) event for another
-    /// shard's queue.
+    /// Copies a broadcast (link-state / probe-tick / traffic-tick)
+    /// event for another shard's queue.
     fn replicate(&self) -> Option<HarnessEvent> {
         match self.kind {
             HarnessEventKind::LinkState {
@@ -259,16 +314,22 @@ impl HarnessEvent {
                 cause: self.cause,
                 kind: HarnessEventKind::ProbeTick { round },
             }),
+            HarnessEventKind::TrafficTick { round } => Some(HarnessEvent {
+                key: self.key,
+                cause: self.cause,
+                kind: HarnessEventKind::TrafficTick { round },
+            }),
             _ => None,
         }
     }
 
     /// Whether this event counts against `causal_pending` while queued.
-    /// Everything but pure timers and the health plane does: boots, link
-    /// changes, management injections, and frame deliveries can all
-    /// trigger route activity. Probe events are observers by
-    /// construction — keeping them non-causal is what makes probing a
-    /// network not change when it is declared converged.
+    /// Everything but pure timers, the health plane, and the traffic
+    /// plane does: boots, link changes, management injections, and
+    /// frame deliveries can all trigger route activity. Probe and flow
+    /// events are observers by construction — keeping them non-causal
+    /// is what makes probing (or loading) a network not change when it
+    /// is declared converged.
     fn is_causal(&self) -> bool {
         !matches!(
             self.kind,
@@ -276,6 +337,9 @@ impl HarnessEvent {
                 | HarnessEventKind::ProbeTick { .. }
                 | HarnessEventKind::ProbeHop { .. }
                 | HarnessEventKind::ProbeReport { .. }
+                | HarnessEventKind::TrafficTick { .. }
+                | HarnessEventKind::FlowHop { .. }
+                | HarnessEventKind::FlowReport { .. }
         )
     }
 }
@@ -409,6 +473,32 @@ impl EventFire<ControlPlaneWorld> for HarnessEvent {
                 outcome,
                 path_ns,
             } => probe_report(e, src, dst, probe_seq, outcome, path_ns),
+            HarnessEventKind::TrafficTick { round } => traffic_tick(e, round),
+            HarnessEventKind::FlowHop {
+                src,
+                src_addr,
+                dst,
+                dst_addr,
+                dev,
+                ingress,
+                ttl,
+                flow_seq,
+                bytes,
+                rerouted,
+                path_ns,
+            } => flow_hop(
+                e, src, src_addr, dst, dst_addr, dev, ingress, ttl, flow_seq, bytes, rerouted,
+                path_ns,
+            ),
+            HarnessEventKind::FlowReport {
+                src,
+                dst,
+                flow_seq,
+                outcome,
+                bytes,
+                rerouted,
+                path_ns,
+            } => flow_report(e, src, dst, flow_seq, outcome, bytes, rerouted, path_ns),
         }
     }
 }
@@ -459,6 +549,10 @@ pub struct ControlPlaneWorld {
     /// Health plane (probe mesh + watchdogs); `None` keeps every probe
     /// code path dormant at zero cost.
     health: Option<HealthState>,
+    /// Traffic plane (flow generation + utilisation gauges + congestion
+    /// watchdogs); `None` keeps every flow code path dormant at zero
+    /// cost.
+    traffic: Option<TrafficState>,
     /// Devices whose *dataplane* forwarding is silently dead while their
     /// control plane keeps running (gray-failure injection). Only probe
     /// forwarding consults this — sessions stay up, FIBs stay "correct".
@@ -573,6 +667,7 @@ impl ControlPlaneSim {
                 control_key_seq: 0,
                 shard_route: None,
                 health: None,
+                traffic: None,
                 fwd_disabled: BTreeSet::new(),
                 recorder: Box::new(NoopRecorder),
             }),
@@ -624,6 +719,7 @@ impl ControlPlaneSim {
             control_key_seq: w.control_key_seq,
             shard_route: None,
             health: w.health.clone(),
+            traffic: w.traffic.clone(),
             fwd_disabled: w.fwd_disabled.clone(),
             recorder,
         };
@@ -911,11 +1007,17 @@ impl ControlPlaneSim {
                         outbox: Vec::new(),
                     }),
                     // Pair gauges travel with their src-owning shard so
-                    // rolling SLO windows continue across the fork.
+                    // rolling SLO windows continue across the fork; the
+                    // traffic plane's link/ECMP gauges travel with the
+                    // transmitting device's shard for the same reason.
                     health: world
                         .health
                         .as_ref()
                         .map(|h| h.fork_for_shard(|d| partition.shard_of[d.index()] == s)),
+                    traffic: world
+                        .traffic
+                        .as_ref()
+                        .map(|t| t.fork_for_shard(|d| partition.shard_of[d.index()] == s)),
                     fwd_disabled: world.fwd_disabled.clone(),
                     recorder: world.recorder.fork(),
                 })
@@ -998,6 +1100,11 @@ impl ControlPlaneSim {
                     h.absorb_shard(sh);
                 }
             }
+            if let Some(st) = sw.traffic.take() {
+                if let Some(t) = world.traffic.as_mut() {
+                    t.absorb_shard(st);
+                }
+            }
             crashes.extend(sw.crashes);
             responses.extend(sw.mgmt_responses);
             // Broadcast events survive in every shard queue; keep one copy.
@@ -1014,6 +1121,9 @@ impl ControlPlaneSim {
         // (time, seq, kind) order the serial run produces.
         if let Some(h) = self.engine.world.health.as_mut() {
             h.sort_incidents();
+        }
+        if let Some(t) = self.engine.world.traffic.as_mut() {
+            t.sort_incidents();
         }
         responses.sort_by_key(|r| (r.0).0);
         self.engine.world.mgmt_responses.extend(responses);
@@ -1238,6 +1348,35 @@ impl ControlPlaneSim {
     #[must_use]
     pub fn health(&self) -> Option<&HealthState> {
         self.engine.world.health.as_ref()
+    }
+
+    /// Turns the traffic plane on: installs the flow-generation state
+    /// over `population` (the flow-capable devices with their loopback
+    /// addresses) and schedules the first traffic round at
+    /// `first_tick_at`. Ticks then self-perpetuate every `cfg.period`
+    /// until the simulation ends; they are non-causal, so convergence
+    /// detection is unaffected.
+    pub fn enable_traffic(
+        &mut self,
+        cfg: TrafficConfig,
+        population: Vec<(DeviceId, Ipv4Addr)>,
+        first_tick_at: SimTime,
+    ) {
+        self.engine.world.traffic = Some(TrafficState::new(cfg, population));
+        self.engine.schedule_event_at(
+            first_tick_at,
+            HarnessEvent {
+                key: TRAFFIC_TICK_KEY,
+                cause: None,
+                kind: HarnessEventKind::TrafficTick { round: 0 },
+            },
+        );
+    }
+
+    /// The traffic plane's current state, when enabled.
+    #[must_use]
+    pub fn traffic(&self) -> Option<&TrafficState> {
+        self.engine.world.traffic.as_ref()
     }
 
     /// Silently kills (or restores) `dev`'s dataplane forwarding while
@@ -1506,10 +1645,10 @@ fn dispatch(e: &mut ControlPlaneEngine, dev: DeviceId, event: OsEvent) {
     }
 }
 
-/// Schedules a probe event onto the shard that owns `target`, using the
-/// same outbox mechanism as cross-shard frame deliveries. Probe events
-/// are non-causal, so no `causal_pending` accounting is needed on either
-/// side.
+/// Schedules a probe or flow event onto the shard that owns `target`,
+/// using the same outbox mechanism as cross-shard frame deliveries.
+/// Probe and flow events are non-causal, so no `causal_pending`
+/// accounting is needed on either side.
 fn schedule_probe(e: &mut ControlPlaneEngine, at: SimTime, target: DeviceId, ev: HarnessEvent) {
     if let Some(route) = &mut e.world.shard_route {
         let dest = route.shard_of[target.index()];
@@ -1877,52 +2016,84 @@ fn probe_report(
     }
 }
 
-/// Lands one watchdog firing: onto the canonical incident timeline, the
-/// `health.incidents` counter, and (when tracing) the trace sink — which
-/// is what carries incidents into the JSONL/Chrome exports for free.
+/// Emits the trace record for one watchdog firing (shared by the
+/// health and traffic planes) — this is what carries incidents into the
+/// JSONL/Chrome exports for free.
+fn trace_incident(e: &mut ControlPlaneEngine, inc: &Incident) {
+    let site = match &inc.kind {
+        IncidentKind::Blackhole(w) => w.device,
+        IncidentKind::ForwardingLoop { device, .. }
+        | IncidentKind::FibChurnAnomaly { device, .. }
+        | IncidentKind::LinkOversubscribed { device, .. }
+        | IncidentKind::EcmpPolarisation { device, .. } => *device,
+        IncidentKind::SloBreach { .. } | IncidentKind::FlowSloBreach { .. } => inc.src,
+    };
+    let mut fields = vec![
+        ("kind", FieldValue::Str(inc.kind.label().to_string())),
+        ("src", FieldValue::U64(u64::from(inc.src.0))),
+        ("dst", FieldValue::U64(u64::from(inc.dst.0))),
+        ("seq", FieldValue::U64(inc.seq)),
+    ];
+    match &inc.kind {
+        IncidentKind::Blackhole(w) => {
+            fields.push(("hop", FieldValue::U64(u64::from(w.hop))));
+            if let Some(p) = w.prefix {
+                fields.push(("prefix", FieldValue::Str(p.to_string())));
+            }
+            if let Some(d) = w.prov_digest {
+                fields.push(("prov", FieldValue::U64(d)));
+            }
+        }
+        IncidentKind::ForwardingLoop { hop, .. } => {
+            fields.push(("hop", FieldValue::U64(u64::from(*hop))));
+        }
+        IncidentKind::SloBreach {
+            window_lost,
+            window,
+        }
+        | IncidentKind::FlowSloBreach {
+            window_lost,
+            window,
+        } => {
+            fields.push(("window_lost", FieldValue::U64(*window_lost)));
+            fields.push(("window", FieldValue::U64(*window)));
+        }
+        IncidentKind::FibChurnAnomaly { ops, threshold, .. } => {
+            fields.push(("ops", FieldValue::U64(*ops)));
+            fields.push(("threshold", FieldValue::U64(*threshold)));
+        }
+        IncidentKind::LinkOversubscribed {
+            link,
+            bytes,
+            capacity_bytes,
+            ..
+        } => {
+            fields.push(("link", FieldValue::U64(u64::from(link.0))));
+            fields.push(("bytes", FieldValue::U64(*bytes)));
+            fields.push(("capacity_bytes", FieldValue::U64(*capacity_bytes)));
+        }
+        IncidentKind::EcmpPolarisation {
+            iface,
+            share_pct,
+            members,
+            ..
+        } => {
+            fields.push(("iface", FieldValue::U64(u64::from(*iface))));
+            fields.push(("share_pct", FieldValue::U64(*share_pct)));
+            fields.push(("members", FieldValue::U64(*members)));
+        }
+    }
+    trace_here(e, "incident", Some(site), fields);
+}
+
+/// Lands one health-plane watchdog firing: onto the canonical incident
+/// timeline, the `health.incidents` counter, and the trace sink.
 fn record_incident(e: &mut ControlPlaneEngine, inc: Incident) {
     if e.world.recorder.enabled() {
         e.world.recorder.counter_add("health.incidents", 1);
     }
     if e.world.recorder.trace_enabled() {
-        let site = match &inc.kind {
-            IncidentKind::Blackhole(w) => w.device,
-            IncidentKind::ForwardingLoop { device, .. }
-            | IncidentKind::FibChurnAnomaly { device, .. } => *device,
-            IncidentKind::SloBreach { .. } => inc.src,
-        };
-        let mut fields = vec![
-            ("kind", FieldValue::Str(inc.kind.label().to_string())),
-            ("src", FieldValue::U64(u64::from(inc.src.0))),
-            ("dst", FieldValue::U64(u64::from(inc.dst.0))),
-            ("seq", FieldValue::U64(inc.seq)),
-        ];
-        match &inc.kind {
-            IncidentKind::Blackhole(w) => {
-                fields.push(("hop", FieldValue::U64(u64::from(w.hop))));
-                if let Some(p) = w.prefix {
-                    fields.push(("prefix", FieldValue::Str(p.to_string())));
-                }
-                if let Some(d) = w.prov_digest {
-                    fields.push(("prov", FieldValue::U64(d)));
-                }
-            }
-            IncidentKind::ForwardingLoop { hop, .. } => {
-                fields.push(("hop", FieldValue::U64(u64::from(*hop))));
-            }
-            IncidentKind::SloBreach {
-                window_lost,
-                window,
-            } => {
-                fields.push(("window_lost", FieldValue::U64(*window_lost)));
-                fields.push(("window", FieldValue::U64(*window)));
-            }
-            IncidentKind::FibChurnAnomaly { ops, threshold, .. } => {
-                fields.push(("ops", FieldValue::U64(*ops)));
-                fields.push(("threshold", FieldValue::U64(*threshold)));
-            }
-        }
-        trace_here(e, "incident", Some(site), fields);
+        trace_incident(e, &inc);
     }
     e.world
         .health
@@ -1930,6 +2101,419 @@ fn record_incident(e: &mut ControlPlaneEngine, inc: Incident) {
         .expect("incidents only fire with the health plane enabled")
         .incidents
         .push(inc);
+}
+
+/// Lands one traffic-plane (congestion) watchdog firing: onto the
+/// traffic incident timeline, the `traffic.incidents` counter, and the
+/// trace sink.
+fn record_traffic_incident(e: &mut ControlPlaneEngine, inc: Incident) {
+    if e.world.recorder.enabled() {
+        e.world.recorder.counter_add("traffic.incidents", 1);
+    }
+    if e.world.recorder.trace_enabled() {
+        trace_incident(e, &inc);
+    }
+    e.world
+        .traffic
+        .as_mut()
+        .expect("congestion incidents only fire with the traffic plane enabled")
+        .incidents
+        .push(inc);
+}
+
+/// One traffic round: run the congestion watchdogs over the utilisation
+/// residue, launch this round's sampled flows from locally owned
+/// sources, and schedule the next tick.
+///
+/// In parallel mode every shard fires the identical (replicated) tick.
+/// Flow sampling is a pure function of `(seed, round)` over the
+/// replicated population, so all shards agree on the plan and each
+/// launches exactly the flows whose source it owns; the link/ECMP
+/// residues a shard holds are exactly those of its owned devices, so
+/// each watchdog verdict is computed on exactly one shard and the union
+/// is the serial behavior. Each shard also schedules its own copy of
+/// the next tick (same time, same key); the join keeps shard 0's copy,
+/// exactly like link-state broadcasts.
+fn traffic_tick(e: &mut ControlPlaneEngine, round: u64) {
+    let now = e.now();
+    let Some(t) = e.world.traffic.as_ref() else {
+        return;
+    };
+    let period = t.cfg.period;
+    let fpr = t.cfg.flows_per_round as u64;
+    let ttl = t.cfg.ttl;
+    let capacity_bytes = t.cfg.capacity_bytes_per_period();
+    let oversub_pct = u64::from(t.cfg.oversub_pct);
+    let polarisation_pct = u64::from(t.cfg.polarisation_pct);
+    let polarisation_min = t.cfg.polarisation_min_bytes;
+    let plan: Vec<(DeviceId, Ipv4Addr, DeviceId, Ipv4Addr, u64)> = t
+        .sample_flows(round)
+        .iter()
+        .map(|f| {
+            let (sd, sa) = t.population[f.src];
+            let (dd, da) = t.population[f.dst];
+            (sd, sa, dd, da, f.bytes)
+        })
+        .collect();
+
+    // Over-subscription watchdog: bytes per directional link since the
+    // previous tick against the capacity threshold. The residue maps
+    // hold only locally-owned transmitting devices, so every verdict is
+    // computed on exactly one world.
+    let incidents: Vec<Incident> = {
+        let t = e.world.traffic.as_mut().expect("checked above");
+        let tx_residue = std::mem::take(&mut t.tx_since_tick);
+        let ecmp_residue = std::mem::take(&mut t.ecmp_since_tick);
+        let mut fired = Vec::new();
+        for (&(dev, link), &bytes) in &tx_residue {
+            let peak = t.link_peak.entry((dev, link)).or_insert(0);
+            *peak = (*peak).max(bytes);
+            if bytes * 100 > oversub_pct * capacity_bytes {
+                fired.push(Incident {
+                    at: now,
+                    src: dev,
+                    dst: dev,
+                    seq: (0b101 << 61) | (u64::from(dev.0) << 24) | u64::from(link.0 & 0xff_ffff),
+                    kind: IncidentKind::LinkOversubscribed {
+                        link,
+                        device: dev,
+                        bytes,
+                        capacity_bytes,
+                    },
+                });
+            }
+        }
+        // Polarisation watchdog: one member of a ≥2-member ECMP group
+        // absorbing more than the threshold share of the device's
+        // hashed bytes over a non-trivial sample.
+        for (&dev, res) in &ecmp_residue {
+            let total: u64 = res.by_iface.values().sum();
+            if res.members_max < 2 || total < polarisation_min {
+                continue;
+            }
+            let (hot_iface, hot_bytes) = res
+                .by_iface
+                .iter()
+                .map(|(i, b)| (*i, *b))
+                .max_by_key(|&(i, b)| (b, std::cmp::Reverse(i)))
+                .expect("residue entries are non-empty");
+            if hot_bytes * 100 > polarisation_pct * total {
+                fired.push(Incident {
+                    at: now,
+                    src: dev,
+                    dst: dev,
+                    seq: (0b110 << 61) | (u64::from(dev.0) << 8) | u64::from(hot_iface & 0xff),
+                    kind: IncidentKind::EcmpPolarisation {
+                        device: dev,
+                        iface: hot_iface,
+                        share_pct: hot_bytes * 100 / total,
+                        members: res.members_max,
+                    },
+                });
+            }
+        }
+        fired
+    };
+    for inc in incidents {
+        record_traffic_incident(e, inc);
+    }
+
+    let cause = e.current_event();
+    for (i, (src, src_addr, dst, dst_addr, bytes)) in plan.into_iter().enumerate() {
+        // Only the world holding the source's OS launches: in a shard
+        // world that is the owner, serially it is everyone.
+        if e.world.oses[src.index()].is_none() {
+            continue;
+        }
+        let flow_seq = round * fpr + i as u64;
+        {
+            let t = e.world.traffic.as_mut().expect("checked above");
+            t.flows_sent += 1;
+            t.bytes_offered += bytes;
+        }
+        if e.world.recorder.enabled() {
+            e.world.recorder.counter_add("traffic.flows_sent", 1);
+            e.world.recorder.counter_add("traffic.bytes_offered", bytes);
+        }
+        e.schedule_event_at(
+            now,
+            HarnessEvent {
+                key: flow_hop_key(flow_seq, 0),
+                cause,
+                kind: HarnessEventKind::FlowHop {
+                    src,
+                    src_addr,
+                    dst,
+                    dst_addr,
+                    dev: src,
+                    ingress: None,
+                    ttl,
+                    flow_seq,
+                    bytes,
+                    rerouted: false,
+                    path_ns: 0,
+                },
+            },
+        );
+    }
+
+    e.schedule_event_at(
+        now + period,
+        HarnessEvent {
+            key: TRAFFIC_TICK_KEY | (round + 1),
+            cause: None,
+            kind: HarnessEventKind::TrafficTick { round: round + 1 },
+        },
+    );
+}
+
+/// One flow at one device: the same [`decide`] walk a probe makes, but
+/// the flow's `identification` is its sequence number — so ECMP's
+/// 5-tuple hash spreads concurrent flows over group members — and every
+/// traversed link is charged the flow's bytes for the utilisation
+/// gauges and congestion residues. Lost flows feed the flow SLO
+/// windows; the *witness*-producing gray-failure watchdogs stay the
+/// probe mesh's job (a loss here is never double-reported as a
+/// blackhole).
+#[allow(clippy::too_many_arguments)]
+fn flow_hop(
+    e: &mut ControlPlaneEngine,
+    src: DeviceId,
+    src_addr: Ipv4Addr,
+    dst: DeviceId,
+    dst_addr: Ipv4Addr,
+    dev: DeviceId,
+    ingress: Option<u32>,
+    ttl: u8,
+    flow_seq: u64,
+    bytes: u64,
+    rerouted: bool,
+    path_ns: u64,
+) {
+    let now = e.now();
+    let Some(cfg_ttl) = e.world.traffic.as_ref().map(|t| t.cfg.ttl) else {
+        return;
+    };
+    let hop_index = u32::from(cfg_ttl.saturating_sub(ttl));
+
+    // Resolve the forwarding decision under a scoped world borrow; the
+    // accounting facts (matched prefix, next-hop digest, group size,
+    // chosen egress) are collected here and charged afterwards.
+    let (step, acct, egress) = {
+        let world = &mut e.world;
+        let idx = dev.index();
+        match world.oses[idx].as_deref() {
+            None => (HopStep::Lost(ProbeOutcome::DeviceDown, None), None, None),
+            Some(os) if !world.booted[idx] || os.is_down() => {
+                (HopStep::Lost(ProbeOutcome::DeviceDown, None), None, None)
+            }
+            Some(os) if world.fwd_disabled.contains(&dev) => {
+                let outcome = if os.fib().lookup(dst_addr).is_some() {
+                    ProbeOutcome::Blackhole
+                } else {
+                    ProbeOutcome::NoRoute
+                };
+                (HopStep::Lost(outcome, None), None, None)
+            }
+            Some(os) => {
+                let pkt = Ipv4Packet {
+                    src: src_addr,
+                    dst: dst_addr,
+                    protocol: crystalnet_dataplane::ipproto::TCP,
+                    ttl,
+                    identification: flow_seq as u16,
+                    payload: bytes::Bytes::new(),
+                };
+                let locals = os.local_addrs();
+                let decision = decide(os.fib(), &locals, &pkt, |s, d| {
+                    os.filter_permits(ingress, s, d)
+                });
+                let acct = os
+                    .fib()
+                    .lookup(dst_addr)
+                    .map(|(p, entry)| (p, entry_sig(entry), entry.next_hops.len()));
+                let (step, egress) = match decision {
+                    ForwardDecision::Deliver => (HopStep::Delivered, None),
+                    ForwardDecision::DropTtlExpired => {
+                        (HopStep::Lost(ProbeOutcome::TtlExpired, None), None)
+                    }
+                    ForwardDecision::DropNoRoute => {
+                        (HopStep::Lost(ProbeOutcome::NoRoute, None), None)
+                    }
+                    ForwardDecision::DropAcl => (HopStep::Lost(ProbeOutcome::AclDrop, None), None),
+                    ForwardDecision::Forward(hop) => {
+                        if hop.iface == crate::bgp::LOCAL_IFACE {
+                            (HopStep::Delivered, None)
+                        } else {
+                            match world.adjacency[idx].get(hop.iface as usize) {
+                                Some(Some(adj)) => {
+                                    if world.link_up.get(&adj.link).copied().unwrap_or(false) {
+                                        (
+                                            HopStep::Forward {
+                                                next_dev: adj.remote_dev,
+                                                next_iface: adj.remote_iface,
+                                                link: adj.link,
+                                            },
+                                            Some((adj.link, hop.iface)),
+                                        )
+                                    } else {
+                                        // FIB points at a dead link: the
+                                        // flow dies where a probe would.
+                                        (HopStep::Lost(ProbeOutcome::Blackhole, None), None)
+                                    }
+                                }
+                                _ => (HopStep::Lost(ProbeOutcome::NoRoute, None), None),
+                            }
+                        }
+                    }
+                };
+                (step, acct, egress)
+            }
+        }
+    };
+
+    // Charge the reroute detector on every observation, the link and
+    // ECMP residues only on actual transmission. All keys are owned by
+    // `dev`, whose shard is executing this hop.
+    let mut rerouted = rerouted;
+    if let Some((prefix, sig, members)) = acct {
+        let t = e.world.traffic.as_mut().expect("checked above");
+        rerouted |= t.note_route(dev, prefix, sig);
+        if let Some((link, iface)) = egress {
+            *t.tx_since_tick.entry((dev, link)).or_insert(0) += bytes;
+            *t.link_bytes.entry((dev, link)).or_insert(0) += bytes;
+            if members >= 2 {
+                let res = t.ecmp_since_tick.entry(dev).or_default();
+                *res.by_iface.entry(iface).or_insert(0) += bytes;
+                res.members_max = res.members_max.max(members as u64);
+            }
+        }
+    }
+
+    match step {
+        HopStep::Forward {
+            next_dev,
+            next_iface,
+            link,
+        } => {
+            let delay = e.world.work.link_delay(link, now);
+            let arrive = now + delay;
+            let cause = e.current_event();
+            schedule_probe(
+                e,
+                arrive,
+                next_dev,
+                HarnessEvent {
+                    key: flow_hop_key(flow_seq, hop_index + 1),
+                    cause,
+                    kind: HarnessEventKind::FlowHop {
+                        src,
+                        src_addr,
+                        dst,
+                        dst_addr,
+                        dev: next_dev,
+                        ingress: Some(next_iface),
+                        ttl: ttl - 1,
+                        flow_seq,
+                        bytes,
+                        rerouted,
+                        path_ns: path_ns + delay.as_nanos(),
+                    },
+                },
+            );
+        }
+        HopStep::Delivered | HopStep::Lost(..) => {
+            let outcome = match &step {
+                HopStep::Delivered => ProbeOutcome::Delivered,
+                HopStep::Lost(o, _) => *o,
+                HopStep::Forward { .. } => unreachable!(),
+            };
+            // The report returns to the source's shard, `path_ns` out —
+            // lookahead-honest for the same reason probe reports are.
+            let cause = e.current_event();
+            schedule_probe(
+                e,
+                now + SimDuration::from_nanos(path_ns),
+                src,
+                HarnessEvent {
+                    key: flow_report_key(flow_seq),
+                    cause,
+                    kind: HarnessEventKind::FlowReport {
+                        src,
+                        dst,
+                        flow_seq,
+                        outcome,
+                        bytes,
+                        rerouted,
+                        path_ns,
+                    },
+                },
+            );
+        }
+    }
+}
+
+/// A flow's fate lands on its source's gauges: per-pair counts, the
+/// rolling flow SLO window (with the breach watchdog on the
+/// transition), byte totals, and the rerouted-during-transient counter.
+#[allow(clippy::too_many_arguments)]
+fn flow_report(
+    e: &mut ControlPlaneEngine,
+    src: DeviceId,
+    dst: DeviceId,
+    flow_seq: u64,
+    outcome: ProbeOutcome,
+    bytes: u64,
+    rerouted: bool,
+    path_ns: u64,
+) {
+    let now = e.now();
+    let Some(t) = e.world.traffic.as_mut() else {
+        return;
+    };
+    let (slo_window, slo_loss_pct) = (t.cfg.slo_window, t.cfg.slo_loss_pct);
+    let delivered = outcome.delivered();
+    let stats = t.pairs.entry((src, dst)).or_default();
+    let fired = stats.record_windowed(delivered, path_ns, slo_window, slo_loss_pct);
+    let window_lost = stats.window_lost();
+    if delivered {
+        t.flows_delivered += 1;
+        t.bytes_delivered += bytes;
+    } else {
+        t.flows_lost += 1;
+        t.bytes_lost += bytes;
+    }
+    if rerouted {
+        t.flows_rerouted += 1;
+    }
+    if e.world.recorder.enabled() {
+        let rec = &mut *e.world.recorder;
+        if delivered {
+            rec.counter_add("traffic.flows_delivered", 1);
+            rec.counter_add("traffic.bytes_delivered", bytes);
+        } else {
+            rec.counter_add("traffic.flows_lost", 1);
+            rec.counter_add("traffic.bytes_lost", bytes);
+        }
+        if rerouted {
+            rec.counter_add("traffic.flows_rerouted", 1);
+        }
+    }
+    if fired {
+        record_traffic_incident(
+            e,
+            Incident {
+                at: now,
+                src,
+                dst,
+                seq: (1 << 61) | flow_seq,
+                kind: IncidentKind::FlowSloBreach {
+                    window_lost,
+                    window: slo_window as u64,
+                },
+            },
+        );
+    }
 }
 
 /// Classifies a frame into the canonical counter set. `sent` selects the

@@ -26,8 +26,14 @@
 //!   window recovers).
 //! * **FibChurnAnomaly** — a device performed more route operations
 //!   between two probe ticks than the configured threshold.
+//!
+//! The traffic plane (`crate::traffic`) extends the catalogue with
+//! congestion kinds — **LinkOversubscribed**, **EcmpPolarisation**,
+//! **FlowSloBreach** — that land on the same [`Incident`] timeline.
 
-use crystalnet_net::{DeviceId, Ipv4Addr, Ipv4Prefix};
+#![warn(missing_docs)]
+
+use crystalnet_net::{DeviceId, Ipv4Addr, Ipv4Prefix, LinkId};
 use crystalnet_sim::rng::SimRng;
 use crystalnet_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
@@ -121,6 +127,20 @@ impl PairStats {
     /// *transitioned* into SLO breach (the watchdog fires exactly once
     /// per excursion).
     pub fn record(&mut self, delivered: bool, latency_ns: u64, cfg: &ProbeConfig) -> bool {
+        self.record_windowed(delivered, latency_ns, cfg.slo_window, cfg.slo_loss_pct)
+    }
+
+    /// [`Self::record`] with the window parameters spelled out — the
+    /// shared implementation behind probe gauges and the traffic
+    /// plane's flow gauges (`crate::traffic`), which carry their own
+    /// window configuration.
+    pub fn record_windowed(
+        &mut self,
+        delivered: bool,
+        latency_ns: u64,
+        slo_window: usize,
+        slo_loss_pct: u8,
+    ) -> bool {
         self.sent += 1;
         if delivered {
             self.delivered += 1;
@@ -130,13 +150,13 @@ impl PairStats {
             self.lost += 1;
         }
         self.window.push_back(delivered);
-        while self.window.len() > cfg.slo_window {
+        while self.window.len() > slo_window {
             self.window.pop_front();
         }
-        if self.window.len() < cfg.slo_window {
+        if self.window.len() < slo_window {
             return false;
         }
-        let breach = self.window_lost() * 100 > (cfg.slo_loss_pct as u64) * (cfg.slo_window as u64);
+        let breach = self.window_lost() * 100 > u64::from(slo_loss_pct) * (slo_window as u64);
         let fired = breach && !self.breached;
         self.breached = breach;
         fired
@@ -226,6 +246,39 @@ pub enum IncidentKind {
         /// The configured threshold.
         threshold: u64,
     },
+    /// A directional link carried more bytes between two traffic ticks
+    /// than the configured fraction of its capacity-per-period
+    /// (traffic-plane watchdog).
+    LinkOversubscribed {
+        /// The over-subscribed link.
+        link: LinkId,
+        /// The transmitting endpoint (link accounting is directional).
+        device: DeviceId,
+        /// Bytes carried in the period.
+        bytes: u64,
+        /// The link's modelled capacity for one period, in bytes.
+        capacity_bytes: u64,
+    },
+    /// A device's ECMP traffic concentrated past the threshold on one
+    /// member of a multi-member group (traffic-plane watchdog).
+    EcmpPolarisation {
+        /// The polarised device.
+        device: DeviceId,
+        /// The egress interface absorbing the traffic.
+        iface: u32,
+        /// Integer percentage of the device's ECMP bytes on that member.
+        share_pct: u64,
+        /// Largest ECMP group size observed in the period.
+        members: u64,
+    },
+    /// A `(src, dst)` pair's rolling *flow*-loss window crossed the
+    /// threshold (traffic-plane watchdog).
+    FlowSloBreach {
+        /// Losses inside the window when the breach fired.
+        window_lost: u64,
+        /// Window length (flows).
+        window: u64,
+    },
 }
 
 impl IncidentKind {
@@ -237,6 +290,9 @@ impl IncidentKind {
             IncidentKind::ForwardingLoop { .. } => "forwarding_loop",
             IncidentKind::SloBreach { .. } => "slo_breach",
             IncidentKind::FibChurnAnomaly { .. } => "fib_churn_anomaly",
+            IncidentKind::LinkOversubscribed { .. } => "link_oversubscribed",
+            IncidentKind::EcmpPolarisation { .. } => "ecmp_polarisation",
+            IncidentKind::FlowSloBreach { .. } => "flow_slo_breach",
         }
     }
 
@@ -247,6 +303,9 @@ impl IncidentKind {
             IncidentKind::ForwardingLoop { .. } => 1,
             IncidentKind::SloBreach { .. } => 2,
             IncidentKind::FibChurnAnomaly { .. } => 3,
+            IncidentKind::LinkOversubscribed { .. } => 4,
+            IncidentKind::EcmpPolarisation { .. } => 5,
+            IncidentKind::FlowSloBreach { .. } => 6,
         }
     }
 }
@@ -260,9 +319,13 @@ pub struct Incident {
     pub src: DeviceId,
     /// Probe destination (for churn incidents, the churning device).
     pub dst: DeviceId,
-    /// Globally unique ordinal: the probe sequence for probe-derived
-    /// incidents, a `(1 << 63)`-tagged `(round, device)` composite for
-    /// churn incidents. Total-orders same-instant incidents.
+    /// Ordinal that total-orders same-instant incidents of one kind:
+    /// the probe sequence for probe-derived incidents, a `(1 << 63)`-
+    /// tagged `(round, device)` composite for churn incidents, a
+    /// `(1 << 61)`-tagged flow sequence for flow SLO breaches, and
+    /// high-bit-tagged `(device, link/iface)` composites for the
+    /// tick-time congestion watchdogs (`crate::traffic`). Same-instant
+    /// incidents of *different* kinds are ordered by kind rank.
     pub seq: u64,
     /// What fired.
     pub kind: IncidentKind,

@@ -21,6 +21,7 @@ pub mod os;
 pub mod ospf;
 pub mod provenance;
 pub mod speaker;
+pub mod traffic;
 pub mod vendor;
 
 pub use attrs::{intern_stats, Origin, PathAttrs, Route};
@@ -36,4 +37,5 @@ pub use provenance::{
     DecisionReason, MutationKind, OriginKind, ProvHop, Provenance, RouteDetail, RouteMutation,
 };
 pub use speaker::{SpeakerOs, SpeakerScript};
+pub use traffic::{EcmpResidue, FlowSpec, TrafficConfig, TrafficState};
 pub use vendor::{AggregateMode, FibOverflow, Quirks, VendorProfile};

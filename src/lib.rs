@@ -6,6 +6,12 @@
 #[doc = include_str!("../OPERATIONS.md")]
 pub mod operations {}
 
+/// The project [`README.md`](https://github.com/crystalnet-rs/crystalnet),
+/// included here so its runnable snippets (the illustrative ones are
+/// marked `ignore`) compile and run under `cargo test --doc`.
+#[doc = include_str!("../README.md")]
+pub mod readme {}
+
 pub use crystalnet as core;
 pub use crystalnet::prelude;
 pub use crystalnet_boundary as boundary;
